@@ -1,0 +1,251 @@
+// Package adamant is a query executor with plug-in interfaces for easy
+// co-processor integration — a pure-Go reproduction of the ICDE 2023 paper
+// of the same name.
+//
+// ADAMANT splits query execution into three loosely coupled layers. The
+// device layer is a set of ten pluggable interfaces (place_data,
+// retrieve_data, prepare_memory, transform_memory, delete_memory,
+// prepare_kernel, initialize, create_chunk, add_pinned_memory, execute)
+// behind which any co-processor SDK can sit. The task layer encapsulates
+// implementations of granular database primitives (filters, maps,
+// materializations, hash builds/probes, aggregations) and enforces their
+// I/O signatures. The runtime layer interprets a primitive graph and
+// executes it on whatever devices are plugged in, under one of several
+// execution models: operator-at-a-time, chunked (scales past device
+// memory), pipelined (copy/compute overlap), and 4-phase pipelined (pinned
+// double buffers with memory reuse).
+//
+// Because Go has no practical CUDA/OpenCL bindings, the co-processors
+// behind the device layer are simulated: kernels execute natively on the
+// host (real results, data-parallel across goroutines) while calibrated
+// cost models advance a virtual clock that reproduces the relative
+// behaviour of the paper's CUDA, OpenCL and OpenMP drivers on its two
+// evaluation machines.
+//
+// # Quick start
+//
+//	eng := adamant.NewEngine()
+//	gpu, _ := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+//
+//	plan := eng.NewPlan()
+//	plan.On(gpu)
+//	price := plan.ScanInt32("price", prices)
+//	disc := plan.ScanInt32("discount", discounts)
+//	keep := plan.FilterBetween(disc, 5, 7)
+//	rev := plan.Mul(plan.Materialize(price, keep), plan.Materialize(disc, keep))
+//	plan.Return("revenue", plan.SumInt64(rev))
+//
+//	res, _ := eng.Execute(plan, adamant.ExecOptions{Model: adamant.FourPhasePipelined})
+//	total := res.Int64("revenue")[0]
+package adamant
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// Hardware names a simulated processor model.
+type Hardware int
+
+// Available hardware models (the paper's two setups plus the GPUs of its
+// capacity analysis).
+const (
+	RTX2080Ti Hardware = iota
+	A100
+	GTX1050
+	GTX1080
+	CoreI78700
+	XeonGold5220R
+)
+
+func (h Hardware) spec() (*simhw.Spec, error) {
+	switch h {
+	case RTX2080Ti:
+		return &simhw.RTX2080Ti, nil
+	case A100:
+		return &simhw.A100, nil
+	case GTX1050:
+		return &simhw.GTX1050, nil
+	case GTX1080:
+		return &simhw.GTX1080, nil
+	case CoreI78700:
+		return &simhw.CoreI78700, nil
+	case XeonGold5220R:
+		return &simhw.XeonGold5220R, nil
+	default:
+		return nil, fmt.Errorf("adamant: unknown hardware %d", int(h))
+	}
+}
+
+// String returns the marketing name of the hardware.
+func (h Hardware) String() string {
+	if s, err := h.spec(); err == nil {
+		return s.Name
+	}
+	return fmt.Sprintf("hardware(%d)", int(h))
+}
+
+// SDK names a programming SDK a device can be plugged through.
+type SDK int
+
+// Available SDKs.
+const (
+	CUDA SDK = iota
+	OpenCL
+	OpenMP
+)
+
+// String returns the SDK name.
+func (s SDK) String() string {
+	switch s {
+	case CUDA:
+		return "CUDA"
+	case OpenCL:
+		return "OpenCL"
+	case OpenMP:
+		return "OpenMP"
+	default:
+		return fmt.Sprintf("sdk(%d)", int(s))
+	}
+}
+
+// Model selects an execution model (§IV of the paper).
+type Model = core.Model
+
+// Execution models.
+const (
+	// OperatorAtATime keeps whole columns and intermediates resident;
+	// fastest when data fits device memory, fails with OOM otherwise.
+	OperatorAtATime = core.OperatorAtATime
+	// Chunked is the naive chunked model (Algorithm 1): scales to
+	// larger-than-memory data with strictly serial transfers.
+	Chunked = core.Chunked
+	// Pipelined overlaps transfers with execution (Algorithm 2).
+	Pipelined = core.Pipelined
+	// FourPhaseChunked stages pinned double buffers and reuses them
+	// across chunks (Algorithm 3 without overlap).
+	FourPhaseChunked = core.FourPhaseChunked
+	// FourPhasePipelined is the full 4-phase model: pinned double
+	// buffers, memory reuse, and copy/compute overlap.
+	FourPhasePipelined = core.FourPhasePipelined
+)
+
+// DeviceID identifies a plugged device within an Engine.
+type DeviceID = device.ID
+
+// ExecOptions configures one query execution.
+type ExecOptions struct {
+	// Model is the execution model (default OperatorAtATime).
+	Model Model
+	// ChunkElems is the chunk size in values (default 2^25, the paper's).
+	ChunkElems int
+	// Trace records a device-memory footprint sample per primitive.
+	Trace bool
+}
+
+// Engine is the unified runtime: a registry of plugged co-processors plus
+// the execution models that run primitive graphs on them.
+type Engine struct {
+	rt *hub.Runtime
+}
+
+// NewEngine returns an engine with no devices plugged.
+func NewEngine() *Engine {
+	return &Engine{rt: hub.NewRuntime()}
+}
+
+// Plug registers a simulated co-processor accessed through the given SDK
+// and returns its device ID. Plugging is the only device-specific step: the
+// execution models work unchanged with whatever is plugged.
+func (e *Engine) Plug(hw Hardware, sdk SDK) (DeviceID, error) {
+	spec, err := hw.spec()
+	if err != nil {
+		return 0, err
+	}
+	var d device.Device
+	switch sdk {
+	case CUDA:
+		if spec.HostResident() {
+			return 0, fmt.Errorf("adamant: CUDA cannot drive host CPU %s", spec.Name)
+		}
+		d = simcuda.New(spec, nil)
+	case OpenCL:
+		if spec.HostResident() {
+			d = simopencl.NewCPU(spec, nil)
+		} else {
+			d = simopencl.NewGPU(spec, nil)
+		}
+	case OpenMP:
+		if !spec.HostResident() {
+			return 0, fmt.Errorf("adamant: OpenMP cannot drive GPU %s", spec.Name)
+		}
+		d = simomp.New(spec, nil)
+	default:
+		return 0, fmt.Errorf("adamant: unknown SDK %d", int(sdk))
+	}
+	return e.rt.Register(d)
+}
+
+// PlugDevice registers a custom device implementation. Any type satisfying
+// the device layer's ten interfaces can be plugged without changing the
+// runtime — the paper's headline claim.
+func (e *Engine) PlugDevice(d device.Device) (DeviceID, error) {
+	return e.rt.Register(d)
+}
+
+// DeviceInfo describes a plugged device.
+type DeviceInfo struct {
+	ID             DeviceID
+	Name           string
+	SDK            string
+	MemoryBytes    int64
+	HostResident   bool
+	PinnedTransfer bool
+	RuntimeCompile bool
+}
+
+// Devices lists the plugged devices.
+func (e *Engine) Devices() []DeviceInfo {
+	var out []DeviceInfo
+	for i, d := range e.rt.Devices() {
+		info := d.Info()
+		out = append(out, DeviceInfo{
+			ID:             DeviceID(i),
+			Name:           info.Name,
+			SDK:            info.SDK,
+			MemoryBytes:    info.MemoryBytes,
+			HostResident:   info.HostResident,
+			PinnedTransfer: info.PinnedTransfer,
+			RuntimeCompile: info.RuntimeCompile,
+		})
+	}
+	return out
+}
+
+// Execute runs a plan under the given options.
+func (e *Engine) Execute(p *Plan, opts ExecOptions) (*Result, error) {
+	if err := p.err(); err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(e.rt, p.graph(), exec.Options{
+		Model:      exec.Model(opts.Model),
+		ChunkElems: opts.ChunkElems,
+		Trace:      opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// Runtime exposes the underlying device registry for advanced integrations
+// (custom experiment harnesses, direct device access).
+func (e *Engine) Runtime() *hub.Runtime { return e.rt }

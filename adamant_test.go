@@ -1,0 +1,128 @@
+package adamant_test
+
+import (
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+func engineWithGPU(t *testing.T) (*adamant.Engine, adamant.DeviceID) {
+	t.Helper()
+	eng := adamant.NewEngine()
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatalf("plug: %v", err)
+	}
+	return eng, gpu
+}
+
+// TestFacadeQuickstart runs the doc-comment query end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	n := 10000
+	prices := make([]int32, n)
+	discounts := make([]int32, n)
+	var want int64
+	for i := range prices {
+		prices[i] = int32(i%1000 + 1)
+		discounts[i] = int32(i % 11)
+		if d := discounts[i]; d >= 5 && d <= 7 {
+			want += int64(prices[i]) * int64(d)
+		}
+	}
+
+	plan := eng.NewPlan().On(gpu)
+	price := plan.ScanInt32("price", prices)
+	disc := plan.ScanInt32("discount", discounts)
+	keep := plan.FilterBetween(disc, 5, 7)
+	rev := plan.Mul(plan.Materialize(price, keep), plan.Materialize(disc, keep))
+	plan.Return("revenue", plan.SumInt64(rev))
+
+	for _, model := range []adamant.Model{adamant.OperatorAtATime, adamant.Chunked, adamant.FourPhasePipelined} {
+		res, err := eng.Execute(plan, adamant.ExecOptions{Model: model, ChunkElems: 2048})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if got := res.Int64("revenue")[0]; got != want {
+			t.Errorf("%v: revenue = %d, want %d", model, got, want)
+		}
+		if res.Stats().Elapsed <= 0 {
+			t.Errorf("%v: non-positive elapsed", model)
+		}
+	}
+}
+
+// TestFacadeMultiDevice builds on one device and probes on another; the
+// runtime's router must move the hash table between them.
+func TestFacadeMultiDevice(t *testing.T) {
+	eng := adamant.NewEngine()
+	cpu, err := eng.Plug(adamant.CoreI78700, adamant.OpenMP)
+	if err != nil {
+		t.Fatalf("plug cpu: %v", err)
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatalf("plug gpu: %v", err)
+	}
+
+	buildKeys := []int32{2, 4, 6, 8}
+	probeKeys := make([]int32, 1000)
+	var want int64
+	for i := range probeKeys {
+		probeKeys[i] = int32(i % 10)
+		if probeKeys[i]%2 == 0 && probeKeys[i] >= 2 && probeKeys[i] <= 8 {
+			want++
+		}
+	}
+
+	plan := eng.NewPlan().On(cpu)
+	bk := plan.ScanInt32("build", buildKeys)
+	set := plan.BuildKeySet(bk, len(buildKeys))
+
+	plan.On(gpu)
+	pk := plan.ScanInt32("probe", probeKeys)
+	hit := plan.ExistsIn(pk, set)
+	plan.Return("hits", plan.CountBits(hit))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 256})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if got := res.Int64("hits")[0]; got != want {
+		t.Errorf("hits = %d, want %d", got, want)
+	}
+}
+
+// TestFacadeErrors verifies deferred error reporting.
+func TestFacadeErrors(t *testing.T) {
+	eng, _ := engineWithGPU(t)
+
+	// Plan with no device.
+	p := eng.NewPlan()
+	p.ScanInt32("x", []int32{1})
+	if _, err := eng.Execute(p, adamant.ExecOptions{}); err == nil {
+		t.Error("expected error for plan without device")
+	}
+
+	// Invalid SDK pairings.
+	if _, err := eng.Plug(adamant.CoreI78700, adamant.CUDA); err == nil {
+		t.Error("expected error plugging CUDA on a CPU")
+	}
+	if _, err := eng.Plug(adamant.RTX2080Ti, adamant.OpenMP); err == nil {
+		t.Error("expected error plugging OpenMP on a GPU")
+	}
+}
+
+// TestDevices reports plugged device metadata.
+func TestDevices(t *testing.T) {
+	eng, _ := engineWithGPU(t)
+	devs := eng.Devices()
+	if len(devs) != 1 {
+		t.Fatalf("got %d devices, want 1", len(devs))
+	}
+	d := devs[0]
+	if d.SDK != "CUDA" || d.HostResident || !d.PinnedTransfer {
+		t.Errorf("unexpected device info: %+v", d)
+	}
+}

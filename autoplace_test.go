@@ -1,0 +1,66 @@
+package adamant_test
+
+import (
+	"strings"
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// TestAutoPlace lets the cost-based placer choose devices for a two-phase
+// plan: the hash-heavy build/probe should land on the GPU, and the query
+// still computes the right answer across whatever placement it picked.
+func TestAutoPlace(t *testing.T) {
+	eng := adamant.NewEngine()
+	cpu, err := eng.Plug(adamant.CoreI78700, adamant.OpenMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 1 << 18
+	buildKeys := make([]int32, n)
+	probeKeys := make([]int32, n)
+	for i := range buildKeys {
+		buildKeys[i] = int32(i)
+		probeKeys[i] = int32(i * 2) // half the probes match
+	}
+
+	plan := eng.NewPlan().On(cpu) // deliberately mis-placed
+	bk := plan.ScanInt32("build", buildKeys)
+	set := plan.BuildKeySet(bk, n)
+	pk := plan.ScanInt32("probe", probeKeys)
+	hit := plan.ExistsIn(pk, set)
+	plan.Return("hits", plan.CountBits(hit))
+
+	if err := plan.AutoPlace(eng, cpu, gpu); err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pipeline") {
+		t.Fatalf("explain after placement: %s", out)
+	}
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("hits")[0]; got != int64(n/2) {
+		t.Errorf("hits = %d, want %d", got, n/2)
+	}
+}
+
+func TestAutoPlaceErrors(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+	p := eng.NewPlan() // no device yet
+	p.ScanInt32("x", []int32{1})
+	if err := p.AutoPlace(eng, gpu); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Command adamant-bench regenerates the paper's evaluation tables and
+// figures (§V) from the simulated ADAMANT stack.
+//
+// Usage:
+//
+//	adamant-bench [-exp name] [-quick] [-ratio f] [-seed n]
+//
+// With no -exp it runs every experiment. Experiment names: table2, fig3,
+// fig5, fig7, fig9, fig10, fig11, heavydb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/adamant-db/adamant/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all); one of "+fmt.Sprint(experiments.Names()))
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	ratio := flag.Float64("ratio", 0, "TPC-H down-scale ratio (0 = profile default)")
+	seed := flag.Uint64("seed", 42, "data generator seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Ratio: *ratio, Seed: *seed}
+
+	var err error
+	if *exp == "" {
+		err = experiments.RunAll(cfg, os.Stdout)
+	} else {
+		var gen experiments.Generator
+		gen, err = experiments.Lookup(*exp)
+		if err == nil {
+			err = gen(cfg, os.Stdout)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adamant-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,214 @@
+// Command adamant-run executes a TPC-H query on the simulated ADAMANT
+// stack and prints its results and execution statistics.
+//
+// Usage:
+//
+//	adamant-run -q Q6 -sf 10 -driver cuda -model 4p-pipelined
+//	adamant-run -sql "SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE l_quantity < 24"
+//
+// Drivers: cuda, opencl-gpu, opencl-cpu, openmp. Models: oaat, chunked,
+// pipelined, 4p-chunked, 4p-pipelined. With -sql, the query runs through
+// the SQL front-end against the generated TPC-H catalog instead of the
+// built-in plans.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/sql"
+	"github.com/adamant-db/adamant/internal/tpch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "adamant-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	q := flag.String("q", "Q6", "query: Q1, Q3, Q4 or Q6")
+	sqlText := flag.String("sql", "", "run this SQL query against the TPC-H catalog instead of -q")
+	sf := flag.Float64("sf", 1, "TPC-H scale factor")
+	ratio := flag.Float64("ratio", 1.0/64, "down-scale ratio for generated data")
+	driver := flag.String("driver", "cuda", "driver: cuda, opencl-gpu, opencl-cpu, openmp")
+	modelName := flag.String("model", "4p-pipelined", "execution model: oaat, chunked, pipelined, 4p-chunked, 4p-pipelined")
+	chunk := flag.Int("chunk", 0, "chunk size in values (0 = 2^25 scaled by ratio)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	maxRows := flag.Int("rows", 10, "result rows to print")
+	explain := flag.Bool("explain", false, "print the pipeline plan before executing")
+	timeline := flag.Bool("timeline", false, "render the copy/compute engine timelines after executing")
+	flag.Parse()
+
+	model, err := parseModel(*modelName)
+	if err != nil {
+		return err
+	}
+
+	ds, err := tpch.Generate(tpch.Config{SF: *sf, Ratio: *ratio, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TPC-H SF%g (ratio %.5f): lineitem=%d orders=%d customer=%d rows\n",
+		*sf, *ratio, ds.Lineitem.Rows(), ds.Orders.Rows(), ds.Customer.Rows())
+
+	rt := hub.NewRuntime()
+	var dev device.Device
+	switch *driver {
+	case "cuda":
+		dev = simcuda.New(&simhw.RTX2080Ti, nil)
+	case "opencl-gpu":
+		dev = simopencl.NewGPU(&simhw.RTX2080Ti, nil)
+	case "opencl-cpu":
+		dev = simopencl.NewCPU(&simhw.CoreI78700, nil)
+	case "openmp":
+		dev = simomp.New(&simhw.CoreI78700, nil)
+	default:
+		return fmt.Errorf("unknown driver %q", *driver)
+	}
+	id, err := rt.Register(dev)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device: %s\n", dev.Info().Name)
+
+	var events *device.EventLog
+	if *timeline {
+		if sim, ok := dev.(*device.Sim); ok {
+			events = &device.EventLog{}
+			sim.SetEventLog(events)
+		}
+	}
+
+	var g *graph.Graph
+	var ast *sql.Query
+	if *sqlText != "" {
+		ast, err = sql.Parse(*sqlText)
+		if err != nil {
+			return err
+		}
+		g, err = sql.Plan(ast, sql.PlanConfig{Catalog: ds.Catalog(), Device: id})
+		if err != nil {
+			return err
+		}
+		*q = "SQL"
+	} else {
+		g, err = tpch.BuildQuery(*q, ds, id)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *explain {
+		pipelines, err := g.BuildPipelines()
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nplan:")
+		for _, pl := range pipelines {
+			fmt.Printf("  pipeline %d", pl.Index)
+			if len(pl.DependsOn) > 0 {
+				fmt.Printf(" (after %v)", pl.DependsOn)
+			}
+			if rows := pl.ScanRows(g); rows > 0 {
+				fmt.Printf(" — %d rows", rows)
+			}
+			fmt.Println()
+			for _, sid := range pl.Scans {
+				fmt.Printf("    scan %s\n", g.Node(sid).Scan.Name)
+			}
+			for _, nid := range pl.Nodes {
+				n := g.Node(nid)
+				dagger := ""
+				if n.Breaker() {
+					dagger = " †"
+				}
+				fmt.Printf("    %s%s\n", n.Task, dagger)
+			}
+		}
+	}
+
+	chunkElems := *chunk
+	if chunkElems <= 0 {
+		chunkElems = int(float64(int64(1)<<25) * *ratio)
+		if chunkElems < 1024 {
+			chunkElems = 1024
+		}
+	}
+	res, err := core.Run(rt, g, core.Options{Model: model, ChunkElems: chunkElems})
+	if err != nil {
+		return err
+	}
+	if ast != nil {
+		if err := sql.PostProcess(res, ast); err != nil {
+			return err
+		}
+	}
+
+	s := res.Stats
+	fmt.Printf("\n%s under %v (chunk %d values):\n", *q, model, chunkElems)
+	fmt.Printf("  simulated  %v   (kernels %v, transfers %v, overhead %v)\n",
+		s.Elapsed, s.KernelTime, s.TransferTime, s.OverheadTime)
+	fmt.Printf("  wall       %v\n", s.Wall)
+	fmt.Printf("  moved      %.1f MiB H2D, %.1f MiB D2H over %d chunks, %d pipelines\n",
+		float64(s.H2DBytes)/(1<<20), float64(s.D2HBytes)/(1<<20), s.Chunks, s.Pipelines)
+	fmt.Printf("  peak mem   %.1f MiB device\n", float64(s.PeakDeviceBytes)/(1<<20))
+
+	if events != nil {
+		fmt.Println("\nengine timelines:")
+		device.RenderTimeline(os.Stdout, events.Events(), 100)
+	}
+
+	fmt.Println("\nresults:")
+	for _, col := range res.Columns {
+		fmt.Printf("  %-16s %d rows\n", col.Name, col.Data.Len())
+	}
+	if len(res.Columns) > 0 {
+		n := res.Columns[0].Data.Len()
+		if n > *maxRows {
+			n = *maxRows
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("  [%d]", i)
+			for _, col := range res.Columns {
+				switch {
+				case col.Data.Len() <= i:
+					fmt.Printf("  %s=-", col.Name)
+				case col.Data.Type().String() == "int32":
+					fmt.Printf("  %s=%d", col.Name, col.Data.I32()[i])
+				default:
+					fmt.Printf("  %s=%d", col.Name, col.Data.I64()[i])
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func parseModel(name string) (core.Model, error) {
+	switch name {
+	case "oaat":
+		return core.OperatorAtATime, nil
+	case "chunked":
+		return core.Chunked, nil
+	case "pipelined":
+		return core.Pipelined, nil
+	case "4p-chunked":
+		return core.FourPhaseChunked, nil
+	case "4p-pipelined":
+		return core.FourPhasePipelined, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,107 @@
+package adamant
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// CustomSpec describes a user-defined simulated co-processor, for
+// experimenting with hypothetical hardware (a small embedded GPU, a future
+// accelerator) without touching the runtime. Zero fields take reasonable
+// GPU-class defaults.
+type CustomSpec struct {
+	// Name labels the device.
+	Name string
+	// HostResident makes the device share the host address space (a
+	// CPU-class device: transfers degenerate to registrations).
+	HostResident bool
+	// MemoryBytes is the device memory capacity; operator-at-a-time
+	// execution fails once a query's resident set exceeds it.
+	MemoryBytes int64
+	// StreamGBps, RandomGBps and AtomicMops set the compute throughput
+	// model (sequential bandwidth, gather/scatter bandwidth, contended
+	// atomics in millions/s).
+	StreamGBps float64
+	RandomGBps float64
+	AtomicMops float64
+	// TransferGBps and PinnedGBps set the interconnect (pageable and
+	// pinned peak rates).
+	TransferGBps float64
+	PinnedGBps   float64
+	// SDK selects the software-stack profile layered on the hardware.
+	SDK SDK
+}
+
+// PlugCustom registers a device built from a custom hardware description
+// and returns its ID.
+func (e *Engine) PlugCustom(cs CustomSpec) (DeviceID, error) {
+	if cs.Name == "" {
+		cs.Name = "custom-device"
+	}
+	def := func(v, d float64) float64 {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	if cs.MemoryBytes <= 0 {
+		cs.MemoryBytes = 4 * simhw.GiB
+	}
+	class := simhw.ClassGPU
+	if cs.HostResident {
+		class = simhw.ClassCPU
+	}
+	pageable := simhw.LinkCurve{PeakGBps: def(cs.TransferGBps, 6), Latency: 12 * vclock.Microsecond}
+	pinned := simhw.LinkCurve{PeakGBps: def(cs.PinnedGBps, def(cs.TransferGBps, 6)*2), Latency: 9 * vclock.Microsecond}
+	spec := &simhw.Spec{
+		Name:         cs.Name,
+		Class:        class,
+		MemoryBytes:  cs.MemoryBytes,
+		Cores:        1024,
+		StreamGBps:   def(cs.StreamGBps, 300),
+		RandomGBps:   def(cs.RandomGBps, 60),
+		AtomicMops:   def(cs.AtomicMops, 500),
+		KernelLaunch: 7 * vclock.Microsecond,
+		Links: simhw.Links{
+			H2DPageable: pageable,
+			H2DPinned:   pinned,
+			D2HPageable: pageable,
+			D2HPinned:   pinned,
+		},
+	}
+
+	var profile *simhw.SDKProfile
+	var format devmem.Format
+	switch cs.SDK {
+	case CUDA:
+		if cs.HostResident {
+			return 0, fmt.Errorf("adamant: CUDA cannot drive host-resident device %s", cs.Name)
+		}
+		profile, format = &simhw.CUDAProfile, devmem.FormatCUDA
+	case OpenCL:
+		if cs.HostResident {
+			profile = &simhw.OpenCLCPUProfile
+		} else {
+			profile = &simhw.OpenCLGPUProfile
+		}
+		format = devmem.FormatOpenCL
+	case OpenMP:
+		if !cs.HostResident {
+			return 0, fmt.Errorf("adamant: OpenMP cannot drive discrete device %s", cs.Name)
+		}
+		profile, format = &simhw.OpenMPProfile, devmem.FormatRaw
+	default:
+		return 0, fmt.Errorf("adamant: unknown SDK %d", int(cs.SDK))
+	}
+
+	return e.rt.Register(device.NewSim(device.SimConfig{
+		Name:   cs.Name + "/" + profile.Name,
+		Spec:   spec,
+		SDK:    profile,
+		Format: format,
+	}))
+}

@@ -1,0 +1,77 @@
+package adamant_test
+
+import (
+	"fmt"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// ExampleEngine_Execute builds a filter-and-sum plan against a plugged GPU
+// and runs it chunked.
+func ExampleEngine_Execute() {
+	eng := adamant.NewEngine()
+	gpu, _ := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+
+	values := []int32{5, 12, 7, 30, 2, 18}
+	plan := eng.NewPlan().On(gpu)
+	col := plan.ScanInt32("v", values)
+	keep := plan.Filter(col, adamant.Ge, 10)
+	plan.Return("total", plan.SumInt64(plan.CastInt64(plan.Materialize(col, keep))))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 64})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Int64("total")[0])
+	// Output: 60
+}
+
+// ExampleEngine_Query runs SQL with an IN-subquery semi-join through the
+// front-end.
+func ExampleEngine_Query() {
+	eng := adamant.NewEngine()
+	gpu, _ := eng.Plug(adamant.A100, adamant.CUDA)
+
+	orders := adamant.NewTable("orders", 5)
+	orders.AddInt32("amount", []int32{10, 25, 40, 55, 70})
+	orders.AddInt32("cust", []int32{1, 2, 3, 1, 2})
+	vip := adamant.NewTable("vip", 2)
+	vip.AddInt32("id", []int32{1, 2})
+	cat := adamant.NewCatalog(orders, vip)
+
+	res, err := eng.Query(cat, gpu, `
+		SELECT SUM(amount) AS total, COUNT(*) AS n
+		FROM orders WHERE cust IN (SELECT id FROM vip)`, adamant.QueryOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Int64("total")[0], res.Int64("n")[0])
+	// Output: 160 4
+}
+
+// ExamplePlan_Explain shows the pipeline structure the runtime will
+// execute, with pipeline breakers marked.
+func ExamplePlan_Explain() {
+	eng := adamant.NewEngine()
+	gpu, _ := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+
+	plan := eng.NewPlan().On(gpu)
+	keys := plan.ScanInt32("build_keys", []int32{1, 2, 3})
+	set := plan.BuildKeySet(keys, 3)
+	probe := plan.ScanInt32("probe_keys", []int32{2, 3, 4})
+	plan.Return("hits", plan.CountBits(plan.ExistsIn(probe, set)))
+
+	out, _ := plan.Explain()
+	fmt.Print(out)
+	// Output:
+	// pipeline 0 — 3 rows
+	//   scan build_keys
+	//   HASH_BUILD[build set] †
+	// pipeline 1 (after [0]) — 3 rows
+	//   scan probe_keys
+	//   FILTER_BITMAP[exists]
+	//   AGG_BLOCK[count] †
+	// returns: hits
+}

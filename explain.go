@@ -1,0 +1,51 @@
+package adamant
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan's primitive graph as text: its pipelines (split
+// at pipeline breakers, as the runtime will execute them), each pipeline's
+// streamed inputs, and the primitives in execution order. Breakers are
+// marked with the paper's dagger.
+func (p *Plan) Explain() (string, error) {
+	if err := p.err(); err != nil {
+		return "", err
+	}
+	pipelines, err := p.g.BuildPipelines()
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	for _, pl := range pipelines {
+		fmt.Fprintf(&b, "pipeline %d", pl.Index)
+		if len(pl.DependsOn) > 0 {
+			fmt.Fprintf(&b, " (after %v)", pl.DependsOn)
+		}
+		if rows := pl.ScanRows(p.g); rows > 0 {
+			fmt.Fprintf(&b, " — %d rows", rows)
+		}
+		b.WriteString("\n")
+		for _, sid := range pl.Scans {
+			fmt.Fprintf(&b, "  scan %s\n", p.g.Node(sid).Scan.Name)
+		}
+		for _, nid := range pl.Nodes {
+			n := p.g.Node(nid)
+			dagger := ""
+			if n.Breaker() {
+				dagger = " †"
+			}
+			fmt.Fprintf(&b, "  %s%s\n", n.Task, dagger)
+		}
+	}
+	if results := p.g.Results(); len(results) > 0 {
+		b.WriteString("returns:")
+		for _, r := range results {
+			fmt.Fprintf(&b, " %s", r.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

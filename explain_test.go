@@ -1,0 +1,41 @@
+package adamant_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplain(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	plan := eng.NewPlan().On(gpu)
+	build := plan.ScanInt32("build_keys", []int32{1, 2, 3})
+	set := plan.BuildKeySet(build, 3)
+	probe := plan.ScanInt32("probe_keys", []int32{1, 2, 3, 4})
+	hit := plan.ExistsIn(probe, set)
+	plan.Return("hits", plan.CountBits(hit))
+
+	out, err := plan.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pipeline 0", "pipeline 1", "(after [0])",
+		"scan build_keys", "scan probe_keys",
+		"HASH_BUILD", "†", // the breaker marked with the paper's dagger
+		"returns: hits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainInvalidPlan(t *testing.T) {
+	eng, _ := engineWithGPU(t)
+	p := eng.NewPlan() // no device
+	p.ScanInt32("x", []int32{1})
+	if _, err := p.Explain(); err == nil {
+		t.Error("expected error for invalid plan")
+	}
+}

@@ -1,0 +1,137 @@
+package adamant_test
+
+import (
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// TestPlanGroupOperators covers the grouped-aggregation plan methods:
+// GroupSum and GroupCount over one key column, extracted and aligned.
+func TestPlanGroupOperators(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	keys := []int32{1, 2, 1, 3, 2, 1}
+	vals := []int32{10, 20, 30, 40, 50, 60}
+	wantSum := map[int64]int64{1: 100, 2: 70, 3: 40}
+	wantCnt := map[int64]int64{1: 3, 2: 2, 3: 1}
+
+	plan := eng.NewPlan().On(gpu)
+	k := plan.ScanInt32("k", keys)
+	v := plan.ScanInt32("v", vals)
+	sums := plan.GroupSum(k, plan.CastInt64(v), 8)
+	gk, gs := plan.GroupResults(sums, 8)
+	plan.Return("key", gk)
+	plan.Return("sum", gs)
+
+	k2 := plan.ScanInt32("k2", keys)
+	counts := plan.GroupCount(k2, 8)
+	ck, cc := plan.GroupResults(counts, 8)
+	plan.Return("ckey", ck)
+	plan.Return("count", cc)
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range res.Int64("key") {
+		if wantSum[key] != res.Int64("sum")[i] {
+			t.Errorf("sum[%d] = %d, want %d", key, res.Int64("sum")[i], wantSum[key])
+		}
+	}
+	for i, key := range res.Int64("ckey") {
+		if wantCnt[key] != res.Int64("count")[i] {
+			t.Errorf("count[%d] = %d, want %d", key, res.Int64("count")[i], wantCnt[key])
+		}
+	}
+}
+
+// TestPlanAntiJoinAndPositions covers NotExistsIn, AndNot, And,
+// FilterPositions and PrefixSum through the public API.
+func TestPlanAntiJoinAndPositions(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	// Anti-join: keys absent from the set.
+	plan := eng.NewPlan().On(gpu)
+	setKeys := plan.ScanInt32("set", []int32{2, 4})
+	set := plan.BuildKeySet(setKeys, 2)
+	probe := plan.ScanInt32("probe", []int32{1, 2, 3, 4, 5})
+	missing := plan.NotExistsIn(probe, set)
+	small := plan.Filter(probe, adamant.Le, 3)
+	both := plan.And(missing, small) // {1, 3}
+	onlyMissing := plan.AndNot(missing, small)
+	plan.Return("both", plan.CountBits(both))
+	plan.Return("only_missing_large", plan.CountBits(onlyMissing))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("both")[0]; got != 2 {
+		t.Errorf("both = %d, want 2 ({1,3})", got)
+	}
+	if got := res.Int64("only_missing_large")[0]; got != 1 {
+		t.Errorf("only_missing_large = %d, want 1 ({5})", got)
+	}
+
+	// Position-list filtering plus a prefix sum over gathered values.
+	plan2 := eng.NewPlan().On(gpu)
+	col := plan2.ScanInt32("c", []int32{5, 1, 7, 2, 9})
+	pos := plan2.FilterPositions(col, adamant.Ge, 5, 1.0)
+	kept := plan2.Gather(col, pos) // 5, 7, 9
+	plan2.Return("scan", plan2.PrefixSum(kept))
+
+	res2, err := eng.Execute(plan2, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res2.Int32("scan")
+	want := []int32{0, 5, 12}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPlugDeviceAndRuntime covers the raw device plug-in entry points.
+func TestPlugDeviceAndRuntime(t *testing.T) {
+	eng := adamant.NewEngine()
+	id, err := eng.PlugDevice(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Runtime().Devices()) != 1 {
+		t.Error("runtime does not expose the plugged device")
+	}
+
+	plan := eng.NewPlan().On(id)
+	c := plan.ScanInt32("c", []int32{1, 2, 3})
+	plan.Return("sum", plan.SumInt64(plan.CastInt64(c)))
+	res, err := eng.Execute(plan, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Int64("sum")[0] != 6 {
+		t.Error("plugged device computed wrong sum")
+	}
+}
+
+// TestCatalogAccessors covers the SQL catalog wrappers.
+func TestCatalogAccessors(t *testing.T) {
+	tb := adamant.NewTable("t", 2)
+	if err := tb.AddInt32("a", []int32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name() != "t" || tb.Rows() != 2 {
+		t.Errorf("table accessors: %s/%d", tb.Name(), tb.Rows())
+	}
+	if err := tb.AddInt32("bad", []int32{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/adamant-db/adamant
+
+go 1.22

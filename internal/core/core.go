@@ -1,0 +1,39 @@
+// Package core assembles ADAMANT's primary contribution — the pluggable
+// query executor — from its subsystems: the device layer (package device
+// and the driver packages), the task layer (packages task and primitive),
+// and the runtime layer (packages graph, hub and exec).
+//
+// The package exists so that the public facade and the tools depend on one
+// stable composition point rather than on the individual layers. It
+// re-exports the execution-model vocabulary and provides the one-call query
+// entry point used by the facade, the CLI tools and the benchmarks.
+package core
+
+import (
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+)
+
+// Model selects an execution model (§IV of the paper).
+type Model = exec.Model
+
+// Execution models, re-exported for the facade.
+const (
+	OperatorAtATime    = exec.OperatorAtATime
+	Chunked            = exec.Chunked
+	Pipelined          = exec.Pipelined
+	FourPhaseChunked   = exec.FourPhaseChunked
+	FourPhasePipelined = exec.FourPhasePipelined
+)
+
+// Options is the execution configuration.
+type Options = exec.Options
+
+// Result is a query outcome with execution statistics.
+type Result = exec.Result
+
+// Run executes a primitive graph on the runtime's plugged devices.
+func Run(rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
+	return exec.Run(rt, g, opts)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestModelsMatchExec(t *testing.T) {
+	pairs := map[Model]exec.Model{
+		OperatorAtATime:    exec.OperatorAtATime,
+		Chunked:            exec.Chunked,
+		Pipelined:          exec.Pipelined,
+		FourPhaseChunked:   exec.FourPhaseChunked,
+		FourPhasePipelined: exec.FourPhasePipelined,
+	}
+	for a, b := range pairs {
+		if a != b {
+			t.Errorf("model %v re-exported as %v", b, a)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	rt := hub.NewRuntime()
+	dev, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	s := g.AddScan("a", vec.FromInt32([]int32{1, 2, 3, 4}), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 3, 0, "a>=3"), dev, s)
+	cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(f, 0))
+	g.MarkResult("count", g.Out(cnt, 0))
+
+	res, err := Run(rt, g, Options{Model: Chunked, ChunkElems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := res.Column("count")
+	if !ok || col.I64()[0] != 2 {
+		t.Errorf("count = %v", col)
+	}
+}

@@ -1,0 +1,175 @@
+// Package device defines ADAMANT's device layer: the pluggable interface
+// boundary between the query runtime and a co-processor SDK (§III-A of the
+// paper).
+//
+// The Device interface carries the paper's ten interface functions —
+// place_data, retrieve_data, prepare_memory, transform_memory,
+// delete_memory, prepare_kernel, initialize, create_chunk,
+// add_pinned_memory and execute — in Go spelling. Any SDK/co-processor pair
+// that implements it can be plugged into the unified runtime without
+// touching the execution models, which is the paper's central claim.
+//
+// The package also provides Sim, a complete simulated implementation
+// parameterized by a hardware Spec and an SDKProfile. The driver packages
+// (simcuda, simopencl, simomp) instantiate Sim the way the paper's case
+// study wires OpenCL listings into the interfaces.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Device errors.
+var (
+	// ErrNotSupported is returned by optional interfaces (kernel
+	// management) on SDKs without them.
+	ErrNotSupported = errors.New("device: operation not supported by this SDK")
+	// ErrKernelNotPrepared is returned by Execute on SDKs with runtime
+	// compilation when the kernel was never passed to PrepareKernel.
+	ErrKernelNotPrepared = errors.New("device: kernel not prepared")
+	// ErrFormatMismatch is returned by Execute when a buffer argument is
+	// in another SDK's memory-object format (Figure 4); the runtime must
+	// route it through TransformMemory first.
+	ErrFormatMismatch = errors.New("device: buffer format mismatch")
+)
+
+// ID names a registered device within the runtime.
+type ID int
+
+// Info describes a plugged device to the runtime.
+type Info struct {
+	// Name identifies the device instance, e.g. "gpu0/cuda".
+	Name string
+	// SDK is the SDK family name ("CUDA", "OpenCL", "OpenMP").
+	SDK string
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// Format is the SDK's native memory-object format.
+	Format devmem.Format
+	// HostResident devices share the host address space; transfers to
+	// them degenerate to registrations.
+	HostResident bool
+	// PinnedTransfer reports whether add_pinned_memory provides a faster
+	// transfer path.
+	PinnedTransfer bool
+	// PinnedRemapPenalty is the SDK's re-mapping pathology factor for
+	// pinned regions rewritten with little intervening kernel work (the
+	// paper's OpenCL Q4 anomaly); zero when the SDK has none.
+	PinnedRemapPenalty float64
+	// RuntimeCompile reports whether prepare_kernel is supported.
+	RuntimeCompile bool
+}
+
+// ExecRequest is one kernel launch: the task layer resolves a primitive's
+// implementation to a kernel name, buffer arguments and scalar parameters,
+// and the device dispatches it (the paper's task->execute()).
+type ExecRequest struct {
+	Kernel string
+	Args   []devmem.BufferID
+	Params []int64
+}
+
+// Stats aggregates a device's activity, split so the abstraction-overhead
+// experiment (Figure 10) can subtract kernel body time from total time.
+type Stats struct {
+	H2DTransfers  int64
+	H2DBytes      int64
+	D2HTransfers  int64
+	D2HBytes      int64
+	TransferTime  vclock.Duration // virtual time spent moving data
+	Launches      int64
+	KernelTime    vclock.Duration // kernel body time (the primitive itself)
+	OverheadTime  vclock.Duration // launch, arg mapping, alloc, transform
+	KernelsBuilt  int64
+	CompileTime   vclock.Duration
+	BytesAlloced  int64
+	PinnedAlloced int64
+}
+
+// Device is the pluggable co-processor interface.
+//
+// All time-consuming operations follow event semantics: they accept the
+// virtual time at which their inputs are ready and return the virtual
+// completion time. Transfers serialize on the device's copy engine and
+// kernel launches on its compute engine, so execution models express
+// copy/compute overlap by scheduling onto both engines and synchronizing on
+// the returned events (§IV).
+type Device interface {
+	// Initialize prepares the device: sets device properties and, on SDKs
+	// with runtime compilation, compiles the registered kernels, as the
+	// paper's runtime does at startup.
+	Initialize() error
+
+	// Info describes the device.
+	Info() Info
+
+	// PlaceData pushes a host vector into a fresh device buffer (H2D).
+	PlaceData(data vec.Vector, ready vclock.Time) (devmem.BufferID, vclock.Time, error)
+
+	// PlaceDataInto pushes a host vector into an existing device buffer
+	// at the given element offset, the form used to stage chunks into
+	// (possibly pinned) reusable buffers.
+	PlaceDataInto(id devmem.BufferID, off int, data vec.Vector, ready vclock.Time) (vclock.Time, error)
+
+	// RetrieveData copies a device buffer range back into a host vector
+	// (D2H). off and n are in elements; n < 0 means the whole buffer.
+	RetrieveData(id devmem.BufferID, off, n int, dst vec.Vector, ready vclock.Time) (vclock.Time, error)
+
+	// PrepareMemory allocates an uninitialized device buffer. The
+	// allocation is a driver call that starts no earlier than ready; the
+	// returned event is its completion.
+	PrepareMemory(t vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error)
+
+	// AddPinnedMemory reserves host-accessible page-locked memory, with
+	// the same event semantics as PrepareMemory (page-locking is slow,
+	// which is why the 4-phase model amortizes it in its stage phase).
+	AddPinnedMemory(t vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error)
+
+	// CreateChunk registers a view of a subset of an existing buffer.
+	CreateChunk(id devmem.BufferID, off, n int) (devmem.BufferID, error)
+
+	// TransformMemory converts a buffer between SDK memory-object formats
+	// in place, without moving data through the host.
+	TransformMemory(id devmem.BufferID, target devmem.Format, ready vclock.Time) (vclock.Time, error)
+
+	// DeleteMemory releases a buffer.
+	DeleteMemory(id devmem.BufferID) error
+
+	// PrepareKernel compiles a kernel from source at runtime. SDKs
+	// without runtime compilation return ErrNotSupported.
+	PrepareKernel(name, source string) error
+
+	// Execute dispatches a kernel on the device's compute engine.
+	Execute(req ExecRequest, ready vclock.Time) (vclock.Time, error)
+
+	// Sync charges one chunk-boundary synchronization between the
+	// transfer and execution threads (the fetched_until/processed_until
+	// handshake of Algorithms 2-3) and returns its completion time.
+	Sync(ready vclock.Time) vclock.Time
+
+	// Buffer resolves a buffer for host-side inspection (the runtime uses
+	// it to wire kernel arguments and read results it has retrieved).
+	Buffer(id devmem.BufferID) (*devmem.Buffer, error)
+
+	// CopyEngine and ComputeEngine expose the device's timelines so the
+	// runtime can attach them to a query's clock.
+	CopyEngine() *vclock.Timeline
+	ComputeEngine() *vclock.Timeline
+
+	// MemStats reports memory-pool accounting.
+	MemStats() devmem.Stats
+
+	// Stats reports cumulative activity counters.
+	Stats() Stats
+
+	// Reset clears device memory and counters between runs.
+	Reset()
+}
+
+// String formats an ID for diagnostics.
+func (id ID) String() string { return fmt.Sprintf("dev%d", int(id)) }

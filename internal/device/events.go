@@ -1,0 +1,73 @@
+package device
+
+import (
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// Event is one recorded device operation: which engine ran it, what it was,
+// and its virtual time span. Event logs reconstruct the copy/compute
+// timelines of the paper's Figure 6 from actual executions.
+type Event struct {
+	Engine string // "copy" or "compute"
+	Label  string // kernel name or transfer kind
+	Start  vclock.Time
+	End    vclock.Time
+}
+
+// EventLog collects events from one or more devices. The zero value is
+// ready to use; a nil *EventLog discards events.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends one event.
+func (l *EventLog) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events in insertion order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Reset clears the log.
+func (l *EventLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.mu.Unlock()
+}
+
+// SetEventLog attaches (or detaches, with nil) an event log to the device.
+// Subsequent transfers and kernel launches record their spans.
+func (s *Sim) SetEventLog(log *EventLog) {
+	s.mu.Lock()
+	s.events = log
+	s.mu.Unlock()
+}
+
+func (s *Sim) record(engine, label string, start, end vclock.Time) {
+	s.mu.Lock()
+	log := s.events
+	s.mu.Unlock()
+	if log != nil {
+		log.Add(Event{Engine: engine, Label: label, Start: start, End: end})
+	}
+}

@@ -1,0 +1,83 @@
+package device
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestEventLogRecords(t *testing.T) {
+	d := newCUDA(t)
+	log := &EventLog{}
+	d.SetEventLog(log)
+
+	buf, done, err := d.PlaceData(vec.FromInt32([]int32{1, 2, 3, 4}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, allocDone, err := d.PrepareMemory(vec.Bits, 4, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Execute(ExecRequest{
+		Kernel: "filter_bitmap_i32", Args: []devmem.BufferID{buf, bm}, Params: []int64{0, 10, 0},
+	}, allocDone); err != nil {
+		t.Fatal(err)
+	}
+
+	events := log.Events()
+	var kinds []string
+	for _, e := range events {
+		if e.End <= e.Start {
+			t.Errorf("event %s/%s has empty span", e.Engine, e.Label)
+		}
+		kinds = append(kinds, e.Engine+"/"+e.Label)
+	}
+	want := []string{"copy/alloc", "copy/h2d", "copy/alloc", "compute/filter_bitmap_i32"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+
+	// Detaching stops recording; nil logs never panic.
+	d.SetEventLog(nil)
+	if _, _, err := d.PlaceData(vec.FromInt32([]int32{1}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events()) != len(events) {
+		t.Error("detached log still recording")
+	}
+	log.Reset()
+	if len(log.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+	var nilLog *EventLog
+	nilLog.Add(Event{})
+	if nilLog.Events() != nil {
+		t.Error("nil log events")
+	}
+	nilLog.Reset()
+}
+
+func TestEventLogPinnedLabels(t *testing.T) {
+	d := newCUDA(t)
+	log := &EventLog{}
+	d.SetEventLog(log)
+
+	buf, _, err := d.AddPinnedMemory(vec.Int32, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PlaceDataInto(buf, 0, vec.New(vec.Int32, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	events := log.Events()
+	if events[0].Label != "pinned-alloc" || events[1].Label != "h2d-pinned" {
+		t.Errorf("labels = %s, %s", events[0].Label, events[1].Label)
+	}
+}

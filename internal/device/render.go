@@ -1,0 +1,57 @@
+package device
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// RenderTimeline prints one text row per engine from an event log,
+// bucketing busy spans into width columns over the events' full time range
+// — the textual form of the paper's Figure 6 execution-flow diagrams.
+// Transfers render as '-', kernel executions as '#'.
+func RenderTimeline(w io.Writer, events []Event, width int) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	start, end := events[0].Start, events[0].End
+	for _, e := range events {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	span := end.Sub(start)
+	if span <= 0 {
+		span = 1
+	}
+
+	glyph := map[string]byte{"copy": '-', "compute": '#'}
+	for _, engine := range []string{"copy", "compute"} {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		var busy vclock.Duration
+		for _, e := range events {
+			if e.Engine != engine {
+				continue
+			}
+			busy += e.End.Sub(e.Start)
+			lo := int(int64(e.Start.Sub(start)) * int64(width) / int64(span))
+			hi := int(int64(e.End.Sub(start)) * int64(width) / int64(span))
+			if hi == lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = glyph[engine]
+			}
+		}
+		util := 100 * float64(busy) / float64(span)
+		fmt.Fprintf(w, "%-8s |%s| %4.1f%% busy\n", engine, string(row), util)
+	}
+}

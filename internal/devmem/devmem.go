@@ -1,0 +1,301 @@
+// Package devmem implements the simulated device memory that backs
+// ADAMANT's data-management interfaces (place_data, prepare_memory,
+// create_chunk, add_pinned_memory, delete_memory, transform_memory).
+//
+// Each simulated co-processor owns a Pool with the capacity of the physical
+// card it models. Buffers allocated from the pool hold real host memory (so
+// the kernels compute real results), but allocation accounting follows the
+// device's capacity: exceeding it fails with ErrOutOfMemory exactly as a
+// real cudaMalloc would, which is what makes the operator-at-a-time
+// scalability experiments (Figure 7) and the HeavyDB Q3 abort reproducible.
+//
+// Pinned buffers model page-locked host memory: they are addressable by
+// both host and device, transfer at the faster pinned-link rate, and do not
+// consume device memory. Every buffer carries a Format tag identifying the
+// SDK representation of the memory object (Figure 4 of the paper); the
+// transform_memory interface re-tags a buffer without moving data, which is
+// precisely the optimization the paper's data-transformation interface
+// enables.
+package devmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// BufferID names one buffer within a device's pool. IDs are never reused
+// within a pool's lifetime so that stale references fail loudly.
+type BufferID int32
+
+// Format identifies the SDK-level representation of a memory object. Two
+// SDKs can address the same physical device memory through incompatible
+// handle types (e.g. a CUDA device pointer vs. an OpenCL cl_mem vs. a Thrust
+// device_vector); kernels require their own format and the runtime inserts
+// transform_memory calls at format boundaries.
+type Format uint8
+
+// Known formats.
+const (
+	FormatRaw    Format = iota // host-native slice
+	FormatCUDA                 // CUDA device pointer
+	FormatOpenCL               // OpenCL cl_mem object
+	FormatThrust               // Thrust device_vector
+	FormatBoost                // Boost.Compute vector
+)
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatRaw:
+		return "raw"
+	case FormatCUDA:
+		return "cuda"
+	case FormatOpenCL:
+		return "opencl"
+	case FormatThrust:
+		return "thrust"
+	case FormatBoost:
+		return "boost"
+	default:
+		return fmt.Sprintf("format(%d)", uint8(f))
+	}
+}
+
+// Pool errors.
+var (
+	ErrOutOfMemory   = errors.New("devmem: device out of memory")
+	ErrUnknownBuffer = errors.New("devmem: unknown buffer id")
+	ErrBadRange      = errors.New("devmem: chunk range out of bounds")
+)
+
+// Buffer is one allocation (or chunk view) in a device pool. Buffers are
+// handed out by pointer; the pool retains ownership and invalidates them on
+// Free or Reset.
+type Buffer struct {
+	ID     BufferID
+	Data   vec.Vector
+	Pinned bool
+	Format Format
+
+	// Parent is nonzero for chunk views created by CreateChunk; views
+	// share their parent's storage and are not charged against capacity.
+	Parent BufferID
+	// Offset is the element offset of the view within the parent.
+	Offset int
+}
+
+// Bytes reports the buffer's accounted size.
+func (b *Buffer) Bytes() int64 { return b.Data.Bytes() }
+
+// IsView reports whether the buffer is a chunk view of another buffer.
+func (b *Buffer) IsView() bool { return b.Parent != 0 }
+
+// Stats summarizes a pool's accounting counters.
+type Stats struct {
+	Capacity    int64 // device memory capacity in bytes
+	Used        int64 // device bytes currently allocated
+	PinnedUsed  int64 // pinned host bytes currently allocated
+	Peak        int64 // high-water mark of Used
+	Allocs      int64 // total device allocations performed
+	Frees       int64 // total buffers freed
+	Transforms  int64 // transform_memory calls
+	LiveBuffers int   // buffers (including views) currently alive
+}
+
+// Pool is the memory manager of one simulated device. It is safe for
+// concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	name     string
+	capacity int64
+	used     int64
+	pinned   int64
+	peak     int64
+	allocs   int64
+	frees    int64
+	xforms   int64
+	buffers  map[BufferID]*Buffer
+	next     BufferID
+}
+
+// NewPool creates a pool with the given capacity in bytes. A non-positive
+// capacity means unlimited (used for host-resident devices).
+func NewPool(name string, capacity int64) *Pool {
+	return &Pool{
+		name:     name,
+		capacity: capacity,
+		buffers:  make(map[BufferID]*Buffer),
+	}
+}
+
+// Name returns the pool's diagnostic name.
+func (p *Pool) Name() string { return p.name }
+
+// Alloc reserves a zeroed device buffer of n elements of type t tagged with
+// the given format. It fails with ErrOutOfMemory when the device capacity
+// would be exceeded.
+func (p *Pool) Alloc(t vec.Type, n int, format Format) (*Buffer, error) {
+	return p.alloc(t, n, format, false)
+}
+
+// AllocPinned reserves page-locked host memory visible to both host and
+// device. Pinned buffers do not consume device capacity.
+func (p *Pool) AllocPinned(t vec.Type, n int, format Format) (*Buffer, error) {
+	return p.alloc(t, n, format, true)
+}
+
+func (p *Pool) alloc(t vec.Type, n int, format Format, pinnedBuf bool) (*Buffer, error) {
+	data := vec.New(t, n)
+	size := data.Bytes()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !pinnedBuf && p.capacity > 0 && p.used+size > p.capacity {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, %d of %d in use",
+			ErrOutOfMemory, p.name, size, p.used, p.capacity)
+	}
+	p.next++
+	b := &Buffer{ID: p.next, Data: data, Pinned: pinnedBuf, Format: format}
+	p.buffers[b.ID] = b
+	p.allocs++
+	if pinnedBuf {
+		p.pinned += size
+	} else {
+		p.used += size
+		if p.used > p.peak {
+			p.peak = p.used
+		}
+	}
+	return b, nil
+}
+
+// Adopt registers an existing host vector as a zero-copy buffer. It is used
+// by host-resident devices, whose place_data degenerates to registration.
+func (p *Pool) Adopt(data vec.Vector, format Format) *Buffer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	b := &Buffer{ID: p.next, Data: data, Pinned: true, Format: format}
+	p.buffers[b.ID] = b
+	p.allocs++
+	return b
+}
+
+// Get resolves a buffer ID.
+func (p *Pool) Get(id BufferID) (*Buffer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.buffers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in pool %s", ErrUnknownBuffer, id, p.name)
+	}
+	return b, nil
+}
+
+// CreateChunk registers a view of elements [off, off+n) of the parent
+// buffer. Views share storage, are not charged against capacity, and become
+// invalid when their parent is freed.
+func (p *Pool) CreateChunk(parent BufferID, off, n int) (*Buffer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pb, ok := p.buffers[parent]
+	if !ok {
+		return nil, fmt.Errorf("%w: parent %d in pool %s", ErrUnknownBuffer, parent, p.name)
+	}
+	if off < 0 || n < 0 || off+n > pb.Data.Len() {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadRange, off, off+n, pb.Data.Len())
+	}
+	p.next++
+	b := &Buffer{
+		ID:     p.next,
+		Data:   pb.Data.Slice(off, off+n),
+		Pinned: pb.Pinned,
+		Format: pb.Format,
+		Parent: parent,
+		Offset: off,
+	}
+	p.buffers[b.ID] = b
+	return b, nil
+}
+
+// Transform re-tags a buffer with a new SDK format without moving data,
+// implementing the transform_memory device interface.
+func (p *Pool) Transform(id BufferID, target Format) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.buffers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d in pool %s", ErrUnknownBuffer, id, p.name)
+	}
+	b.Format = target
+	p.xforms++
+	return nil
+}
+
+// Free releases a buffer. Freeing a parent invalidates its views; freeing a
+// view releases only the view. Double frees fail with ErrUnknownBuffer.
+func (p *Pool) Free(id BufferID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.buffers[id]
+	if !ok {
+		return fmt.Errorf("%w: free %d in pool %s", ErrUnknownBuffer, id, p.name)
+	}
+	delete(p.buffers, id)
+	p.frees++
+	if !b.IsView() {
+		if b.Pinned {
+			p.pinned -= b.Bytes()
+		} else {
+			p.used -= b.Bytes()
+		}
+		// Invalidate dependent views.
+		for vid, vb := range p.buffers {
+			if vb.Parent == id {
+				delete(p.buffers, vid)
+				p.frees++
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Capacity:    p.capacity,
+		Used:        p.used,
+		PinnedUsed:  p.pinned,
+		Peak:        p.peak,
+		Allocs:      p.allocs,
+		Frees:       p.frees,
+		Transforms:  p.xforms,
+		LiveBuffers: len(p.buffers),
+	}
+}
+
+// Used reports the device bytes currently allocated.
+func (p *Pool) Used() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Reset frees every buffer and clears the counters, as the deletion phase of
+// the 4-phase execution model does between queries.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buffers = make(map[BufferID]*Buffer)
+	p.used = 0
+	p.pinned = 0
+	p.peak = 0
+	p.allocs = 0
+	p.frees = 0
+	p.xforms = 0
+}

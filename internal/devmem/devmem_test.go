@@ -1,0 +1,227 @@
+package devmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestAllocAndCapacity(t *testing.T) {
+	p := NewPool("gpu", 1024)
+	b, err := p.Alloc(vec.Int32, 128, FormatCUDA) // 512 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bytes() != 512 || b.Format != FormatCUDA || b.Pinned {
+		t.Errorf("unexpected buffer %+v", b)
+	}
+	if _, err := p.Alloc(vec.Int32, 128, FormatCUDA); err != nil {
+		t.Fatalf("second alloc should fit: %v", err)
+	}
+	_, err = p.Alloc(vec.Int32, 1, FormatCUDA)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected OOM, got %v", err)
+	}
+	st := p.Stats()
+	if st.Used != 1024 || st.Peak != 1024 || st.Allocs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnlimitedPool(t *testing.T) {
+	p := NewPool("cpu", 0)
+	if _, err := p.Alloc(vec.Int64, 1<<20, FormatRaw); err != nil {
+		t.Fatalf("unlimited pool refused: %v", err)
+	}
+}
+
+func TestPinnedDoesNotConsumeDevice(t *testing.T) {
+	p := NewPool("gpu", 100)
+	b, err := p.AllocPinned(vec.Int32, 1000, FormatCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Pinned {
+		t.Error("buffer not pinned")
+	}
+	st := p.Stats()
+	if st.Used != 0 || st.PinnedUsed != 4000 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := p.Free(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().PinnedUsed != 0 {
+		t.Error("pinned bytes not released")
+	}
+}
+
+func TestFreeAndDoubleFree(t *testing.T) {
+	p := NewPool("gpu", 1024)
+	b, _ := p.Alloc(vec.Int32, 64, FormatCUDA)
+	if err := p.Free(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 0 {
+		t.Error("bytes not released")
+	}
+	if err := p.Free(b.ID); !errors.Is(err, ErrUnknownBuffer) {
+		t.Errorf("double free: %v", err)
+	}
+	if _, err := p.Get(b.ID); !errors.Is(err, ErrUnknownBuffer) {
+		t.Errorf("stale get: %v", err)
+	}
+}
+
+func TestChunkViews(t *testing.T) {
+	p := NewPool("gpu", 1<<20)
+	parent, _ := p.Alloc(vec.Int32, 100, FormatCUDA)
+	parent.Data.I32()[42] = 7
+
+	view, err := p.CreateChunk(parent.ID, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.IsView() || view.Offset != 40 || view.Data.Len() != 10 {
+		t.Errorf("view = %+v", view)
+	}
+	if view.Data.I32()[2] != 7 {
+		t.Error("view does not share storage")
+	}
+	usedBefore := p.Used()
+	if usedBefore != 400 {
+		t.Errorf("views must not be charged: used = %d", usedBefore)
+	}
+
+	// Freeing the view releases only the view.
+	if err := p.Free(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 400 {
+		t.Error("freeing view released parent bytes")
+	}
+
+	// Freeing the parent invalidates dependent views.
+	view2, _ := p.CreateChunk(parent.ID, 0, 5)
+	if err := p.Free(parent.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(view2.ID); !errors.Is(err, ErrUnknownBuffer) {
+		t.Errorf("orphan view still resolvable: %v", err)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	p := NewPool("gpu", 1<<20)
+	parent, _ := p.Alloc(vec.Int32, 100, FormatCUDA)
+	for _, c := range [][2]int{{-1, 10}, {95, 10}, {0, 101}} {
+		if _, err := p.CreateChunk(parent.ID, c[0], c[1]); !errors.Is(err, ErrBadRange) {
+			t.Errorf("chunk [%d,+%d): %v", c[0], c[1], err)
+		}
+	}
+	if _, err := p.CreateChunk(999, 0, 1); !errors.Is(err, ErrUnknownBuffer) {
+		t.Errorf("chunk of unknown parent: %v", err)
+	}
+}
+
+func TestTransform(t *testing.T) {
+	p := NewPool("gpu", 1<<20)
+	b, _ := p.Alloc(vec.Int32, 10, FormatCUDA)
+	if err := p.Transform(b.ID, FormatThrust); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(b.ID)
+	if got.Format != FormatThrust {
+		t.Errorf("format = %v", got.Format)
+	}
+	if p.Stats().Transforms != 1 {
+		t.Error("transform not counted")
+	}
+	if err := p.Transform(999, FormatRaw); !errors.Is(err, ErrUnknownBuffer) {
+		t.Errorf("transform unknown: %v", err)
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	p := NewPool("cpu", 0)
+	host := vec.FromInt32([]int32{1, 2, 3})
+	b := p.Adopt(host, FormatRaw)
+	if !b.Pinned || b.Data.Len() != 3 {
+		t.Errorf("adopted = %+v", b)
+	}
+	b.Data.I32()[0] = 9
+	if host.I32()[0] != 9 {
+		t.Error("adopt copied instead of sharing")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewPool("gpu", 1024)
+	p.Alloc(vec.Int32, 64, FormatCUDA)
+	p.Reset()
+	st := p.Stats()
+	if st.Used != 0 || st.LiveBuffers != 0 || st.Allocs != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestFormatStrings(t *testing.T) {
+	for f, want := range map[Format]string{
+		FormatRaw: "raw", FormatCUDA: "cuda", FormatOpenCL: "opencl",
+		FormatThrust: "thrust", FormatBoost: "boost",
+	} {
+		if f.String() != want {
+			t.Errorf("%v != %s", f, want)
+		}
+	}
+	if Format(200).String() == "" {
+		t.Error("unknown format needs diagnostic")
+	}
+}
+
+// Property: used bytes always equal the sum of live non-view, non-pinned
+// buffers across random alloc/free sequences.
+func TestAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewPool("gpu", 1<<20)
+		var live []BufferID
+		var expect int64
+		for _, op := range ops {
+			switch {
+			case op%3 != 0 || len(live) == 0:
+				n := int(op)%64 + 1
+				b, err := p.Alloc(vec.Int32, n, FormatCUDA)
+				if err != nil {
+					return false
+				}
+				live = append(live, b.ID)
+				expect += int64(4 * n)
+			default:
+				id := live[int(op)%len(live)]
+				b, err := p.Get(id)
+				if err != nil {
+					return false
+				}
+				expect -= b.Bytes()
+				if err := p.Free(id); err != nil {
+					return false
+				}
+				for i, l := range live {
+					if l == id {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			if p.Used() != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

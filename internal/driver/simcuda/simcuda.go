@@ -1,0 +1,28 @@
+// Package simcuda plugs a CUDA-programmed GPU into ADAMANT's device layer.
+//
+// It mirrors the paper's vendor-SDK configuration: precompiled kernels (no
+// runtime compilation, so prepare_kernel is unsupported and execute works
+// out of the box), page-locked host memory through add_pinned_memory
+// (cudaHostAlloc), and the best transfer bandwidth of the evaluated SDKs.
+// Buffers are tagged with the CUDA device-pointer format; feeding them to a
+// device of another SDK requires transform_memory, as in Figure 4.
+package simcuda
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// New returns a CUDA driver for the given GPU. A nil registry selects the
+// built-in kernel set.
+func New(gpu *simhw.Spec, reg *kernels.Registry) *device.Sim {
+	return device.NewSim(device.SimConfig{
+		Name:     gpu.Name + "/cuda",
+		Spec:     gpu,
+		SDK:      &simhw.CUDAProfile,
+		Format:   devmem.FormatCUDA,
+		Registry: reg,
+	})
+}

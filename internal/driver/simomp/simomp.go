@@ -1,0 +1,30 @@
+// Package simomp plugs the host CPU, programmed OpenMP-style, into
+// ADAMANT's device layer.
+//
+// The device is host-resident: place_data and retrieve_data degenerate to
+// address-space registrations (zero copy), there is no pinned-memory fast
+// path, and kernels are precompiled (prepare_kernel is unsupported).
+// Kernel bodies fan out across real goroutines, standing in for OpenMP's
+// parallel-for worker threads; the explicit thread scheduling costs
+// streaming bandwidth relative to OpenCL's internal scheduler, as the paper
+// observes in Figure 9(a).
+package simomp
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// New returns an OpenMP driver for the given host CPU. A nil registry
+// selects the built-in kernel set.
+func New(cpu *simhw.Spec, reg *kernels.Registry) *device.Sim {
+	return device.NewSim(device.SimConfig{
+		Name:     cpu.Name + "/openmp",
+		Spec:     cpu,
+		SDK:      &simhw.OpenMPProfile,
+		Format:   devmem.FormatRaw,
+		Registry: reg,
+	})
+}

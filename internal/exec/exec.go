@@ -1,0 +1,222 @@
+// Package exec implements ADAMANT's execution models (§IV of the paper):
+// operator-at-a-time, chunked execution (Algorithm 1), pipelined execution
+// with copy/compute overlap (Algorithm 2), and the 4-phase pipelined model
+// with pinned memory and buffer reuse (Algorithm 3, Figure 8).
+//
+// All models drive the same primitive graph through the same device
+// interfaces; they differ only in how input columns are staged (whole,
+// per-chunk allocations, or reusable double buffers), whether buffers are
+// pinned, whether transfers overlap kernel execution, and when scratch
+// memory is allocated and released. That separation — execution policy on
+// one side, pluggable devices on the other — is the paper's core design.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Model selects the execution model.
+type Model int
+
+// Execution models.
+const (
+	// OperatorAtATime keeps whole columns and whole intermediates in
+	// device memory, one primitive at a time. Fast when everything fits;
+	// fails with OOM when it does not (the scalability limit of §IV-A).
+	OperatorAtATime Model = iota
+	// Chunked is the naive chunked model of Algorithm 1: every chunk is
+	// transferred, processed through the whole pipeline, and its scratch
+	// released, strictly serially.
+	Chunked
+	// Pipelined overlaps chunk transfer with pipeline execution using
+	// rotating pageable staging buffers (Algorithm 2).
+	Pipelined
+	// FourPhaseChunked stages pinned double buffers and reusable scratch
+	// up front, processes chunks serially, and frees everything in a
+	// delete phase (Algorithm 3 without overlap).
+	FourPhaseChunked
+	// FourPhasePipelined is the full Algorithm 3: pinned double buffers,
+	// buffer reuse, and copy/compute overlap.
+	FourPhasePipelined
+)
+
+// String returns the model's name as used in the paper's figures.
+func (m Model) String() string {
+	switch m {
+	case OperatorAtATime:
+		return "operator-at-a-time"
+	case Chunked:
+		return "chunked"
+	case Pipelined:
+		return "pipelined"
+	case FourPhaseChunked:
+		return "4-phase chunked"
+	case FourPhasePipelined:
+		return "4-phase pipelined"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Models lists all execution models in presentation order.
+func Models() []Model {
+	return []Model{OperatorAtATime, Chunked, Pipelined, FourPhaseChunked, FourPhasePipelined}
+}
+
+// modeFlags are the policy knobs a model maps onto.
+type modeFlags struct {
+	wholeInput    bool // transfer entire columns up front
+	reuseStaging  bool // rotate persistent staging buffers instead of per-chunk allocs
+	pinnedStaging bool // staging (and result) buffers in pinned memory
+	stagedScratch bool // allocate scratch once per pipeline, delete at the end
+	overlap       bool // let transfers run ahead of execution
+	syncPerChunk  bool // charge the transfer/execute thread handshake per chunk
+}
+
+func (m Model) flags() modeFlags {
+	switch m {
+	case OperatorAtATime:
+		return modeFlags{wholeInput: true, stagedScratch: true}
+	case Chunked:
+		return modeFlags{}
+	case Pipelined:
+		return modeFlags{reuseStaging: true, stagedScratch: true, overlap: true, syncPerChunk: true}
+	case FourPhaseChunked:
+		return modeFlags{reuseStaging: true, pinnedStaging: true, stagedScratch: true}
+	case FourPhasePipelined:
+		return modeFlags{reuseStaging: true, pinnedStaging: true, stagedScratch: true, overlap: true, syncPerChunk: true}
+	default:
+		return modeFlags{}
+	}
+}
+
+// Options configures one execution.
+type Options struct {
+	// Model selects the execution model. The zero value is
+	// OperatorAtATime.
+	Model Model
+	// ChunkElems is the chunk size in elements (rounded up to a multiple
+	// of 64 so bitmap chunks stay word-aligned). Defaults to 2^25, the
+	// paper's chunk size. Ignored by OperatorAtATime.
+	ChunkElems int
+	// StagingBuffers is the number of rotating staging buffers per scan
+	// in the buffer-reusing models (Figure 8 uses 2: double buffering).
+	// Values above 2 deepen the transfer prefetch under the overlapped
+	// models. Defaults to 2.
+	StagingBuffers int
+	// Trace records a device-memory footprint sample after every
+	// primitive execution (Figure 7 right).
+	Trace bool
+}
+
+// DefaultChunkElems is the paper's chunk size (2^25 values).
+const DefaultChunkElems = 1 << 25
+
+func (o Options) chunkElems() int {
+	c := o.ChunkElems
+	if c <= 0 {
+		c = DefaultChunkElems
+	}
+	return (c + 63) &^ 63
+}
+
+func (o Options) stagingBuffers() int {
+	if o.StagingBuffers < 2 {
+		return 2
+	}
+	return o.StagingBuffers
+}
+
+// ResultColumn is one named query output retrieved to the host.
+type ResultColumn struct {
+	Name string
+	Data vec.Vector
+}
+
+// FootprintSample is one point of the memory-footprint trace.
+type FootprintSample struct {
+	Label string
+	Bytes int64
+}
+
+// Stats summarizes one execution.
+type Stats struct {
+	// Elapsed is the virtual execution time (what the paper's figures
+	// report).
+	Elapsed vclock.Duration
+	// Wall is the host wall-clock time spent, for the curious.
+	Wall time.Duration
+	// KernelTime is the summed virtual kernel body time; TransferTime
+	// the summed transfer time; OverheadTime the summed launch, argument
+	// mapping, allocation and transform cost (Figure 10's overhead).
+	KernelTime   vclock.Duration
+	TransferTime vclock.Duration
+	OverheadTime vclock.Duration
+	// H2DBytes and D2HBytes count payload bytes moved.
+	H2DBytes int64
+	D2HBytes int64
+	// Launches counts kernel dispatches.
+	Launches int64
+	// Chunks counts chunk iterations across all pipelines; Pipelines the
+	// pipeline count.
+	Chunks    int
+	Pipelines int
+	// PeakDeviceBytes is the high-water device memory across devices.
+	PeakDeviceBytes int64
+	// Footprint holds the trace when Options.Trace is set.
+	Footprint []FootprintSample
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Columns []ResultColumn
+	Stats   Stats
+}
+
+// Column returns a result column by name.
+func (r *Result) Column(name string) (vec.Vector, bool) {
+	for _, c := range r.Columns {
+		if c.Name == name {
+			return c.Data, true
+		}
+	}
+	return vec.Vector{}, false
+}
+
+// Run executes the primitive graph on the runtime's devices under the
+// given options and returns the named results with execution statistics.
+func Run(rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		return nil, err
+	}
+	x := &executor{
+		rt:    rt,
+		g:     g,
+		opts:  opts,
+		flags: opts.Model.flags(),
+		ports: make(map[graph.PortRef]*portState),
+	}
+	return x.run(pipelines)
+}
+
+// statsDelta subtracts device counters captured before the run.
+func statsDelta(after, before device.Stats) device.Stats {
+	return device.Stats{
+		H2DTransfers: after.H2DTransfers - before.H2DTransfers,
+		H2DBytes:     after.H2DBytes - before.H2DBytes,
+		D2HTransfers: after.D2HTransfers - before.D2HTransfers,
+		D2HBytes:     after.D2HBytes - before.D2HBytes,
+		TransferTime: after.TransferTime - before.TransferTime,
+		Launches:     after.Launches - before.Launches,
+		KernelTime:   after.KernelTime - before.KernelTime,
+		OverheadTime: after.OverheadTime - before.OverheadTime,
+	}
+}

@@ -1,0 +1,312 @@
+package exec_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// gpuRuntime builds a single-GPU runtime.
+func gpuRuntime(t *testing.T) (*hub.Runtime, device.ID) {
+	t.Helper()
+	rt := hub.NewRuntime()
+	id, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, id
+}
+
+// filterSumGraph builds: filter(a < cut) -> materialize(b) -> sum.
+func filterSumGraph(t *testing.T, a, b []int32, cut int64, dev device.ID) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	sa := g.AddScan("a", vec.FromInt32(a), dev)
+	sb := g.AddScan("b", vec.FromInt32(b), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, cut, 0, "a<cut"), dev, sa)
+	m, err := task.NewMaterialize(vec.Int32, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := g.AddTask(m, dev, sb, g.Out(f, 0))
+	cast := g.AddTask(task.NewMapCast("widen"), dev, g.Out(mat, 0))
+	aggT, err := task.NewAggBlock(kernels.AggSum, vec.Int64, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := g.AddTask(aggT, dev, g.Out(cast, 0))
+	g.MarkResult("sum", g.Out(agg, 0))
+	return g
+}
+
+// Property: every execution model computes the same answer for random data
+// and random chunk sizes, and matches the host loop.
+func TestModelEquivalenceProperty(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	f := func(raw []int32, chunkRaw uint16, cut int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := make([]int32, len(raw))
+		for i := range b {
+			b[i] = int32(i % 97)
+		}
+		var want int64
+		for i, v := range raw {
+			if v < cut {
+				want += int64(b[i])
+			}
+		}
+		chunk := int(chunkRaw)%len(raw) + 64
+
+		for _, model := range []exec.Model{exec.OperatorAtATime, exec.Chunked, exec.Pipelined, exec.FourPhaseChunked, exec.FourPhasePipelined} {
+			g := filterSumGraph(t, raw, b, int64(cut), dev)
+			res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: chunk})
+			if err != nil {
+				t.Logf("%v chunk=%d: %v", model, chunk, err)
+				return false
+			}
+			col, ok := res.Column("sum")
+			if !ok || col.I64()[0] != want {
+				t.Logf("%v chunk=%d: got %v, want %d", model, chunk, col, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPerChunkResultConcat returns a materialized column from a chunked
+// pipeline: fragments must concatenate in order.
+func TestPerChunkResultConcat(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	n := 1000
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i)
+	}
+	g := graph.New()
+	sa := g.AddScan("a", vec.FromInt32(a), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 500, 0, "a>=500"), dev, sa)
+	m, _ := task.NewMaterialize(vec.Int32, "a")
+	mat := g.AddTask(m, dev, sa, g.Out(f, 0))
+	g.MarkResult("kept", g.Out(mat, 0))
+
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := res.Column("kept")
+	if kept.Len() != 500 {
+		t.Fatalf("kept %d rows, want 500", kept.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if kept.I32()[i] != int32(500+i) {
+			t.Fatalf("kept[%d] = %d", i, kept.I32()[i])
+		}
+	}
+}
+
+// TestOOMSurfacesFromOAAT: operator-at-a-time fails once the resident set
+// exceeds device memory, while chunked succeeds (Figure 7's point).
+func TestOOMSurfacesFromOAAT(t *testing.T) {
+	tiny := &simhw.Spec{
+		Name: "tiny-gpu", Class: simhw.ClassGPU, MemoryBytes: 1 << 20,
+		StreamGBps: 100, RandomGBps: 10, AtomicMops: 100,
+		Links: simhw.Links{
+			H2DPageable: simhw.LinkCurve{PeakGBps: 6},
+			H2DPinned:   simhw.LinkCurve{PeakGBps: 12},
+			D2HPageable: simhw.LinkCurve{PeakGBps: 6},
+			D2HPinned:   simhw.LinkCurve{PeakGBps: 12},
+		},
+	}
+	rt := hub.NewRuntime()
+	dev, err := rt.Register(simcuda.New(tiny, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 1 << 18 // 1 MiB per column: two columns cannot fit the 1 MiB card
+	a := make([]int32, n)
+	b := make([]int32, n)
+
+	g := filterSumGraph(t, a, b, 10, dev)
+	if _, err := exec.Run(rt, g, exec.Options{Model: exec.OperatorAtATime}); !errors.Is(err, devmem.ErrOutOfMemory) {
+		t.Errorf("OAAT should OOM: %v", err)
+	}
+
+	g = filterSumGraph(t, a, b, 10, dev)
+	if _, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 1 << 14}); err != nil {
+		t.Errorf("chunked should fit: %v", err)
+	}
+}
+
+// TestCountOverflowSurfaces: an undersized estimated output fails loudly.
+func TestCountOverflowSurfaces(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	n := 1000
+	a := make([]int32, n) // all zero: every row matches < 10
+	g := graph.New()
+	sa := g.AddScan("a", vec.FromInt32(a), dev)
+	fp := g.AddTask(task.NewFilterPosition(kernels.CmpLt, 10, 0, 0.01, "underestimated"), dev, sa)
+	g.MarkResult("pos", g.Out(fp, 0))
+	if _, err := exec.Run(rt, g, exec.Options{Model: exec.OperatorAtATime}); err == nil {
+		t.Error("undersized position buffer should fail")
+	}
+}
+
+// TestStatsSanity checks the accounting of a serial execution.
+func TestStatsSanity(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	n := 4096
+	a := make([]int32, n)
+	b := make([]int32, n)
+	g := filterSumGraph(t, a, b, 10, dev)
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Chunks != 4 || s.Pipelines != 1 {
+		t.Errorf("chunks=%d pipelines=%d", s.Chunks, s.Pipelines)
+	}
+	if s.H2DBytes < int64(n)*8 {
+		t.Errorf("H2D bytes = %d, want >= both columns", s.H2DBytes)
+	}
+	if s.Launches == 0 || s.Elapsed <= 0 || s.Wall <= 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Serial model: total time covers its parts.
+	if s.Elapsed < s.KernelTime {
+		t.Errorf("elapsed %v < kernel time %v", s.Elapsed, s.KernelTime)
+	}
+	if s.PeakDeviceBytes <= 0 {
+		t.Error("peak device bytes missing")
+	}
+}
+
+// TestFootprintTrace verifies the per-primitive memory samples.
+func TestFootprintTrace(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	a := make([]int32, 1024)
+	b := make([]int32, 1024)
+	g := filterSumGraph(t, a, b, 10, dev)
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.OperatorAtATime, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Footprint) < 4 {
+		t.Fatalf("footprint has %d samples", len(res.Stats.Footprint))
+	}
+	var peak int64
+	for _, s := range res.Stats.Footprint {
+		if s.Bytes > peak {
+			peak = s.Bytes
+		}
+		if s.Label == "" {
+			t.Error("unlabeled footprint sample")
+		}
+	}
+	if peak <= 0 {
+		t.Error("footprint never rose")
+	}
+}
+
+// TestRepeatedRunsIndependent: back-to-back runs on one runtime report
+// comparable elapsed times (the virtual time base advances per run).
+func TestRepeatedRunsIndependent(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	a := make([]int32, 4096)
+	b := make([]int32, 4096)
+
+	var first, second exec.Stats
+	for i, out := range []*exec.Stats{&first, &second} {
+		g := filterSumGraph(t, a, b, 10, dev)
+		res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 1024})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		*out = res.Stats
+	}
+	ratio := float64(first.Elapsed) / float64(second.Elapsed)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("elapsed drifted across runs: %v vs %v", first.Elapsed, second.Elapsed)
+	}
+}
+
+// TestModelStrings covers diagnostics.
+func TestModelStrings(t *testing.T) {
+	names := map[exec.Model]string{
+		exec.OperatorAtATime:    "operator-at-a-time",
+		exec.Chunked:            "chunked",
+		exec.Pipelined:          "pipelined",
+		exec.FourPhaseChunked:   "4-phase chunked",
+		exec.FourPhasePipelined: "4-phase pipelined",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d: %s != %s", m, m, want)
+		}
+	}
+	if exec.Model(99).String() == "" {
+		t.Error("unknown model needs diagnostics")
+	}
+	if len(exec.Models()) != 5 {
+		t.Error("Models() incomplete")
+	}
+}
+
+// TestStagingDepth checks that deeper prefetch keeps results identical.
+// Performance-wise double buffering is already optimal here — the copy
+// engine saturates, so extra buffers only add stage-phase allocation cost
+// (BenchmarkAblationPrefetchDepth quantifies it); the test bounds that
+// overhead rather than expecting a speedup.
+func TestStagingDepth(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	n := 1 << 16
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 100)
+		b[i] = int32(i % 7)
+	}
+
+	var baseline int64
+	var twoBufElapsed, deepElapsed int64
+	for _, depth := range []int{2, 4} {
+		g := filterSumGraph(t, a, b, 50, dev)
+		res, err := exec.Run(rt, g, exec.Options{
+			Model: exec.FourPhasePipelined, ChunkElems: 2048, StagingBuffers: depth,
+		})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		col, _ := res.Column("sum")
+		if baseline == 0 {
+			baseline = col.I64()[0]
+			twoBufElapsed = int64(res.Stats.Elapsed)
+		} else {
+			if col.I64()[0] != baseline {
+				t.Errorf("depth %d changed the answer: %d vs %d", depth, col.I64()[0], baseline)
+			}
+			deepElapsed = int64(res.Stats.Elapsed)
+		}
+	}
+	if deepElapsed > 2*twoBufElapsed {
+		t.Errorf("4 staging buffers (%d) cost more than 2x double buffering (%d)", deepElapsed, twoBufElapsed)
+	}
+}

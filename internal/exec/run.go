@@ -1,0 +1,794 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// portState is the runtime annotation of one producing output port: where
+// its data lives (device ID + buffer), how much of it is valid for the
+// current chunk, and the event at which it becomes available. This is the
+// edge state (data ID, device ID, processed/fetched indexes) of §III-C.
+type portState struct {
+	dev        device.ID
+	buf        devmem.BufferID
+	capacity   int // allocated elements
+	n          int // logical elements valid this chunk
+	ready      vclock.Time
+	persistent bool // survives chunk/pipeline boundaries
+}
+
+type alloc struct {
+	dev device.ID
+	buf devmem.BufferID
+	// ref, when set, names the port whose state must be dropped with the
+	// buffer so the next chunk re-allocates instead of using a dead ID.
+	ref    graph.PortRef
+	hasRef bool
+}
+
+type executor struct {
+	rt    *hub.Runtime
+	g     *graph.Graph
+	opts  Options
+	flags modeFlags
+
+	ports   map[graph.PortRef]*portState
+	base    vclock.Time
+	chain   vclock.Time // serial dependency chain for non-overlapped models
+	horizon vclock.Time
+
+	builders    map[graph.PortRef]*hostAccum
+	trace       []FootprintSample
+	chunksTotal int
+
+	// per-pipeline state
+	perChunkAllocs []alloc
+	pipelineAllocs []alloc
+	counts         map[graph.NodeID]devmem.BufferID
+	staging        map[graph.NodeID][]devmem.BufferID
+	pendingUses    map[graph.PortRef]int
+}
+
+func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
+	wallStart := time.Now()
+
+	// Establish the virtual time base: everything in this run happens
+	// after all prior activity on every device.
+	before := make(map[device.ID]device.Stats)
+	for i, d := range x.rt.Devices() {
+		id := device.ID(i)
+		before[id] = d.Stats()
+		if a := d.CopyEngine().Avail(); a > x.base {
+			x.base = a
+		}
+		if a := d.ComputeEngine().Avail(); a > x.base {
+			x.base = a
+		}
+	}
+	x.chain = x.base
+	x.horizon = x.base
+	x.builders = make(map[graph.PortRef]*hostAccum)
+	x.pendingUses = make(map[graph.PortRef]int)
+	if x.flags.wholeInput {
+		// Whole intermediates free as soon as every consumer anywhere in
+		// the plan has run (the footprint curve of Figure 7 right).
+		for _, e := range x.g.Edges() {
+			x.pendingUses[graph.PortRef{Node: e.From, Port: e.FromPort}]++
+		}
+	}
+
+	for _, p := range pipelines {
+		if err := x.runPipeline(p); err != nil {
+			return nil, fmt.Errorf("exec: %s: %w", p, err)
+		}
+	}
+
+	res := &Result{}
+	for _, r := range x.g.Results() {
+		col, err := x.collectResult(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = append(res.Columns, col)
+	}
+
+	res.Stats = Stats{
+		Elapsed:   x.horizon.Sub(x.base),
+		Wall:      time.Since(wallStart),
+		Chunks:    x.chunksTotal,
+		Pipelines: len(pipelines),
+		Footprint: x.trace,
+	}
+	for i, d := range x.rt.Devices() {
+		delta := statsDelta(d.Stats(), before[device.ID(i)])
+		res.Stats.KernelTime += delta.KernelTime
+		res.Stats.TransferTime += delta.TransferTime
+		res.Stats.OverheadTime += delta.OverheadTime
+		res.Stats.H2DBytes += delta.H2DBytes
+		res.Stats.D2HBytes += delta.D2HBytes
+		res.Stats.Launches += delta.Launches
+		if pk := d.MemStats().Peak; pk > res.Stats.PeakDeviceBytes {
+			res.Stats.PeakDeviceBytes = pk
+		}
+	}
+	return res, nil
+}
+
+func (x *executor) observe(t vclock.Time) {
+	if t > x.horizon {
+		x.horizon = t
+	}
+}
+
+// ready returns the dependency event for the next operation: the serial
+// chain for synchronous models, or the supplied data dependencies when the
+// model allows overlap.
+func (x *executor) ready(data vclock.Time) vclock.Time {
+	if x.flags.overlap {
+		return vclock.MaxTime(data, x.base)
+	}
+	return vclock.MaxTime(data, x.chain)
+}
+
+// advance records an operation's completion.
+func (x *executor) advance(end vclock.Time) {
+	x.observe(end)
+	if !x.flags.overlap && end > x.chain {
+		x.chain = end
+	}
+}
+
+func (x *executor) runPipeline(p *graph.Pipeline) error {
+	rows := p.ScanRows(x.g)
+	chunkElems := x.opts.chunkElems()
+	if x.flags.wholeInput || rows == 0 || chunkElems > rows {
+		chunkElems = rows
+	}
+	chunks := 1
+	if rows > 0 && chunkElems > 0 {
+		chunks = (rows + chunkElems - 1) / chunkElems
+	}
+	singlePass := chunks == 1
+
+	x.perChunkAllocs = nil
+	x.pipelineAllocs = nil
+	x.counts = make(map[graph.NodeID]devmem.BufferID)
+	x.staging = make(map[graph.NodeID][]devmem.BufferID)
+
+	// ---- Stage phase: accumulators, count buffers, reusable staging and
+	// scratch (Algorithm 3's first loop).
+	if err := x.stagePhase(p, rows, chunkElems, singlePass); err != nil {
+		return err
+	}
+
+	// ---- Copy/compute phase.
+	primary, err := x.primaryDevice(p)
+	if err != nil {
+		return err
+	}
+	// Shallow pipelines (fewer than 1.5 kernels per streamed column — a
+	// breaker straight after the transfer, like Q4's hash build) leave the
+	// SDK no work to enqueue between pinned writes, triggering the
+	// re-mapping pathology some drivers exhibit (the paper's Q4/OpenCL
+	// case).
+	shallow := len(p.Scans) > 0 && 2*len(p.Nodes) < 3*len(p.Scans)
+	// chunkDone[s] is the completion of the chunk last staged in slot s;
+	// a slot cannot be overwritten before its previous occupant finished.
+	chunkDone := make([]vclock.Time, x.opts.stagingBuffers())
+	for c := 0; c < chunks; c++ {
+		off := c * chunkElems
+		n := rows - off
+		if chunkElems > 0 && n > chunkElems {
+			n = chunkElems
+		}
+		if rows == 0 {
+			n = 0
+		}
+		x.chunksTotal++
+
+		// Stage this chunk's scan columns.
+		slotFree := chunkDone[c%len(chunkDone)]
+		if err := x.stageChunk(p, c, off, n, slotFree, shallow); err != nil {
+			return err
+		}
+
+		// Execute every primitive of the pipeline over the chunk.
+		var chunkEnd vclock.Time
+		for _, nid := range p.Nodes {
+			end, err := x.execNode(x.g.Node(nid), n, int64(off), singlePass)
+			if err != nil {
+				return err
+			}
+			if end > chunkEnd {
+				chunkEnd = end
+			}
+		}
+		chunkDone[c%len(chunkDone)] = chunkEnd
+
+		// Per-chunk results concatenate on the host.
+		if !singlePass {
+			if err := x.appendChunkResults(p); err != nil {
+				return err
+			}
+		}
+
+		// Naive models release this chunk's allocations immediately.
+		for _, a := range x.perChunkAllocs {
+			d, err := x.rt.Device(a.dev)
+			if err != nil {
+				return err
+			}
+			if err := d.DeleteMemory(a.buf); err != nil {
+				return err
+			}
+			if a.hasRef {
+				delete(x.ports, a.ref)
+			}
+		}
+		x.perChunkAllocs = nil
+
+		if x.flags.syncPerChunk {
+			end := primary.Sync(x.ready(chunkEnd))
+			x.advance(end)
+		}
+	}
+
+	// ---- Delete phase: release pipeline-scoped buffers; accumulators
+	// and single-pass outputs stay for downstream pipelines and results.
+	for _, a := range x.pipelineAllocs {
+		d, err := x.rt.Device(a.dev)
+		if err != nil {
+			return err
+		}
+		if err := d.DeleteMemory(a.buf); err != nil {
+			return err
+		}
+	}
+	x.pipelineAllocs = nil
+	return nil
+}
+
+// primaryDevice is the device the pipeline's tasks run on (used for the
+// per-chunk thread handshake).
+func (x *executor) primaryDevice(p *graph.Pipeline) (device.Device, error) {
+	if len(p.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: pipeline %d has no tasks", graph.ErrBadGraph, p.Index)
+	}
+	return x.rt.Device(x.g.Node(p.Nodes[0]).Device)
+}
+
+func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePass bool) error {
+	// Accumulators and count buffers.
+	for _, nid := range p.Nodes {
+		n := x.g.Node(nid)
+		t := n.Task
+		d, err := x.rt.Device(n.Device)
+		if err != nil {
+			return err
+		}
+		if t.Accumulate {
+			for port, spec := range t.Outputs {
+				size := spec.Size.Elements(rows)
+				buf, done, err := d.PrepareMemory(spec.Type, size, x.ready(x.base))
+				if err != nil {
+					return fmt.Errorf("%s: accumulator: %w", n, err)
+				}
+				x.advance(done)
+				ps := &portState{dev: n.Device, buf: buf, capacity: size, n: size, ready: done, persistent: true}
+				x.ports[graph.PortRef{Node: nid, Port: port}] = ps
+				if t.InitKernel != "" {
+					end, err := d.Execute(device.ExecRequest{
+						Kernel: t.InitKernel,
+						Args:   []devmem.BufferID{buf},
+						Params: t.InitParams,
+					}, x.ready(done))
+					if err != nil {
+						return fmt.Errorf("%s: init %s: %w", n, t.InitKernel, err)
+					}
+					ps.ready = end
+					x.advance(end)
+				}
+			}
+		}
+		if t.EmitsCount {
+			buf, done, err := d.PrepareMemory(vec.Int64, 1, x.ready(x.base))
+			if err != nil {
+				return fmt.Errorf("%s: count buffer: %w", n, err)
+			}
+			x.advance(done)
+			x.counts[nid] = buf
+			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+		}
+	}
+
+	// Reusable staging double buffers (Figure 8).
+	if x.flags.reuseStaging && !x.flags.wholeInput && rows > 0 {
+		for _, sid := range p.Scans {
+			n := x.g.Node(sid)
+			d, err := x.rt.Device(n.Device)
+			if err != nil {
+				return err
+			}
+			bufs := make([]devmem.BufferID, x.opts.stagingBuffers())
+			for i := range bufs {
+				var buf devmem.BufferID
+				var done vclock.Time
+				if x.flags.pinnedStaging {
+					buf, done, err = d.AddPinnedMemory(n.Scan.Data.Type(), chunkElems, x.ready(x.base))
+				} else {
+					buf, done, err = d.PrepareMemory(n.Scan.Data.Type(), chunkElems, x.ready(x.base))
+				}
+				if err != nil {
+					return fmt.Errorf("%s: staging: %w", n, err)
+				}
+				x.advance(done)
+				bufs[i] = buf
+				x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+			}
+			x.staging[sid] = bufs
+		}
+	}
+
+	// Whole-input staging (operator-at-a-time).
+	if x.flags.wholeInput && rows > 0 {
+		for _, sid := range p.Scans {
+			n := x.g.Node(sid)
+			d, err := x.rt.Device(n.Device)
+			if err != nil {
+				return err
+			}
+			buf, end, err := d.PlaceData(n.Scan.Data, x.ready(x.base))
+			if err != nil {
+				return fmt.Errorf("%s: place: %w", n, err)
+			}
+			x.advance(end)
+			x.ports[graph.PortRef{Node: sid, Port: 0}] = &portState{
+				dev: n.Device, buf: buf, capacity: rows, n: rows, ready: end,
+			}
+			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+		}
+	}
+
+	// Reusable scratch for non-accumulating outputs.
+	if x.flags.stagedScratch && !x.flags.wholeInput {
+		per := chunkElems
+		if rows == 0 {
+			per = 0
+		}
+		for _, nid := range p.Nodes {
+			n := x.g.Node(nid)
+			t := n.Task
+			if t.Accumulate {
+				continue
+			}
+			d, err := x.rt.Device(n.Device)
+			if err != nil {
+				return err
+			}
+			for port, spec := range t.Outputs {
+				size := spec.Size.Elements(per)
+				if size <= 0 {
+					size = 1
+				}
+				buf, done, err := d.PrepareMemory(spec.Type, size, x.ready(x.base))
+				if err != nil {
+					return fmt.Errorf("%s: scratch: %w", n, err)
+				}
+				x.advance(done)
+				x.ports[graph.PortRef{Node: nid, Port: port}] = &portState{
+					dev: n.Device, buf: buf, capacity: size, ready: done, persistent: singlePass,
+				}
+				if !singlePass {
+					x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stageChunk transfers chunk c of every scan column to the device.
+func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.Time, shallow bool) error {
+	if n <= 0 {
+		return nil
+	}
+	if x.flags.wholeInput {
+		// Columns are already resident; narrow the ports to full length.
+		return nil
+	}
+	for _, sid := range p.Scans {
+		node := x.g.Node(sid)
+		d, err := x.rt.Device(node.Device)
+		if err != nil {
+			return err
+		}
+		hostChunk := node.Scan.Data.Slice(off, off+n)
+		ref := graph.PortRef{Node: sid, Port: 0}
+
+		if x.flags.reuseStaging {
+			slots := x.staging[sid]
+			buf := slots[c%len(slots)]
+			// The slot must not be overwritten before the chunk that
+			// previously occupied it has been fully processed.
+			end, err := d.PlaceDataInto(buf, 0, hostChunk, x.ready(slotFree))
+			if err != nil {
+				return fmt.Errorf("%s: stage chunk %d: %w", node, c, err)
+			}
+			if pen := d.Info().PinnedRemapPenalty; x.flags.pinnedStaging && shallow && pen > 0 {
+				// The driver re-maps the pinned region synchronously:
+				// effectively the transfer happens again, pen times.
+				for r := 0; r < int(pen+0.5); r++ {
+					end, err = d.PlaceDataInto(buf, 0, hostChunk, end)
+					if err != nil {
+						return fmt.Errorf("%s: remap chunk %d: %w", node, c, err)
+					}
+				}
+			}
+			x.advance(end)
+			x.ports[ref] = &portState{dev: node.Device, buf: buf, capacity: cap0(x.opts.chunkElems()), n: n, ready: end, persistent: true}
+			continue
+		}
+
+		// Naive: fresh allocation and transfer per chunk (Algorithm 1).
+		buf, end, err := d.PlaceData(hostChunk, x.ready(x.base))
+		if err != nil {
+			return fmt.Errorf("%s: stage chunk %d: %w", node, c, err)
+		}
+		x.advance(end)
+		x.ports[ref] = &portState{dev: node.Device, buf: buf, capacity: n, n: n, ready: end}
+		x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: node.Device, buf: buf, ref: ref, hasRef: true})
+	}
+	return nil
+}
+
+func cap0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// execNode launches one primitive over the current chunk.
+func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePass bool) (vclock.Time, error) {
+	t := n.Task
+	d, err := x.rt.Device(n.Device)
+	if err != nil {
+		return 0, err
+	}
+
+	var args []devmem.BufferID
+	var views []devmem.BufferID
+	dataReady := x.base
+
+	// Input arguments: route cross-device data, then narrow each buffer
+	// to its logical chunk length.
+	inputNs := make([]int, 0, len(n.Inputs()))
+	for i, e := range n.Inputs() {
+		ref := graph.PortRef{Node: e.From, Port: e.FromPort}
+		ps, ok := x.ports[ref]
+		if !ok {
+			return 0, fmt.Errorf("%s: input %d (%s) not materialized", n, i, e)
+		}
+		if ps.dev != n.Device {
+			buf, end, err := x.rt.Route(ps.dev, n.Device, ps.buf, ps.n, x.ready(ps.ready))
+			if err != nil {
+				return 0, fmt.Errorf("%s: route input %d: %w", n, i, err)
+			}
+			x.advance(end)
+			routed := *ps
+			routed.dev = n.Device
+			routed.buf = buf
+			routed.capacity = ps.n
+			routed.ready = end
+			ps = &routed
+			x.ports[ref] = ps
+		}
+		inputNs = append(inputNs, ps.n)
+		arg := ps.buf
+		if ps.n != ps.capacity {
+			view, err := d.CreateChunk(ps.buf, 0, ps.n)
+			if err != nil {
+				return 0, fmt.Errorf("%s: view input %d: %w", n, i, err)
+			}
+			views = append(views, view)
+			arg = view
+		}
+		args = append(args, arg)
+		if ps.ready > dataReady {
+			dataReady = ps.ready
+		}
+	}
+
+	// Output arguments.
+	type outInfo struct {
+		ref  graph.PortRef
+		ps   *portState
+		spec task.OutputSpec
+	}
+	outs := make([]outInfo, 0, len(t.Outputs))
+	for port, spec := range t.Outputs {
+		ref := graph.PortRef{Node: n.ID, Port: port}
+		ps, ok := x.ports[ref]
+		if !ok {
+			// Per-chunk allocation (naive models).
+			size := spec.Size.Elements(chunkN)
+			if size <= 0 {
+				size = 1
+			}
+			buf, done, err := d.PrepareMemory(spec.Type, size, x.ready(dataReady))
+			if err != nil {
+				return 0, fmt.Errorf("%s: output %d: %w", n, port, err)
+			}
+			if done > dataReady {
+				dataReady = done
+			}
+			x.advance(done)
+			ps = &portState{dev: n.Device, buf: buf, capacity: size, ready: done, persistent: singlePass && !x.flags.wholeInput}
+			x.ports[ref] = ps
+			if !singlePass && !t.Accumulate {
+				x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: n.Device, buf: buf, ref: ref, hasRef: true})
+			}
+		}
+		// Logical output length: input-sized ports follow the logical
+		// length of their designated input port; fixed and estimated
+		// ports expose capacity until a count narrows them.
+		switch spec.Size.Kind {
+		case task.SizeInput:
+			port := spec.Size.N
+			if port >= len(inputNs) {
+				port = 0
+			}
+			if len(inputNs) > 0 {
+				ps.n = inputNs[port]
+			} else {
+				ps.n = chunkN
+			}
+		default:
+			ps.n = ps.capacity
+		}
+		if ps.ready > dataReady {
+			dataReady = ps.ready // accumulators: wait for previous fold
+		}
+		arg := ps.buf
+		if ps.n != ps.capacity {
+			view, err := d.CreateChunk(ps.buf, 0, ps.n)
+			if err != nil {
+				return 0, fmt.Errorf("%s: view output %d: %w", n, port, err)
+			}
+			views = append(views, view)
+			arg = view
+		}
+		args = append(args, arg)
+		outs = append(outs, outInfo{ref: ref, ps: ps, spec: spec})
+	}
+	if t.EmitsCount {
+		args = append(args, x.counts[n.ID])
+	}
+
+	// Scalar parameters, with the chunk's global base row injected where
+	// the kernel needs global positions.
+	params := t.Params
+	if t.ChunkBaseParam >= 0 {
+		params = append([]int64(nil), t.Params...)
+		params[t.ChunkBaseParam] = chunkBase
+	}
+
+	end, err := d.Execute(device.ExecRequest{Kernel: t.Kernel, Args: args, Params: params}, x.ready(dataReady))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", n, err)
+	}
+	x.advance(end)
+	for _, o := range outs {
+		o.ps.ready = end
+	}
+
+	// Retrieve the result cardinality and narrow the counted ports: the
+	// host must know how much of the estimated output is real before it
+	// can launch dependent kernels.
+	if t.EmitsCount {
+		host := vec.New(vec.Int64, 1)
+		cend, err := d.RetrieveData(x.counts[n.ID], 0, 1, host, end)
+		if err != nil {
+			return 0, fmt.Errorf("%s: retrieve count: %w", n, err)
+		}
+		x.advance(cend)
+		count := int(host.I64()[0])
+		for _, port := range t.CountSets {
+			ps := x.ports[graph.PortRef{Node: n.ID, Port: port}]
+			if count > ps.capacity {
+				return 0, fmt.Errorf("%s: count %d exceeds output capacity %d", n, count, ps.capacity)
+			}
+			ps.n = count
+			ps.ready = cend
+		}
+		end = cend
+	}
+
+	// Views were only needed to shape this launch.
+	for _, v := range views {
+		if err := d.DeleteMemory(v); err != nil {
+			return 0, err
+		}
+	}
+
+	// Whole-input mode frees intermediates after their last consumer.
+	if x.flags.wholeInput {
+		if err := x.releaseDeadInputs(n); err != nil {
+			return 0, err
+		}
+	}
+
+	if x.opts.Trace {
+		x.trace = append(x.trace, FootprintSample{Label: n.String(), Bytes: x.deviceBytes()})
+	}
+	return end, nil
+}
+
+func (x *executor) releaseDeadInputs(n *graph.Node) error {
+	for _, e := range n.Inputs() {
+		ref := graph.PortRef{Node: e.From, Port: e.FromPort}
+		x.pendingUses[ref]--
+		if x.pendingUses[ref] > 0 {
+			continue
+		}
+		ps := x.ports[ref]
+		if ps == nil || ps.persistent || x.isResult(ref) {
+			continue
+		}
+		src := x.g.Node(e.From)
+		if src.IsScan() {
+			continue // freed in the delete phase
+		}
+		if src.Task != nil && src.Task.Accumulate {
+			continue
+		}
+		d, err := x.rt.Device(ps.dev)
+		if err != nil {
+			return err
+		}
+		if err := d.DeleteMemory(ps.buf); err != nil {
+			return err
+		}
+		delete(x.ports, ref)
+		if x.opts.Trace {
+			x.trace = append(x.trace, FootprintSample{Label: "free " + src.String(), Bytes: x.deviceBytes()})
+		}
+	}
+	return nil
+}
+
+func (x *executor) isResult(ref graph.PortRef) bool {
+	for _, r := range x.g.Results() {
+		if r.Ref == ref {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *executor) deviceBytes() int64 {
+	var total int64
+	for _, d := range x.rt.Devices() {
+		total += d.MemStats().Used
+	}
+	return total
+}
+
+// appendChunkResults concatenates per-chunk result ports on the host.
+func (x *executor) appendChunkResults(p *graph.Pipeline) error {
+	for _, r := range x.g.Results() {
+		node := x.g.Node(r.Ref.Node)
+		if node.IsScan() || node.Task.Accumulate {
+			continue
+		}
+		inPipeline := false
+		for _, nid := range p.Nodes {
+			if nid == r.Ref.Node {
+				inPipeline = true
+				break
+			}
+		}
+		if !inPipeline {
+			continue
+		}
+		ps := x.ports[r.Ref]
+		if ps == nil {
+			continue
+		}
+		if ps.n == 0 {
+			if x.builders[r.Ref] == nil {
+				x.builders[r.Ref] = newHostAccum(node.OutputSpec(r.Ref.Port).Type)
+			}
+			continue
+		}
+		d, err := x.rt.Device(ps.dev)
+		if err != nil {
+			return err
+		}
+		host := vec.New(node.OutputSpec(r.Ref.Port).Type, ps.n)
+		end, err := d.RetrieveData(ps.buf, 0, ps.n, host, x.ready(ps.ready))
+		if err != nil {
+			return fmt.Errorf("result %q: %w", r.Name, err)
+		}
+		x.advance(end)
+		if x.builders[r.Ref] == nil {
+			x.builders[r.Ref] = newHostAccum(host.Type())
+		}
+		if err := x.builders[r.Ref].append(host); err != nil {
+			return fmt.Errorf("result %q: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// collectResult retrieves one named result to the host.
+func (x *executor) collectResult(r graph.Result) (ResultColumn, error) {
+	if b, ok := x.builders[r.Ref]; ok {
+		return ResultColumn{Name: r.Name, Data: b.vec()}, nil
+	}
+	ps, ok := x.ports[r.Ref]
+	if !ok {
+		return ResultColumn{}, fmt.Errorf("exec: result %q was never materialized", r.Name)
+	}
+	d, err := x.rt.Device(ps.dev)
+	if err != nil {
+		return ResultColumn{}, err
+	}
+	node := x.g.Node(r.Ref.Node)
+	host := vec.New(node.OutputSpec(r.Ref.Port).Type, ps.n)
+	end, err := d.RetrieveData(ps.buf, 0, ps.n, host, x.ready(ps.ready))
+	if err != nil {
+		return ResultColumn{}, fmt.Errorf("exec: retrieve result %q: %w", r.Name, err)
+	}
+	x.advance(end)
+	return ResultColumn{Name: r.Name, Data: host}, nil
+}
+
+// hostAccum concatenates per-chunk result fragments on the host.
+type hostAccum struct {
+	t   vec.Type
+	i32 []int32
+	i64 []int64
+	f64 []float64
+}
+
+func newHostAccum(t vec.Type) *hostAccum { return &hostAccum{t: t} }
+
+func (h *hostAccum) append(v vec.Vector) error {
+	if v.Type() != h.t {
+		return fmt.Errorf("exec: result fragment type %s, want %s", v.Type(), h.t)
+	}
+	switch h.t {
+	case vec.Int32:
+		h.i32 = append(h.i32, v.I32()...)
+	case vec.Int64:
+		h.i64 = append(h.i64, v.I64()...)
+	case vec.Float64:
+		h.f64 = append(h.f64, v.F64()...)
+	default:
+		return fmt.Errorf("exec: cannot concatenate %s results across chunks", h.t)
+	}
+	return nil
+}
+
+func (h *hostAccum) vec() vec.Vector {
+	switch h.t {
+	case vec.Int32:
+		return vec.FromInt32(h.i32)
+	case vec.Int64:
+		return vec.FromInt64(h.i64)
+	case vec.Float64:
+		return vec.FromFloat64(h.f64)
+	default:
+		return vec.Vector{}
+	}
+}

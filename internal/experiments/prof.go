@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// prof profiles individual primitives on one device, the way §V-A measures
+// them: data resident, per-kernel timing from the device's own events.
+type prof struct {
+	d device.Device
+}
+
+func newProf(d device.Device) (*prof, error) {
+	if err := d.Initialize(); err != nil {
+		return nil, err
+	}
+	return &prof{d: d}, nil
+}
+
+// place puts a host vector on the device (outside the timed region).
+func (p *prof) place(v vec.Vector) (devmem.BufferID, error) {
+	id, _, err := p.d.PlaceData(v, p.d.CopyEngine().Avail())
+	return id, err
+}
+
+// alloc reserves a device buffer (outside the timed region).
+func (p *prof) alloc(t vec.Type, n int) (devmem.BufferID, error) {
+	id, _, err := p.d.PrepareMemory(t, n, p.d.CopyEngine().Avail())
+	return id, err
+}
+
+// run executes one kernel and returns its virtual duration (launch
+// overhead included, as a wall-clock measurement would).
+func (p *prof) run(kernel string, args []devmem.BufferID, params ...int64) (vclock.Duration, error) {
+	start := p.d.ComputeEngine().Avail()
+	end, err := p.d.Execute(device.ExecRequest{Kernel: kernel, Args: args, Params: params}, start)
+	if err != nil {
+		return 0, err
+	}
+	return end.Sub(start), nil
+}
+
+// free releases buffers, ignoring already-freed views.
+func (p *prof) free(ids ...devmem.BufferID) {
+	for _, id := range ids {
+		_ = p.d.DeleteMemory(id)
+	}
+}
+
+// randomInt32 produces a deterministic pseudo-random column in [0, mod).
+func randomInt32(n int, mod int32, seed uint64) vec.Vector {
+	v := vec.New(vec.Int32, n)
+	s := v.I32()
+	state := seed ^ 0xD1B54A32D192ED03
+	for i := range s {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		s[i] = int32(z % uint64(mod))
+	}
+	return v
+}
+
+// sequentialInt32 produces 0..n-1, a unique-key column for PK builds.
+func sequentialInt32(n int) vec.Vector {
+	v := vec.New(vec.Int32, n)
+	s := v.I32()
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+// Package graph implements ADAMANT's primitive graph: the runtime-layer
+// representation of a query execution plan (§III-C of the paper).
+//
+// Nodes are primitives (tasks) annotated with their target device; edges
+// are the data flow between them, typed with the I/O semantics of §III-B3.
+// Scan nodes bind host-resident columns as pipeline inputs. The graph
+// splits itself into query pipelines at pipeline breakers (Table I), which
+// is the unit the execution models process chunk-wise (§IV).
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Graph errors.
+var (
+	ErrBadGraph = errors.New("graph: invalid primitive graph")
+)
+
+// NodeID indexes a node within its graph.
+type NodeID int
+
+// PortRef names one output port of one node.
+type PortRef struct {
+	Node NodeID
+	Port int
+}
+
+// ScanSpec binds a host column as a pipeline input.
+type ScanSpec struct {
+	// Name identifies the column, e.g. "lineitem.l_shipdate".
+	Name string
+	// Data is the bound host vector.
+	Data vec.Vector
+}
+
+// Node is one primitive in the plan: either a Scan (Task nil, Scan set) or
+// a task annotated with its target device.
+type Node struct {
+	ID     NodeID
+	Task   *task.Task
+	Scan   *ScanSpec
+	Device device.ID
+
+	// in[p] is the edge feeding input port p; out[p] lists the edges
+	// leaving output port p.
+	in  []*Edge
+	out [][]*Edge
+}
+
+// IsScan reports whether the node is a pipeline input.
+func (n *Node) IsScan() bool { return n.Scan != nil }
+
+// Breaker reports whether the node's primitive is a pipeline breaker.
+func (n *Node) Breaker() bool { return n.Task != nil && n.Task.Kind.Breaker() }
+
+// Inputs returns the edges feeding the node, in port order.
+func (n *Node) Inputs() []*Edge { return n.in }
+
+// Outputs returns the edges leaving output port p.
+func (n *Node) Outputs(p int) []*Edge {
+	if p >= len(n.out) {
+		return nil
+	}
+	return n.out[p]
+}
+
+// NumOutputs reports the node's output port count.
+func (n *Node) NumOutputs() int {
+	if n.IsScan() {
+		return 1
+	}
+	return len(n.Task.Outputs)
+}
+
+// OutputSpec returns the shape of output port p.
+func (n *Node) OutputSpec(p int) task.OutputSpec {
+	if n.IsScan() {
+		return task.OutputSpec{Semantic: primitive.Numeric, Type: n.Scan.Data.Type(), Size: task.OfInput()}
+	}
+	return n.Task.Outputs[p]
+}
+
+// String names the node for diagnostics.
+func (n *Node) String() string {
+	if n.IsScan() {
+		return fmt.Sprintf("n%d:scan(%s)", n.ID, n.Scan.Name)
+	}
+	return fmt.Sprintf("n%d:%s", n.ID, n.Task)
+}
+
+// Edge is one data dependency. The runtime annotates edges with transfer
+// state (data ID, device ID, processed-until, fetched-until) during
+// execution; the graph itself stays immutable and reusable across runs.
+type Edge struct {
+	ID       int
+	From     NodeID
+	FromPort int
+	To       NodeID
+	ToPort   int
+	Semantic primitive.Semantic
+	Type     vec.Type
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("e%d(n%d.%d->n%d.%d %s)", e.ID, e.From, e.FromPort, e.To, e.ToPort, e.Semantic)
+}
+
+// Graph is a primitive graph under construction or ready for execution.
+type Graph struct {
+	nodes   []*Node
+	edges   []*Edge
+	results []Result
+	err     error // first construction error, surfaced by Validate
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddScan adds a pipeline input bound to a host column, placed on the given
+// device, and returns its output port.
+func (g *Graph) AddScan(name string, data vec.Vector, dev device.ID) PortRef {
+	n := &Node{
+		ID:     NodeID(len(g.nodes)),
+		Scan:   &ScanSpec{Name: name, Data: data},
+		Device: dev,
+		out:    make([][]*Edge, 1),
+	}
+	g.nodes = append(g.nodes, n)
+	return PortRef{Node: n.ID, Port: 0}
+}
+
+// AddTask adds a primitive node executing t on the given device, wired to
+// the given input ports, and returns the node's ID. Input edges inherit the
+// semantic and type of the upstream port. Construction errors are deferred
+// to Validate so plans can be built fluently.
+func (g *Graph) AddTask(t *task.Task, dev device.ID, inputs ...PortRef) NodeID {
+	n := &Node{
+		ID:     NodeID(len(g.nodes)),
+		Task:   t,
+		Device: dev,
+	}
+	if t != nil {
+		n.out = make([][]*Edge, len(t.Outputs))
+	}
+	g.nodes = append(g.nodes, n)
+
+	if t == nil {
+		g.fail(fmt.Errorf("%w: nil task for node %d", ErrBadGraph, n.ID))
+		return n.ID
+	}
+	if len(inputs) != t.NInputs {
+		g.fail(fmt.Errorf("%w: %s declares %d inputs, wired %d", ErrBadGraph, t, t.NInputs, len(inputs)))
+		return n.ID
+	}
+	for port, src := range inputs {
+		if int(src.Node) >= len(g.nodes) || src.Node == n.ID {
+			g.fail(fmt.Errorf("%w: node %d wires unknown source %d", ErrBadGraph, n.ID, src.Node))
+			return n.ID
+		}
+		sn := g.nodes[src.Node]
+		if src.Port >= sn.NumOutputs() {
+			g.fail(fmt.Errorf("%w: %s has no output port %d", ErrBadGraph, sn, src.Port))
+			return n.ID
+		}
+		spec := sn.OutputSpec(src.Port)
+		e := &Edge{
+			ID:       len(g.edges),
+			From:     src.Node,
+			FromPort: src.Port,
+			To:       n.ID,
+			ToPort:   port,
+			Semantic: spec.Semantic,
+			Type:     spec.Type,
+		}
+		g.edges = append(g.edges, e)
+		sn.out[src.Port] = append(sn.out[src.Port], e)
+		n.in = append(n.in, e)
+	}
+	return n.ID
+}
+
+// Out returns a port reference for a node added with AddTask.
+func (g *Graph) Out(n NodeID, port int) PortRef { return PortRef{Node: n, Port: port} }
+
+// Result names an output port whose contents are a query result.
+type Result struct {
+	Name string
+	Ref  PortRef
+}
+
+// MarkResult flags an output port as a named query result: the execution
+// models retrieve it to the host when the query completes (accumulators)
+// or concatenate it chunk by chunk (per-chunk outputs).
+func (g *Graph) MarkResult(name string, ref PortRef) {
+	g.results = append(g.results, Result{Name: name, Ref: ref})
+}
+
+// Results lists the marked result ports.
+func (g *Graph) Results() []Result { return g.results }
+
+// Nodes returns the nodes in insertion (topological) order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Node resolves an ID.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Edges returns all edges.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+func (g *Graph) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// Validate checks the graph: construction errors, task definitions, edge
+// semantics against the primitive signatures, and result ports.
+func (g *Graph) Validate() error {
+	if g.err != nil {
+		return g.err
+	}
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("%w: empty graph", ErrBadGraph)
+	}
+	for _, n := range g.nodes {
+		if n.IsScan() {
+			if !n.Scan.Data.Valid() {
+				return fmt.Errorf("%w: %s has no bound data", ErrBadGraph, n)
+			}
+			continue
+		}
+		if err := n.Task.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		sig, err := primitive.SignatureOf(n.Task.Kind)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		for _, e := range n.in {
+			if !sig.AcceptsInput(e.ToPort, e.Semantic) {
+				return fmt.Errorf("%w: %s input %d rejects %s edge %s",
+					ErrBadGraph, n, e.ToPort, e.Semantic, e)
+			}
+		}
+	}
+	for _, r := range g.results {
+		if int(r.Ref.Node) >= len(g.nodes) {
+			return fmt.Errorf("%w: result %q references unknown node %d", ErrBadGraph, r.Name, r.Ref.Node)
+		}
+		if r.Ref.Port >= g.nodes[r.Ref.Node].NumOutputs() {
+			return fmt.Errorf("%w: result %q references missing port %d of %s", ErrBadGraph, r.Name, r.Ref.Port, g.nodes[r.Ref.Node])
+		}
+	}
+	return nil
+}

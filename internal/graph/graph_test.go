@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+const dev = device.ID(0)
+
+func col(n int) vec.Vector { return vec.New(vec.Int32, n) }
+
+func mustMaterialize(t *testing.T) *task.Task {
+	t.Helper()
+	m, err := task.NewMaterialize(vec.Int32, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildQ6Like constructs the Q6 shape: three filters over one table, two
+// ANDs, two materializations, a map, and an aggregate.
+func buildQ6Like(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.AddScan("t.a", col(640), dev)
+	b := g.AddScan("t.b", col(640), dev)
+	c := g.AddScan("t.c", col(640), dev)
+
+	fa := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+	fb := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 5, 0, "b>=5"), dev, b)
+	and := g.AddTask(task.NewBitmapAnd(), dev, g.Out(fa, 0), g.Out(fb, 0))
+	m1 := g.AddTask(mustMaterialize(t), dev, c, g.Out(and, 0))
+	m2 := g.AddTask(mustMaterialize(t), dev, a, g.Out(and, 0))
+	mul := g.AddTask(task.NewMapMul("x*y"), dev, g.Out(m1, 0), g.Out(m2, 0))
+	aggT, err := task.NewAggBlock(kernels.AggSum, vec.Int64, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := g.AddTask(aggT, dev, g.Out(mul, 0))
+	g.MarkResult("sum", g.Out(agg, 0))
+	return g
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	g := buildQ6Like(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != 10 || len(g.Edges()) != 11 {
+		t.Errorf("graph shape: %d nodes, %d edges", len(g.Nodes()), len(g.Edges()))
+	}
+}
+
+func TestSinglePipelineForParallelFilters(t *testing.T) {
+	g := buildQ6Like(t)
+	ps, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("got %d pipelines, want 1 (parallel filter branches must merge)", len(ps))
+	}
+	if len(ps[0].Scans) != 3 || len(ps[0].Nodes) != 7 {
+		t.Errorf("pipeline shape: %d scans, %d nodes", len(ps[0].Scans), len(ps[0].Nodes))
+	}
+	if ps[0].ScanRows(g) != 640 {
+		t.Errorf("scan rows = %d", ps[0].ScanRows(g))
+	}
+}
+
+// TestBreakerSplitsPipelines wires a build pipeline into a probe pipeline.
+func TestBreakerSplitsPipelines(t *testing.T) {
+	g := New()
+	bk := g.AddScan("b.key", col(64), dev)
+	build := g.AddTask(task.NewHashBuildSet(64, "set"), dev, bk)
+
+	pk := g.AddScan("p.key", col(128), dev)
+	semi := g.AddTask(task.NewSemiJoinFilter("in set"), dev, pk, g.Out(build, 0))
+	cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(semi, 0))
+	g.MarkResult("count", g.Out(cnt, 0))
+
+	ps, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d pipelines, want 2", len(ps))
+	}
+	if len(ps[1].DependsOn) != 1 || ps[1].DependsOn[0] != 0 {
+		t.Errorf("probe pipeline deps = %v", ps[1].DependsOn)
+	}
+	if ps[0].ScanRows(g) != 64 || ps[1].ScanRows(g) != 128 {
+		t.Error("pipelines bound to wrong scans")
+	}
+}
+
+func TestScanSharedBuildProbeRejected(t *testing.T) {
+	g := New()
+	s := g.AddScan("t.k", col(64), dev)
+	build := g.AddTask(task.NewHashBuildSet(64, "set"), dev, s)
+	// The probe reads the same scan node: the scan binds both sides into
+	// one pipeline, which would consume the breaker within itself. Plans
+	// must add a second scan for the probe pass.
+	g.AddTask(task.NewSemiJoinFilter("probe"), dev, s, g.Out(build, 0))
+	if _, err := g.BuildPipelines(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("shared build/probe scan: %v", err)
+	}
+}
+
+func TestMismatchedScanLengthsRejected(t *testing.T) {
+	g := New()
+	a := g.AddScan("t.a", col(100), dev)
+	b := g.AddScan("t.b", col(200), dev)
+	g.AddTask(task.NewFilterColCmp(kernels.CmpLt, "cmp"), dev, a, b)
+	if _, err := g.BuildPipelines(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("mismatched scans: %v", err)
+	}
+}
+
+func TestOrphanScanRejected(t *testing.T) {
+	g := New()
+	g.AddScan("t.a", col(64), dev)
+	s := g.AddScan("t.b", col(64), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 1, 0, "f"), dev, s)
+	g.MarkResult("f", g.Out(f, 0))
+	if _, err := g.BuildPipelines(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("orphan scan: %v", err)
+	}
+}
+
+func TestSemanticMismatchRejected(t *testing.T) {
+	g := New()
+	s := g.AddScan("t.a", col(64), dev)
+	// Materialize wants (NUMERIC, BITMAP) but gets (NUMERIC, NUMERIC).
+	g.AddTask(mustMaterialize(t), dev, s, s)
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("semantic mismatch: %v", err)
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	g := New()
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("empty graph: %v", err)
+	}
+
+	g = New()
+	s := g.AddScan("t.a", col(4), dev)
+	// Wrong input arity.
+	g.AddTask(task.NewBitmapAnd(), dev, s)
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("arity: %v", err)
+	}
+
+	g = New()
+	g.AddTask(nil, dev)
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("nil task: %v", err)
+	}
+
+	g = New()
+	s = g.AddScan("t.a", col(4), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 1, 0, "f"), dev, s)
+	// Nonexistent output port.
+	g.AddTask(task.NewBitmapAnd(), dev, g.Out(f, 5), g.Out(f, 0))
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("bad port: %v", err)
+	}
+}
+
+func TestResultValidation(t *testing.T) {
+	g := New()
+	s := g.AddScan("t.a", col(4), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 1, 0, "f"), dev, s)
+	g.MarkResult("bad", PortRef{Node: f, Port: 9})
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("bad result port: %v", err)
+	}
+}
+
+func TestUnboundScanRejected(t *testing.T) {
+	g := New()
+	g.AddScan("t.a", vec.Vector{}, dev)
+	if err := g.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("unbound scan: %v", err)
+	}
+}
+
+func TestBreakerConsumedInOwnPipelineRejected(t *testing.T) {
+	g := New()
+	s := g.AddScan("t.k", col(64), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 100, 0, "f"), dev, s)
+	agg := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(f, 0))
+	// The AND consumes both the filter (same region) and the breaker's
+	// output, pulling the breaker edge inside its own pipeline.
+	g.AddTask(task.NewBitmapAnd(), dev, g.Out(f, 0), g.Out(agg, 0))
+	if _, err := g.BuildPipelines(); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("self-pipeline breaker: %v", err)
+	}
+}
+
+func TestNodeDiagnostics(t *testing.T) {
+	g := buildQ6Like(t)
+	for _, n := range g.Nodes() {
+		if n.String() == "" {
+			t.Error("node without diagnostics")
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.String() == "" {
+			t.Error("edge without diagnostics")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pipeline is one query pipeline: a maximal run of primitives between
+// pipeline breakers (§III-B2). The execution models treat a pipeline as an
+// execution group, processing all of its primitives together chunk by
+// chunk; the breakers that terminate it materialize their results in
+// device memory for the pipelines that follow.
+type Pipeline struct {
+	// Index is the pipeline's position in execution order.
+	Index int
+	// Nodes lists the pipeline's task nodes in topological order.
+	Nodes []NodeID
+	// Scans lists the host-column inputs the pipeline streams in chunks.
+	Scans []NodeID
+	// DependsOn lists pipelines whose breaker outputs this one consumes.
+	DependsOn []int
+}
+
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline%d(%d nodes, %d scans)", p.Index, len(p.Nodes), len(p.Scans))
+}
+
+// BuildPipelines splits the graph into its query pipelines: the connected
+// regions of task nodes linked by non-breaker data flow. A scan node binds
+// all of its consumers into one pipeline — a pipeline is one streamed pass
+// over its inputs, so everything reading a scan processes the same chunks
+// (plans that need separate passes over the same column add separate scan
+// nodes). Consumers of a breaker's output belong to a later pipeline and
+// record the dependency. Pipelines come back in a valid execution order.
+func (g *Graph) BuildPipelines() ([]*Pipeline, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Union task nodes across non-breaker edges: un-materialized
+	// intermediates bind producer and consumer into one pipeline. The
+	// breaker itself belongs to the pipeline it terminates, so only its
+	// *outgoing* edges split regions.
+	parent := make([]int, len(g.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for _, e := range g.edges {
+		src := g.Node(e.From)
+		if src.Breaker() {
+			continue
+		}
+		union(int(e.From), int(e.To))
+	}
+
+	// Group task nodes by region, ordered by first node index (insertion
+	// order is topological, so this is a valid execution order).
+	regionNodes := make(map[int][]NodeID)
+	var roots []int
+	for _, n := range g.nodes {
+		if n.IsScan() {
+			continue
+		}
+		r := find(int(n.ID))
+		if _, seen := regionNodes[r]; !seen {
+			roots = append(roots, r)
+		}
+		regionNodes[r] = append(regionNodes[r], n.ID)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return regionNodes[roots[i]][0] < regionNodes[roots[j]][0]
+	})
+
+	pipelines := make([]*Pipeline, 0, len(roots))
+	indexOfRegion := make(map[int]int, len(roots))
+	for i, r := range roots {
+		indexOfRegion[r] = i
+		pipelines = append(pipelines, &Pipeline{Index: i, Nodes: regionNodes[r]})
+	}
+
+	// Attach scans and record breaker dependencies.
+	for _, n := range g.nodes {
+		if !n.IsScan() {
+			continue
+		}
+		idx, ok := indexOfRegion[find(int(n.ID))]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s has no consumer", ErrBadGraph, n)
+		}
+		pipelines[idx].Scans = append(pipelines[idx].Scans, n.ID)
+	}
+	for _, e := range g.edges {
+		src := g.Node(e.From)
+		if !src.Breaker() {
+			continue
+		}
+		dst := indexOfRegion[find(int(e.To))]
+		from := indexOfRegion[find(int(e.From))]
+		if from == dst {
+			return nil, fmt.Errorf("%w: breaker %s consumed within its own pipeline", ErrBadGraph, src)
+		}
+		if from > dst {
+			return nil, fmt.Errorf("%w: pipeline %d consumes breaker %s of later pipeline %d",
+				ErrBadGraph, dst, src, from)
+		}
+		p := pipelines[dst]
+		if !containsInt(p.DependsOn, from) {
+			p.DependsOn = append(p.DependsOn, from)
+		}
+	}
+
+	// Every pipeline's scans must agree on length: they chunk in lockstep.
+	for _, p := range pipelines {
+		rows := -1
+		for _, sid := range p.Scans {
+			n := g.Node(sid)
+			if rows < 0 {
+				rows = n.Scan.Data.Len()
+				continue
+			}
+			if n.Scan.Data.Len() != rows {
+				return nil, fmt.Errorf("%w: %s scans columns of different lengths (%d vs %d)",
+					ErrBadGraph, p, rows, n.Scan.Data.Len())
+			}
+		}
+	}
+	return pipelines, nil
+}
+
+// ScanRows returns the number of input rows the pipeline streams (0 for
+// pipelines that only consume device-resident results).
+func (p *Pipeline) ScanRows(g *Graph) int {
+	if len(p.Scans) == 0 {
+		return 0
+	}
+	return g.Node(p.Scans[0]).Scan.Data.Len()
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package heavysim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+)
+
+func dataset(t *testing.T, sf float64) *tpch.Dataset {
+	t.Helper()
+	ds, err := tpch.Generate(tpch.Config{SF: sf, Ratio: 1.0 / 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestQ6MatchesReference(t *testing.T) {
+	ds := dataset(t, 1)
+	db := New(Config{GPU: &simhw.RTX2080Ti})
+	res, err := db.Run("Q6", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Columns["revenue"].I64()[0], tpch.RefQ6(ds); got != want {
+		t.Errorf("revenue = %d, want %d", got, want)
+	}
+	if res.ColdElapsed <= res.Elapsed {
+		t.Error("cold start must cost more than hot")
+	}
+	// Q6 scans four whole lineitem columns.
+	if want := int64(ds.Lineitem.Rows()) * 4 * 4; res.TransferBytes != want {
+		t.Errorf("cold transfer = %d bytes, want %d", res.TransferBytes, want)
+	}
+}
+
+func TestQ4MatchesReference(t *testing.T) {
+	ds := dataset(t, 1)
+	db := New(Config{GPU: &simhw.RTX2080Ti})
+	res, err := db.Run("Q4", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tpch.RefQ4(ds)
+	prio := res.Columns["o_orderpriority"].I64()
+	cnt := res.Columns["order_count"].I64()
+	if len(prio) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(prio), len(want))
+	}
+	for i := range prio {
+		if want[prio[i]] != cnt[i] {
+			t.Errorf("priority %d = %d, want %d", prio[i], cnt[i], want[prio[i]])
+		}
+	}
+}
+
+func TestQ1AndQ3SmallScale(t *testing.T) {
+	ds := dataset(t, 1)
+	db := New(Config{GPU: &simhw.RTX2080Ti})
+	if _, err := db.Run("Q1", ds); err != nil {
+		t.Errorf("Q1: %v", err)
+	}
+	// Q3 fits at SF1 (group buffer 4*1.5M*32B = 192MB).
+	res, err := db.Run("Q3", ds)
+	if err != nil {
+		t.Fatalf("Q3 at SF1: %v", err)
+	}
+	want := tpch.RefQ3(ds)
+	if res.Columns["l_orderkey"].Len() != len(want) {
+		t.Errorf("Q3 groups = %d, want %d", res.Columns["l_orderkey"].Len(), len(want))
+	}
+}
+
+// TestQ3AbortsAtPaperScale reproduces the paper's finding: Q3 cannot run on
+// HeavyDB at SF >= 100 because the group-by buffer exceeds device memory.
+func TestQ3AbortsAtPaperScale(t *testing.T) {
+	for _, sf := range []float64{100, 120, 140} {
+		ds := dataset(t, sf)
+		db := New(Config{GPU: &simhw.RTX2080Ti})
+		_, err := db.Run("Q3", ds)
+		if !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("SF%g: expected OOM, got %v", sf, err)
+		}
+		// Q4 and Q6 still run at the same scale.
+		if _, err := db.Run("Q4", ds); err != nil {
+			t.Errorf("SF%g Q4: %v", sf, err)
+		}
+		if _, err := db.Run("Q6", ds); err != nil {
+			t.Errorf("SF%g Q6: %v", sf, err)
+		}
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	db := New(Config{GPU: &simhw.RTX2080Ti})
+	if _, err := db.Run("Q99", dataset(t, 1)); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.rowRate() != 220 || c.compile() <= 0 || c.slotBytes() != 32 {
+		t.Error("defaults wrong")
+	}
+	c = Config{RowMrate: 10, GroupSlotBytes: 64}
+	if c.rowRate() != 10 || c.slotBytes() != 64 {
+		t.Error("overrides ignored")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil GPU must panic")
+		}
+	}()
+	New(Config{})
+}
+
+// TestScalingWithSF checks that execution time grows with the generated
+// data volume.
+func TestScalingWithSF(t *testing.T) {
+	db := New(Config{GPU: &simhw.RTX2080Ti})
+	r1, err := db.Run("Q6", dataset(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := db.Run("Q6", dataset(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Elapsed <= r1.Elapsed {
+		t.Errorf("SF5 (%v) should cost more than SF1 (%v)", r5.Elapsed, r1.Elapsed)
+	}
+}

@@ -1,0 +1,90 @@
+// Package hub implements ADAMANT's data transfer hub and device registry
+// (§III-C of the paper).
+//
+// The Runtime tracks every plugged co-processor. The router handles all
+// SDK-to-SDK and device-to-device movement of intermediate results: when an
+// edge's data lives on a different device than its consumer, the router
+// either re-tags the memory object in place (transform_memory, the cheap
+// path the paper's transformation interface enables) or bounces the data
+// through the host (retrieve + place, the naive path), depending on whether
+// the two endpoints share physical memory.
+package hub
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Hub errors.
+var ErrUnknownDevice = errors.New("hub: unknown device")
+
+// Runtime is the registry of plugged devices, shared by the execution
+// models.
+type Runtime struct {
+	devices []device.Device
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime { return &Runtime{} }
+
+// Register plugs a device into the runtime, initializing it, and returns
+// its ID.
+func (r *Runtime) Register(d device.Device) (device.ID, error) {
+	if err := d.Initialize(); err != nil {
+		return 0, fmt.Errorf("hub: initialize %s: %w", d.Info().Name, err)
+	}
+	r.devices = append(r.devices, d)
+	return device.ID(len(r.devices) - 1), nil
+}
+
+// Device resolves an ID.
+func (r *Runtime) Device(id device.ID) (device.Device, error) {
+	if int(id) < 0 || int(id) >= len(r.devices) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownDevice, id)
+	}
+	return r.devices[id], nil
+}
+
+// Devices lists the registered devices in registration order.
+func (r *Runtime) Devices() []device.Device { return r.devices }
+
+// Route moves the first n elements of a buffer from one device to another
+// and returns the destination buffer and its availability event. Same
+// device is a no-op. Distinct devices bounce through the host: retrieve on
+// the source's copy engine, place on the destination's; the two legs
+// serialize, as a staged cudaMemcpyPeer-less transfer would.
+func (r *Runtime) Route(src, dst device.ID, buf devmem.BufferID, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	if src == dst {
+		return buf, ready, nil
+	}
+	sd, err := r.Device(src)
+	if err != nil {
+		return 0, ready, err
+	}
+	dd, err := r.Device(dst)
+	if err != nil {
+		return 0, ready, err
+	}
+	b, err := sd.Buffer(buf)
+	if err != nil {
+		return 0, ready, err
+	}
+	if n < 0 {
+		n = b.Data.Len()
+	}
+	host := vec.New(b.Data.Type(), n)
+	mid, err := sd.RetrieveData(buf, 0, n, host, ready)
+	if err != nil {
+		return 0, ready, fmt.Errorf("hub: route retrieve from %s: %w", sd.Info().Name, err)
+	}
+	out, end, err := dd.PlaceData(host, mid)
+	if err != nil {
+		return 0, ready, fmt.Errorf("hub: route place to %s: %w", dd.Info().Name, err)
+	}
+	return out, end, nil
+}

@@ -1,0 +1,110 @@
+package hub
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func twoDeviceRuntime(t *testing.T) (*Runtime, device.ID, device.ID) {
+	t.Helper()
+	rt := NewRuntime()
+	cpu, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, cpu, gpu
+}
+
+func TestRegisterAndResolve(t *testing.T) {
+	rt, cpu, gpu := twoDeviceRuntime(t)
+	if len(rt.Devices()) != 2 {
+		t.Fatalf("devices = %d", len(rt.Devices()))
+	}
+	d, err := rt.Device(cpu)
+	if err != nil || !d.Info().HostResident {
+		t.Errorf("cpu lookup: %v", err)
+	}
+	if _, err := rt.Device(gpu + 10); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("unknown device: %v", err)
+	}
+}
+
+func TestRouteSameDeviceNoOp(t *testing.T) {
+	rt, _, gpu := twoDeviceRuntime(t)
+	d, _ := rt.Device(gpu)
+	id, done, err := d.PlaceData(vec.FromInt32([]int32{1, 2}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, end, err := rt.Route(gpu, gpu, id, -1, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != id || end != done {
+		t.Error("same-device route must be a no-op")
+	}
+}
+
+func TestRouteCrossDevice(t *testing.T) {
+	rt, cpu, gpu := twoDeviceRuntime(t)
+	src, _ := rt.Device(cpu)
+	dst, _ := rt.Device(gpu)
+
+	id, done, err := src.PlaceData(vec.FromInt32([]int32{7, 8, 9}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, end, err := rt.Route(cpu, gpu, id, -1, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= done {
+		t.Error("cross-device route must consume time")
+	}
+	b, err := dst.Buffer(routed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Data.I32()[2] != 9 {
+		t.Errorf("routed data = %v", b.Data.I32())
+	}
+	if b.Format != devmem.FormatCUDA {
+		t.Errorf("routed buffer format = %v, want the target SDK's", b.Format)
+	}
+}
+
+func TestRoutePartial(t *testing.T) {
+	rt, cpu, gpu := twoDeviceRuntime(t)
+	src, _ := rt.Device(cpu)
+	dst, _ := rt.Device(gpu)
+	id, done, _ := src.PlaceData(vec.FromInt32([]int32{1, 2, 3, 4}), 0)
+	routed, _, err := rt.Route(cpu, gpu, id, 2, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := dst.Buffer(routed)
+	if b.Data.Len() != 2 {
+		t.Errorf("partial route moved %d elements", b.Data.Len())
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	rt, cpu, gpu := twoDeviceRuntime(t)
+	if _, _, err := rt.Route(cpu, gpu, 999, -1, 0); err == nil {
+		t.Error("routing an unknown buffer must fail")
+	}
+	if _, _, err := rt.Route(device.ID(9), gpu, 1, -1, 0); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("unknown source: %v", err)
+	}
+}

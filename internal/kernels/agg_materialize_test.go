@@ -1,0 +1,364 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestAggOps(t *testing.T) {
+	cases := []struct {
+		op   AggOp
+		want int64
+	}{
+		{AggSum, 10},
+		{AggCount, 4},
+		{AggMin, -5},
+		{AggMax, 9},
+	}
+	data := []int64{3, -5, 9, 3}
+	for _, c := range cases {
+		out := vec.New(vec.Int64, 1)
+		out.I64()[0] = c.op.identity()
+		launch(t, "agg_block_i64", []vec.Vector{vec.FromInt64(data), out}, int64(c.op))
+		if out.I64()[0] != c.want {
+			t.Errorf("%v = %d, want %d", c.op, out.I64()[0], c.want)
+		}
+	}
+}
+
+func TestAggAccumulatesAcrossChunks(t *testing.T) {
+	out := vec.New(vec.Int64, 1)
+	launch(t, "agg_block_i32", []vec.Vector{vec.FromInt32([]int32{1, 2}), out}, int64(AggSum))
+	launch(t, "agg_block_i32", []vec.Vector{vec.FromInt32([]int32{3, 4}), out}, int64(AggSum))
+	if out.I64()[0] != 10 {
+		t.Errorf("chunked sum = %d, want 10", out.I64()[0])
+	}
+
+	// Min folds correctly across chunks when seeded with its identity.
+	m := vec.New(vec.Int64, 1)
+	m.I64()[0] = math.MaxInt64
+	launch(t, "agg_block_i32", []vec.Vector{vec.FromInt32([]int32{5, 9}), m}, int64(AggMin))
+	launch(t, "agg_block_i32", []vec.Vector{vec.FromInt32([]int32{7, 3}), m}, int64(AggMin))
+	if m.I64()[0] != 3 {
+		t.Errorf("chunked min = %d, want 3", m.I64()[0])
+	}
+}
+
+func TestAggCountBits(t *testing.T) {
+	bm := vec.New(vec.Bits, 130)
+	bm.SetBit(0, true)
+	bm.SetBit(64, true)
+	bm.SetBit(129, true)
+	out := vec.New(vec.Int64, 1)
+	launch(t, "agg_count_bits", []vec.Vector{bm, out})
+	launch(t, "agg_count_bits", []vec.Vector{bm, out})
+	if out.I64()[0] != 6 {
+		t.Errorf("count = %d, want 6 (two accumulating launches)", out.I64()[0])
+	}
+}
+
+// Property: agg_block_i32 sums agree with the naive loop.
+func TestAggSumProperty(t *testing.T) {
+	f := func(data []int32) bool {
+		out := vec.New(vec.Int64, 1)
+		k := mustLookup(t, "agg_block_i32")
+		if err := k.Fn(testCtx, []vec.Vector{vec.FromInt32(data), out}, []int64{int64(AggSum)}); err != nil {
+			return false
+		}
+		var want int64
+		for _, v := range data {
+			want += int64(v)
+		}
+		return out.I64()[0] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: materialize through a bitmap keeps exactly the selected values
+// in order, with the count reported.
+func TestMaterializeBitmapProperty(t *testing.T) {
+	f := func(data []int32, selSeed uint64) bool {
+		n := len(data)
+		bm := vec.New(vec.Bits, n)
+		state := selSeed
+		var want []int32
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			if state>>63 == 1 {
+				bm.SetBit(i, true)
+				want = append(want, data[i])
+			}
+		}
+		out := vec.New(vec.Int32, n)
+		count := vec.New(vec.Int64, 1)
+		k := mustLookup(t, "materialize_bitmap_i32")
+		if err := k.Fn(testCtx, []vec.Vector{vec.FromInt32(data), bm, out, count}, nil); err != nil {
+			return false
+		}
+		if count.I64()[0] != int64(len(want)) {
+			return false
+		}
+		for i, w := range want {
+			if out.I32()[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filter then materialize equals a single-pass select.
+func TestFilterMaterializeRoundtrip(t *testing.T) {
+	f := func(data []int32, lo int32) bool {
+		n := len(data)
+		in := vec.FromInt32(data)
+		bm := vec.New(vec.Bits, n)
+		fk := mustLookup(t, "filter_bitmap_i32")
+		if err := fk.Fn(testCtx, []vec.Vector{in, bm}, []int64{int64(CmpGe), int64(lo), 0}); err != nil {
+			return false
+		}
+		out := vec.New(vec.Int32, n)
+		count := vec.New(vec.Int64, 1)
+		mk := mustLookup(t, "materialize_bitmap_i32")
+		if err := mk.Fn(testCtx, []vec.Vector{in, bm, out, count}, nil); err != nil {
+			return false
+		}
+		var want []int32
+		for _, v := range data {
+			if v >= lo {
+				want = append(want, v)
+			}
+		}
+		if count.I64()[0] != int64(len(want)) {
+			return false
+		}
+		for i, w := range want {
+			if out.I32()[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializeI64(t *testing.T) {
+	data := vec.FromInt64([]int64{10, 20, 30, 40})
+	bm := vec.New(vec.Bits, 4)
+	bm.SetBit(1, true)
+	bm.SetBit(3, true)
+	out := vec.New(vec.Int64, 4)
+	count := vec.New(vec.Int64, 1)
+	launch(t, "materialize_bitmap_i64", []vec.Vector{data, bm, out, count})
+	if count.I64()[0] != 2 || out.I64()[0] != 20 || out.I64()[1] != 40 {
+		t.Errorf("materialize i64: count=%d out=%v", count.I64()[0], out.I64()[:2])
+	}
+}
+
+func TestMaterializePos(t *testing.T) {
+	values := vec.FromInt32([]int32{100, 200, 300, 400})
+	pos := vec.FromInt32([]int32{3, 0, 3})
+	out := vec.New(vec.Int32, 3)
+	launch(t, "materialize_pos_i32", []vec.Vector{values, pos, out})
+	if out.I32()[0] != 400 || out.I32()[1] != 100 || out.I32()[2] != 400 {
+		t.Errorf("gather = %v", out.I32())
+	}
+
+	v64 := vec.FromInt64([]int64{5, 6, 7})
+	out64 := vec.New(vec.Int64, 2)
+	launch(t, "materialize_pos_i64", []vec.Vector{v64, vec.FromInt32([]int32{2, 1}), out64})
+	if out64.I64()[0] != 7 || out64.I64()[1] != 6 {
+		t.Errorf("gather i64 = %v", out64.I64())
+	}
+
+	// Out-of-range positions fail loudly.
+	k := mustLookup(t, "materialize_pos_i32")
+	if err := k.Fn(testCtx, []vec.Vector{values, vec.FromInt32([]int32{9}), vec.New(vec.Int32, 1)}, nil); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+// Property: prefix_sum_i32 is the exclusive scan.
+func TestPrefixSumProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		data := make([]int32, len(raw))
+		for i, r := range raw {
+			data[i] = int32(r)
+		}
+		out := vec.New(vec.Int32, len(data))
+		k := mustLookup(t, "prefix_sum_i32")
+		if err := k.Fn(testCtx, []vec.Vector{vec.FromInt32(data), out}, nil); err != nil {
+			return false
+		}
+		var acc int32
+		for i, v := range data {
+			if out.I32()[i] != acc {
+				return false
+			}
+			acc += v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix_sum_bits[i] counts the set bits strictly before i, and
+// agrees with prefix_sum_i32 over the 0/1 expansion.
+func TestPrefixSumBitsProperty(t *testing.T) {
+	f := func(words []uint64) bool {
+		if len(words) == 0 {
+			return true
+		}
+		n := len(words) * 64
+		bm := vec.FromBits(words, n)
+		out := vec.New(vec.Int32, n)
+		k := mustLookup(t, "prefix_sum_bits")
+		if err := k.Fn(testCtx, []vec.Vector{bm, out}, nil); err != nil {
+			return false
+		}
+		var acc int32
+		for i := 0; i < n; i++ {
+			if out.I32()[i] != acc {
+				return false
+			}
+			if bm.Bit(i) {
+				acc++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortAgg(t *testing.T) {
+	// Sorted keys with 3 groups; pxsum is the group index per row.
+	keys := vec.FromInt32([]int32{5, 5, 8, 8, 8, 9})
+	values := vec.FromInt64([]int64{1, 2, 10, 20, 30, 100})
+	pxsum := vec.FromInt32([]int32{0, 0, 1, 1, 1, 2})
+	outKeys := vec.New(vec.Int32, 3)
+	outAggs := vec.New(vec.Int64, 3)
+	count := vec.New(vec.Int64, 1)
+	launch(t, "sort_agg_i32_i64", []vec.Vector{keys, values, pxsum, outKeys, outAggs, count}, int64(AggSum))
+	if count.I64()[0] != 3 {
+		t.Fatalf("groups = %d", count.I64()[0])
+	}
+	wantK := []int32{5, 8, 9}
+	wantA := []int64{3, 60, 100}
+	for i := range wantK {
+		if outKeys.I32()[i] != wantK[i] || outAggs.I64()[i] != wantA[i] {
+			t.Errorf("group %d = (%d,%d), want (%d,%d)", i, outKeys.I32()[i], outAggs.I64()[i], wantK[i], wantA[i])
+		}
+	}
+}
+
+func TestSortAggEmpty(t *testing.T) {
+	count := vec.New(vec.Int64, 1)
+	count.I64()[0] = -1
+	launch(t, "sort_agg_i32_i64", []vec.Vector{
+		vec.New(vec.Int32, 0), vec.New(vec.Int64, 0), vec.New(vec.Int32, 0),
+		vec.New(vec.Int32, 1), vec.New(vec.Int64, 1), count,
+	}, int64(AggSum))
+	if count.I64()[0] != 0 {
+		t.Errorf("empty sort_agg groups = %d", count.I64()[0])
+	}
+}
+
+// Property: boundary indicator + inclusive prefix sum assign every row of
+// a sorted key column its group index.
+func TestGroupIndexProperty(t *testing.T) {
+	f := func(runs []uint8) bool {
+		var keys []int32
+		key := int32(0)
+		for _, r := range runs {
+			n := int(r%5) + 1
+			for i := 0; i < n; i++ {
+				keys = append(keys, key)
+			}
+			key += int32(r%3) + 1 // strictly increasing sorted keys
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		in := vec.FromInt32(keys)
+		boundary := vec.New(vec.Int32, len(keys))
+		bk := mustLookup(t, "map_boundary_i32")
+		if err := bk.Fn(testCtx, []vec.Vector{in, boundary}, nil); err != nil {
+			return false
+		}
+		idx := vec.New(vec.Int32, len(keys))
+		pk := mustLookup(t, "prefix_sum_inclusive_i32")
+		if err := pk.Fn(testCtx, []vec.Vector{boundary, idx}, nil); err != nil {
+			return false
+		}
+		want := int32(0)
+		for i := range keys {
+			if i > 0 && keys[i] != keys[i-1] {
+				want++
+			}
+			if idx.I32()[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inclusive scan = exclusive scan + input.
+func TestInclusiveScanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		data := make([]int32, len(raw))
+		for i, r := range raw {
+			data[i] = int32(r)
+		}
+		in := vec.FromInt32(data)
+		ex := vec.New(vec.Int32, len(data))
+		inc := vec.New(vec.Int32, len(data))
+		if err := mustLookup(t, "prefix_sum_i32").Fn(testCtx, []vec.Vector{in, ex}, nil); err != nil {
+			return false
+		}
+		if err := mustLookup(t, "prefix_sum_inclusive_i32").Fn(testCtx, []vec.Vector{in, inc}, nil); err != nil {
+			return false
+		}
+		for i := range data {
+			if inc.I32()[i] != ex.I32()[i]+data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapNotKernel(t *testing.T) {
+	n := 70
+	in := vec.New(vec.Bits, n)
+	for i := 0; i < n; i += 3 {
+		in.SetBit(i, true)
+	}
+	out := vec.New(vec.Bits, n)
+	launch(t, "bitmap_not", []vec.Vector{in, out})
+	for i := 0; i < n; i++ {
+		if out.Bit(i) == in.Bit(i) {
+			t.Fatalf("bit %d not complemented", i)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func newTable(t *testing.T, distinct int, payloadInit int64) vec.Vector {
+	t.Helper()
+	table := vec.New(vec.Int64, HashTableLen(distinct))
+	launch(t, "hash_table_init", []vec.Vector{table}, payloadInit)
+	return table
+}
+
+func TestHashTableLen(t *testing.T) {
+	for _, c := range []struct{ n, want int }{
+		{0, 32}, {1, 32}, {8, 32}, {9, 64}, {1000, 4096},
+	} {
+		if got := HashTableLen(c.n); got != c.want {
+			t.Errorf("HashTableLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHashTableInit(t *testing.T) {
+	table := newTable(t, 4, 42)
+	s := table.I64()
+	for i := 0; i < len(s); i += 2 {
+		if s[i] != math.MinInt64 || s[i+1] != 42 {
+			t.Fatalf("slot %d = (%d,%d)", i/2, s[i], s[i+1])
+		}
+	}
+}
+
+func TestHashTableValidation(t *testing.T) {
+	k := mustLookup(t, "hash_table_init")
+	// Odd length is not a table.
+	if err := k.Fn(testCtx, []vec.Vector{vec.New(vec.Int64, 33)}, nil); err == nil {
+		t.Error("expected error for odd table length")
+	}
+	// Non-power-of-two slot count.
+	if err := k.Fn(testCtx, []vec.Vector{vec.New(vec.Int64, 24)}, nil); err == nil {
+		t.Error("expected error for non-pow2 slots")
+	}
+}
+
+// Property: hash_build_pk + hash_probe recovers exactly the rows of the
+// build side, matching a map-based join.
+func TestBuildProbeProperty(t *testing.T) {
+	f := func(rawBuild []int32, rawProbe []int32) bool {
+		// Unique build keys.
+		seen := map[int32]bool{}
+		var build []int32
+		for _, k := range rawBuild {
+			if !seen[k] {
+				seen[k] = true
+				build = append(build, k)
+			}
+		}
+		if len(build) == 0 {
+			return true
+		}
+		table := vec.New(vec.Int64, HashTableLen(len(build)))
+		init := mustLookup(t, "hash_table_init")
+		if err := init.Fn(testCtx, []vec.Vector{table}, nil); err != nil {
+			return false
+		}
+		bk := mustLookup(t, "hash_build_pk_i32")
+		if err := bk.Fn(testCtx, []vec.Vector{vec.FromInt32(build), table}, []int64{100}); err != nil {
+			return false
+		}
+
+		rowOf := map[int32]int64{}
+		for i, k := range build {
+			rowOf[k] = 100 + int64(i)
+		}
+
+		left := vec.New(vec.Int32, len(rawProbe))
+		right := vec.New(vec.Int64, len(rawProbe))
+		count := vec.New(vec.Int64, 1)
+		pk := mustLookup(t, "hash_probe_i32")
+		if err := pk.Fn(testCtx, []vec.Vector{vec.FromInt32(rawProbe), table, left, right, count}, []int64{1000}); err != nil {
+			return false
+		}
+
+		// Pairs come in arbitrary order; verify as a set.
+		got := map[int64]int64{}
+		for i := 0; i < int(count.I64()[0]); i++ {
+			got[int64(left.I32()[i])] = right.I64()[i]
+		}
+		var wantCount int64
+		for i, k := range rawProbe {
+			row, hit := rowOf[k]
+			if hit {
+				wantCount++
+				if got[int64(1000+i)] != row {
+					return false
+				}
+			} else if _, present := got[int64(1000+i)]; present {
+				return false
+			}
+		}
+		return count.I64()[0] == wantCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash_probe_exists marks exactly the keys present in the set.
+func TestSemiJoinProperty(t *testing.T) {
+	f := func(build []int32, probe []int32) bool {
+		table := vec.New(vec.Int64, HashTableLen(len(build)+1))
+		init := mustLookup(t, "hash_table_init")
+		if err := init.Fn(testCtx, []vec.Vector{table}, nil); err != nil {
+			return false
+		}
+		bk := mustLookup(t, "hash_build_set_i32")
+		if err := bk.Fn(testCtx, []vec.Vector{vec.FromInt32(build), table}, nil); err != nil {
+			return false
+		}
+		set := map[int32]bool{}
+		for _, k := range build {
+			set[k] = true
+		}
+		bm := vec.New(vec.Bits, len(probe))
+		pk := mustLookup(t, "hash_probe_exists_i32")
+		if err := pk.Fn(testCtx, []vec.Vector{vec.FromInt32(probe), table, bm}, nil); err != nil {
+			return false
+		}
+		for i, k := range probe {
+			if bm.Bit(i) != set[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash_agg sums match a map-based group-by, after extraction.
+func TestHashAggProperty(t *testing.T) {
+	f := func(raw []uint16, vals []int16) bool {
+		n := len(raw)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		keys := make([]int32, n)
+		values := make([]int64, n)
+		want := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			keys[i] = int32(raw[i] % 64)
+			values[i] = int64(vals[i])
+			want[int64(keys[i])] += values[i]
+		}
+
+		table := vec.New(vec.Int64, HashTableLen(64))
+		init := mustLookup(t, "hash_table_init")
+		if err := init.Fn(testCtx, []vec.Vector{table}, nil); err != nil {
+			return false
+		}
+		agg := mustLookup(t, "hash_agg_i32_i64")
+		if err := agg.Fn(testCtx, []vec.Vector{vec.FromInt32(keys), vec.FromInt64(values), table},
+			[]int64{int64(AggSum), 64}); err != nil {
+			return false
+		}
+
+		outK := vec.New(vec.Int64, 64)
+		outV := vec.New(vec.Int64, 64)
+		count := vec.New(vec.Int64, 1)
+		ext := mustLookup(t, "hash_extract")
+		if err := ext.Fn(testCtx, []vec.Vector{table, outK, outV, count}, nil); err != nil {
+			return false
+		}
+		if int(count.I64()[0]) != len(want) {
+			return false
+		}
+		for i := 0; i < int(count.I64()[0]); i++ {
+			if want[outK.I64()[i]] != outV.I64()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAggMinMax(t *testing.T) {
+	keys := vec.FromInt32([]int32{1, 2, 1, 2, 1})
+	values := vec.FromInt64([]int64{5, -3, 0, 7, 2})
+
+	table := newTable(t, 2, math.MaxInt64)
+	launch(t, "hash_agg_i32_i64", []vec.Vector{keys, values, table}, int64(AggMin), 2)
+	if got := extractMap(t, table, 2); got[1] != 0 || got[2] != -3 {
+		t.Errorf("min groups = %v", got)
+	}
+
+	table = newTable(t, 2, math.MinInt64)
+	launch(t, "hash_agg_i32_i64", []vec.Vector{keys, values, table}, int64(AggMax), 2)
+	if got := extractMap(t, table, 2); got[1] != 5 || got[2] != 7 {
+		t.Errorf("max groups = %v", got)
+	}
+}
+
+func TestHashAggCount(t *testing.T) {
+	keys := vec.FromInt32([]int32{4, 4, 5, 4})
+	table := newTable(t, 2, 0)
+	launch(t, "hash_agg_count_i32", []vec.Vector{keys, table}, 2)
+	launch(t, "hash_agg_count_i32", []vec.Vector{keys, table}, 2)
+	got := extractMap(t, table, 2)
+	if got[4] != 6 || got[5] != 2 {
+		t.Errorf("counts = %v (two accumulating launches)", got)
+	}
+}
+
+func extractMap(t *testing.T, table vec.Vector, maxGroups int) map[int64]int64 {
+	t.Helper()
+	outK := vec.New(vec.Int64, maxGroups)
+	outV := vec.New(vec.Int64, maxGroups)
+	count := vec.New(vec.Int64, 1)
+	launch(t, "hash_extract", []vec.Vector{table, outK, outV, count})
+	m := map[int64]int64{}
+	for i := 0; i < int(count.I64()[0]); i++ {
+		m[outK.I64()[i]] = outV.I64()[i]
+	}
+	return m
+}
+
+func TestHashTableFull(t *testing.T) {
+	table := newTable(t, 4, 0) // 32 elems = 16 slots
+	keys := make([]int32, 20)  // more distinct keys than slots
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	k := mustLookup(t, "hash_build_set_i32")
+	if err := k.Fn(testCtx, []vec.Vector{vec.FromInt32(keys), table}, nil); err == nil {
+		t.Error("expected table-full error")
+	}
+}
+
+func TestHashProbeOverflow(t *testing.T) {
+	table := newTable(t, 4, 0)
+	launch(t, "hash_build_pk_i32", []vec.Vector{vec.FromInt32([]int32{1, 2, 3}), table}, 0)
+	probe := vec.FromInt32([]int32{1, 2, 3})
+	left := vec.New(vec.Int32, 1) // too small
+	right := vec.New(vec.Int64, 1)
+	count := vec.New(vec.Int64, 1)
+	k := mustLookup(t, "hash_probe_i32")
+	if err := k.Fn(testCtx, []vec.Vector{probe, table, left, right, count}, []int64{0}); err == nil {
+		t.Error("expected probe overflow error")
+	}
+}
+
+// Property: chunked builds (two launches with different bases) equal one
+// whole build.
+func TestChunkedBuildEquivalence(t *testing.T) {
+	f := func(raw []int32) bool {
+		seen := map[int32]bool{}
+		var keys []int32
+		for _, k := range raw {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) < 2 {
+			return true
+		}
+		mid := len(keys) / 2
+
+		whole := vec.New(vec.Int64, HashTableLen(len(keys)))
+		chunked := vec.New(vec.Int64, HashTableLen(len(keys)))
+		init := mustLookup(t, "hash_table_init")
+		build := mustLookup(t, "hash_build_pk_i32")
+		init.Fn(testCtx, []vec.Vector{whole}, nil)
+		init.Fn(testCtx, []vec.Vector{chunked}, nil)
+		if err := build.Fn(testCtx, []vec.Vector{vec.FromInt32(keys), whole}, []int64{0}); err != nil {
+			return false
+		}
+		if err := build.Fn(testCtx, []vec.Vector{vec.FromInt32(keys[:mid]), chunked}, []int64{0}); err != nil {
+			return false
+		}
+		if err := build.Fn(testCtx, []vec.Vector{vec.FromInt32(keys[mid:]), chunked}, []int64{int64(mid)}); err != nil {
+			return false
+		}
+
+		// Probe both with all keys; results must agree.
+		for _, tab := range []vec.Vector{whole, chunked} {
+			_ = tab
+		}
+		bm1 := vec.New(vec.Bits, len(keys))
+		bm2 := vec.New(vec.Bits, len(keys))
+		probe := mustLookup(t, "hash_probe_exists_i32")
+		probe.Fn(testCtx, []vec.Vector{vec.FromInt32(keys), whole, bm1}, nil)
+		probe.Fn(testCtx, []vec.Vector{vec.FromInt32(keys), chunked, bm2}, nil)
+		return vec.Equal(bm1, bm2) && bm1.Popcount() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestMapKernels(t *testing.T) {
+	a := vec.FromInt32([]int32{1, -2, 3, 1 << 30})
+	b := vec.FromInt32([]int32{10, 20, -30, 4})
+
+	out := vec.New(vec.Int64, 4)
+	launch(t, "map_mul_i32_i64", []vec.Vector{a, b, out})
+	for i, want := range []int64{10, -40, -90, int64(1<<30) * 4} {
+		if out.I64()[i] != want {
+			t.Errorf("mul[%d] = %d, want %d", i, out.I64()[i], want)
+		}
+	}
+
+	launch(t, "map_mul_complement_i32_i64", []vec.Vector{a, b, out}, 100)
+	for i := range a.I32() {
+		want := int64(a.I32()[i]) * (100 - int64(b.I32()[i]))
+		if out.I64()[i] != want {
+			t.Errorf("mulcomp[%d] = %d, want %d", i, out.I64()[i], want)
+		}
+	}
+
+	launch(t, "map_cast_i32_i64", []vec.Vector{a, out})
+	if out.I64()[3] != 1<<30 {
+		t.Errorf("cast[3] = %d", out.I64()[3])
+	}
+
+	x := vec.FromInt64([]int64{1, 2, 3, 4})
+	y := vec.FromInt64([]int64{10, 10, 10, 10})
+	launch(t, "map_add_i64", []vec.Vector{x, y, out})
+	if out.I64()[2] != 13 {
+		t.Errorf("add[2] = %d", out.I64()[2])
+	}
+	launch(t, "map_mul_i64", []vec.Vector{x, y, out})
+	if out.I64()[3] != 40 {
+		t.Errorf("mul64[3] = %d", out.I64()[3])
+	}
+	launch(t, "map_scale_i64", []vec.Vector{x, out}, 7)
+	if out.I64()[1] != 14 {
+		t.Errorf("scale[1] = %d", out.I64()[1])
+	}
+}
+
+func TestMapLengthMismatch(t *testing.T) {
+	k := mustLookup(t, "map_mul_i32_i64")
+	err := k.Fn(testCtx, []vec.Vector{vec.New(vec.Int32, 3), vec.New(vec.Int32, 4), vec.New(vec.Int64, 3)}, nil)
+	if err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestFillI64(t *testing.T) {
+	out := vec.New(vec.Int64, 100)
+	launch(t, "fill_i64", []vec.Vector{out}, -7)
+	for _, v := range out.I64() {
+		if v != -7 {
+			t.Fatal("fill missed an element")
+		}
+	}
+}
+
+func TestCmpOpMatches(t *testing.T) {
+	cases := []struct {
+		op        CmpOp
+		v, lo, hi int64
+		want      bool
+	}{
+		{CmpLt, 4, 5, 0, true}, {CmpLt, 5, 5, 0, false},
+		{CmpLe, 5, 5, 0, true}, {CmpLe, 6, 5, 0, false},
+		{CmpGt, 6, 5, 0, true}, {CmpGt, 5, 5, 0, false},
+		{CmpGe, 5, 5, 0, true}, {CmpGe, 4, 5, 0, false},
+		{CmpEq, 5, 5, 0, true}, {CmpEq, 4, 5, 0, false},
+		{CmpNe, 4, 5, 0, true}, {CmpNe, 5, 5, 0, false},
+		{CmpBetween, 5, 5, 7, true}, {CmpBetween, 7, 5, 7, true},
+		{CmpBetween, 8, 5, 7, false}, {CmpBetween, 4, 5, 7, false},
+		{CmpOp(99), 1, 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Matches(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("%v.Matches(%d,%d,%d) = %v", c.op, c.v, c.lo, c.hi, got)
+		}
+	}
+}
+
+// Property: filter_bitmap agrees with a naive evaluation for random data
+// and all operators.
+func TestFilterBitmapProperty(t *testing.T) {
+	f := func(data []int32, opRaw uint8, lo, hi int32) bool {
+		op := CmpOp(int64(opRaw) % 7)
+		in := vec.FromInt32(data)
+		out := vec.New(vec.Bits, len(data))
+		k := mustLookup(t, "filter_bitmap_i32")
+		if err := k.Fn(testCtx, []vec.Vector{in, out}, []int64{int64(op), int64(lo), int64(hi)}); err != nil {
+			return false
+		}
+		for i, v := range data {
+			if out.Bit(i) != op.Matches(int64(v), int64(lo), int64(hi)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filter_pos returns exactly the ordered matching positions.
+func TestFilterPosProperty(t *testing.T) {
+	f := func(data []int32, lo int32) bool {
+		in := vec.FromInt32(data)
+		pos := vec.New(vec.Int32, len(data))
+		count := vec.New(vec.Int64, 1)
+		k := mustLookup(t, "filter_pos_i32")
+		if err := k.Fn(testCtx, []vec.Vector{in, pos, count}, []int64{int64(CmpLt), int64(lo), 0}); err != nil {
+			return false
+		}
+		var want []int32
+		for i, v := range data {
+			if v < lo {
+				want = append(want, int32(i))
+			}
+		}
+		if count.I64()[0] != int64(len(want)) {
+			return false
+		}
+		for i, w := range want {
+			if pos.I32()[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterPosOverflow(t *testing.T) {
+	in := vec.FromInt32([]int32{1, 2, 3})
+	pos := vec.New(vec.Int32, 1) // too small for 3 matches
+	count := vec.New(vec.Int64, 1)
+	k := mustLookup(t, "filter_pos_i32")
+	if err := k.Fn(testCtx, []vec.Vector{in, pos, count}, []int64{int64(CmpLt), 10, 0}); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestBitmapCombines(t *testing.T) {
+	n := 130
+	a := vec.New(vec.Bits, n)
+	b := vec.New(vec.Bits, n)
+	for i := 0; i < n; i++ {
+		a.SetBit(i, i%2 == 0)
+		b.SetBit(i, i%3 == 0)
+	}
+	out := vec.New(vec.Bits, n)
+
+	launch(t, "bitmap_and", []vec.Vector{a, b, out})
+	for i := 0; i < n; i++ {
+		if out.Bit(i) != (i%2 == 0 && i%3 == 0) {
+			t.Fatalf("and bit %d wrong", i)
+		}
+	}
+	launch(t, "bitmap_or", []vec.Vector{a, b, out})
+	for i := 0; i < n; i++ {
+		if out.Bit(i) != (i%2 == 0 || i%3 == 0) {
+			t.Fatalf("or bit %d wrong", i)
+		}
+	}
+	launch(t, "bitmap_andnot", []vec.Vector{a, b, out})
+	for i := 0; i < n; i++ {
+		if out.Bit(i) != (i%2 == 0 && i%3 != 0) {
+			t.Fatalf("andnot bit %d wrong", i)
+		}
+	}
+}
+
+func TestFilterColCmp(t *testing.T) {
+	a := vec.FromInt32([]int32{1, 5, 3, 7})
+	b := vec.FromInt32([]int32{2, 4, 3, 9})
+	out := vec.New(vec.Bits, 4)
+	launch(t, "filter_bitmap_colcmp_i32", []vec.Vector{a, b, out}, int64(CmpLt))
+	want := []bool{true, false, false, true}
+	for i, w := range want {
+		if out.Bit(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, out.Bit(i), w)
+		}
+	}
+}
+
+// Property: workers=1 and workers=16 produce identical filter results.
+func TestFilterDeterministicAcrossWorkers(t *testing.T) {
+	f := func(data []int32, lo int32) bool {
+		in := vec.FromInt32(data)
+		out1 := vec.New(vec.Bits, len(data))
+		out16 := vec.New(vec.Bits, len(data))
+		k := mustLookup(t, "filter_bitmap_i32")
+		params := []int64{int64(CmpGe), int64(lo), 0}
+		if err := k.Fn(&Ctx{Workers: 1}, []vec.Vector{in, out1}, params); err != nil {
+			return false
+		}
+		if err := k.Fn(&Ctx{Workers: 16}, []vec.Vector{in, out16}, params); err != nil {
+			return false
+		}
+		return vec.Equal(out1, out16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

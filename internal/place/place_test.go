@@ -1,0 +1,147 @@
+package place
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func runtimeCPUGPU(t *testing.T) (*hub.Runtime, device.ID, device.ID) {
+	t.Helper()
+	rt := hub.NewRuntime()
+	cpu, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, cpu, gpu
+}
+
+// streamingGraph: filter + count over one column — transfer-dominated.
+func streamingGraph(t *testing.T, rows int, dev device.ID) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	s := g.AddScan("t.a", vec.New(vec.Int32, rows), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "f"), dev, s)
+	c := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(f, 0))
+	g.MarkResult("count", g.Out(c, 0))
+	return g
+}
+
+// hashGraph: build + probe + group over key columns — compute-dominated.
+func hashGraph(t *testing.T, rows int, dev device.ID) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	bk := g.AddScan("b.k", vec.New(vec.Int32, rows), dev)
+	build := g.AddTask(task.NewHashBuildSet(rows, "set"), dev, bk)
+	pk := g.AddScan("p.k", vec.New(vec.Int32, rows), dev)
+	semi := g.AddTask(task.NewSemiJoinFilter("in"), dev, pk, g.Out(build, 0))
+	cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(semi, 0))
+	g.MarkResult("count", g.Out(cnt, 0))
+	return g
+}
+
+func TestStreamingPipelineStaysOnCPU(t *testing.T) {
+	rt, cpu, gpu := runtimeCPUGPU(t)
+	g := streamingGraph(t, 1<<20, gpu) // mis-placed on the GPU initially
+	decisions, err := Greedy(g, rt, []device.ID{cpu, gpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %d", len(decisions))
+	}
+	if decisions[0].Chosen != cpu {
+		t.Errorf("streaming pipeline placed on %v, want CPU: %+v", decisions[0].Chosen, decisions[0].Estimates)
+	}
+	for _, n := range g.Nodes() {
+		if n.Device != cpu {
+			t.Fatalf("node %s not re-annotated", n)
+		}
+	}
+}
+
+func TestHashPipelineMovesToGPU(t *testing.T) {
+	rt, cpu, gpu := runtimeCPUGPU(t)
+	g := hashGraph(t, 1<<21, cpu) // mis-placed on the CPU initially
+	decisions, err := Greedy(g, rt, []device.ID{cpu, gpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The build pipeline is hash-dominated; the probe pipeline as well.
+	for _, d := range decisions {
+		if d.Chosen != gpu {
+			t.Errorf("pipeline %d placed on %v, want GPU: %+v", d.Pipeline, d.Chosen, d.Estimates)
+		}
+	}
+}
+
+func TestPlacedGraphExecutes(t *testing.T) {
+	rt, cpu, gpu := runtimeCPUGPU(t)
+	rows := 1 << 16
+	g := hashGraph(t, rows, cpu)
+	if _, err := Greedy(g, rt, []device.ID{cpu, gpu}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := res.Column("count")
+	if !ok || col.I64()[0] != int64(rows) {
+		t.Errorf("count = %v, want %d (zero keys all match)", col, rows)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	rt, cpu, _ := runtimeCPUGPU(t)
+	g := streamingGraph(t, 64, cpu)
+	if _, err := Greedy(g, rt, nil); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := Greedy(g, rt, []device.ID{99}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	bad := graph.New()
+	if _, err := Greedy(bad, rt, []device.ID{cpu}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestEstimateShapes(t *testing.T) {
+	rt, cpu, gpu := runtimeCPUGPU(t)
+	g := streamingGraph(t, 1<<20, cpu)
+	decisions, err := Greedy(g, rt, []device.ID{cpu, gpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuEst, gpuEst Estimate
+	for _, e := range decisions[0].Estimates {
+		if e.Device == cpu {
+			cpuEst = e
+		} else {
+			gpuEst = e
+		}
+	}
+	if cpuEst.Transfer != 0 {
+		t.Errorf("host-resident transfer estimate = %v, want 0", cpuEst.Transfer)
+	}
+	if gpuEst.Transfer <= 0 {
+		t.Error("GPU transfer estimate missing")
+	}
+	if gpuEst.Compute >= cpuEst.Compute {
+		t.Errorf("GPU compute (%v) should beat CPU (%v) for the kernel bodies", gpuEst.Compute, cpuEst.Compute)
+	}
+}

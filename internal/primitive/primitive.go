@@ -1,0 +1,176 @@
+// Package primitive defines ADAMANT's database primitives: the granular
+// functions that build database operators (§III-B2, Table I of the paper),
+// together with the I/O semantics that let the runtime wire independently
+// implemented primitives into one plan (§III-B3).
+//
+// A primitive definition is a functional signature — which semantic kinds
+// of data flow in, which flow out, and whether the primitive is a pipeline
+// breaker. The task layer checks every plugged implementation against these
+// signatures, which is what makes it safe to combine, say, an OpenCL
+// arithmetic primitive with a CUDA reduce in a single plan.
+package primitive
+
+import "fmt"
+
+// Semantic classifies the data flowing along a plan edge (§III-B3). A
+// downstream primitive declares which semantics it accepts, so a selection
+// that produces a BITMAP is always paired with the bitmap-consuming
+// MATERIALIZE, never the position-list variant.
+type Semantic uint8
+
+// Edge semantics.
+const (
+	Numeric   Semantic = iota // column values
+	Bitmap                    // bit-packed filter result
+	Position                  // position-list filter/join result
+	PrefixSum                 // PREFIX_SUM output, consumed by SORT_AGG
+	HashTable                 // HASH_BUILD / HASH_AGG output
+	Generic                   // custom data semantic
+)
+
+// String returns the paper's spelling of the semantic.
+func (s Semantic) String() string {
+	switch s {
+	case Numeric:
+		return "NUMERIC"
+	case Bitmap:
+		return "BITMAP"
+	case Position:
+		return "POSITION"
+	case PrefixSum:
+		return "PREFIX_SUM"
+	case HashTable:
+		return "HASH_TABLE"
+	case Generic:
+		return "GENERIC"
+	default:
+		return fmt.Sprintf("SEMANTIC(%d)", uint8(s))
+	}
+}
+
+// Kind names a primitive definition from Table I. Scan is the pseudo
+// primitive the runtime uses for pipeline inputs.
+type Kind uint8
+
+// Primitive kinds.
+const (
+	Scan Kind = iota
+	Map
+	AggBlock
+	HashAgg
+	HashBuild
+	HashProbe
+	SortAgg
+	FilterBitmap
+	FilterPosition
+	PrefixSumKind
+	Materialize
+	MaterializePosition
+	// HashExtract is an implementation-level materialization that turns a
+	// HASH_TABLE into dense key/aggregate columns for retrieval.
+	HashExtract
+)
+
+// String returns the paper's spelling of the primitive.
+func (k Kind) String() string {
+	switch k {
+	case Scan:
+		return "SCAN"
+	case Map:
+		return "MAP"
+	case AggBlock:
+		return "AGG_BLOCK"
+	case HashAgg:
+		return "HASH_AGG"
+	case HashBuild:
+		return "HASH_BUILD"
+	case HashProbe:
+		return "HASH_PROBE"
+	case SortAgg:
+		return "SORT_AGG"
+	case FilterBitmap:
+		return "FILTER_BITMAP"
+	case FilterPosition:
+		return "FILTER_POSITION"
+	case PrefixSumKind:
+		return "PREFIX_SUM"
+	case Materialize:
+		return "MATERIALIZE"
+	case MaterializePosition:
+		return "MATERIALIZE_POSITION"
+	case HashExtract:
+		return "HASH_EXTRACT"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Signature is a primitive definition: the semantic I/O contract every
+// implementation of the primitive must honor.
+type Signature struct {
+	Kind Kind
+	// Inputs are the accepted semantics per input port, in port order.
+	// Variadic primitives (MAP over 1..k columns) set Variadic and the
+	// last input semantic repeats.
+	Inputs   []Semantic
+	Variadic bool
+	// Outputs are the produced semantics per output port.
+	Outputs []Semantic
+	// Breaker marks pipeline breakers (the daggers of Table I): their
+	// results materialize in device memory and terminate the pipeline.
+	Breaker bool
+}
+
+// Signatures holds the primitive definitions of Table I, indexed by Kind.
+var Signatures = map[Kind]Signature{
+	Scan:                {Kind: Scan, Outputs: []Semantic{Numeric}},
+	Map:                 {Kind: Map, Inputs: []Semantic{Numeric}, Variadic: true, Outputs: []Semantic{Numeric}},
+	AggBlock:            {Kind: AggBlock, Inputs: []Semantic{Numeric}, Variadic: true, Outputs: []Semantic{Numeric}, Breaker: true},
+	HashAgg:             {Kind: HashAgg, Inputs: []Semantic{Numeric, Numeric}, Variadic: true, Outputs: []Semantic{HashTable}, Breaker: true},
+	HashBuild:           {Kind: HashBuild, Inputs: []Semantic{Numeric}, Outputs: []Semantic{HashTable}, Breaker: true},
+	HashProbe:           {Kind: HashProbe, Inputs: []Semantic{Numeric, HashTable}, Outputs: []Semantic{Position, Position}, Breaker: false},
+	SortAgg:             {Kind: SortAgg, Inputs: []Semantic{Numeric, Numeric, PrefixSum}, Outputs: []Semantic{Numeric, Numeric}, Breaker: true},
+	FilterBitmap:        {Kind: FilterBitmap, Inputs: []Semantic{Numeric}, Variadic: true, Outputs: []Semantic{Bitmap}},
+	FilterPosition:      {Kind: FilterPosition, Inputs: []Semantic{Numeric}, Outputs: []Semantic{Position}},
+	PrefixSumKind:       {Kind: PrefixSumKind, Inputs: []Semantic{Numeric}, Outputs: []Semantic{PrefixSum}, Breaker: true},
+	Materialize:         {Kind: Materialize, Inputs: []Semantic{Numeric, Bitmap}, Outputs: []Semantic{Numeric}},
+	MaterializePosition: {Kind: MaterializePosition, Inputs: []Semantic{Numeric, Position}, Outputs: []Semantic{Numeric}},
+	HashExtract:         {Kind: HashExtract, Inputs: []Semantic{HashTable}, Outputs: []Semantic{Numeric, Numeric}},
+}
+
+// SignatureOf returns the definition for a kind.
+func SignatureOf(k Kind) (Signature, error) {
+	sig, ok := Signatures[k]
+	if !ok {
+		return Signature{}, fmt.Errorf("primitive: no signature for %s", k)
+	}
+	return sig, nil
+}
+
+// Breaker reports whether the kind is a pipeline breaker.
+func (k Kind) Breaker() bool { return Signatures[k].Breaker }
+
+// AcceptsInput reports whether the primitive accepts sem at input port i.
+func (s Signature) AcceptsInput(i int, sem Semantic) bool {
+	if len(s.Inputs) == 0 {
+		return false
+	}
+	if i >= len(s.Inputs) {
+		if !s.Variadic {
+			return false
+		}
+		i = len(s.Inputs) - 1
+	}
+	want := s.Inputs[i]
+	// FILTER_BITMAP also accepts bitmaps (combining previous filter
+	// results) and hash tables (set-membership semi-join filters).
+	if s.Kind == FilterBitmap && (sem == Bitmap || sem == HashTable) {
+		return true
+	}
+	// AGG_BLOCK's COUNT variant reduces a filter bitmap directly, saving
+	// the materialization.
+	if s.Kind == AggBlock && sem == Bitmap {
+		return true
+	}
+	return want == sem
+}

@@ -1,0 +1,88 @@
+package primitive
+
+import "testing"
+
+func TestSignaturesComplete(t *testing.T) {
+	kinds := []Kind{
+		Scan, Map, AggBlock, HashAgg, HashBuild, HashProbe, SortAgg,
+		FilterBitmap, FilterPosition, PrefixSumKind, Materialize,
+		MaterializePosition, HashExtract,
+	}
+	for _, k := range kinds {
+		sig, err := SignatureOf(k)
+		if err != nil {
+			t.Errorf("%s: %v", k, err)
+			continue
+		}
+		if sig.Kind != k {
+			t.Errorf("%s: signature kind mismatch", k)
+		}
+		if k.String() == "" {
+			t.Errorf("%s: empty name", k)
+		}
+	}
+	if _, err := SignatureOf(Kind(200)); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestBreakersMatchTableI(t *testing.T) {
+	breakers := map[Kind]bool{
+		AggBlock: true, HashAgg: true, HashBuild: true, SortAgg: true, PrefixSumKind: true,
+	}
+	for k := range Signatures {
+		if k.Breaker() != breakers[k] {
+			t.Errorf("%s: breaker = %v, want %v", k, k.Breaker(), breakers[k])
+		}
+	}
+}
+
+func TestAcceptsInput(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		port int
+		sem  Semantic
+		want bool
+	}{
+		{Map, 0, Numeric, true},
+		{Map, 3, Numeric, true}, // variadic tail
+		{Map, 0, Bitmap, false},
+		{Materialize, 0, Numeric, true},
+		{Materialize, 1, Bitmap, true},
+		{Materialize, 1, Position, false},
+		{MaterializePosition, 1, Position, true},
+		{FilterBitmap, 0, Numeric, true},
+		{FilterBitmap, 0, Bitmap, true},    // combining filter results
+		{FilterBitmap, 1, HashTable, true}, // semi-join filter
+		{FilterBitmap, 0, PrefixSum, false},
+		{AggBlock, 0, Numeric, true},
+		{AggBlock, 0, Bitmap, true}, // COUNT over a bitmap
+		{AggBlock, 0, HashTable, false},
+		{HashProbe, 1, HashTable, true},
+		{HashProbe, 1, Numeric, false},
+		{SortAgg, 2, PrefixSum, true},
+		{SortAgg, 3, Numeric, false}, // not variadic
+		{HashExtract, 0, HashTable, true},
+		{Scan, 0, Numeric, false}, // scans have no inputs
+	}
+	for _, c := range cases {
+		sig := Signatures[c.kind]
+		if got := sig.AcceptsInput(c.port, c.sem); got != c.want {
+			t.Errorf("%s port %d accepts %s = %v, want %v", c.kind, c.port, c.sem, got, c.want)
+		}
+	}
+}
+
+func TestSemanticStrings(t *testing.T) {
+	for sem, want := range map[Semantic]string{
+		Numeric: "NUMERIC", Bitmap: "BITMAP", Position: "POSITION",
+		PrefixSum: "PREFIX_SUM", HashTable: "HASH_TABLE", Generic: "GENERIC",
+	} {
+		if sem.String() != want {
+			t.Errorf("%d: %s != %s", sem, sem.String(), want)
+		}
+	}
+	if Semantic(99).String() == "" || Kind(99).String() == "" {
+		t.Error("unknown values need diagnostics")
+	}
+}

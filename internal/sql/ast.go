@@ -1,0 +1,166 @@
+package sql
+
+import "fmt"
+
+// The AST mirrors the supported dialect:
+//
+//	SELECT item [, item...]
+//	FROM table
+//	[WHERE cond AND cond ...]
+//	[GROUP BY column]
+//
+// with items being columns, arithmetic expressions, or aggregates, and
+// conditions being column-vs-literal comparisons, BETWEEN, column-vs-column
+// comparisons, and (possibly nested) IN-subquery semi-joins.
+
+// Query is one SELECT statement.
+type Query struct {
+	Items   []SelectItem
+	Table   string
+	Where   []Cond // conjunctive
+	GroupBy string // empty when ungrouped
+	// OrderBy names a result column for host-side ordering of the
+	// retrieved rows; Desc flips it; Limit truncates (0 = all rows).
+	OrderBy string
+	Desc    bool
+	Limit   int
+}
+
+// AggFunc names an aggregate.
+type AggFunc int
+
+// Aggregates.
+const (
+	AggNone AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggCount:
+		return "COUNT"
+	default:
+		return "NONE"
+	}
+}
+
+// SelectItem is one output: a bare column or an aggregate over an
+// expression (COUNT(*) has a nil expression).
+type SelectItem struct {
+	Agg   AggFunc
+	Expr  *Expr  // nil for COUNT(*)
+	Alias string // output column name
+}
+
+// ExprKind classifies the supported value expressions.
+type ExprKind int
+
+// Expression kinds.
+const (
+	ExprColumn        ExprKind = iota // column
+	ExprMul                           // a * b
+	ExprMulComplement                 // a * (k - b), the fixed-point (1-discount) form
+)
+
+// Expr is a value expression over a single table's columns.
+type Expr struct {
+	Kind ExprKind
+	Col  string // ExprColumn
+	A, B string // ExprMul / ExprMulComplement operands
+	K    int64  // ExprMulComplement constant
+}
+
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprColumn:
+		return e.Col
+	case ExprMul:
+		return fmt.Sprintf("%s * %s", e.A, e.B)
+	case ExprMulComplement:
+		return fmt.Sprintf("%s * (%d - %s)", e.A, e.K, e.B)
+	default:
+		return "?"
+	}
+}
+
+// Columns lists the columns the expression reads.
+func (e *Expr) Columns() []string {
+	switch e.Kind {
+	case ExprColumn:
+		return []string{e.Col}
+	default:
+		return []string{e.A, e.B}
+	}
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpLt CmpOp = iota
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"<", "<=", ">", ">=", "=", "<>"}[op]
+}
+
+// CondKind classifies WHERE conditions.
+type CondKind int
+
+// Condition kinds.
+const (
+	CondCmp     CondKind = iota // col op literal
+	CondBetween                 // col BETWEEN lo AND hi
+	CondColCmp                  // col op col
+	CondIn                      // col [NOT] IN (SELECT key FROM ...)
+	CondOr                      // ( cond OR cond [OR cond...] )
+)
+
+// Cond is one conjunct of the WHERE clause.
+type Cond struct {
+	Kind    CondKind
+	Col     string
+	Op      CmpOp
+	Value   int64  // CondCmp
+	Lo, Hi  int64  // CondBetween
+	Col2    string // CondColCmp right-hand column
+	Sub     *Query // CondIn subquery (single bare column selected)
+	Negated bool   // CondIn: NOT IN
+	Or      []Cond // CondOr branches
+}
+
+func (c Cond) String() string {
+	switch c.Kind {
+	case CondCmp:
+		return fmt.Sprintf("%s %s %d", c.Col, c.Op, c.Value)
+	case CondBetween:
+		return fmt.Sprintf("%s BETWEEN %d AND %d", c.Col, c.Lo, c.Hi)
+	case CondColCmp:
+		return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Col2)
+	case CondIn:
+		not := ""
+		if c.Negated {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sIN (SELECT %s FROM %s ...)", c.Col, not, c.Sub.Items[0].Alias, c.Sub.Table)
+	case CondOr:
+		return fmt.Sprintf("(%d-way OR)", len(c.Or))
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,150 @@
+// Package sql implements a small SQL front-end for ADAMANT: a lexer,
+// parser, and planner for the analytical subset the paper evaluates —
+// single-table SELECTs with conjunctive predicates, BETWEEN, column
+// comparisons, IN-subquery semi-joins (the relational form of Q3/Q4's
+// joins), scalar aggregates, and single-column GROUP BY.
+//
+// The paper assumes query plans arrive "from any existing optimizer" as
+// annotated primitive graphs; this package is that front: it translates
+// SQL text into the primitive graph the runtime executes, choosing
+// FILTER_BITMAP/MATERIALIZE/HASH_* primitives exactly as the hand-built
+// TPC-H plans do.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted literal (dates)
+	tokSymbol // punctuation and operators
+	tokKeyword
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents lower-cased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"GROUP": true, "BY": true, "IN": true, "BETWEEN": true, "AS": true,
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "DATE": true,
+	"NOT": true, "ORDER": true, "DESC": true, "ASC": true, "LIMIT": true,
+}
+
+// lex splits a query into tokens. Errors carry byte offsets.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])) && expectsValue(out)):
+			start := i
+			i++
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+
+		case c == '\'':
+			start := i
+			i++
+			for i < len(input) && input[i] != '\'' {
+				i++
+			}
+			if i >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			out = append(out, token{kind: tokString, text: input[start+1 : i], pos: start})
+			i++
+
+		case strings.ContainsRune("()*,+.", rune(c)):
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				out = append(out, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				out = append(out, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+
+		case c == '=':
+			out = append(out, token{kind: tokSymbol, text: "=", pos: i})
+			i++
+
+		case c == '-':
+			out = append(out, token{kind: tokSymbol, text: "-", pos: i})
+			i++
+
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(input)})
+	return out, nil
+}
+
+// expectsValue reports whether a minus sign at the current position starts
+// a negative literal (after an operator or opening context) rather than
+// being a binary operator.
+func expectsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")"
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,439 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse turns SQL text into an AST, validating the dialect's structure.
+// Name resolution against a catalog happens in the planner.
+func Parse(query string) (*Query, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %s", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, when given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = [...]string{"end of query", "identifier", "number", "string", "symbol", "keyword"}[kind]
+		}
+		return token{}, p.errorf("expected %s, got %s", want, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	q.Table = t.text
+
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = col
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = col
+		if p.accept(tokKeyword, "DESC") {
+			q.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+	}
+
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, p.errorf("negative LIMIT")
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	switch {
+	case p.accept(tokKeyword, "SUM"):
+		item.Agg = AggSum
+	case p.accept(tokKeyword, "MIN"):
+		item.Agg = AggMin
+	case p.accept(tokKeyword, "MAX"):
+		item.Agg = AggMax
+	case p.accept(tokKeyword, "COUNT"):
+		item.Agg = AggCount
+	}
+
+	if item.Agg != AggNone {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return item, err
+		}
+		if item.Agg == AggCount && p.accept(tokSymbol, "*") {
+			// COUNT(*): no expression.
+		} else {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return item, err
+			}
+			item.Expr = expr
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return item, err
+		}
+	} else {
+		expr, err := p.parseExpr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = expr
+	}
+
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = a.text
+	} else {
+		item.Alias = defaultAlias(item)
+	}
+	return item, nil
+}
+
+func defaultAlias(item SelectItem) string {
+	if item.Agg == AggNone {
+		if item.Expr.Kind == ExprColumn {
+			return item.Expr.Col
+		}
+		return "expr"
+	}
+	if item.Expr == nil {
+		return "count"
+	}
+	name := item.Expr.Col
+	if item.Expr.Kind != ExprColumn {
+		name = item.Expr.A
+	}
+	return strings.ToLower(item.Agg.String()) + "_" + name
+}
+
+// parseExpr parses: col | col * col | col * (k - col).
+func (p *parser) parseExpr() (*Expr, error) {
+	a, err := p.parseColumn()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokSymbol, "*") {
+		return &Expr{Kind: ExprColumn, Col: a}, nil
+	}
+	if p.accept(tokSymbol, "(") {
+		k, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "-"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprMulComplement, A: a, B: b, K: k}, nil
+	}
+	b, err := p.parseColumn()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ExprMul, A: a, B: b}, nil
+}
+
+// parseColumn accepts bare or table-qualified column names, returning the
+// bare name (the dialect is single-table per query block).
+func (p *parser) parseColumn() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	if p.accept(tokSymbol, ".") {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		return c.text, nil
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	// Parenthesized OR group: ( cond OR cond [OR cond...] ).
+	if p.at(tokSymbol, "(") {
+		save := p.i
+		p.next()
+		first, err := p.parseCond()
+		if err != nil {
+			return Cond{}, err
+		}
+		if !p.at(tokKeyword, "OR") {
+			// Not an OR group (e.g. a parenthesized future extension):
+			// rewind and fail with a clear message.
+			p.i = save
+			return Cond{}, p.errorf("parenthesized conditions must combine with OR")
+		}
+		branches := []Cond{first}
+		for p.accept(tokKeyword, "OR") {
+			next, err := p.parseCond()
+			if err != nil {
+				return Cond{}, err
+			}
+			branches = append(branches, next)
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondOr, Or: branches}, nil
+	}
+
+	col, err := p.parseColumn()
+	if err != nil {
+		return Cond{}, err
+	}
+
+	negated := false
+	if p.accept(tokKeyword, "NOT") {
+		negated = true
+		if !p.at(tokKeyword, "IN") {
+			return Cond{}, p.errorf("expected IN after NOT")
+		}
+	}
+
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return Cond{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondBetween, Col: col, Lo: lo, Hi: hi}, nil
+	}
+
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return Cond{}, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return Cond{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return Cond{}, err
+		}
+		if len(sub.Items) != 1 || sub.Items[0].Agg != AggNone || sub.Items[0].Expr.Kind != ExprColumn {
+			return Cond{}, p.errorf("IN subquery must select a single bare column")
+		}
+		if sub.GroupBy != "" {
+			return Cond{}, p.errorf("IN subquery cannot use GROUP BY")
+		}
+		return Cond{Kind: CondIn, Col: col, Sub: sub, Negated: negated}, nil
+	}
+	if negated {
+		return Cond{}, p.errorf("NOT applies only to IN")
+	}
+
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return Cond{}, err
+	}
+	if p.at(tokIdent, "") {
+		col2, err := p.parseColumn()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondColCmp, Col: col, Op: op, Col2: col2}, nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Kind: CondCmp, Col: col, Op: op, Value: v}, nil
+}
+
+func (p *parser) parseCmpOp() (CmpOp, error) {
+	for op, text := range map[CmpOp]string{
+		OpLe: "<=", OpGe: ">=", OpNe: "<>", OpLt: "<", OpGt: ">", OpEq: "=",
+	} {
+		if p.at(tokSymbol, text) {
+			p.next()
+			return op, nil
+		}
+	}
+	return 0, p.errorf("expected comparison operator, got %s", p.peek())
+}
+
+// parseLiteral accepts an integer or a DATE 'yyyy-mm-dd' literal (encoded
+// as days since 1992-01-01, the storage layer's date epoch).
+func (p *parser) parseLiteral() (int64, error) {
+	if p.accept(tokKeyword, "DATE") {
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return 0, err
+		}
+		d, err := parseDate(s.text)
+		if err != nil {
+			return 0, p.errorf("%v", err)
+		}
+		return d, nil
+	}
+	return p.parseInt()
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q", t.text)
+	}
+	return v, nil
+}
+
+// parseDate converts 'yyyy-mm-dd' to epoch days (1992-01-01 = 0), matching
+// the TPC-H generator's date encoding.
+func parseDate(s string) (int64, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad date literal %q (want yyyy-mm-dd)", s)
+	}
+	var ymd [3]int
+	for i, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return 0, fmt.Errorf("bad date literal %q", s)
+		}
+		ymd[i] = v
+	}
+	return civilToDays(ymd[0], ymd[1], ymd[2]) - civilToDays(1992, 1, 1), nil
+}
+
+// civilToDays is Howard Hinnant's days-from-civil algorithm (days since
+// 1970-01-01).
+func civilToDays(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400
+	mAdj := m + 9
+	if m > 2 {
+		mAdj = m - 3
+	}
+	doy := (153*mAdj+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int64(era)*146097 + int64(doe) - 719468
+}

@@ -1,0 +1,166 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *Query {
+	t.Helper()
+	ast, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return ast
+}
+
+func TestParseQ6Style(t *testing.T) {
+	q := mustParse(t, `
+		SELECT SUM(l_extendedprice * l_discount) AS revenue
+		FROM lineitem
+		WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'
+		  AND l_discount BETWEEN 5 AND 7
+		  AND l_quantity < 24`)
+	if q.Table != "lineitem" || len(q.Items) != 1 || len(q.Where) != 3 {
+		t.Fatalf("shape: %+v", q)
+	}
+	item := q.Items[0]
+	if item.Agg != AggSum || item.Alias != "revenue" || item.Expr.Kind != ExprMul {
+		t.Errorf("item = %+v", item)
+	}
+	if q.Where[0].Kind != CondBetween || q.Where[0].Lo != 731 || q.Where[0].Hi != 1095 {
+		t.Errorf("date range = %+v (1994-01-01 should be day 731)", q.Where[0])
+	}
+	if q.Where[2].Kind != CondCmp || q.Where[2].Op != OpLt || q.Where[2].Value != 24 {
+		t.Errorf("quantity cond = %+v", q.Where[2])
+	}
+}
+
+func TestParseQ4Style(t *testing.T) {
+	q := mustParse(t, `
+		SELECT o_orderpriority, COUNT(*) AS order_count
+		FROM orders
+		WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+		  AND o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate)
+		GROUP BY o_orderpriority`)
+	if q.GroupBy != "o_orderpriority" {
+		t.Errorf("group by = %q", q.GroupBy)
+	}
+	if q.Items[1].Agg != AggCount || q.Items[1].Expr != nil {
+		t.Errorf("count item = %+v", q.Items[1])
+	}
+	in := q.Where[2]
+	if in.Kind != CondIn || in.Sub.Table != "lineitem" {
+		t.Fatalf("in cond = %+v", in)
+	}
+	if in.Sub.Where[0].Kind != CondColCmp || in.Sub.Where[0].Col2 != "l_receiptdate" {
+		t.Errorf("sub cond = %+v", in.Sub.Where[0])
+	}
+}
+
+func TestParseNestedIn(t *testing.T) {
+	q := mustParse(t, `
+		SELECT l_orderkey, SUM(l_extendedprice * (100 - l_discount)) AS revenue
+		FROM lineitem
+		WHERE l_shipdate > DATE '1995-03-15'
+		  AND l_orderkey IN (
+			SELECT o_orderkey FROM orders
+			WHERE o_orderdate < DATE '1995-03-15'
+			  AND o_custkey IN (SELECT c_custkey FROM customer WHERE c_mktsegment = 1))
+		GROUP BY l_orderkey`)
+	if q.Items[1].Expr.Kind != ExprMulComplement || q.Items[1].Expr.K != 100 {
+		t.Errorf("revenue expr = %+v", q.Items[1].Expr)
+	}
+	inner := q.Where[1].Sub.Where[1]
+	if inner.Kind != CondIn || inner.Sub.Table != "customer" {
+		t.Errorf("nested in = %+v", inner)
+	}
+}
+
+func TestParseQualifiedColumnsAndAliases(t *testing.T) {
+	q := mustParse(t, `SELECT lineitem.l_quantity FROM lineitem WHERE lineitem.l_quantity <> -5`)
+	if q.Items[0].Expr.Col != "l_quantity" || q.Items[0].Alias != "l_quantity" {
+		t.Errorf("qualified column = %+v", q.Items[0])
+	}
+	if q.Where[0].Op != OpNe || q.Where[0].Value != -5 {
+		t.Errorf("cond = %+v", q.Where[0])
+	}
+}
+
+func TestParseDefaultAliases(t *testing.T) {
+	q := mustParse(t, `SELECT SUM(a), COUNT(*), MIN(b), a * c FROM t`)
+	want := []string{"sum_a", "count", "min_b", "expr"}
+	for i, w := range want {
+		if q.Items[i].Alias != w {
+			t.Errorf("item %d alias = %q, want %q", i, q.Items[i].Alias, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a <",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IN (SELECT SUM(b) FROM u)",
+		"SELECT a FROM t WHERE a IN (SELECT b, c FROM u)",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u GROUP BY b)",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing garbage",
+		"SELECT a FROM t WHERE a = DATE 'not-a-date'",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t WHERE a ~ 3",
+		"SELECT SUM(a FROM t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted %q", q)
+		} else if !strings.HasPrefix(err.Error(), "sql:") {
+			t.Errorf("%q: error %q lacks package prefix", q, err)
+		}
+	}
+}
+
+func TestDateLiteral(t *testing.T) {
+	if d, err := parseDate("1992-01-01"); err != nil || d != 0 {
+		t.Errorf("epoch = %d, %v", d, err)
+	}
+	if d, err := parseDate("1992-01-02"); err != nil || d != 1 {
+		t.Errorf("epoch+1 = %d, %v", d, err)
+	}
+	if d, err := parseDate("1998-12-01"); err != nil || d != 2526 {
+		t.Errorf("1998-12-01 = %d, %v", d, err)
+	}
+	for _, bad := range []string{"1992", "1992-1", "x-y-z", "1992-01-01-01"} {
+		if _, err := parseDate(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLexCoverage(t *testing.T) {
+	toks, err := lex("a >= 10, b <= (c) <> 'x' - 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{">=", "<=", "<>", "x"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %q", want, joined)
+		}
+	}
+	if _, err := lex("a @ b"); err == nil {
+		t.Error("accepted invalid character")
+	}
+	if toks[len(toks)-1].String() != "end of query" {
+		t.Error("EOF diagnostics")
+	}
+}

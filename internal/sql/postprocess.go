@@ -1,0 +1,100 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// PostProcess applies the query's ORDER BY and LIMIT to a retrieved result,
+// reordering all result columns in lockstep by the named column. Ordering
+// happens on the host after retrieval — presentation work the executor
+// does not offload (the paper's plans end at aggregation; top-k display is
+// host-side).
+func PostProcess(res *exec.Result, q *Query) error {
+	if q.OrderBy == "" && q.Limit == 0 {
+		return nil
+	}
+
+	rows := -1
+	for _, col := range res.Columns {
+		if rows < 0 {
+			rows = col.Data.Len()
+		}
+		if col.Data.Len() != rows {
+			return fmt.Errorf("sql: result columns disagree on row count; cannot order")
+		}
+	}
+	if rows <= 0 {
+		return nil
+	}
+
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	if q.OrderBy != "" {
+		key, ok := res.Column(q.OrderBy)
+		if !ok {
+			return fmt.Errorf("sql: ORDER BY %s is not a result column", q.OrderBy)
+		}
+		less, err := lessFunc(key)
+		if err != nil {
+			return err
+		}
+		sort.SliceStable(perm, func(i, j int) bool {
+			if q.Desc {
+				return less(perm[j], perm[i])
+			}
+			return less(perm[i], perm[j])
+		})
+	}
+
+	limit := rows
+	if q.Limit > 0 && q.Limit < limit {
+		limit = q.Limit
+	}
+
+	for ci, col := range res.Columns {
+		out := vec.New(col.Data.Type(), limit)
+		if err := permute(out, col.Data, perm[:limit]); err != nil {
+			return err
+		}
+		res.Columns[ci].Data = out
+	}
+	return nil
+}
+
+func lessFunc(key vec.Vector) (func(i, j int) bool, error) {
+	switch key.Type() {
+	case vec.Int32:
+		s := key.I32()
+		return func(i, j int) bool { return s[i] < s[j] }, nil
+	case vec.Int64:
+		s := key.I64()
+		return func(i, j int) bool { return s[i] < s[j] }, nil
+	default:
+		return nil, fmt.Errorf("sql: cannot order by %s column", key.Type())
+	}
+}
+
+func permute(dst, src vec.Vector, perm []int) error {
+	switch src.Type() {
+	case vec.Int32:
+		d, s := dst.I32(), src.I32()
+		for i, p := range perm {
+			d[i] = s[p]
+		}
+	case vec.Int64:
+		d, s := dst.I64(), src.I64()
+		for i, p := range perm {
+			d[i] = s[p]
+		}
+	default:
+		return fmt.Errorf("sql: cannot reorder %s result column", src.Type())
+	}
+	return nil
+}

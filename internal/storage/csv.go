@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// ReadCSV loads a table from CSV with a header row of column names and
+// int32 cells — the format cmd/tpchgen writes. The table name comes from
+// the caller (typically the file's base name).
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	header, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: reading header: %w", name, err)
+	}
+	cols := strings.Split(header, ",")
+	if len(cols) == 0 || cols[0] == "" {
+		return nil, fmt.Errorf("storage: %s: empty header", name)
+	}
+	for i, c := range cols {
+		cols[i] = strings.TrimSpace(c)
+	}
+
+	data := make([][]int32, len(cols))
+	row := 0
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s row %d: %w", name, row+1, err)
+		}
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != len(cols) {
+			return nil, fmt.Errorf("storage: %s row %d has %d cells, want %d", name, row+1, len(cells), len(cols))
+		}
+		for i, cell := range cells {
+			v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("storage: %s row %d column %s: %w", name, row+1, cols[i], err)
+			}
+			data[i] = append(data[i], int32(v))
+		}
+		row++
+	}
+
+	t := NewTable(name, row)
+	for i, col := range cols {
+		if err := t.AddColumn(col, vec.FromInt32(data[i])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header row. Only int32 columns
+// are supported (the generator's column type).
+func WriteCSV(t *Table, w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cols := t.Columns()
+	for i, c := range cols {
+		if c.Data.Type() != vec.Int32 {
+			return fmt.Errorf("storage: WriteCSV supports int32 columns; %s.%s is %s", t.Name, c.Name, c.Data.Type())
+		}
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(c.Name)
+	}
+	bw.WriteByte('\n')
+	for row := 0; row < t.Rows(); row++ {
+		for i, c := range cols {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.FormatInt(int64(c.Data.I32()[row]), 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// readLine returns the next line without its terminator, io.EOF at end.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

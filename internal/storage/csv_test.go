@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	tb := NewTable("demo", 3)
+	tb.MustAddColumn("a", vec.FromInt32([]int32{1, -2, 3}))
+	tb.MustAddColumn("b", vec.FromInt32([]int32{10, 20, 30}))
+
+	var sb strings.Builder
+	if err := WriteCSV(tb, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("demo", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 3 {
+		t.Fatalf("rows = %d", got.Rows())
+	}
+	for _, col := range []string{"a", "b"} {
+		if !vec.Equal(tb.MustColumn(col), got.MustColumn(col)) {
+			t.Errorf("column %s corrupted", col)
+		}
+	}
+}
+
+func TestCSVRoundtripProperty(t *testing.T) {
+	f := func(a, b []int32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		tb := NewTable("p", n)
+		tb.MustAddColumn("x", vec.FromInt32(a[:n]))
+		tb.MustAddColumn("y", vec.FromInt32(b[:n]))
+		var sb strings.Builder
+		if err := WriteCSV(tb, &sb); err != nil {
+			return false
+		}
+		got, err := ReadCSV("p", strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return vec.Equal(tb.MustColumn("x"), got.MustColumn("x")) &&
+			vec.Equal(tb.MustColumn("y"), got.MustColumn("y"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty header":   "",
+		"ragged row":     "a,b\n1\n",
+		"non-numeric":    "a\nxyz\n",
+		"overflow int32": "a\n99999999999\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+	// Trailing line without newline still parses.
+	tb, err := ReadCSV("ok", strings.NewReader("a\n1\n2"))
+	if err != nil || tb.Rows() != 2 {
+		t.Errorf("no-trailing-newline: rows=%v err=%v", tb, err)
+	}
+	// Blank lines are skipped.
+	tb, err = ReadCSV("ok", strings.NewReader("a\n1\n\n2\n"))
+	if err != nil || tb.Rows() != 2 {
+		t.Errorf("blank lines: err=%v", err)
+	}
+}
+
+func TestCSVWriteRejectsNonInt32(t *testing.T) {
+	tb := NewTable("t", 1)
+	tb.MustAddColumn("a", vec.FromInt64([]int64{1}))
+	if err := WriteCSV(tb, &strings.Builder{}); err == nil {
+		t.Error("int64 column accepted")
+	}
+}

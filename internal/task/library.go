@@ -1,0 +1,421 @@
+package task
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// This file is the built-in task library: one constructor per primitive
+// implementation in the default kernel set. Custom implementations plug in
+// by building a Task that names a kernel registered with the device's
+// kernel registry; Validate enforces the Table I signature either way.
+
+// NewFilterBitmap filters an int32 column against constants into a bitmap.
+func NewFilterBitmap(op kernels.CmpOp, lo, hi int64, label string) *Task {
+	t, _ := NewFilterBitmapTyped(vec.Int32, op, lo, hi, label)
+	return t
+}
+
+// NewFilterBitmapTyped is NewFilterBitmap for a chosen column type (Int32
+// or Int64).
+func NewFilterBitmapTyped(typ vec.Type, op kernels.CmpOp, lo, hi int64, label string) (*Task, error) {
+	kernel, err := pickByType(typ, "filter_bitmap_i32", "filter_bitmap_i64")
+	if err != nil {
+		return nil, err
+	}
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         kernel,
+		Params:         []int64{int64(op), lo, hi},
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}, nil
+}
+
+// NewFilterColCmp filters by comparing two int32 columns element-wise.
+func NewFilterColCmp(op kernels.CmpOp, label string) *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "filter_bitmap_colcmp_i32",
+		Params:         []int64{int64(op)},
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewBitmapAnd intersects two filter bitmaps.
+func NewBitmapAnd() *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "bitmap_and",
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          "and",
+	}
+}
+
+// NewBitmapOr unions two filter bitmaps.
+func NewBitmapOr() *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "bitmap_or",
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          "or",
+	}
+}
+
+// NewBitmapNot complements a filter bitmap (anti-join form).
+func NewBitmapNot() *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "bitmap_not",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          "not",
+	}
+}
+
+// NewBitmapAndNot keeps rows in the first bitmap that are absent from the
+// second.
+func NewBitmapAndNot() *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "bitmap_andnot",
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          "andnot",
+	}
+}
+
+// NewSemiJoinFilter marks probe-side rows whose key exists in a hash table
+// (EXISTS subqueries). Inputs: keys, table.
+func NewSemiJoinFilter(label string) *Task {
+	return &Task{
+		Kind:           primitive.FilterBitmap,
+		Kernel:         "hash_probe_exists_i32",
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Bitmap, Type: vec.Bits, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewFilterPosition filters an int32 column into a position list sized by
+// the optimizer's selectivity estimate.
+func NewFilterPosition(op kernels.CmpOp, lo, hi int64, estimate float64, label string) *Task {
+	return &Task{
+		Kind:    primitive.FilterPosition,
+		Kernel:  "filter_pos_i32",
+		Params:  []int64{int64(op), lo, hi},
+		NInputs: 1,
+		Outputs: []OutputSpec{
+			{Semantic: primitive.Position, Type: vec.Int32, Size: Estimated(estimate)},
+		},
+		EmitsCount:     true,
+		CountSets:      []int{0},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewMaterialize compacts a value column through a bitmap. t selects the
+// value type (Int32 or Int64).
+func NewMaterialize(t vec.Type, label string) (*Task, error) {
+	kernel, err := pickByType(t, "materialize_bitmap_i32", "materialize_bitmap_i64")
+	if err != nil {
+		return nil, err
+	}
+	return &Task{
+		Kind:           primitive.Materialize,
+		Kernel:         kernel,
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: t, Size: OfInput()}},
+		EmitsCount:     true,
+		CountSets:      []int{0},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}, nil
+}
+
+// NewMaterializePosition gathers a value column by a position list.
+func NewMaterializePosition(t vec.Type, label string) (*Task, error) {
+	kernel, err := pickByType(t, "materialize_pos_i32", "materialize_pos_i64")
+	if err != nil {
+		return nil, err
+	}
+	return &Task{
+		Kind:           primitive.MaterializePosition,
+		Kernel:         kernel,
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: t, Size: OfInputPort(1)}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}, nil
+}
+
+func pickByType(t vec.Type, i32, i64 string) (string, error) {
+	switch t {
+	case vec.Int32:
+		return i32, nil
+	case vec.Int64:
+		return i64, nil
+	default:
+		return "", fmt.Errorf("%w: no kernel variant for %s", ErrBadTask, t)
+	}
+}
+
+// NewMapMul multiplies two int32 columns into an int64 column.
+func NewMapMul(label string) *Task {
+	return &Task{
+		Kind:           primitive.Map,
+		Kernel:         "map_mul_i32_i64",
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewMapMulComplement computes a * (k - b) over two int32 columns.
+func NewMapMulComplement(k int64, label string) *Task {
+	return &Task{
+		Kind:           primitive.Map,
+		Kernel:         "map_mul_complement_i32_i64",
+		Params:         []int64{k},
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewMapCast widens an int32 column to int64.
+func NewMapCast(label string) *Task {
+	return &Task{
+		Kind:           primitive.Map,
+		Kernel:         "map_cast_i32_i64",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewAggBlock reduces a column to a scalar, accumulating across chunks. t
+// selects the input type (Int32 or Int64).
+func NewAggBlock(op kernels.AggOp, t vec.Type, label string) (*Task, error) {
+	kernel, err := pickByType(t, "agg_block_i32", "agg_block_i64")
+	if err != nil {
+		return nil, err
+	}
+	var identity int64
+	switch op {
+	case kernels.AggMin:
+		identity = int64(^uint64(0) >> 1) // MaxInt64
+	case kernels.AggMax:
+		identity = -int64(^uint64(0)>>1) - 1 // MinInt64
+	}
+	return &Task{
+		Kind:           primitive.AggBlock,
+		Kernel:         kernel,
+		Params:         []int64{int64(op)},
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(1)}},
+		Accumulate:     true,
+		InitKernel:     "fill_i64",
+		InitParams:     []int64{identity},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}, nil
+}
+
+// NewAggCountBits counts set bits of a filter bitmap, accumulating across
+// chunks (COUNT(*) without materialization).
+func NewAggCountBits(label string) *Task {
+	return &Task{
+		Kind:           primitive.AggBlock,
+		Kernel:         "agg_count_bits",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(1)}},
+		Accumulate:     true,
+		InitKernel:     "fill_i64",
+		InitParams:     []int64{0},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewGroupBoundaries emits the 0/1 group-boundary indicator of a sorted
+// int32 key column, the input PREFIX_SUM needs to derive SORT_AGG's group
+// indexes.
+func NewGroupBoundaries(label string) *Task {
+	return &Task{
+		Kind:           primitive.Map,
+		Kernel:         "map_boundary_i32",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int32, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewPrefixSumInclusive scans an int32 column (inclusive prefix sum), the
+// variant that turns group-transition indicators into group indexes.
+func NewPrefixSumInclusive(label string) *Task {
+	t := NewPrefixSum(label)
+	t.Kernel = "prefix_sum_inclusive_i32"
+	return t
+}
+
+// NewPrefixSum scans an int32 column (exclusive prefix sum).
+func NewPrefixSum(label string) *Task {
+	return &Task{
+		Kind:           primitive.PrefixSumKind,
+		Kernel:         "prefix_sum_i32",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.PrefixSum, Type: vec.Int32, Size: OfInput()}},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewHashBuildPK builds a key→row-position table over a unique-key column.
+// totalRows sizes the table for the full build side.
+func NewHashBuildPK(totalRows int, label string) *Task {
+	return &Task{
+		Kind:           primitive.HashBuild,
+		Kernel:         "hash_build_pk_i32",
+		Params:         []int64{0},
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.HashTable, Type: vec.Int64, Size: Exact(kernels.HashTableLen(totalRows))}},
+		Accumulate:     true,
+		InitKernel:     "hash_table_init",
+		ChunkBaseParam: 0,
+		Label:          label,
+	}
+}
+
+// NewHashBuildSet builds a key set (semi-join build side). distinct sizes
+// the table for the expected distinct key count.
+func NewHashBuildSet(distinct int, label string) *Task {
+	return &Task{
+		Kind:           primitive.HashBuild,
+		Kernel:         "hash_build_set_i32",
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.HashTable, Type: vec.Int64, Size: Exact(kernels.HashTableLen(distinct))}},
+		Accumulate:     true,
+		InitKernel:     "hash_table_init",
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewHashProbe probes a table with a key column, emitting join pairs
+// (probe-side global positions, build payloads). estimate is the expected
+// match fraction for output sizing.
+func NewHashProbe(estimate float64, label string) *Task {
+	return &Task{
+		Kind:    primitive.HashProbe,
+		Kernel:  "hash_probe_i32",
+		Params:  []int64{0},
+		NInputs: 2,
+		Outputs: []OutputSpec{
+			{Semantic: primitive.Position, Type: vec.Int32, Size: Estimated(estimate)},
+			{Semantic: primitive.Position, Type: vec.Int64, Size: Estimated(estimate)},
+		},
+		EmitsCount:     true,
+		CountSets:      []int{0, 1},
+		ChunkBaseParam: 0,
+		Label:          label,
+	}
+}
+
+// NewHashAgg aggregates an int64 value column grouped by an int32 key
+// column into a shared table. groupsHint (expected distinct groups) feeds
+// the cost model and sizes the table.
+func NewHashAgg(op kernels.AggOp, groupsHint int, label string) *Task {
+	var identity int64
+	switch op {
+	case kernels.AggMin:
+		identity = int64(^uint64(0) >> 1)
+	case kernels.AggMax:
+		identity = -int64(^uint64(0)>>1) - 1
+	}
+	return &Task{
+		Kind:           primitive.HashAgg,
+		Kernel:         "hash_agg_i32_i64",
+		Params:         []int64{int64(op), int64(groupsHint)},
+		NInputs:        2,
+		Outputs:        []OutputSpec{{Semantic: primitive.HashTable, Type: vec.Int64, Size: Exact(kernels.HashTableLen(groupsHint))}},
+		Accumulate:     true,
+		InitKernel:     "hash_table_init",
+		InitParams:     []int64{identity},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewHashAggCount counts rows per int32 key into a shared table.
+func NewHashAggCount(groupsHint int, label string) *Task {
+	return &Task{
+		Kind:           primitive.HashAgg,
+		Kernel:         "hash_agg_count_i32",
+		Params:         []int64{int64(groupsHint)},
+		NInputs:        1,
+		Outputs:        []OutputSpec{{Semantic: primitive.HashTable, Type: vec.Int64, Size: Exact(kernels.HashTableLen(groupsHint))}},
+		Accumulate:     true,
+		InitKernel:     "hash_table_init",
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewHashExtract compacts a hash table into dense key and aggregate
+// columns. maxGroups sizes the outputs.
+func NewHashExtract(maxGroups int, label string) *Task {
+	return &Task{
+		Kind:    primitive.HashExtract,
+		Kernel:  "hash_extract",
+		NInputs: 1,
+		Outputs: []OutputSpec{
+			{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(maxGroups)},
+			{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(maxGroups)},
+		},
+		EmitsCount:     true,
+		CountSets:      []int{0, 1},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewSortAgg aggregates an int64 value column over sorted int32 keys using
+// a group-index prefix sum (SORT_AGG). maxGroups sizes the outputs.
+func NewSortAgg(op kernels.AggOp, maxGroups int, label string) *Task {
+	return &Task{
+		Kind:    primitive.SortAgg,
+		Kernel:  "sort_agg_i32_i64",
+		Params:  []int64{int64(op)},
+		NInputs: 3,
+		Outputs: []OutputSpec{
+			{Semantic: primitive.Numeric, Type: vec.Int32, Size: Exact(maxGroups)},
+			{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(maxGroups)},
+		},
+		EmitsCount:     true,
+		CountSets:      []int{0, 1},
+		Accumulate:     false,
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}

@@ -1,0 +1,174 @@
+// Package task implements ADAMANT's task layer (§III-B of the paper): the
+// intermediate layer that encapsulates concrete implementations of database
+// primitives and links them to the device drivers.
+//
+// A Task is one instantiated primitive: the kernel implementing it (the
+// kernel container), its scalar parameters, and the shapes of its outputs
+// (the data container information the runtime's prepare_output_buffer
+// needs). Tasks are validated against the primitive definitions of Table I,
+// so any custom implementation that honors the I/O semantics can be plugged
+// in — including mixing implementations from different SDKs in one plan.
+package task
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Task errors.
+var ErrBadTask = errors.New("task: invalid task definition")
+
+// SizeKind selects how an output buffer is sized from the input chunk size.
+type SizeKind uint8
+
+// Output sizing rules.
+const (
+	// SizeInput sizes the output to the logical length of an input port
+	// (N selects the port; the OfInput constructor uses port 0). Maps and
+	// filters follow their value input; MATERIALIZE_POSITION follows its
+	// position list.
+	SizeInput SizeKind = iota
+	// SizeFixed sizes the output to a constant element count
+	// (aggregation scalars, hash tables sized for the full build side).
+	SizeFixed
+	// SizeFraction sizes the output to an estimated fraction of the
+	// input chunk (selective position lists). The estimate comes from the
+	// optimizer; kernels fail loudly on overflow.
+	SizeFraction
+)
+
+// SizeRule computes an output buffer's element count for a chunk of n input
+// rows.
+type SizeRule struct {
+	Kind SizeKind
+	N    int     // element count for SizeFixed
+	Frac float64 // estimated selectivity for SizeFraction
+}
+
+// Elements returns the buffer size for an input chunk of n elements.
+func (r SizeRule) Elements(n int) int {
+	switch r.Kind {
+	case SizeFixed:
+		return r.N
+	case SizeFraction:
+		e := int(float64(n)*r.Frac) + 64
+		if e > n {
+			e = n
+		}
+		return e
+	default:
+		return n
+	}
+}
+
+// Exact returns a SizeRule for a constant element count.
+func Exact(n int) SizeRule { return SizeRule{Kind: SizeFixed, N: n} }
+
+// OfInput returns the rule sizing the output like input port 0.
+func OfInput() SizeRule { return SizeRule{Kind: SizeInput} }
+
+// OfInputPort returns the rule sizing the output like the given input port.
+func OfInputPort(port int) SizeRule { return SizeRule{Kind: SizeInput, N: port} }
+
+// Estimated returns a fraction-of-input rule.
+func Estimated(frac float64) SizeRule { return SizeRule{Kind: SizeFraction, Frac: frac} }
+
+// OutputSpec describes one output port of a task.
+type OutputSpec struct {
+	// Semantic is the edge semantic the port produces.
+	Semantic primitive.Semantic
+	// Type is the physical vector type of the buffer.
+	Type vec.Type
+	// Size tells prepare_output_buffer how large to allocate.
+	Size SizeRule
+}
+
+// Task is an instantiated primitive: a kernel container (which
+// implementation runs, with which parameters) plus the data container
+// information (output shapes and chunk-state conventions) the runtime needs
+// to execute it on any plugged device.
+type Task struct {
+	// Kind is the Table I primitive this task implements.
+	Kind primitive.Kind
+	// Kernel names the implementation in the device's kernel registry.
+	Kernel string
+	// Params are the scalar launch parameters.
+	Params []int64
+	// NInputs is the number of buffer inputs (kernel args are inputs
+	// followed by outputs, then the count buffer if EmitsCount).
+	NInputs int
+	// Outputs describe the data outputs, in kernel argument order.
+	Outputs []OutputSpec
+
+	// EmitsCount marks kernels that report a result cardinality through a
+	// trailing 1-element int64 buffer. The runtime retrieves it after the
+	// launch and propagates it as the logical length of the output ports
+	// listed in CountSets.
+	EmitsCount bool
+	// CountSets lists the output ports whose logical length the count
+	// sets.
+	CountSets []int
+
+	// Accumulate marks pipeline-breaker tasks whose outputs persist in
+	// device memory and fold results across chunks (aggregates, hash
+	// tables). Non-accumulating outputs are per-chunk scratch.
+	Accumulate bool
+	// InitKernel, when set, runs once over the accumulator outputs before
+	// the first chunk (e.g. hash_table_init, fill_i64 with an aggregate
+	// identity).
+	InitKernel string
+	// InitParams are the scalar parameters of InitKernel.
+	InitParams []int64
+
+	// ChunkBaseParam is the index within Params that the runtime
+	// overwrites with the chunk's global row offset, so kernels that emit
+	// positions (hash_build_pk, hash_probe) produce global row numbers
+	// under chunked execution. -1 when unused.
+	ChunkBaseParam int
+
+	// Label is a diagnostic name, e.g. "filter(l_shipdate>=d)".
+	Label string
+}
+
+// Validate checks the task against its primitive definition.
+func (t *Task) Validate() error {
+	sig, err := primitive.SignatureOf(t.Kind)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTask, err)
+	}
+	if t.Kernel == "" {
+		return fmt.Errorf("%w: %s task has no kernel", ErrBadTask, t.Kind)
+	}
+	if t.NInputs < len(sig.Inputs) && !sig.Variadic {
+		return fmt.Errorf("%w: %s needs %d inputs, task declares %d", ErrBadTask, t.Kind, len(sig.Inputs), t.NInputs)
+	}
+	if len(t.Outputs) != len(sig.Outputs) {
+		return fmt.Errorf("%w: %s produces %d outputs, task declares %d", ErrBadTask, t.Kind, len(sig.Outputs), len(t.Outputs))
+	}
+	for i, out := range t.Outputs {
+		if out.Semantic != sig.Outputs[i] {
+			return fmt.Errorf("%w: %s output %d is %s, signature requires %s",
+				ErrBadTask, t.Kind, i, out.Semantic, sig.Outputs[i])
+		}
+	}
+	for _, p := range t.CountSets {
+		if p < 0 || p >= len(t.Outputs) {
+			return fmt.Errorf("%w: %s count sets unknown port %d", ErrBadTask, t.Kind, p)
+		}
+	}
+	if t.ChunkBaseParam >= len(t.Params) {
+		return fmt.Errorf("%w: %s chunk-base param %d out of %d params", ErrBadTask, t.Kind, t.ChunkBaseParam, len(t.Params))
+	}
+	return nil
+}
+
+// String summarizes the task.
+func (t *Task) String() string {
+	if t.Label != "" {
+		return fmt.Sprintf("%s[%s]", t.Kind, t.Label)
+	}
+	return fmt.Sprintf("%s[%s]", t.Kind, t.Kernel)
+}

@@ -1,0 +1,155 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestSizeRules(t *testing.T) {
+	if OfInput().Elements(100) != 100 {
+		t.Error("OfInput")
+	}
+	if Exact(7).Elements(100) != 7 {
+		t.Error("Exact")
+	}
+	est := Estimated(0.25).Elements(1000)
+	if est < 250 || est > 1000 {
+		t.Errorf("Estimated(0.25) of 1000 = %d", est)
+	}
+	// Estimates never exceed the input size.
+	if Estimated(5).Elements(100) != 100 {
+		t.Errorf("oversized estimate = %d", Estimated(5).Elements(100))
+	}
+}
+
+// TestLibraryTasksValidate checks every built-in constructor against the
+// primitive signatures.
+func TestLibraryTasksValidate(t *testing.T) {
+	mat32, err := NewMaterialize(vec.Int32, "m32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat64, err := NewMaterialize(vec.Int64, "m64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matPos, err := NewMaterializePosition(vec.Int32, "mp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggBlock(kernels.AggMin, vec.Int64, "min")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tasks := []*Task{
+		NewFilterBitmap(kernels.CmpLt, 10, 0, "f"),
+		NewFilterColCmp(kernels.CmpLt, "fc"),
+		NewBitmapAnd(),
+		NewBitmapOr(),
+		NewSemiJoinFilter("semi"),
+		NewFilterPosition(kernels.CmpGe, 5, 0, 0.3, "fp"),
+		mat32, mat64, matPos, agg,
+		NewAggCountBits("count"),
+		NewMapMul("mul"),
+		NewMapMulComplement(100, "mc"),
+		NewMapCast("cast"),
+		NewPrefixSum("ps"),
+		NewHashBuildPK(1000, "pk"),
+		NewHashBuildSet(1000, "set"),
+		NewHashProbe(0.5, "probe"),
+		NewHashAgg(kernels.AggSum, 64, "agg"),
+		NewHashAggCount(64, "aggc"),
+		NewHashExtract(64, "ext"),
+		NewSortAgg(kernels.AggSum, 64, "sa"),
+	}
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Errorf("%s: %v", task, err)
+		}
+		if task.String() == "" {
+			t.Errorf("%s: empty diagnostics", task.Kernel)
+		}
+	}
+}
+
+func TestMinMaxIdentities(t *testing.T) {
+	minT, _ := NewAggBlock(kernels.AggMin, vec.Int64, "min")
+	if minT.InitKernel != "fill_i64" || minT.InitParams[0] != int64(^uint64(0)>>1) {
+		t.Errorf("min identity = %v", minT.InitParams)
+	}
+	maxT, _ := NewAggBlock(kernels.AggMax, vec.Int64, "max")
+	if maxT.InitParams[0] != -int64(^uint64(0)>>1)-1 {
+		t.Errorf("max identity = %v", maxT.InitParams)
+	}
+	hmin := NewHashAgg(kernels.AggMin, 8, "hmin")
+	if hmin.InitParams[0] != int64(^uint64(0)>>1) {
+		t.Errorf("hash min identity = %v", hmin.InitParams)
+	}
+}
+
+func TestMaterializeRejectsUnsupportedTypes(t *testing.T) {
+	if _, err := NewMaterialize(vec.Bits, "bad"); !errors.Is(err, ErrBadTask) {
+		t.Errorf("bits materialize: %v", err)
+	}
+	if _, err := NewAggBlock(kernels.AggSum, vec.Float64, "bad"); !errors.Is(err, ErrBadTask) {
+		t.Errorf("float agg: %v", err)
+	}
+}
+
+func TestValidateCatchesBadTasks(t *testing.T) {
+	// No kernel.
+	bad := &Task{Kind: primitive.Map, NInputs: 1, Outputs: []OutputSpec{{Semantic: primitive.Numeric}}, ChunkBaseParam: -1}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("missing kernel: %v", err)
+	}
+	// Wrong output semantic.
+	bad = &Task{Kind: primitive.FilterBitmap, Kernel: "x", NInputs: 1,
+		Outputs: []OutputSpec{{Semantic: primitive.Numeric}}, ChunkBaseParam: -1}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("wrong semantic: %v", err)
+	}
+	// Wrong output count.
+	bad = &Task{Kind: primitive.HashProbe, Kernel: "x", NInputs: 2,
+		Outputs: []OutputSpec{{Semantic: primitive.Position}}, ChunkBaseParam: -1}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("wrong output count: %v", err)
+	}
+	// Count port out of range.
+	bad = NewFilterBitmap(kernels.CmpLt, 1, 0, "f")
+	bad.EmitsCount = true
+	bad.CountSets = []int{5}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("bad count port: %v", err)
+	}
+	// Chunk-base param out of range.
+	bad = NewFilterBitmap(kernels.CmpLt, 1, 0, "f")
+	bad.ChunkBaseParam = 10
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("bad chunk-base param: %v", err)
+	}
+	// Too few inputs for a non-variadic primitive.
+	bad = &Task{Kind: primitive.MaterializePosition, Kernel: "x", NInputs: 1,
+		Outputs: []OutputSpec{{Semantic: primitive.Numeric}}, ChunkBaseParam: -1}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTask) {
+		t.Errorf("too few inputs: %v", err)
+	}
+}
+
+func TestTableSizing(t *testing.T) {
+	pk := NewHashBuildPK(1000, "pk")
+	if pk.Outputs[0].Size.Elements(0) != kernels.HashTableLen(1000) {
+		t.Error("PK table sized wrong")
+	}
+	if pk.ChunkBaseParam != 0 {
+		t.Error("PK build must take the chunk base")
+	}
+	probe := NewHashProbe(0.5, "p")
+	if len(probe.CountSets) != 2 || !probe.EmitsCount {
+		t.Error("probe must count both outputs")
+	}
+}

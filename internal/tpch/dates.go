@@ -1,0 +1,43 @@
+package tpch
+
+// TPC-H dates are stored as int32 days since the epoch 1992-01-01, the
+// first order date of the benchmark. Encoding dates as plain integers keeps
+// every column a NUMERIC primitive input, as the paper's integer-column
+// evaluation does.
+
+// civilToDays converts a Gregorian calendar date to days since 1970-01-01
+// (Howard Hinnant's days-from-civil algorithm).
+func civilToDays(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400
+	mAdj := m + 9
+	if m > 2 {
+		mAdj = m - 3
+	}
+	doy := (153*mAdj+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int64(era)*146097 + int64(doe) - 719468
+}
+
+var epochDays = civilToDays(1992, 1, 1)
+
+// Date encodes a Gregorian date as TPC-H epoch days.
+func Date(y, m, d int) int32 {
+	return int32(civilToDays(y, m, d) - epochDays)
+}
+
+// Well-known predicate dates of the evaluated queries.
+var (
+	DateQ1Cutoff = Date(1998, 12, 1) - 90 // l_shipdate <= date '1998-12-01' - 90 days
+	DateQ3       = Date(1995, 3, 15)
+	DateQ4Lo     = Date(1993, 7, 1)
+	DateQ4Hi     = Date(1993, 10, 1) // exclusive
+	DateQ6Lo     = Date(1994, 1, 1)
+	DateQ6Hi     = Date(1995, 1, 1) // exclusive
+)

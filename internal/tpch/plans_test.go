@@ -1,0 +1,73 @@
+package tpch
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+func TestBuildQueryShapes(t *testing.T) {
+	ds := smallDataset(t)
+	dev := device.ID(0)
+
+	cases := map[string]struct {
+		pipelines int
+		results   int
+	}{
+		"Q1": {pipelines: 4, results: 6}, // scan pipeline + 3 extract pipelines
+		"Q3": {pipelines: 4, results: 2}, // customer, orders, lineitem, extract
+		"Q4": {pipelines: 3, results: 2}, // lineitem, orders, extract
+		"Q6": {pipelines: 1, results: 1},
+	}
+	for q, want := range cases {
+		g, err := BuildQuery(q, ds, dev)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", q, err)
+		}
+		ps, err := g.BuildPipelines()
+		if err != nil {
+			t.Fatalf("%s: pipelines: %v", q, err)
+		}
+		if len(ps) != want.pipelines {
+			t.Errorf("%s: %d pipelines, want %d", q, len(ps), want.pipelines)
+		}
+		if len(g.Results()) != want.results {
+			t.Errorf("%s: %d results, want %d", q, len(g.Results()), want.results)
+		}
+	}
+
+	if _, err := BuildQuery("Q99", ds, dev); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestQ3PipelineDependencies(t *testing.T) {
+	ds := smallDataset(t)
+	g, err := BuildQ3(ds, device.ID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders depends on customers, lineitem on orders, extract on lineitem.
+	deps := map[int][]int{1: {0}, 2: {1}, 3: {2}}
+	for idx, want := range deps {
+		got := ps[idx].DependsOn
+		if len(got) != len(want) || got[0] != want[0] {
+			t.Errorf("pipeline %d deps = %v, want %v", idx, got, want)
+		}
+	}
+	// The lineitem pipeline streams the most rows.
+	if ps[2].ScanRows(g) != ds.Lineitem.Rows() {
+		t.Errorf("pipeline 2 rows = %d", ps[2].ScanRows(g))
+	}
+	// The extract pipeline has no streamed inputs.
+	if len(ps[3].Scans) != 0 {
+		t.Errorf("extract pipeline scans = %d", len(ps[3].Scans))
+	}
+}

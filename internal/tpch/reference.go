@@ -1,0 +1,107 @@
+package tpch
+
+// Host-side reference implementations of the evaluated queries, used by the
+// test suite to verify that every execution model on every device driver
+// produces exactly the same answers.
+
+// RefQ6 computes Q6's revenue sum directly over the host columns.
+func RefQ6(d *Dataset) int64 {
+	ship := d.Lineitem.MustColumn("l_shipdate").I32()
+	disc := d.Lineitem.MustColumn("l_discount").I32()
+	qty := d.Lineitem.MustColumn("l_quantity").I32()
+	price := d.Lineitem.MustColumn("l_extendedprice").I32()
+	var sum int64
+	for i := range ship {
+		if ship[i] >= DateQ6Lo && ship[i] < DateQ6Hi &&
+			disc[i] >= 5 && disc[i] <= 7 && qty[i] < 24 {
+			sum += int64(price[i]) * int64(disc[i])
+		}
+	}
+	return sum
+}
+
+// RefQ3 computes Q3's revenue per orderkey.
+func RefQ3(d *Dataset) map[int64]int64 {
+	seg := d.Customer.MustColumn("c_mktsegment").I32()
+	ckey := d.Customer.MustColumn("c_custkey").I32()
+	custs := make(map[int32]bool)
+	for i := range seg {
+		if seg[i] == SegBuilding {
+			custs[ckey[i]] = true
+		}
+	}
+
+	odate := d.Orders.MustColumn("o_orderdate").I32()
+	ocust := d.Orders.MustColumn("o_custkey").I32()
+	okey := d.Orders.MustColumn("o_orderkey").I32()
+	orders := make(map[int32]bool)
+	for i := range odate {
+		if odate[i] < DateQ3 && custs[ocust[i]] {
+			orders[okey[i]] = true
+		}
+	}
+
+	lkey := d.Lineitem.MustColumn("l_orderkey").I32()
+	lship := d.Lineitem.MustColumn("l_shipdate").I32()
+	lprice := d.Lineitem.MustColumn("l_extendedprice").I32()
+	ldisc := d.Lineitem.MustColumn("l_discount").I32()
+	rev := make(map[int64]int64)
+	for i := range lkey {
+		if lship[i] > DateQ3 && orders[lkey[i]] {
+			rev[int64(lkey[i])] += int64(lprice[i]) * (100 - int64(ldisc[i]))
+		}
+	}
+	return rev
+}
+
+// RefQ4 computes Q4's order counts per priority.
+func RefQ4(d *Dataset) map[int64]int64 {
+	commit := d.Lineitem.MustColumn("l_commitdate").I32()
+	receipt := d.Lineitem.MustColumn("l_receiptdate").I32()
+	lkey := d.Lineitem.MustColumn("l_orderkey").I32()
+	late := make(map[int32]bool)
+	for i := range commit {
+		if commit[i] < receipt[i] {
+			late[lkey[i]] = true
+		}
+	}
+
+	odate := d.Orders.MustColumn("o_orderdate").I32()
+	okey := d.Orders.MustColumn("o_orderkey").I32()
+	oprio := d.Orders.MustColumn("o_orderpriority").I32()
+	counts := make(map[int64]int64)
+	for i := range odate {
+		if odate[i] >= DateQ4Lo && odate[i] < DateQ4Hi && late[okey[i]] {
+			counts[int64(oprio[i])]++
+		}
+	}
+	return counts
+}
+
+// RefQ1 computes Q1's per-group sums and counts.
+type Q1Group struct {
+	SumQty int64
+	SumRev int64
+	Count  int64
+}
+
+// RefQ1 computes Q1's aggregates per return-flag/line-status group.
+func RefQ1(d *Dataset) map[int64]Q1Group {
+	ship := d.Lineitem.MustColumn("l_shipdate").I32()
+	rfls := d.Lineitem.MustColumn("l_rfls").I32()
+	qty := d.Lineitem.MustColumn("l_quantity").I32()
+	price := d.Lineitem.MustColumn("l_extendedprice").I32()
+	disc := d.Lineitem.MustColumn("l_discount").I32()
+	groups := make(map[int64]Q1Group)
+	for i := range ship {
+		if ship[i] > DateQ1Cutoff {
+			continue
+		}
+		g := groups[int64(rfls[i])]
+		g.SumQty += int64(qty[i])
+		g.SumRev += int64(price[i]) * (100 - int64(disc[i]))
+		g.Count++
+		groups[int64(rfls[i])] = g
+	}
+	return groups
+}

@@ -1,0 +1,241 @@
+package tpch
+
+import (
+	"testing"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{SF: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	ds := smallDataset(t)
+	if got := ds.Customer.Rows(); got != 1500 {
+		t.Errorf("customers = %d, want 1500", got)
+	}
+	if got := ds.Orders.Rows(); got != 15000 {
+		t.Errorf("orders = %d, want 15000", got)
+	}
+	// 1..7 lineitems per order, expectation 4.
+	li := ds.Lineitem.Rows()
+	if li < 3*15000 || li > 5*15000 {
+		t.Errorf("lineitems = %d, far from 4/order", li)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{SF: 0.01, Seed: 9})
+	b, _ := Generate(Config{SF: 0.01, Seed: 9})
+	if a.Lineitem.Rows() != b.Lineitem.Rows() {
+		t.Fatal("row counts differ across runs")
+	}
+	ac := a.Lineitem.MustColumn("l_extendedprice").I32()
+	bc := b.Lineitem.MustColumn("l_extendedprice").I32()
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	c, _ := Generate(Config{SF: 0.01, Seed: 10})
+	if c.Lineitem.Rows() == a.Lineitem.Rows() {
+		cc := c.Lineitem.MustColumn("l_extendedprice").I32()
+		same := true
+		for i := range ac {
+			if ac[i] != cc[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical data")
+		}
+	}
+}
+
+func TestDomains(t *testing.T) {
+	ds := smallDataset(t)
+	seg := ds.Customer.MustColumn("c_mktsegment").I32()
+	for _, s := range seg {
+		if s < 0 || s >= NumSegments {
+			t.Fatalf("segment %d out of domain", s)
+		}
+	}
+	prio := ds.Orders.MustColumn("o_orderpriority").I32()
+	for _, p := range prio {
+		if p < 1 || p > NumPriorities {
+			t.Fatalf("priority %d out of domain", p)
+		}
+	}
+	disc := ds.Lineitem.MustColumn("l_discount").I32()
+	qty := ds.Lineitem.MustColumn("l_quantity").I32()
+	for i := range disc {
+		if disc[i] < 0 || disc[i] > 10 {
+			t.Fatalf("discount %d out of domain", disc[i])
+		}
+		if qty[i] < 1 || qty[i] > 50 {
+			t.Fatalf("quantity %d out of domain", qty[i])
+		}
+	}
+}
+
+func TestForeignKeysAndDateCorrelations(t *testing.T) {
+	ds := smallDataset(t)
+	nCust := int32(ds.Customer.Rows())
+	custs := ds.Orders.MustColumn("o_custkey").I32()
+	for _, c := range custs {
+		if c < 1 || c > nCust {
+			t.Fatalf("o_custkey %d dangling", c)
+		}
+	}
+
+	okeys := ds.Orders.MustColumn("o_orderkey").I32()
+	odate := ds.Orders.MustColumn("o_orderdate").I32()
+	dateOf := make(map[int32]int32, len(okeys))
+	for i := range okeys {
+		dateOf[okeys[i]] = odate[i]
+	}
+	lkeys := ds.Lineitem.MustColumn("l_orderkey").I32()
+	ship := ds.Lineitem.MustColumn("l_shipdate").I32()
+	receipt := ds.Lineitem.MustColumn("l_receiptdate").I32()
+	for i := range lkeys {
+		od, ok := dateOf[lkeys[i]]
+		if !ok {
+			t.Fatalf("l_orderkey %d dangling", lkeys[i])
+		}
+		if ship[i] <= od {
+			t.Fatalf("shipdate %d not after orderdate %d", ship[i], od)
+		}
+		if receipt[i] <= ship[i] {
+			t.Fatalf("receiptdate %d not after shipdate %d", receipt[i], ship[i])
+		}
+	}
+}
+
+func TestRatioScaling(t *testing.T) {
+	full, _ := Generate(Config{SF: 0.1, Seed: 1})
+	scaled, _ := Generate(Config{SF: 0.1, Ratio: 0.1, Seed: 1})
+	if scaled.Orders.Rows()*10 != full.Orders.Rows() {
+		t.Errorf("ratio scaling: %d vs %d", scaled.Orders.Rows(), full.Orders.Rows())
+	}
+	// Logical accounting ignores the ratio.
+	if full.LogicalRows("orders") != scaled.LogicalRows("orders") {
+		t.Error("logical rows must be ratio-independent")
+	}
+	if scaled.LogicalRows("lineitem") != 600_000 {
+		t.Errorf("logical lineitem = %d", scaled.LogicalRows("lineitem"))
+	}
+	if scaled.LogicalRows("nope") != 0 {
+		t.Error("unknown table logical rows")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{SF: 0}); err == nil {
+		t.Error("zero SF accepted")
+	}
+	if _, err := Generate(Config{SF: 0.0001, Ratio: 0.001}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDates(t *testing.T) {
+	if Date(1992, 1, 1) != 0 {
+		t.Errorf("epoch = %d", Date(1992, 1, 1))
+	}
+	if Date(1992, 1, 2) != 1 {
+		t.Errorf("epoch+1 = %d", Date(1992, 1, 2))
+	}
+	if Date(1993, 1, 1) != 366 { // 1992 is a leap year
+		t.Errorf("1993-01-01 = %d", Date(1993, 1, 1))
+	}
+	if DateQ6Hi-DateQ6Lo != 365 {
+		t.Errorf("Q6 window = %d days", DateQ6Hi-DateQ6Lo)
+	}
+	if DateQ4Hi <= DateQ4Lo || DateQ3 <= 0 || DateQ1Cutoff <= 0 {
+		t.Error("predicate dates out of order")
+	}
+}
+
+func TestQueryColumnsAndSizes(t *testing.T) {
+	for _, q := range []string{"Q1", "Q3", "Q4", "Q6"} {
+		cols, err := QueryColumns(q)
+		if err != nil || len(cols) == 0 {
+			t.Errorf("%s: %v", q, err)
+		}
+		b, err := QueryInputBytes(q, 100)
+		if err != nil || b <= 0 {
+			t.Errorf("%s bytes: %v", q, err)
+		}
+	}
+	if _, err := QueryColumns("Q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+
+	// Figure 7's headline: Q6's input at SF100 fits an 11 GiB GPU, the
+	// full dataset does not.
+	q6, _ := QueryInputBytes("Q6", 100)
+	if q6 >= 11<<30 {
+		t.Errorf("Q6 SF100 input = %d, should fit 11 GiB", q6)
+	}
+	if DatasetBytes(100) <= 11<<30 {
+		t.Errorf("full dataset SF100 = %d, should exceed 11 GiB", DatasetBytes(100))
+	}
+}
+
+func TestCatalogWrapsTables(t *testing.T) {
+	ds := smallDataset(t)
+	cat := ds.Catalog()
+	names := cat.Names()
+	if len(names) != 3 {
+		t.Errorf("catalog names = %v", names)
+	}
+}
+
+// TestReferenceSanity cross-checks the reference implementations against
+// basic invariants.
+func TestReferenceSanity(t *testing.T) {
+	ds := smallDataset(t)
+
+	if rev := RefQ6(ds); rev <= 0 {
+		t.Errorf("Q6 revenue = %d", rev)
+	}
+
+	q3 := RefQ3(ds)
+	if len(q3) == 0 {
+		t.Fatal("Q3 returned no groups")
+	}
+	for k, v := range q3 {
+		if v <= 0 {
+			t.Fatalf("Q3 group %d revenue %d", k, v)
+		}
+	}
+
+	q4 := RefQ4(ds)
+	var total int64
+	for p, c := range q4 {
+		if p < 1 || p > NumPriorities || c <= 0 {
+			t.Fatalf("Q4 group %d count %d", p, c)
+		}
+		total += c
+	}
+	if total <= 0 || total > int64(ds.Orders.Rows()) {
+		t.Errorf("Q4 total = %d", total)
+	}
+
+	q1 := RefQ1(ds)
+	var rows int64
+	for _, g := range q1 {
+		rows += g.Count
+		if g.SumQty <= 0 || g.SumRev <= 0 {
+			t.Error("Q1 group with non-positive sums")
+		}
+	}
+	if rows > int64(ds.Lineitem.Rows()) {
+		t.Errorf("Q1 counted %d rows of %d", rows, ds.Lineitem.Rows())
+	}
+}

@@ -1,0 +1,197 @@
+// Package vclock provides the virtual time base used by the simulated
+// co-processors.
+//
+// ADAMANT's experiments measure how query execution time decomposes into
+// data transfer, kernel execution, and runtime overhead. Reproducing those
+// experiments on arbitrary development machines requires a deterministic
+// clock: every simulated device advances virtual time according to its cost
+// model instead of the host's wall clock. The package implements a small
+// discrete-event scheduler built from independent Timelines (one per device
+// engine, e.g. a GPU's copy engine and compute engine), so copy/compute
+// overlap in the pipelined execution models is modelled by scheduling work
+// on different timelines and synchronizing on completion events.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// DurationOf converts a standard library duration into a virtual duration.
+func DurationOf(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Std converts a virtual duration to a standard library duration for
+// formatting and comparisons.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Seconds reports the duration as floating point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration like time.Duration.
+func (d Duration) String() string { return d.Std().String() }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as an offset from the simulation epoch.
+func (t Time) String() string { return fmt.Sprintf("+%s", time.Duration(t)) }
+
+// MaxTime returns the later of two times.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Timeline is a serially ordered virtual execution engine: work scheduled on
+// a timeline runs in FIFO order with no overlap, like commands submitted to
+// a single CUDA stream or an OpenCL in-order command queue. Distinct
+// timelines run concurrently with each other; cross-timeline dependencies
+// are expressed through the ready argument of Schedule.
+//
+// A Timeline is safe for concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	name  string
+	avail Time     // when the engine becomes free
+	busy  Duration // total busy time accumulated
+	ops   int64
+}
+
+// NewTimeline returns an idle timeline with the given diagnostic name.
+func NewTimeline(name string) *Timeline {
+	return &Timeline{name: name}
+}
+
+// Name returns the diagnostic name supplied at construction.
+func (tl *Timeline) Name() string { return tl.name }
+
+// Schedule enqueues an operation of length dur whose inputs become available
+// at ready. It returns the virtual start and completion times. The operation
+// starts at the later of ready and the completion of all previously
+// scheduled work on this timeline.
+func (tl *Timeline) Schedule(ready Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	start = MaxTime(ready, tl.avail)
+	end = start.Add(dur)
+	tl.avail = end
+	tl.busy += dur
+	tl.ops++
+	return start, end
+}
+
+// Avail reports when the timeline next becomes free.
+func (tl *Timeline) Avail() Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.avail
+}
+
+// Busy reports the total busy time accumulated on the timeline.
+func (tl *Timeline) Busy() Duration {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.busy
+}
+
+// Ops reports how many operations have been scheduled.
+func (tl *Timeline) Ops() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.ops
+}
+
+// Reset returns the timeline to the idle state at the simulation epoch.
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.avail = 0
+	tl.busy = 0
+	tl.ops = 0
+}
+
+// Clock aggregates the timelines of one simulation run. Execution models
+// create a Clock per query execution; the elapsed virtual time of the run is
+// the maximum completion time observed across all timelines.
+type Clock struct {
+	mu        sync.Mutex
+	timelines []*Timeline
+	horizon   Time // latest completion event observed
+}
+
+// NewClock returns an empty clock at the simulation epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Timeline creates and registers a new timeline on the clock.
+func (c *Clock) Timeline(name string) *Timeline {
+	tl := NewTimeline(name)
+	c.mu.Lock()
+	c.timelines = append(c.timelines, tl)
+	c.mu.Unlock()
+	return tl
+}
+
+// Attach registers an externally created timeline so that Horizon and Reset
+// take it into account.
+func (c *Clock) Attach(tl *Timeline) {
+	c.mu.Lock()
+	c.timelines = append(c.timelines, tl)
+	c.mu.Unlock()
+}
+
+// Observe records a completion event, extending the clock horizon.
+func (c *Clock) Observe(t Time) {
+	c.mu.Lock()
+	if t > c.horizon {
+		c.horizon = t
+	}
+	c.mu.Unlock()
+}
+
+// Horizon reports the latest completion time across all observed events and
+// registered timelines.
+func (c *Clock) Horizon() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.horizon
+	for _, tl := range c.timelines {
+		if a := tl.Avail(); a > h {
+			h = a
+		}
+	}
+	return h
+}
+
+// Reset rewinds the clock and all registered timelines to the epoch.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.horizon = 0
+	for _, tl := range c.timelines {
+		tl.Reset()
+	}
+}

@@ -1,0 +1,166 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimelineSerializes(t *testing.T) {
+	tl := NewTimeline("q")
+	s1, e1 := tl.Schedule(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first op: got [%v,%v], want [0,100]", s1, e1)
+	}
+	// Second op is ready early but must wait for the engine.
+	s2, e2 := tl.Schedule(10, 50)
+	if s2 != 100 || e2 != 150 {
+		t.Fatalf("second op: got [%v,%v], want [100,150]", s2, e2)
+	}
+	// Third op is ready late; the engine idles until then.
+	s3, e3 := tl.Schedule(500, 25)
+	if s3 != 500 || e3 != 525 {
+		t.Fatalf("third op: got [%v,%v], want [500,525]", s3, e3)
+	}
+	if tl.Busy() != 175 {
+		t.Errorf("busy = %v, want 175", tl.Busy())
+	}
+	if tl.Ops() != 3 {
+		t.Errorf("ops = %d, want 3", tl.Ops())
+	}
+}
+
+func TestTimelineNegativeDuration(t *testing.T) {
+	tl := NewTimeline("q")
+	s, e := tl.Schedule(10, -5)
+	if s != 10 || e != 10 {
+		t.Fatalf("negative duration: got [%v,%v], want [10,10]", s, e)
+	}
+}
+
+func TestTwoTimelinesOverlap(t *testing.T) {
+	copyQ := NewTimeline("copy")
+	computeQ := NewTimeline("compute")
+
+	// Transfer chunk 0, compute on it while transferring chunk 1.
+	_, t0 := copyQ.Schedule(0, 100)
+	_, t1 := copyQ.Schedule(0, 100) // queued behind t0
+	_, c0 := computeQ.Schedule(t0, 80)
+	_, c1 := computeQ.Schedule(MaxTime(t1, c0), 80)
+
+	if t1 != 200 {
+		t.Errorf("second transfer ends at %v, want 200", t1)
+	}
+	if c0 != 180 {
+		t.Errorf("first compute ends at %v, want 180", c0)
+	}
+	// Second compute waits for its transfer (200) rather than compute
+	// availability (180): overlap hides 80 of the 100.
+	if c1 != 280 {
+		t.Errorf("second compute ends at %v, want 280", c1)
+	}
+}
+
+func TestTimelineConcurrentSafety(t *testing.T) {
+	tl := NewTimeline("q")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tl.Schedule(0, 7)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := tl.Busy(), Duration(32*100*7); got != want {
+		t.Errorf("busy = %v, want %v", got, want)
+	}
+	if tl.Avail() != Time(32*100*7) {
+		t.Errorf("avail = %v, want %v", tl.Avail(), 32*100*7)
+	}
+}
+
+func TestClockHorizon(t *testing.T) {
+	c := NewClock()
+	a := c.Timeline("a")
+	b := c.Timeline("b")
+	a.Schedule(0, 100)
+	b.Schedule(0, 300)
+	if c.Horizon() != 300 {
+		t.Errorf("horizon = %v, want 300", c.Horizon())
+	}
+	c.Observe(1000)
+	if c.Horizon() != 1000 {
+		t.Errorf("horizon after observe = %v, want 1000", c.Horizon())
+	}
+	c.Reset()
+	if c.Horizon() != 0 || a.Avail() != 0 || b.Avail() != 0 {
+		t.Error("reset did not rewind clock and timelines")
+	}
+}
+
+func TestClockAttach(t *testing.T) {
+	c := NewClock()
+	tl := NewTimeline("ext")
+	tl.Schedule(0, 42)
+	c.Attach(tl)
+	if c.Horizon() != 42 {
+		t.Errorf("horizon = %v, want 42", c.Horizon())
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Std() != 1500*time.Microsecond {
+		t.Errorf("Std = %v", d.Std())
+	}
+	if d.Seconds() != 0.0015 {
+		t.Errorf("Seconds = %v", d.Seconds())
+	}
+	if DurationOf(2*time.Millisecond) != 2*Millisecond {
+		t.Errorf("DurationOf mismatch")
+	}
+	if got := Time(100).Add(50 * Nanosecond); got != 150 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Time(100).Sub(40); got != 60 {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+// Property: scheduling never goes backwards, and busy time accumulates
+// exactly.
+func TestTimelineMonotonicProperty(t *testing.T) {
+	f := func(readies []uint32, durs []uint16) bool {
+		tl := NewTimeline("p")
+		var lastEnd Time
+		var busy Duration
+		n := len(readies)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			ready := Time(readies[i])
+			dur := Duration(durs[i])
+			start, end := tl.Schedule(ready, dur)
+			if start < ready || start < lastEnd || end != start.Add(dur) {
+				return false
+			}
+			lastEnd = end
+			busy += dur
+		}
+		return tl.Busy() == busy && tl.Avail() == lastEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if MaxTime(3, 5) != 5 || MaxTime(5, 3) != 5 || MaxTime(4, 4) != 4 {
+		t.Error("MaxTime broken")
+	}
+}

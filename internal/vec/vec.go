@@ -1,0 +1,317 @@
+// Package vec implements the typed column vectors that flow between the
+// host, the device drivers, and the primitive kernels.
+//
+// ADAMANT's primitives (Table I of the paper) exchange NUMERIC columns,
+// BITMAPs, POSITION lists, PREFIX_SUMs and HASH_TABLEs. All of these are
+// represented here as flat, densely packed vectors so that simulated device
+// transfers can account for exact byte counts and kernels can run over
+// contiguous memory. Vectors support zero-copy slicing, which the runtime
+// uses to implement the create_chunk device interface.
+package vec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Type identifies the physical element type of a Vector.
+type Type uint8
+
+// Supported physical types.
+const (
+	Invalid Type = iota
+	Int32        // 32-bit signed integers (the paper's column type)
+	Int64        // 64-bit signed integers (aggregates, hash tables)
+	Float64      // 64-bit floats (derived measures)
+	Bits         // bit-packed boolean bitmap
+)
+
+// String returns the lowercase type name.
+func (t Type) String() string {
+	switch t {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case Bits:
+		return "bits"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// ElemBytes returns the storage size of one element; for Bits it returns 0
+// (use Vector.Bytes for bitmap sizes).
+func (t Type) ElemBytes() int64 {
+	switch t {
+	case Int32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Vector is a typed, contiguous column of values. The zero Vector is invalid;
+// construct vectors with New or the From helpers. Slicing produces views that
+// share the underlying storage.
+type Vector struct {
+	typ Type
+	i32 []int32
+	i64 []int64
+	f64 []float64
+	bit []uint64
+	n   int // logical length in elements (bits for Bits vectors)
+	off int // bit offset of element 0 inside bit[0]; always 0 for non-Bits
+}
+
+// New allocates a zeroed vector of n elements of type t.
+func New(t Type, n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("vec: negative length %d", n))
+	}
+	v := Vector{typ: t, n: n}
+	switch t {
+	case Int32:
+		v.i32 = make([]int32, n)
+	case Int64:
+		v.i64 = make([]int64, n)
+	case Float64:
+		v.f64 = make([]float64, n)
+	case Bits:
+		v.bit = make([]uint64, (n+63)/64)
+	default:
+		panic("vec: New with invalid type")
+	}
+	return v
+}
+
+// FromInt32 wraps an existing slice without copying.
+func FromInt32(s []int32) Vector { return Vector{typ: Int32, i32: s, n: len(s)} }
+
+// FromInt64 wraps an existing slice without copying.
+func FromInt64(s []int64) Vector { return Vector{typ: Int64, i64: s, n: len(s)} }
+
+// FromFloat64 wraps an existing slice without copying.
+func FromFloat64(s []float64) Vector { return Vector{typ: Float64, f64: s, n: len(s)} }
+
+// FromBits wraps bit-packed words holding n logical bits without copying.
+func FromBits(words []uint64, n int) Vector {
+	if need := (n + 63) / 64; len(words) < need {
+		panic(fmt.Sprintf("vec: FromBits needs %d words for %d bits, got %d", need, n, len(words)))
+	}
+	return Vector{typ: Bits, bit: words, n: n}
+}
+
+// Type reports the element type. The zero Vector reports Invalid.
+func (v Vector) Type() Type { return v.typ }
+
+// Len reports the logical element count (bit count for bitmaps).
+func (v Vector) Len() int { return v.n }
+
+// Valid reports whether the vector was properly constructed.
+func (v Vector) Valid() bool { return v.typ != Invalid }
+
+// Bytes reports the storage footprint of the logical contents, which is what
+// the simulated devices charge for transfers and allocations.
+func (v Vector) Bytes() int64 {
+	switch v.typ {
+	case Int32:
+		return 4 * int64(v.n)
+	case Int64, Float64:
+		return 8 * int64(v.n)
+	case Bits:
+		return 8 * int64((v.n+63)/64)
+	default:
+		return 0
+	}
+}
+
+// I32 returns the backing int32 slice. It panics for other types.
+func (v Vector) I32() []int32 {
+	v.mustBe(Int32)
+	return v.i32[:v.n]
+}
+
+// I64 returns the backing int64 slice. It panics for other types.
+func (v Vector) I64() []int64 {
+	v.mustBe(Int64)
+	return v.i64[:v.n]
+}
+
+// F64 returns the backing float64 slice. It panics for other types.
+func (v Vector) F64() []float64 {
+	v.mustBe(Float64)
+	return v.f64[:v.n]
+}
+
+// Words returns the backing bitmap words. It panics for other types. Only
+// word-aligned views expose their words; see Slice.
+func (v Vector) Words() []uint64 {
+	v.mustBe(Bits)
+	if v.off != 0 {
+		panic("vec: Words on unaligned bitmap view")
+	}
+	return v.bit[:(v.n+63)/64]
+}
+
+func (v Vector) mustBe(t Type) {
+	if v.typ != t {
+		panic(fmt.Sprintf("vec: %s vector used as %s", v.typ, t))
+	}
+}
+
+// Slice returns the view v[i:j). For Bits vectors i must be 64-bit aligned
+// so the view can share packed words; the runtime only chunks at aligned
+// boundaries.
+func (v Vector) Slice(i, j int) Vector {
+	if i < 0 || j < i || j > v.n {
+		panic(fmt.Sprintf("vec: slice [%d:%d) of %d", i, j, v.n))
+	}
+	out := v
+	out.n = j - i
+	switch v.typ {
+	case Int32:
+		out.i32 = v.i32[i:]
+	case Int64:
+		out.i64 = v.i64[i:]
+	case Float64:
+		out.f64 = v.f64[i:]
+	case Bits:
+		if i%64 != 0 {
+			panic(fmt.Sprintf("vec: bitmap slice offset %d not 64-aligned", i))
+		}
+		out.bit = v.bit[i/64:]
+	default:
+		panic("vec: slice of invalid vector")
+	}
+	return out
+}
+
+// CopyFrom copies min(v.Len, src.Len) elements from src into v and returns
+// the number of elements copied. Types must match. For Bits vectors both
+// must be word-aligned views.
+func (v Vector) CopyFrom(src Vector) int {
+	if v.typ != src.typ {
+		panic(fmt.Sprintf("vec: copy %s into %s", src.typ, v.typ))
+	}
+	n := v.n
+	if src.n < n {
+		n = src.n
+	}
+	switch v.typ {
+	case Int32:
+		copy(v.i32[:n], src.i32[:n])
+	case Int64:
+		copy(v.i64[:n], src.i64[:n])
+	case Float64:
+		copy(v.f64[:n], src.f64[:n])
+	case Bits:
+		copy(v.bit[:(n+63)/64], src.bit[:(n+63)/64])
+	default:
+		panic("vec: copy of invalid vector")
+	}
+	return n
+}
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	out := New(v.typ, v.n)
+	out.CopyFrom(v)
+	return out
+}
+
+// Zero clears all elements.
+func (v Vector) Zero() {
+	switch v.typ {
+	case Int32:
+		clear(v.i32[:v.n])
+	case Int64:
+		clear(v.i64[:v.n])
+	case Float64:
+		clear(v.f64[:v.n])
+	case Bits:
+		clear(v.bit[:(v.n+63)/64])
+	}
+}
+
+// Bit reports bit i of a bitmap vector.
+func (v Vector) Bit(i int) bool {
+	v.mustBe(Bits)
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("vec: bit %d of %d", i, v.n))
+	}
+	return v.bit[i/64]&(1<<uint(i%64)) != 0
+}
+
+// SetBit sets bit i of a bitmap vector to b.
+func (v Vector) SetBit(i int, b bool) {
+	v.mustBe(Bits)
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("vec: bit %d of %d", i, v.n))
+	}
+	if b {
+		v.bit[i/64] |= 1 << uint(i%64)
+	} else {
+		v.bit[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Popcount returns the number of set bits in a bitmap vector, masking any
+// trailing bits beyond the logical length.
+func (v Vector) Popcount() int {
+	v.mustBe(Bits)
+	total := 0
+	full := v.n / 64
+	for _, w := range v.bit[:full] {
+		total += bits.OnesCount64(w)
+	}
+	if rem := v.n % 64; rem != 0 {
+		total += bits.OnesCount64(v.bit[full] & (1<<uint(rem) - 1))
+	}
+	return total
+}
+
+// Equal reports whether two vectors have the same type, length and contents.
+func Equal(a, b Vector) bool {
+	if a.typ != b.typ || a.n != b.n {
+		return false
+	}
+	switch a.typ {
+	case Int32:
+		for i := 0; i < a.n; i++ {
+			if a.i32[i] != b.i32[i] {
+				return false
+			}
+		}
+	case Int64:
+		for i := 0; i < a.n; i++ {
+			if a.i64[i] != b.i64[i] {
+				return false
+			}
+		}
+	case Float64:
+		for i := 0; i < a.n; i++ {
+			if a.f64[i] != b.f64[i] {
+				return false
+			}
+		}
+	case Bits:
+		for i := 0; i < a.n; i++ {
+			if a.Bit(i) != b.Bit(i) {
+				return false
+			}
+		}
+	case Invalid:
+		return true
+	}
+	return true
+}
+
+// String summarizes the vector for diagnostics.
+func (v Vector) String() string {
+	return fmt.Sprintf("vec{%s, n=%d, %dB}", v.typ, v.n, v.Bytes())
+}

@@ -1,0 +1,337 @@
+package vec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	cases := []struct {
+		typ   Type
+		bytes int64
+	}{
+		{Int32, 40},
+		{Int64, 80},
+		{Float64, 80},
+		{Bits, 8},
+	}
+	for _, c := range cases {
+		v := New(c.typ, 10)
+		if v.Type() != c.typ || v.Len() != 10 {
+			t.Errorf("%s: type/len wrong", c.typ)
+		}
+		if v.Bytes() != c.bytes {
+			t.Errorf("%s: bytes = %d, want %d", c.typ, v.Bytes(), c.bytes)
+		}
+		if !v.Valid() {
+			t.Errorf("%s: not valid", c.typ)
+		}
+	}
+	var zero Vector
+	if zero.Valid() {
+		t.Error("zero vector should be invalid")
+	}
+}
+
+func TestFromWrappers(t *testing.T) {
+	i32 := FromInt32([]int32{1, 2, 3})
+	if i32.Len() != 3 || i32.I32()[1] != 2 {
+		t.Error("FromInt32 broken")
+	}
+	i64 := FromInt64([]int64{4, 5})
+	if i64.I64()[0] != 4 {
+		t.Error("FromInt64 broken")
+	}
+	f64 := FromFloat64([]float64{1.5})
+	if f64.F64()[0] != 1.5 {
+		t.Error("FromFloat64 broken")
+	}
+	bm := FromBits([]uint64{0b101}, 3)
+	if !bm.Bit(0) || bm.Bit(1) || !bm.Bit(2) {
+		t.Error("FromBits broken")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on I64 of Int32 vector")
+		}
+	}()
+	New(Int32, 4).I64()
+}
+
+func TestSliceViewsShareStorage(t *testing.T) {
+	v := New(Int32, 100)
+	v.I32()[50] = 99
+	s := v.Slice(40, 60)
+	if s.Len() != 20 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	if s.I32()[10] != 99 {
+		t.Error("slice does not share storage")
+	}
+	s.I32()[0] = -1
+	if v.I32()[40] != -1 {
+		t.Error("write through slice not visible")
+	}
+}
+
+func TestBitmapSliceAlignment(t *testing.T) {
+	v := New(Bits, 256)
+	v.SetBit(130, true)
+	s := v.Slice(128, 256)
+	if !s.Bit(2) {
+		t.Error("aligned bitmap slice lost bit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unaligned bitmap slice")
+		}
+	}()
+	v.Slice(3, 67)
+}
+
+func TestSliceBounds(t *testing.T) {
+	v := New(Int32, 10)
+	for _, c := range [][2]int{{-1, 5}, {5, 3}, {0, 11}} {
+		func() {
+			defer func() { recover() }()
+			v.Slice(c[0], c[1])
+			t.Errorf("slice [%d:%d) did not panic", c[0], c[1])
+		}()
+	}
+}
+
+func TestCopyCloneZero(t *testing.T) {
+	a := FromInt32([]int32{1, 2, 3, 4})
+	b := New(Int32, 4)
+	if n := b.CopyFrom(a); n != 4 {
+		t.Errorf("copied %d", n)
+	}
+	if !Equal(a, b) {
+		t.Error("copy not equal")
+	}
+	c := a.Clone()
+	c.I32()[0] = 9
+	if a.I32()[0] != 1 {
+		t.Error("clone shares storage")
+	}
+	a.Zero()
+	for _, x := range a.I32() {
+		if x != 0 {
+			t.Error("zero failed")
+		}
+	}
+	// Short destination copies the prefix.
+	d := New(Int32, 2)
+	if n := d.CopyFrom(c); n != 2 {
+		t.Errorf("short copy = %d", n)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if Equal(FromInt32([]int32{1}), FromInt64([]int64{1})) {
+		t.Error("different types equal")
+	}
+	if Equal(FromInt32([]int32{1}), FromInt32([]int32{1, 2})) {
+		t.Error("different lengths equal")
+	}
+	a := New(Bits, 10)
+	b := New(Bits, 10)
+	a.SetBit(3, true)
+	if Equal(a, b) {
+		t.Error("different bitmaps equal")
+	}
+	b.SetBit(3, true)
+	if !Equal(a, b) {
+		t.Error("equal bitmaps unequal")
+	}
+}
+
+func TestPopcountMasksTail(t *testing.T) {
+	v := New(Bits, 70)
+	words := v.Words()
+	words[0] = ^uint64(0)
+	words[1] = ^uint64(0) // bits 64..127, but only 64..69 are logical
+	if got := v.Popcount(); got != 70 {
+		t.Errorf("popcount = %d, want 70", got)
+	}
+}
+
+func TestSetBitClear(t *testing.T) {
+	v := New(Bits, 64)
+	v.SetBit(5, true)
+	v.SetBit(5, false)
+	if v.Bit(5) {
+		t.Error("clear failed")
+	}
+}
+
+// Property: Popcount agrees with a naive per-bit count for random words.
+func TestPopcountProperty(t *testing.T) {
+	f := func(words []uint64, tail uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		n := (len(words)-1)*64 + int(tail%64) + 1
+		v := FromBits(words, n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if v.Bit(i) {
+				naive++
+			}
+		}
+		return v.Popcount() == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slicing then copying roundtrips arbitrary int32 data.
+func TestSliceCopyRoundtripProperty(t *testing.T) {
+	f := func(data []int32, loRaw, hiRaw uint16) bool {
+		v := FromInt32(data)
+		if len(data) == 0 {
+			return true
+		}
+		lo := int(loRaw) % len(data)
+		hi := lo + int(hiRaw)%(len(data)-lo+1)
+		s := v.Slice(lo, hi)
+		out := New(Int32, s.Len())
+		out.CopyFrom(s)
+		for i := 0; i < s.Len(); i++ {
+			if out.I32()[i] != data[lo+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsBitCount(t *testing.T) {
+	v := New(Bits, 130)
+	if len(v.Words()) != 3 {
+		t.Errorf("words = %d, want 3", len(v.Words()))
+	}
+	v.Words()[2] = 0b11
+	if got := v.Popcount(); got != 2 {
+		t.Errorf("popcount = %d, want 2", got)
+	}
+	_ = bits.OnesCount64 // anchor: the implementation must mask beyond 130
+}
+
+func TestTypeStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Int32: "int32", Int64: "int64", Float64: "float64", Bits: "bits",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d: %s != %s", typ, typ.String(), want)
+		}
+	}
+	if Invalid.String() == "" || Type(99).String() == "" {
+		t.Error("invalid types need diagnostics")
+	}
+}
+
+func TestElemBytes(t *testing.T) {
+	if Int32.ElemBytes() != 4 || Int64.ElemBytes() != 8 || Float64.ElemBytes() != 8 || Bits.ElemBytes() != 0 {
+		t.Error("ElemBytes wrong")
+	}
+}
+
+func TestFloat64AndInt64Paths(t *testing.T) {
+	f := New(Float64, 4)
+	f.F64()[2] = 1.5
+	c := f.Clone()
+	if !Equal(f, c) {
+		t.Error("float clone not equal")
+	}
+	c.F64()[2] = 2.5
+	if Equal(f, c) {
+		t.Error("mutated float clone still equal")
+	}
+	f.Zero()
+	if f.F64()[2] != 0 {
+		t.Error("float zero failed")
+	}
+	s := f.Slice(1, 3)
+	if s.Len() != 2 {
+		t.Error("float slice")
+	}
+	dst := New(Float64, 2)
+	dst.CopyFrom(s)
+
+	i := FromInt64([]int64{7, 8, 9})
+	i.Zero()
+	if i.I64()[0] != 0 {
+		t.Error("int64 zero failed")
+	}
+	i2 := i.Slice(1, 3)
+	out := New(Int64, 2)
+	out.CopyFrom(i2)
+	if out.I64()[0] != 0 {
+		t.Error("int64 slice copy")
+	}
+	if !Equal(i2, out) {
+		t.Error("int64 equal")
+	}
+}
+
+func TestBitsZeroCloneEqual(t *testing.T) {
+	b := New(Bits, 130)
+	b.SetBit(129, true)
+	c := b.Clone()
+	if !Equal(b, c) {
+		t.Error("bits clone")
+	}
+	b.Zero()
+	if b.Popcount() != 0 {
+		t.Error("bits zero")
+	}
+}
+
+func TestStringsAndDiagnostics(t *testing.T) {
+	v := FromInt32([]int32{1, 2})
+	if v.String() == "" {
+		t.Error("vector diagnostics")
+	}
+	var zero Vector
+	if Equal(zero, Vector{}) != true {
+		t.Error("two invalid vectors are equal")
+	}
+}
+
+func TestConstructionPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(Invalid, 4) },
+		func() { New(Int32, -1) },
+		func() { FromBits([]uint64{}, 64) },
+		func() { New(Bits, 64).Slice(3, 10) },
+		func() { Vector{}.Slice(0, 0) },
+		func() { New(Int32, 4).CopyFrom(New(Int64, 4)) },
+		func() { New(Bits, 64).Bit(64) },
+		func() { New(Bits, 64).SetBit(-1, true) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Aligned views expose words without panic.
+	v := New(Bits, 128)
+	v.SetBit(64, true)
+	if v.Slice(64, 128).Words()[0] != 1 {
+		t.Error("aligned view words")
+	}
+}

@@ -1,0 +1,248 @@
+package adamant_test
+
+import (
+	"strings"
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// TestJoinPairsAndGather exercises the HASH_PROBE join-pair path through
+// the public API: build an index over unique keys, probe with a key
+// column, and gather the probe-side payloads by the join's left positions.
+func TestJoinPairsAndGather(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	buildKeys := []int32{10, 20, 30, 40}
+	probeKeys := make([]int32, 400)
+	payload := make([]int32, 400)
+	var want int64
+	for i := range probeKeys {
+		probeKeys[i] = int32((i % 8) * 10) // 0,10,..70: half match
+		payload[i] = int32(i)
+		if probeKeys[i] >= 10 && probeKeys[i] <= 40 {
+			want += int64(payload[i])
+		}
+	}
+
+	plan := eng.NewPlan().On(gpu)
+	bk := plan.ScanInt32("build", buildKeys)
+	index := plan.BuildKeyIndex(bk, len(buildKeys))
+
+	pk := plan.ScanInt32("probe", probeKeys)
+	pay := plan.ScanInt32("payload", payload)
+	left, right := plan.JoinPairs(pk, index, 1.0)
+	_ = right // build-side row positions, unused here
+	matched := plan.Gather(pay, left)
+	plan.Return("sum", plan.SumInt64(plan.CastInt64(matched)))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.OperatorAtATime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("sum")[0]; got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestMinMaxOrFilterCols covers the remaining plan operators.
+func TestMinMaxOrFilterCols(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	a := []int32{5, -3, 9, 120, 7}
+	b := []int32{6, -3, 2, 100, 9}
+
+	plan := eng.NewPlan().On(gpu)
+	ca := plan.ScanInt32("a", a)
+	cb := plan.ScanInt32("b", b)
+
+	// a < b OR a == 120.
+	keep := plan.Or(plan.FilterCols(ca, cb, adamant.Lt), plan.Filter(ca, adamant.Eq, 120))
+	kept := plan.CastInt64(plan.Materialize(ca, keep)) // 5, -3? a<b: 5<6 yes, -3<-3 no, 9<2 no, 120<100 no(+eq ✓), 7<9 yes
+	plan.Return("min", plan.MinInt64(kept))
+	plan.Return("max", plan.MaxInt64(kept))
+	plan.Return("count", plan.CountBits(keep))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("min")[0]; got != 5 {
+		t.Errorf("min = %d, want 5", got)
+	}
+	if got := res.Int64("max")[0]; got != 120 {
+		t.Errorf("max = %d, want 120", got)
+	}
+	if got := res.Int64("count")[0]; got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+// TestScanInt64AndMulComplement covers the int64 scan path and the fused
+// complement multiply.
+func TestScanInt64AndMulComplement(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	price := []int32{100, 200, 300}
+	disc := []int32{10, 20, 30}
+	weights := []int64{2, 3, 4}
+
+	plan := eng.NewPlan().On(gpu)
+	cp := plan.ScanInt32("price", price)
+	cd := plan.ScanInt32("disc", disc)
+	cw := plan.ScanInt64("weights", weights)
+	plan.Return("wmax", plan.MaxInt64(cw))
+	rev := plan.MulComplement(cp, cd, 100)
+	plan.Return("rev", plan.SumInt64(rev))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.OperatorAtATime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100*90 + 200*80 + 300*70)
+	if got := res.Int64("rev")[0]; got != want {
+		t.Errorf("rev = %d, want %d", got, want)
+	}
+	if got := res.Int64("wmax")[0]; got != 4 {
+		t.Errorf("wmax = %d, want 4", got)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+	plan := eng.NewPlan().On(gpu)
+	c := plan.ScanInt32("c", []int32{1, 2, 3})
+	f := plan.Filter(c, adamant.Ge, 2)
+	plan.Return("kept", plan.Materialize(c, f))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := res.Columns(); len(cols) != 1 || cols[0] != "kept" {
+		t.Errorf("columns = %v", cols)
+	}
+	if res.Len("kept") != 2 || res.Len("missing") != 0 {
+		t.Errorf("lengths: kept=%d missing=%d", res.Len("kept"), res.Len("missing"))
+	}
+	if got := res.Int32("kept"); got[0] != 2 || got[1] != 3 {
+		t.Errorf("kept = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Int64 of missing column must panic")
+			}
+		}()
+		res.Int64("missing")
+	}()
+	s := res.Stats()
+	if s.Elapsed <= 0 || s.Launches == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFootprintAccessor(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+	plan := eng.NewPlan().On(gpu)
+	c := plan.ScanInt32("c", []int32{1, 2, 3, 4})
+	plan.Return("sum", plan.SumInt64(plan.CastInt64(c)))
+	res, err := eng.Execute(plan, adamant.ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := res.Footprint()
+	if len(fp) == 0 || fp[0].Label == "" {
+		t.Errorf("footprint = %v", fp)
+	}
+}
+
+func TestPlugCustom(t *testing.T) {
+	eng := adamant.NewEngine()
+
+	// Host-resident custom device through OpenCL.
+	cpu, err := eng.PlugCustom(adamant.CustomSpec{Name: "soft-cpu", HostResident: true, SDK: adamant.OpenCL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults fill in for a GPU-class device.
+	gpu, err := eng.PlugCustom(adamant.CustomSpec{SDK: adamant.OpenMP})
+	if err == nil {
+		t.Error("OpenMP on a GPU-class custom device should fail")
+	}
+	gpu, err = eng.PlugCustom(adamant.CustomSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PlugCustom(adamant.CustomSpec{SDK: adamant.SDK(9)}); err == nil {
+		t.Error("unknown SDK accepted")
+	}
+
+	devs := eng.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	if !strings.Contains(devs[0].Name, "soft-cpu") || !devs[0].HostResident {
+		t.Errorf("custom cpu = %+v", devs[0])
+	}
+
+	// The custom devices execute plans.
+	plan := eng.NewPlan().On(cpu)
+	c := plan.ScanInt32("c", []int32{3, 1, 4})
+	plan.Return("max", plan.MaxInt64(plan.CastInt64(c)))
+	plan.On(gpu) // no-op switch back and forth exercises On
+	plan.On(cpu)
+	res, err := eng.Execute(plan, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Int64("max")[0] != 4 {
+		t.Error("custom device computed wrong result")
+	}
+}
+
+func TestHardwareAndSDKStrings(t *testing.T) {
+	for _, h := range []adamant.Hardware{adamant.RTX2080Ti, adamant.A100, adamant.GTX1050, adamant.GTX1080, adamant.CoreI78700, adamant.XeonGold5220R} {
+		if h.String() == "" || strings.HasPrefix(h.String(), "hardware(") {
+			t.Errorf("hardware %d has no name", h)
+		}
+	}
+	if adamant.Hardware(99).String() != "hardware(99)" {
+		t.Error("unknown hardware diagnostic")
+	}
+	for s, want := range map[adamant.SDK]string{adamant.CUDA: "CUDA", adamant.OpenCL: "OpenCL", adamant.OpenMP: "OpenMP"} {
+		if s.String() != want {
+			t.Errorf("sdk %d = %s", s, s.String())
+		}
+	}
+	if adamant.Between.String() != "between" || adamant.Ne.String() != "<>" {
+		t.Error("cmp op strings")
+	}
+	if _, err := adamant.NewEngine().Plug(adamant.Hardware(99), adamant.CUDA); err == nil {
+		t.Error("unknown hardware accepted")
+	}
+}
+
+// TestFilterInt64Column filters a derived int64 column, covering the
+// int64 FILTER_BITMAP variant through the public API.
+func TestFilterInt64Column(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	a := []int32{10, 20, 30, 40}
+	b := []int32{10, 10, 10, 10}
+
+	plan := eng.NewPlan().On(gpu)
+	ca := plan.ScanInt32("a", a)
+	cb := plan.ScanInt32("b", b)
+	prod := plan.Mul(ca, cb) // 100, 200, 300, 400 as int64
+	big := plan.Filter(prod, adamant.Ge, 250)
+	plan.Return("n", plan.CountBits(big))
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("n")[0]; got != 2 {
+		t.Errorf("n = %d, want 2", got)
+	}
+}

@@ -1,0 +1,116 @@
+package adamant
+
+import (
+	"time"
+
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Result is a completed query: its named output columns and execution
+// statistics.
+type Result struct {
+	inner *exec.Result
+}
+
+func newResult(r *exec.Result) *Result { return &Result{inner: r} }
+
+// Columns lists the result column names in Return order.
+func (r *Result) Columns() []string {
+	out := make([]string, len(r.inner.Columns))
+	for i, c := range r.inner.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Len reports the row count of a result column (0 if absent).
+func (r *Result) Len(name string) int {
+	if v, ok := r.inner.Column(name); ok {
+		return v.Len()
+	}
+	return 0
+}
+
+// Int64 returns a result column as int64 values. It panics if the column
+// is absent or has another type; use Columns/Len to probe first.
+func (r *Result) Int64(name string) []int64 {
+	v, ok := r.inner.Column(name)
+	if !ok {
+		panic("adamant: no result column " + name)
+	}
+	return v.I64()
+}
+
+// Int32 returns a result column as int32 values. It panics if the column
+// is absent or has another type.
+func (r *Result) Int32(name string) []int32 {
+	v, ok := r.inner.Column(name)
+	if !ok {
+		panic("adamant: no result column " + name)
+	}
+	return v.I32()
+}
+
+// column gives tests access to the raw vector.
+func (r *Result) column(name string) (vec.Vector, bool) { return r.inner.Column(name) }
+
+// Stats summarizes one execution. Durations are virtual (simulated device
+// time) except Wall.
+type Stats struct {
+	// Elapsed is the simulated end-to-end execution time — what the
+	// paper's figures report.
+	Elapsed time.Duration
+	// Wall is the host wall-clock time actually spent.
+	Wall time.Duration
+	// KernelTime, TransferTime and OverheadTime decompose the device
+	// activity (kernel bodies, data movement, launch/alloc handling).
+	KernelTime   time.Duration
+	TransferTime time.Duration
+	OverheadTime time.Duration
+	// H2DBytes and D2HBytes count the payload bytes moved.
+	H2DBytes int64
+	D2HBytes int64
+	// Launches counts kernel dispatches; Chunks counts chunk iterations;
+	// Pipelines counts the query pipelines executed.
+	Launches  int64
+	Chunks    int
+	Pipelines int
+	// PeakDeviceBytes is the device-memory high-water mark.
+	PeakDeviceBytes int64
+}
+
+// Stats returns the execution statistics.
+func (r *Result) Stats() Stats {
+	s := r.inner.Stats
+	return Stats{
+		Elapsed:         s.Elapsed.Std(),
+		Wall:            s.Wall,
+		KernelTime:      s.KernelTime.Std(),
+		TransferTime:    s.TransferTime.Std(),
+		OverheadTime:    s.OverheadTime.Std(),
+		H2DBytes:        s.H2DBytes,
+		D2HBytes:        s.D2HBytes,
+		Launches:        s.Launches,
+		Chunks:          s.Chunks,
+		Pipelines:       s.Pipelines,
+		PeakDeviceBytes: s.PeakDeviceBytes,
+	}
+}
+
+// Footprint returns the per-primitive device-memory trace recorded when
+// ExecOptions.Trace was set, as (label, bytes) pairs.
+func (r *Result) Footprint() []struct {
+	Label string
+	Bytes int64
+} {
+	out := make([]struct {
+		Label string
+		Bytes int64
+	}, len(r.inner.Stats.Footprint))
+	for i, s := range r.inner.Stats.Footprint {
+		out[i].Label = s.Label
+		out[i].Bytes = s.Bytes
+	}
+	return out
+}

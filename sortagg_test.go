@@ -1,0 +1,53 @@
+package adamant_test
+
+import (
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// TestSortedGroupSum exercises the SORT_AGG path of Table I end to end:
+// boundary indicator -> PREFIX_SUM (breaker) -> SORT_AGG over sorted keys.
+func TestSortedGroupSum(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+
+	// Sorted keys with irregular group sizes.
+	var keys []int32
+	var values []int32
+	want := map[int32]int64{}
+	for g := int32(0); g < 50; g++ {
+		for i := int32(0); i <= g%7; i++ {
+			keys = append(keys, g*3)
+			values = append(values, g+i)
+			want[g*3] += int64(g + i)
+		}
+	}
+
+	plan := eng.NewPlan().On(gpu)
+
+	// Pipeline 1: group indexes from the sorted key column.
+	k1 := plan.ScanInt32("keys", keys)
+	pxsum := plan.GroupIndexes(k1)
+
+	// Pipeline 2: segmented aggregation.
+	k2 := plan.ScanInt32("keys2", keys)
+	v := plan.ScanInt32("values", values)
+	gk, ga := plan.SortedGroupSum(k2, plan.CastInt64(v), pxsum, len(want))
+	plan.Return("group", gk)
+	plan.Return("sum", ga)
+
+	res, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.OperatorAtATime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Int32("group")
+	sums := res.Int64("sum")
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	for i, g := range groups {
+		if want[g] != sums[i] {
+			t.Errorf("group %d sum = %d, want %d", g, sums[i], want[g])
+		}
+	}
+}

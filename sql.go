@@ -1,0 +1,91 @@
+package adamant
+
+import (
+	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/sql"
+	"github.com/adamant-db/adamant/internal/storage"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Table is a named collection of equal-length host columns that SQL queries
+// run against.
+type Table struct {
+	inner *storage.Table
+}
+
+// NewTable creates a table expecting the given row count.
+func NewTable(name string, rows int) *Table {
+	return &Table{inner: storage.NewTable(name, rows)}
+}
+
+// AddInt32 attaches an int32 column (the dialect's column type).
+func (t *Table) AddInt32(name string, values []int32) error {
+	return t.inner.AddColumn(name, vec.FromInt32(values))
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.inner.Name }
+
+// Rows returns the table cardinality.
+func (t *Table) Rows() int { return t.inner.Rows() }
+
+// Catalog names the tables a query can reference.
+type Catalog struct {
+	inner *storage.Catalog
+}
+
+// NewCatalog builds a catalog over the given tables.
+func NewCatalog(tables ...*Table) *Catalog {
+	c := storage.NewCatalog()
+	for _, t := range tables {
+		c.Add(t.inner)
+	}
+	return &Catalog{inner: c}
+}
+
+// QueryOptions configures one SQL execution.
+type QueryOptions struct {
+	ExecOptions
+	// GroupsHint estimates the distinct group count for GROUP BY sizing
+	// (zero: a quarter of the table's rows).
+	GroupsHint int
+}
+
+// Query parses, plans and executes a SQL query against the catalog on the
+// given device.
+//
+// The dialect is the analytical subset the paper evaluates: single-table
+// SELECT with conjunctive WHERE predicates (comparisons, BETWEEN,
+// column-vs-column, DATE 'yyyy-mm-dd' literals, parenthesized OR groups),
+// IN and NOT IN subquery semi/anti-joins (nestable — the relational form
+// of TPC-H Q3/Q4's joins), SUM/MIN/MAX aggregates over columns, a*b, and
+// a*(k-b) expressions, COUNT(*), and single-column GROUP BY, with ORDER BY
+// <result column> [DESC] and LIMIT applied host-side after retrieval. The
+// front-end lowers queries onto the same primitives as the plan-builder
+// API.
+func (e *Engine) Query(cat *Catalog, dev DeviceID, query string, opts QueryOptions) (*Result, error) {
+	ast, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sql.Plan(ast, sql.PlanConfig{
+		Catalog:    cat.inner,
+		Device:     dev,
+		GroupsHint: opts.GroupsHint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(e.rt, g, core.Options{
+		Model:      core.Model(opts.Model),
+		ChunkElems: opts.ChunkElems,
+		Trace:      opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sql.PostProcess(res, ast); err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
