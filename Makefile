@@ -1,0 +1,22 @@
+
+# Tier-1 gate: everything CI runs, in order. The race detector is part of
+# the gate — the engine promises safe concurrent use, so every test also
+# runs under -race.
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem .

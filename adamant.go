@@ -40,6 +40,7 @@
 package adamant
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/adamant-db/adamant/internal/core"
@@ -48,7 +49,9 @@ import (
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/driver/simopencl"
 	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
 )
 
@@ -149,17 +152,92 @@ type ExecOptions struct {
 	ChunkElems int
 	// Trace records a device-memory footprint sample per primitive.
 	Trace bool
+	// Priority orders this query in the admission queue under the
+	// Priority admission policy; higher runs first. Ignored under FIFO.
+	Priority int
 }
 
-// Engine is the unified runtime: a registry of plugged co-processors plus
-// the execution models that run primitive graphs on them.
+// ErrAdmission is the sentinel every admission rejection wraps: the
+// session scheduler refused the query (its working set exceeds a device
+// budget, or the admission queue is full) rather than letting it OOM a
+// running session. Match with errors.Is.
+var ErrAdmission = session.ErrAdmission
+
+// AdmissionPolicy selects the order in which queued queries are admitted.
+type AdmissionPolicy = session.Policy
+
+// Admission policies.
+const (
+	// FIFOAdmission admits queued queries in arrival order.
+	FIFOAdmission = session.FIFO
+	// PriorityAdmission admits the highest ExecOptions.Priority first.
+	PriorityAdmission = session.Priority
+)
+
+// AdmissionStats snapshots the engine's session-scheduler counters.
+type AdmissionStats = session.Stats
+
+// EngineOption configures a new Engine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	sess       session.Config
+	budgetFrac float64
+}
+
+// WithMaxConcurrent caps how many queries execute concurrently on the
+// engine; further queries wait in the admission queue. Zero (the default)
+// means unlimited.
+func WithMaxConcurrent(n int) EngineOption {
+	return func(c *engineConfig) { c.sess.MaxConcurrent = n }
+}
+
+// WithAdmissionPolicy selects FIFO (default) or priority admission
+// ordering for queued queries.
+func WithAdmissionPolicy(p AdmissionPolicy) EngineOption {
+	return func(c *engineConfig) { c.sess.Policy = p }
+}
+
+// WithAdmissionQueueLimit caps the admission queue; arrivals beyond it
+// fail fast with ErrAdmission instead of waiting. Zero means unlimited.
+func WithAdmissionQueueLimit(n int) EngineOption {
+	return func(c *engineConfig) { c.sess.MaxQueued = n }
+}
+
+// WithDeviceBudgetFraction enables memory admission control: each
+// subsequently plugged non-host device gets an admission budget of the
+// given fraction of its memory (1.0 = the full card). Queries whose
+// estimated working set exceeds the budget are rejected with ErrAdmission;
+// queries that fit the budget but not the memory currently free wait for
+// running sessions to finish. Zero (the default) disables budget checks.
+func WithDeviceBudgetFraction(f float64) EngineOption {
+	return func(c *engineConfig) { c.budgetFrac = f }
+}
+
+// Engine is the unified runtime: a registry of plugged co-processors, the
+// execution models that run primitive graphs on them, and a session
+// scheduler that admits concurrent queries against per-device memory
+// budgets. An Engine is safe for concurrent use: any number of goroutines
+// may build plans and call Execute/ExecuteContext over the same engine.
 type Engine struct {
-	rt *hub.Runtime
+	rt         *hub.Runtime
+	sched      *session.Scheduler
+	budgetFrac float64
 }
 
-// NewEngine returns an engine with no devices plugged.
-func NewEngine() *Engine {
-	return &Engine{rt: hub.NewRuntime()}
+// NewEngine returns an engine with no devices plugged. With no options the
+// engine admits everything immediately (no concurrency cap, no memory
+// budgets) — the single-user behaviour of the paper's runtime.
+func NewEngine(opts ...EngineOption) *Engine {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{
+		rt:         hub.NewRuntime(),
+		sched:      session.NewScheduler(cfg.sess),
+		budgetFrac: cfg.budgetFrac,
+	}
 }
 
 // Plug registers a simulated co-processor accessed through the given SDK
@@ -191,15 +269,38 @@ func (e *Engine) Plug(hw Hardware, sdk SDK) (DeviceID, error) {
 	default:
 		return 0, fmt.Errorf("adamant: unknown SDK %d", int(sdk))
 	}
-	return e.rt.Register(d)
+	return e.register(d)
 }
 
 // PlugDevice registers a custom device implementation. Any type satisfying
 // the device layer's ten interfaces can be plugged without changing the
 // runtime — the paper's headline claim.
 func (e *Engine) PlugDevice(d device.Device) (DeviceID, error) {
-	return e.rt.Register(d)
+	return e.register(d)
 }
+
+// register plugs a device and applies the engine's admission budget.
+func (e *Engine) register(d device.Device) (DeviceID, error) {
+	id, err := e.rt.Register(d)
+	if err != nil {
+		return 0, err
+	}
+	info := d.Info()
+	if e.budgetFrac > 0 && !info.HostResident && info.MemoryBytes > 0 {
+		e.sched.SetBudget(id, int64(e.budgetFrac*float64(info.MemoryBytes)))
+	}
+	return id, nil
+}
+
+// SetDeviceBudget sets (or, with bytes <= 0, clears) the admission budget
+// for one device, overriding WithDeviceBudgetFraction.
+func (e *Engine) SetDeviceBudget(id DeviceID, bytes int64) {
+	e.sched.SetBudget(id, bytes)
+}
+
+// AdmissionStats reports the session scheduler's counters: admitted,
+// rejected and queued-before-running totals plus current queue depth.
+func (e *Engine) AdmissionStats() AdmissionStats { return e.sched.Stats() }
 
 // DeviceInfo describes a plugged device.
 type DeviceInfo struct {
@@ -230,20 +331,46 @@ func (e *Engine) Devices() []DeviceInfo {
 	return out
 }
 
-// Execute runs a plan under the given options.
+// Execute runs a plan under the given options. It is ExecuteContext with
+// a background context.
 func (e *Engine) Execute(p *Plan, opts ExecOptions) (*Result, error) {
+	return e.ExecuteContext(context.Background(), p, opts)
+}
+
+// ExecuteContext runs a plan under the given options, honouring the
+// context end to end: while the query waits in the admission queue and, at
+// every chunk boundary, while it executes. A cancelled query releases all
+// of its device and pinned buffers before returning, so the engine's
+// memory returns to its pre-query baseline. The returned error wraps
+// ctx.Err() on cancellation and ErrAdmission on admission rejection.
+func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) (*Result, error) {
 	if err := p.err(); err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(e.rt, p.graph(), exec.Options{
+	res, err := e.runGraph(ctx, p.graph(), exec.Options{
 		Model:      exec.Model(opts.Model),
 		ChunkElems: opts.ChunkElems,
 		Trace:      opts.Trace,
-	})
+	}, opts.Priority)
 	if err != nil {
 		return nil, err
 	}
 	return newResult(res), nil
+}
+
+// runGraph is the shared admission + execution path: estimate the query's
+// per-device working set, pass admission control, run, release.
+func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options, priority int) (*exec.Result, error) {
+	demand, err := exec.EstimateDemand(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	grant, err := e.sched.Admit(ctx, session.Request{Priority: priority, Demand: demand})
+	if err != nil {
+		return nil, err
+	}
+	defer grant.Release()
+	return exec.RunContext(ctx, e.rt, g, opts)
 }
 
 // Runtime exposes the underlying device registry for advanced integrations

@@ -12,11 +12,14 @@
 package adamant_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	adamant "github.com/adamant-db/adamant"
 	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
@@ -25,6 +28,7 @@ import (
 	"github.com/adamant-db/adamant/internal/heavysim"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/tpch"
 	"github.com/adamant-db/adamant/internal/vclock"
@@ -515,6 +519,75 @@ func BenchmarkAblationTransform(b *testing.B) {
 		b.StopTimer()
 		reportVirtual(b, d.CopyEngine().Avail().Sub(start))
 	})
+}
+
+// BenchmarkConcurrentThroughput sweeps concurrent Q6 sessions through the
+// session scheduler over one shared device, reporting end-to-end
+// queries/sec and how many sessions had to wait for admission. The
+// scheduler itself stays fixed (four in-flight sessions, full-card
+// budget), so the higher offered loads show the admission queue working.
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	ds := dataset(b, 10)
+	for _, conc := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("sessions-%d", conc), func(b *testing.B) {
+			rt := hub.NewRuntime()
+			dev, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := rt.Device(dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched := session.NewScheduler(session.Config{MaxConcurrent: 4})
+			sched.SetBudget(dev, d.Info().MemoryBytes)
+			opts := exec.Options{Model: exec.FourPhasePipelined, ChunkElems: benchChunk()}
+			ctx := context.Background()
+
+			runOne := func() error {
+				g, err := tpch.BuildQuery("Q6", ds, dev)
+				if err != nil {
+					return err
+				}
+				demand, err := exec.EstimateDemand(g, opts)
+				if err != nil {
+					return err
+				}
+				grant, err := sched.Admit(ctx, session.Request{Demand: demand})
+				if err != nil {
+					return err
+				}
+				defer grant.Release()
+				_, err = exec.RunContext(ctx, rt, g, opts)
+				return err
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, conc)
+				for s := 0; s < conc; s++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if err := runOne(); err != nil {
+							errs <- err
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*conc)/secs, "queries/s")
+			}
+			b.ReportMetric(float64(sched.Stats().Waited)/float64(b.N), "waits/op")
+		})
+	}
 }
 
 // BenchmarkAblationPrefetchDepth sweeps the rotating staging-buffer count

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/adamant-db/adamant/internal/experiments"
 )
@@ -24,7 +28,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "data generator seed")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Ratio: *ratio, Seed: *seed}
+	// Ctrl-C cancels the in-flight query at its next chunk boundary; the
+	// interrupted experiment reports how far it got instead of dying
+	// mid-allocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := experiments.Config{Quick: *quick, Ratio: *ratio, Seed: *seed, Ctx: ctx}
 
 	var err error
 	if *exp == "" {
@@ -35,6 +44,10 @@ func main() {
 		if err == nil {
 			err = gen(cfg, os.Stdout)
 		}
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "adamant-bench: interrupted — partial results above")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adamant-bench: %v\n", err)

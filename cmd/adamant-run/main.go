@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/device"
@@ -30,13 +34,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the in-flight query at the next chunk boundary: the
+	// executor releases every buffer it allocated and run prints the
+	// partial timings instead of dying mid-allocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "adamant-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	q := flag.String("q", "Q6", "query: Q1, Q3, Q4 or Q6")
 	sqlText := flag.String("sql", "", "run this SQL query against the TPC-H catalog instead of -q")
 	sf := flag.Float64("sf", 1, "TPC-H scale factor")
@@ -145,17 +154,21 @@ func run() error {
 			chunkElems = 1024
 		}
 	}
-	res, err := core.Run(rt, g, core.Options{Model: model, ChunkElems: chunkElems})
-	if err != nil {
+	res, err := core.RunContext(ctx, rt, g, core.Options{Model: model, ChunkElems: chunkElems})
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !(cancelled && res != nil) {
 		return err
 	}
-	if ast != nil {
+	if ast != nil && !cancelled {
 		if err := sql.PostProcess(res, ast); err != nil {
 			return err
 		}
 	}
 
 	s := res.Stats
+	if cancelled {
+		fmt.Printf("\ninterrupted — query cancelled at a chunk boundary; partial timings:\n")
+	}
 	fmt.Printf("\n%s under %v (chunk %d values):\n", *q, model, chunkElems)
 	fmt.Printf("  simulated  %v   (kernels %v, transfers %v, overhead %v)\n",
 		s.Elapsed, s.KernelTime, s.TransferTime, s.OverheadTime)
@@ -169,6 +182,9 @@ func run() error {
 		device.RenderTimeline(os.Stdout, events.Events(), 100)
 	}
 
+	if cancelled {
+		return nil
+	}
 	fmt.Println("\nresults:")
 	for _, col := range res.Columns {
 		fmt.Printf("  %-16s %d rows\n", col.Name, col.Data.Len())

@@ -98,7 +98,7 @@ func (e *Engine) PlugCustom(cs CustomSpec) (DeviceID, error) {
 		return 0, fmt.Errorf("adamant: unknown SDK %d", int(cs.SDK))
 	}
 
-	return e.rt.Register(device.NewSim(device.SimConfig{
+	return e.register(device.NewSim(device.SimConfig{
 		Name:   cs.Name + "/" + profile.Name,
 		Spec:   spec,
 		SDK:    profile,

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
@@ -36,4 +38,12 @@ type Result = exec.Result
 // Run executes a primitive graph on the runtime's plugged devices.
 func Run(rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
 	return exec.Run(rt, g, opts)
+}
+
+// RunContext is Run with cancellation: the context is honoured at chunk
+// and pipeline boundaries, and a cancelled query releases everything it
+// allocated. On cancellation the returned Result (when non-nil) carries
+// the partial execution statistics.
+func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
+	return exec.RunContext(ctx, rt, g, opts)
 }

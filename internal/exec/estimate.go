@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// bytesFor mirrors vec.Vector.Bytes without allocating: the accounted
+// footprint of n elements of type t.
+func bytesFor(t vec.Type, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	switch t {
+	case vec.Int32:
+		return 4 * int64(n)
+	case vec.Int64, vec.Float64:
+		return 8 * int64(n)
+	case vec.Bits:
+		return 8 * int64((n+63)/64)
+	default:
+		return 0
+	}
+}
+
+// EstimateDemand returns the query's estimated device-memory working set,
+// per device, under the given options — the quantity the session scheduler
+// admits against (the paper's Figure 7 memory analysis, applied up front).
+//
+// The estimate follows the same sizing rules the executor uses when it
+// allocates: whole columns under operator-at-a-time, staging double
+// buffers and per-chunk scratch under the chunked models, accumulator and
+// count buffers per task. Pinned staging is page-locked host memory and
+// does not count against device capacity, so the 4-phase models charge no
+// staging to the device. The estimate is deliberately conservative: it
+// sums across pipelines instead of modelling intermediate frees, so an
+// admitted query never out-grows its reservation mid-flight.
+func EstimateDemand(g *graph.Graph, opts Options) (map[device.ID]int64, error) {
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		return nil, err
+	}
+	flags := opts.Model.flags()
+	demand := make(map[device.ID]int64)
+	add := func(dev device.ID, b int64) {
+		if b > 0 {
+			demand[dev] += b
+		}
+	}
+
+	for _, p := range pipelines {
+		rows := p.ScanRows(g)
+		chunk := opts.chunkElems()
+		if flags.wholeInput || rows == 0 || chunk > rows {
+			chunk = rows
+		}
+
+		for _, sid := range p.Scans {
+			n := g.Node(sid)
+			t := n.Scan.Data.Type()
+			switch {
+			case flags.wholeInput:
+				add(n.Device, bytesFor(t, rows))
+			case flags.reuseStaging:
+				if !flags.pinnedStaging {
+					add(n.Device, int64(opts.stagingBuffers())*bytesFor(t, opts.chunkElems()))
+				}
+			default:
+				add(n.Device, bytesFor(t, chunk))
+			}
+		}
+
+		for _, nid := range p.Nodes {
+			n := g.Node(nid)
+			t := n.Task
+			per := chunk
+			if t.Accumulate {
+				per = rows
+			}
+			for _, spec := range t.Outputs {
+				size := spec.Size.Elements(per)
+				if size <= 0 {
+					size = 1
+				}
+				add(n.Device, bytesFor(spec.Type, size))
+			}
+			if t.EmitsCount {
+				add(n.Device, 8)
+			}
+		}
+	}
+	return demand, nil
+}

@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -193,16 +194,28 @@ func (r *Result) Column(name string) (vec.Vector, bool) {
 // Run executes the primitive graph on the runtime's devices under the
 // given options and returns the named results with execution statistics.
 func Run(rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
+	return RunContext(context.Background(), rt, g, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// chunk and pipeline boundary, and a cancelled query releases every device
+// and pinned buffer it allocated before returning. On cancellation the
+// returned error wraps ctx.Err() and the returned Result, when non-nil,
+// carries the partial execution statistics accumulated so far (no result
+// columns).
+func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
 	pipelines, err := g.BuildPipelines()
 	if err != nil {
 		return nil, err
 	}
 	x := &executor{
+		ctx:   ctx,
 		rt:    rt,
 		g:     g,
 		opts:  opts,
 		flags: opts.Model.flags(),
 		ports: make(map[graph.PortRef]*portState),
+		live:  make(map[liveBuf]struct{}),
 	}
 	return x.run(pipelines)
 }

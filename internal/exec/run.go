@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -35,7 +37,14 @@ type alloc struct {
 	hasRef bool
 }
 
+// liveBuf identifies one device allocation owned by the running query.
+type liveBuf struct {
+	dev device.ID
+	buf devmem.BufferID
+}
+
 type executor struct {
+	ctx   context.Context
 	rt    *hub.Runtime
 	g     *graph.Graph
 	opts  Options
@@ -45,6 +54,12 @@ type executor struct {
 	base    vclock.Time
 	chain   vclock.Time // serial dependency chain for non-overlapped models
 	horizon vclock.Time
+
+	// live tracks every buffer this query has allocated and not yet
+	// freed, so cancellation and errors can release the query's whole
+	// footprint — a session must never leak device or pinned memory into
+	// a shared engine.
+	live map[liveBuf]struct{}
 
 	builders    map[graph.PortRef]*hostAccum
 	trace       []FootprintSample
@@ -58,13 +73,67 @@ type executor struct {
 	pendingUses    map[graph.PortRef]int
 }
 
+// checkCtx reports the context's cancellation as an execution error. It is
+// consulted at pipeline and chunk boundaries: the granularity at which a
+// query can stop without leaving a device operation half-issued.
+func (x *executor) checkCtx() error {
+	if x.ctx == nil {
+		return nil
+	}
+	if err := x.ctx.Err(); err != nil {
+		return fmt.Errorf("exec: query cancelled at chunk boundary: %w", err)
+	}
+	return nil
+}
+
+// track records a device allocation as owned by this query.
+func (x *executor) track(dev device.ID, buf devmem.BufferID) {
+	x.live[liveBuf{dev, buf}] = struct{}{}
+}
+
+// free releases one tracked buffer.
+func (x *executor) free(dev device.ID, buf devmem.BufferID) error {
+	d, err := x.rt.Device(dev)
+	if err != nil {
+		return err
+	}
+	delete(x.live, liveBuf{dev, buf})
+	return d.DeleteMemory(buf)
+}
+
+// releaseAll frees every buffer the query still owns: the delete phase on
+// success, and the leak barrier on cancellation or error. Buffers already
+// gone (views invalidated by a parent free) are skipped.
+func (x *executor) releaseAll() {
+	for lb := range x.live {
+		d, err := x.rt.Device(lb.dev)
+		if err != nil {
+			continue
+		}
+		if err := d.DeleteMemory(lb.buf); err != nil && !errors.Is(err, devmem.ErrUnknownBuffer) {
+			// Nothing actionable mid-teardown; the pool's accounting
+			// stays consistent either way.
+			continue
+		}
+	}
+	x.live = make(map[liveBuf]struct{})
+}
+
 func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	wallStart := time.Now()
+	// Results are copied to the host before return, so everything the
+	// query allocated — staging, scratch, accumulators, routed copies —
+	// is released when it finishes, is cancelled, or fails. A shared
+	// engine must come back to its memory baseline after every session.
+	defer x.releaseAll()
 
 	// Establish the virtual time base: everything in this run happens
-	// after all prior activity on every device.
+	// after all prior activity on every device. The device snapshot is
+	// taken once so a device plugged mid-flight by another session cannot
+	// skew the before/after statistics delta.
+	devs := x.rt.Devices()
 	before := make(map[device.ID]device.Stats)
-	for i, d := range x.rt.Devices() {
+	for i, d := range devs {
 		id := device.ID(i)
 		before[id] = d.Stats()
 		if a := d.CopyEngine().Avail(); a > x.base {
@@ -86,19 +155,27 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		}
 	}
 
+	var runErr error
 	for _, p := range pipelines {
+		if err := x.checkCtx(); err != nil {
+			runErr = err
+			break
+		}
 		if err := x.runPipeline(p); err != nil {
-			return nil, fmt.Errorf("exec: %s: %w", p, err)
+			runErr = fmt.Errorf("exec: %s: %w", p, err)
+			break
 		}
 	}
 
 	res := &Result{}
-	for _, r := range x.g.Results() {
-		col, err := x.collectResult(r)
-		if err != nil {
-			return nil, err
+	if runErr == nil {
+		for _, r := range x.g.Results() {
+			col, err := x.collectResult(r)
+			if err != nil {
+				return nil, err
+			}
+			res.Columns = append(res.Columns, col)
 		}
-		res.Columns = append(res.Columns, col)
 	}
 
 	res.Stats = Stats{
@@ -108,7 +185,7 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		Pipelines: len(pipelines),
 		Footprint: x.trace,
 	}
-	for i, d := range x.rt.Devices() {
+	for i, d := range devs {
 		delta := statsDelta(d.Stats(), before[device.ID(i)])
 		res.Stats.KernelTime += delta.KernelTime
 		res.Stats.TransferTime += delta.TransferTime
@@ -119,6 +196,11 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		if pk := d.MemStats().Peak; pk > res.Stats.PeakDeviceBytes {
 			res.Stats.PeakDeviceBytes = pk
 		}
+	}
+	if runErr != nil {
+		// Cancellation still reports the partial statistics, so callers
+		// (the CLI's SIGINT path) can print what happened before the cut.
+		return res, runErr
 	}
 	return res, nil
 }
@@ -185,6 +267,12 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 	// a slot cannot be overwritten before its previous occupant finished.
 	chunkDone := make([]vclock.Time, x.opts.stagingBuffers())
 	for c := 0; c < chunks; c++ {
+		// Chunk boundaries are the cancellation points: the previous
+		// chunk's operations are fully issued and no buffer is in a
+		// half-staged state.
+		if err := x.checkCtx(); err != nil {
+			return err
+		}
 		off := c * chunkElems
 		n := rows - off
 		if chunkElems > 0 && n > chunkElems {
@@ -223,11 +311,7 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 
 		// Naive models release this chunk's allocations immediately.
 		for _, a := range x.perChunkAllocs {
-			d, err := x.rt.Device(a.dev)
-			if err != nil {
-				return err
-			}
-			if err := d.DeleteMemory(a.buf); err != nil {
+			if err := x.free(a.dev, a.buf); err != nil {
 				return err
 			}
 			if a.hasRef {
@@ -245,11 +329,7 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 	// ---- Delete phase: release pipeline-scoped buffers; accumulators
 	// and single-pass outputs stay for downstream pipelines and results.
 	for _, a := range x.pipelineAllocs {
-		d, err := x.rt.Device(a.dev)
-		if err != nil {
-			return err
-		}
-		if err := d.DeleteMemory(a.buf); err != nil {
+		if err := x.free(a.dev, a.buf); err != nil {
 			return err
 		}
 	}
@@ -282,6 +362,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: accumulator: %w", n, err)
 				}
+				x.track(n.Device, buf)
 				x.advance(done)
 				ps := &portState{dev: n.Device, buf: buf, capacity: size, n: size, ready: done, persistent: true}
 				x.ports[graph.PortRef{Node: nid, Port: port}] = ps
@@ -304,6 +385,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return fmt.Errorf("%s: count buffer: %w", n, err)
 			}
+			x.track(n.Device, buf)
 			x.advance(done)
 			x.counts[nid] = buf
 			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
@@ -330,6 +412,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: staging: %w", n, err)
 				}
+				x.track(n.Device, buf)
 				x.advance(done)
 				bufs[i] = buf
 				x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
@@ -350,6 +433,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return fmt.Errorf("%s: place: %w", n, err)
 			}
+			x.track(n.Device, buf)
 			x.advance(end)
 			x.ports[graph.PortRef{Node: sid, Port: 0}] = &portState{
 				dev: n.Device, buf: buf, capacity: rows, n: rows, ready: end,
@@ -383,6 +467,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: scratch: %w", n, err)
 				}
+				x.track(n.Device, buf)
 				x.advance(done)
 				x.ports[graph.PortRef{Node: nid, Port: port}] = &portState{
 					dev: n.Device, buf: buf, capacity: size, ready: done, persistent: singlePass,
@@ -443,6 +528,7 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 		if err != nil {
 			return fmt.Errorf("%s: stage chunk %d: %w", node, c, err)
 		}
+		x.track(node.Device, buf)
 		x.advance(end)
 		x.ports[ref] = &portState{dev: node.Device, buf: buf, capacity: n, n: n, ready: end}
 		x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: node.Device, buf: buf, ref: ref, hasRef: true})
@@ -483,6 +569,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: route input %d: %w", n, i, err)
 			}
+			x.track(n.Device, buf)
 			x.advance(end)
 			routed := *ps
 			routed.dev = n.Device
@@ -499,6 +586,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: view input %d: %w", n, i, err)
 			}
+			x.track(n.Device, view)
 			views = append(views, view)
 			arg = view
 		}
@@ -528,6 +616,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: output %d: %w", n, port, err)
 			}
+			x.track(n.Device, buf)
 			if done > dataReady {
 				dataReady = done
 			}
@@ -564,6 +653,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: view output %d: %w", n, port, err)
 			}
+			x.track(n.Device, view)
 			views = append(views, view)
 			arg = view
 		}
@@ -615,7 +705,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 
 	// Views were only needed to shape this launch.
 	for _, v := range views {
-		if err := d.DeleteMemory(v); err != nil {
+		if err := x.free(n.Device, v); err != nil {
 			return 0, err
 		}
 	}
@@ -651,11 +741,7 @@ func (x *executor) releaseDeadInputs(n *graph.Node) error {
 		if src.Task != nil && src.Task.Accumulate {
 			continue
 		}
-		d, err := x.rt.Device(ps.dev)
-		if err != nil {
-			return err
-		}
-		if err := d.DeleteMemory(ps.buf); err != nil {
+		if err := x.free(ps.dev, ps.buf); err != nil {
 			return err
 		}
 		delete(x.ports, ref)

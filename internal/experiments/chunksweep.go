@@ -43,7 +43,7 @@ func ChunkSweep(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := exec.Run(r.rt, g, exec.Options{Model: exec.FourPhasePipelined, ChunkElems: chunk})
+		res, err := exec.RunContext(cfg.Context(), r.rt, g, exec.Options{Model: exec.FourPhasePipelined, ChunkElems: chunk})
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -36,6 +37,17 @@ type Config struct {
 	Ratio float64
 	// Seed feeds the data generators.
 	Seed uint64
+	// Ctx, when set, cancels in-flight query executions at chunk
+	// boundaries (the CLI wires SIGINT here). Nil means background.
+	Ctx context.Context
+}
+
+// Context returns the configured cancellation context, or background.
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) ratio() float64 {
@@ -93,9 +105,14 @@ func Lookup(name string) (Generator, error) {
 	return g, nil
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order, stopping between experiments
+// (and, through each generator, at query chunk boundaries) when the
+// configured context is cancelled.
 func RunAll(cfg Config, w io.Writer) error {
 	for _, name := range Names() {
+		if err := cfg.Context().Err(); err != nil {
+			return fmt.Errorf("experiments: interrupted before %s: %w", name, err)
+		}
 		if err := registry[name](cfg, w); err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)
 		}

@@ -35,7 +35,7 @@ func Fig10Overhead(cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			res, err := exec.Run(r.rt, g, exec.Options{Model: exec.Chunked, ChunkElems: cfg.chunkElems()})
+			res, err := exec.RunContext(cfg.Context(), r.rt, g, exec.Options{Model: exec.Chunked, ChunkElems: cfg.chunkElems()})
 			if err != nil {
 				return err
 			}

@@ -65,7 +65,7 @@ func Fig11Models(cfg Config, w io.Writer) error {
 						if err != nil {
 							return err
 						}
-						res, err := exec.Run(r.rt, g, exec.Options{Model: model, ChunkElems: cfg.chunkElems()})
+						res, err := exec.RunContext(cfg.Context(), r.rt, g, exec.Options{Model: model, ChunkElems: cfg.chunkElems()})
 						if err != nil {
 							return err
 						}
@@ -128,7 +128,7 @@ func Fig11HeavyDB(cfg Config, w io.Writer) error {
 				if err != nil {
 					return err
 				}
-				res, err := exec.Run(r.rt, g, exec.Options{Model: model, ChunkElems: cfg.chunkElems()})
+				res, err := exec.RunContext(cfg.Context(), r.rt, g, exec.Options{Model: model, ChunkElems: cfg.chunkElems()})
 				if err != nil {
 					return err
 				}

@@ -40,7 +40,7 @@ func Fig6Timelines(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: chunk})
+		res, err := exec.RunContext(cfg.Context(), rt, g, exec.Options{Model: model, ChunkElems: chunk})
 		if err != nil {
 			return err
 		}

@@ -64,7 +64,7 @@ func Fig7Capacity(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := exec.Run(r.rt, g, exec.Options{Model: exec.OperatorAtATime, Trace: true})
+	res, err := exec.RunContext(cfg.Context(), r.rt, g, exec.Options{Model: exec.OperatorAtATime, Trace: true})
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ package hub
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
@@ -24,8 +25,11 @@ import (
 var ErrUnknownDevice = errors.New("hub: unknown device")
 
 // Runtime is the registry of plugged devices, shared by the execution
-// models.
+// models. It is safe for concurrent use: many executors read the registry
+// while sessions come and go, so the device slice is guarded and never
+// aliased out.
 type Runtime struct {
+	mu      sync.RWMutex
 	devices []device.Device
 }
 
@@ -38,20 +42,32 @@ func (r *Runtime) Register(d device.Device) (device.ID, error) {
 	if err := d.Initialize(); err != nil {
 		return 0, fmt.Errorf("hub: initialize %s: %w", d.Info().Name, err)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.devices = append(r.devices, d)
 	return device.ID(len(r.devices) - 1), nil
 }
 
 // Device resolves an ID.
 func (r *Runtime) Device(id device.ID) (device.Device, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(r.devices) {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownDevice, id)
 	}
 	return r.devices[id], nil
 }
 
-// Devices lists the registered devices in registration order.
-func (r *Runtime) Devices() []device.Device { return r.devices }
+// Devices lists the registered devices in registration order. The returned
+// slice is a copy: callers cannot observe (or race with) later Register
+// calls through it.
+func (r *Runtime) Devices() []device.Device {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]device.Device, len(r.devices))
+	copy(out, r.devices)
+	return out
+}
 
 // Route moves the first n elements of a buffer from one device to another
 // and returns the destination buffer and its availability event. Same

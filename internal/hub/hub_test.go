@@ -2,6 +2,7 @@ package hub
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"github.com/adamant-db/adamant/internal/device"
@@ -96,6 +97,50 @@ func TestRoutePartial(t *testing.T) {
 	b, _ := dst.Buffer(routed)
 	if b.Data.Len() != 2 {
 		t.Errorf("partial route moved %d elements", b.Data.Len())
+	}
+}
+
+// TestConcurrentRegisterAndLookup hammers the registry from writers and
+// readers at once; meaningful under -race.
+func TestConcurrentRegisterAndLookup(t *testing.T) {
+	rt := NewRuntime()
+	if _, err := rt.Register(simomp.New(&simhw.CoreI78700, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, readers, rounds = 4, 4, 16
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := rt.Register(simomp.New(&simhw.CoreI78700, nil)); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				devs := rt.Devices()
+				if len(devs) < 1 {
+					t.Error("registry lost its seed device")
+					return
+				}
+				if _, err := rt.Device(device.ID(0)); err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(rt.Devices()); got != 1+writers*rounds {
+		t.Errorf("devices = %d, want %d", got, 1+writers*rounds)
 	}
 }
 

@@ -1,0 +1,337 @@
+// Package session implements ADAMANT's query admission control: the layer
+// that turns a single-query executor into a multi-session server.
+//
+// Concurrent queries share the plugged co-processors, and a co-processor's
+// memory is a hard budget: the paper's Figure 7 analysis shows how quickly
+// an operator-at-a-time working set exhausts device memory, and a second
+// query OOM-ing a running one is the failure mode a server cannot afford.
+// The Scheduler therefore admits each query against per-device memory
+// budgets and a configurable concurrency cap before the runtime layer
+// touches any device. A query whose estimated working set can never fit a
+// device's budget is rejected up front with a typed admission error; a
+// query that fits the budget but not the memory currently available waits
+// in an admission queue (FIFO or priority order) until running sessions
+// release their grants.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+// ErrAdmission is the sentinel all admission rejections wrap; match it with
+// errors.Is and recover the details with errors.As on *AdmissionError.
+var ErrAdmission = errors.New("session: admission denied")
+
+// AdmissionError reports why a query was refused admission.
+type AdmissionError struct {
+	// Device is the device whose budget was exceeded (valid when Need > 0).
+	Device device.ID
+	// Need is the query's estimated working set on that device.
+	Need int64
+	// Budget is the device's admission budget.
+	Budget int64
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	if e.Need > 0 {
+		return fmt.Sprintf("session: admission denied: %s on %v (need %d bytes, budget %d)",
+			e.Reason, e.Device, e.Need, e.Budget)
+	}
+	return "session: admission denied: " + e.Reason
+}
+
+// Unwrap makes errors.Is(err, ErrAdmission) hold for every AdmissionError.
+func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+
+// Policy selects the order in which queued sessions are admitted.
+type Policy int
+
+// Admission policies.
+const (
+	// FIFO admits queued sessions strictly in arrival order.
+	FIFO Policy = iota
+	// Priority admits the highest-priority waiter first (ties in arrival
+	// order). Like FIFO it never admits past the first waiter that does
+	// not fit, so large queries cannot starve behind a stream of small
+	// ones.
+	Priority
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Priority:
+		return "priority"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// MaxConcurrent caps the number of concurrently admitted sessions.
+	// Zero or negative means unlimited.
+	MaxConcurrent int
+	// Policy selects the queue ordering (default FIFO).
+	Policy Policy
+	// MaxQueued caps the admission queue length; an arrival beyond the cap
+	// is rejected with an AdmissionError instead of waiting. Zero or
+	// negative means unlimited.
+	MaxQueued int
+}
+
+// Request describes one query asking for admission.
+type Request struct {
+	// Priority orders waiters under the Priority policy; higher runs
+	// first. Ignored under FIFO.
+	Priority int
+	// Demand is the query's estimated device-memory working set, per
+	// device. Devices without a configured budget are not checked.
+	Demand map[device.ID]int64
+}
+
+// Stats summarizes a scheduler's activity.
+type Stats struct {
+	// Admitted counts sessions granted so far; Rejected counts typed
+	// admission refusals; Waited counts admissions that had to queue
+	// before running.
+	Admitted int64
+	Rejected int64
+	Waited   int64
+	// Queued and Running are the current queue depth and admitted count.
+	Queued  int
+	Running int
+}
+
+type waiter struct {
+	req   Request
+	seq   uint64
+	ready chan *Grant
+}
+
+// Scheduler admits query sessions against per-device memory budgets and a
+// concurrency cap. It is safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	cfg     Config
+	budgets map[device.ID]int64
+	inUse   map[device.ID]int64
+	running int
+	seq     uint64
+	queue   []*waiter
+	stats   Stats
+}
+
+// NewScheduler returns a scheduler with no device budgets configured.
+func NewScheduler(cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:     cfg,
+		budgets: make(map[device.ID]int64),
+		inUse:   make(map[device.ID]int64),
+	}
+}
+
+// SetBudget sets the admission budget for a device in bytes. A non-positive
+// budget removes the device from admission checking (unlimited).
+func (s *Scheduler) SetBudget(dev device.ID, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bytes <= 0 {
+		delete(s.budgets, dev)
+		return
+	}
+	s.budgets[dev] = bytes
+	s.dispatchLocked()
+}
+
+// Budget reports the configured budget for a device (0 = unlimited).
+func (s *Scheduler) Budget(dev device.ID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budgets[dev]
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = len(s.queue)
+	st.Running = s.running
+	return st
+}
+
+// Admit blocks until the request is granted, its context is cancelled, or
+// the request is rejected. A request whose demand can never fit a device's
+// budget — or that finds the admission queue full — fails immediately with
+// an error wrapping ErrAdmission. The caller must Release the returned
+// grant when the query finishes.
+func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	// Hard reject: the working set exceeds the budget outright, so no
+	// amount of waiting makes it fit (the paper's OOM analysis, Fig. 7).
+	for dev, need := range req.Demand {
+		if b, ok := s.budgets[dev]; ok && need > b {
+			s.stats.Rejected++
+			s.mu.Unlock()
+			return nil, &AdmissionError{
+				Device: dev, Need: need, Budget: b,
+				Reason: "working set exceeds device budget",
+			}
+		}
+	}
+	if s.cfg.MaxQueued > 0 && len(s.queue) >= s.cfg.MaxQueued {
+		s.stats.Rejected++
+		n := len(s.queue)
+		s.mu.Unlock()
+		return nil, &AdmissionError{Reason: fmt.Sprintf("admission queue full (%d waiting)", n)}
+	}
+	w := &waiter{req: req, seq: s.seq, ready: make(chan *Grant, 1)}
+	s.seq++
+	s.queue = append(s.queue, w)
+	s.dispatchLocked()
+	if len(w.ready) == 0 {
+		s.stats.Waited++
+	}
+	s.mu.Unlock()
+
+	select {
+	case g := <-w.ready:
+		return g, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		s.mu.Unlock()
+		// The grant raced the cancellation: take it and release it so the
+		// reserved memory is returned.
+		g := <-w.ready
+		g.Release()
+		return nil, ctx.Err()
+	}
+}
+
+// fitsLocked reports whether a request can run right now.
+func (s *Scheduler) fitsLocked(req Request) bool {
+	if s.cfg.MaxConcurrent > 0 && s.running >= s.cfg.MaxConcurrent {
+		return false
+	}
+	for dev, need := range req.Demand {
+		if b, ok := s.budgets[dev]; ok && s.inUse[dev]+need > b {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchLocked grants queued waiters, in policy order, until the first
+// one that does not fit. Stopping at the first misfit keeps admission fair:
+// a large query at the head is never overtaken indefinitely by small ones.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		idx := 0
+		if s.cfg.Policy == Priority {
+			idx = s.frontByPriorityLocked()
+		}
+		w := s.queue[idx]
+		if !s.fitsLocked(w.req) {
+			return
+		}
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.running++
+		for dev, need := range w.req.Demand {
+			s.inUse[dev] += need
+		}
+		s.stats.Admitted++
+		w.ready <- &Grant{s: s, demand: w.req.Demand}
+	}
+}
+
+// frontByPriorityLocked returns the index of the highest-priority waiter,
+// ties broken by arrival order.
+func (s *Scheduler) frontByPriorityLocked() int {
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		w, b := s.queue[i], s.queue[best]
+		if w.req.Priority > b.req.Priority ||
+			(w.req.Priority == b.req.Priority && w.seq < b.seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// snapshotQueueLocked returns the queue in admission order (for tests and
+// introspection).
+func (s *Scheduler) snapshotQueueLocked() []*waiter {
+	out := append([]*waiter(nil), s.queue...)
+	if s.cfg.Policy == Priority {
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].req.Priority != out[j].req.Priority {
+				return out[i].req.Priority > out[j].req.Priority
+			}
+			return out[i].seq < out[j].seq
+		})
+	}
+	return out
+}
+
+// QueuedPriorities lists the priorities of the waiting sessions in the
+// order they would be admitted.
+func (s *Scheduler) QueuedPriorities() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.snapshotQueueLocked()
+	out := make([]int, len(q))
+	for i, w := range q {
+		out[i] = w.req.Priority
+	}
+	return out
+}
+
+// Grant is an admitted session's reservation. Release returns the reserved
+// memory and concurrency slot; it is idempotent.
+type Grant struct {
+	s      *Scheduler
+	demand map[device.ID]int64
+	once   sync.Once
+}
+
+// Release returns the grant's reservations and wakes eligible waiters.
+func (g *Grant) Release() {
+	if g == nil {
+		return
+	}
+	g.once.Do(func() {
+		g.s.mu.Lock()
+		g.s.running--
+		for dev, need := range g.demand {
+			g.s.inUse[dev] -= need
+		}
+		g.s.dispatchLocked()
+		g.s.mu.Unlock()
+	})
+}

@@ -1,0 +1,243 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestRejectOverBudget(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 100)
+	_, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 200}})
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission, got %v", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Need != 200 || ae.Budget != 100 {
+		t.Fatalf("admission error detail = %+v", ae)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Admitted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnbudgetedDeviceUnchecked(t *testing.T) {
+	s := NewScheduler(Config{})
+	g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{3: 1 << 40}})
+	if err != nil {
+		t.Fatalf("unbudgeted device must admit: %v", err)
+	}
+	g.Release()
+}
+
+func TestQueueUntilRelease(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 100)
+	a, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Grant, 1)
+	go func() {
+		b, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 60}})
+		if err != nil {
+			t.Error(err)
+		}
+		got <- b
+	}()
+	waitUntil(t, "B queued", func() bool { return s.Stats().Queued == 1 })
+	select {
+	case <-got:
+		t.Fatal("B admitted while A holds the budget")
+	default:
+	}
+	a.Release()
+	b := <-got
+	b.Release()
+	st := s.Stats()
+	if st.Admitted != 2 || st.Waited != 1 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaxConcurrent(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1})
+	a, _ := s.Admit(context.Background(), Request{})
+	done := make(chan *Grant, 1)
+	go func() {
+		g, err := s.Admit(context.Background(), Request{})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- g
+	}()
+	waitUntil(t, "second session queued", func() bool { return s.Stats().Queued == 1 })
+	a.Release()
+	g := <-done
+	g.Release()
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1})
+	a, _ := s.Admit(context.Background(), Request{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, Request{})
+		errc <- err
+	}()
+	waitUntil(t, "waiter queued", func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if st := s.Stats(); st.Queued != 0 {
+		t.Fatalf("cancelled waiter still queued: %+v", st)
+	}
+	a.Release()
+	// The slot is free again for a fresh session.
+	g, err := s.Admit(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, MaxQueued: 1})
+	a, _ := s.Admit(context.Background(), Request{})
+	go s.Admit(context.Background(), Request{}) // fills the queue
+	waitUntil(t, "queue filled", func() bool { return s.Stats().Queued == 1 })
+	_, err := s.Admit(context.Background(), Request{})
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission on full queue, got %v", err)
+	}
+	a.Release()
+}
+
+func TestPriorityOrder(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1, Policy: Priority})
+	a, _ := s.Admit(context.Background(), Request{})
+
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	launch := func(prio int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := s.Admit(context.Background(), Request{Priority: prio})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- prio
+			g.Release()
+		}()
+		waitUntil(t, "waiter enqueued", func() bool { return len(s.QueuedPriorities()) >= 1 })
+	}
+	launch(1)
+	waitUntil(t, "low queued", func() bool { return s.Stats().Queued == 1 })
+	launch(5)
+	waitUntil(t, "high queued", func() bool { return s.Stats().Queued == 2 })
+	if q := s.QueuedPriorities(); len(q) != 2 || q[0] != 5 || q[1] != 1 {
+		t.Fatalf("queue order = %v", q)
+	}
+	a.Release()
+	wg.Wait()
+	if first, second := <-order, <-order; first != 5 || second != 1 {
+		t.Fatalf("admission order = %d then %d, want 5 then 1", first, second)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1})
+	a, _ := s.Admit(context.Background(), Request{})
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Priority is ignored under FIFO: arrival order wins.
+			g, err := s.Admit(context.Background(), Request{Priority: i})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			g.Release()
+		}()
+		waitUntil(t, "waiter queued", func() bool { return s.Stats().Queued == i })
+	}
+	a.Release()
+	wg.Wait()
+	if first, second := <-order, <-order; first != 1 || second != 2 {
+		t.Fatalf("admission order = %d then %d, want 1 then 2", first, second)
+	}
+}
+
+func TestHeadOfLineBlocksSmaller(t *testing.T) {
+	// A large query at the head of the queue must not be starved by small
+	// ones that would fit: dispatch stops at the first misfit.
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 100)
+	a, _ := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 80}})
+
+	bigDone := make(chan struct{})
+	go func() {
+		g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 90}})
+		if err != nil {
+			t.Error(err)
+		}
+		close(bigDone)
+		g.Release()
+	}()
+	waitUntil(t, "big queued", func() bool { return s.Stats().Queued == 1 })
+
+	smallDone := make(chan struct{})
+	go func() {
+		g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 10}})
+		if err != nil {
+			t.Error(err)
+		}
+		close(smallDone)
+		g.Release()
+	}()
+	waitUntil(t, "small queued", func() bool { return s.Stats().Queued == 2 })
+	select {
+	case <-smallDone:
+		t.Fatal("small query jumped the big head-of-line waiter")
+	default:
+	}
+	a.Release()
+	<-bigDone
+	<-smallDone
+}
+
+func TestGrantReleaseIdempotent(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 2})
+	g, _ := s.Admit(context.Background(), Request{})
+	g.Release()
+	g.Release()
+	if st := s.Stats(); st.Running != 0 {
+		t.Fatalf("double release corrupted running count: %+v", st)
+	}
+}

@@ -1,6 +1,8 @@
 package adamant
 
 import (
+	"context"
+
 	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/sql"
 	"github.com/adamant-db/adamant/internal/storage"
@@ -64,6 +66,14 @@ type QueryOptions struct {
 // front-end lowers queries onto the same primitives as the plan-builder
 // API.
 func (e *Engine) Query(cat *Catalog, dev DeviceID, query string, opts QueryOptions) (*Result, error) {
+	return e.QueryContext(context.Background(), cat, dev, query, opts)
+}
+
+// QueryContext is Query with cancellation and admission control: the SQL
+// query goes through the same session scheduler as plan execution, and the
+// context is honoured while queued and at every chunk boundary while
+// running.
+func (e *Engine) QueryContext(ctx context.Context, cat *Catalog, dev DeviceID, query string, opts QueryOptions) (*Result, error) {
 	ast, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -76,11 +86,11 @@ func (e *Engine) Query(cat *Catalog, dev DeviceID, query string, opts QueryOptio
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(e.rt, g, core.Options{
+	res, err := e.runGraph(ctx, g, core.Options{
 		Model:      core.Model(opts.Model),
 		ChunkElems: opts.ChunkElems,
 		Trace:      opts.Trace,
-	})
+	}, opts.Priority)
 	if err != nil {
 		return nil, err
 	}
