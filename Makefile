@@ -1,10 +1,13 @@
 
 # Tier-1 gate: everything CI runs, in order. The race detector is part of
 # the gate — the engine promises safe concurrent use, so every test also
-# runs under -race.
-.PHONY: ci vet build test race bench
+# runs under -race. The fuzz smoke gives each front-end fuzz target a short
+# budget so regressions in the never-panic contract surface in CI, and the
+# coverage step enforces a floor on the packages the fault/degradation
+# contract lives in.
+.PHONY: ci vet build test race bench fuzz cover
 
-ci: vet build race
+ci: vet build race fuzz cover
 
 vet:
 	go vet ./...
@@ -17,6 +20,13 @@ test:
 
 race:
 	go test -race ./...
+
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sql
+	go test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime 10s ./internal/sql
+
+cover:
+	./scripts/cover.sh
 
 bench:
 	go test -bench=. -benchmem .

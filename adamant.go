@@ -42,6 +42,7 @@ package adamant
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/device"
@@ -49,10 +50,12 @@ import (
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/driver/simopencl"
 	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 // Hardware names a simulated processor model.
@@ -177,12 +180,51 @@ const (
 // AdmissionStats snapshots the engine's session-scheduler counters.
 type AdmissionStats = session.Stats
 
+// FaultPlan is a deterministic fault-injection schedule applied to devices
+// as they are plugged: seeded per-operation fault probabilities, an
+// explicit step script, or both. Zero value = no faults. See
+// ParseFaultPlan for the textual form used by the CLI's -faults flag.
+type FaultPlan = fault.Plan
+
+// ErrInjected is the sentinel every injected fault wraps; ErrDeviceLost
+// marks the subset where a device died. Match with errors.Is to tell a
+// deliberately injected failure from a genuine executor bug.
+var (
+	ErrInjected   = fault.ErrInjected
+	ErrDeviceLost = fault.ErrDeviceLost
+)
+
+// ParseFaultPlan parses the textual fault-plan form, e.g.
+// "seed=7,transient=0.01,oom=0.001,die=500,dev=cuda".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// RetryPolicy configures transient-fault retries at the device interfaces.
+// Durations are charged in simulated device time.
+type RetryPolicy struct {
+	// MaxRetries re-attempts per device operation (0 disables retries).
+	MaxRetries int
+	// Backoff before the first retry, doubling up to BackoffCap.
+	// Defaults: 50µs / 5ms when MaxRetries is set.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+// RuntimeEvent is one degradation action from a query's event log (e.g. a
+// failover from a dead device to its fallback).
+type RuntimeEvent = exec.RuntimeEvent
+
+// EventFailover marks a query re-placed from a lost device to a fallback.
+const EventFailover = exec.EventFailover
+
 // EngineOption configures a new Engine.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
 	sess       session.Config
 	budgetFrac float64
+	faultPlan  *fault.Plan
+	fallback   *DeviceID
+	retry      exec.RetryPolicy
 }
 
 // WithMaxConcurrent caps how many queries execute concurrently on the
@@ -204,6 +246,38 @@ func WithAdmissionQueueLimit(n int) EngineOption {
 	return func(c *engineConfig) { c.sess.MaxQueued = n }
 }
 
+// WithFaultPlan arms deterministic fault injection: every device plugged
+// after engine construction whose name the plan targets is wrapped in the
+// injection layer. Queries then see typed faults (all wrapping ErrInjected)
+// at the device interfaces, governed by the plan's seed — the same plan over
+// the same workload reproduces the same faults. Nil disables injection.
+func WithFaultPlan(p *FaultPlan) EngineOption {
+	return func(c *engineConfig) { c.faultPlan = p }
+}
+
+// WithFallbackDevice names the device queries re-place onto when one of
+// their devices dies mid-run. The fallback is usually a host-resident
+// device (OpenMP CPU): it shares the host's memory, so a query that lost
+// its GPU can always complete there. A failed-over query's results are
+// identical to the fault-free run; the failover is recorded in the result's
+// event log, and the dead device is quarantined in the admission scheduler.
+func WithFallbackDevice(id DeviceID) EngineOption {
+	return func(c *engineConfig) { c.fallback = &id }
+}
+
+// WithRetryPolicy makes the engine retry transient device faults (failed
+// transfers, kernel launch errors) with capped exponential backoff charged
+// in simulated time. The zero policy disables retries.
+func WithRetryPolicy(p RetryPolicy) EngineOption {
+	return func(c *engineConfig) {
+		c.retry = exec.RetryPolicy{
+			MaxRetries: p.MaxRetries,
+			Backoff:    vclock.DurationOf(p.Backoff),
+			BackoffCap: vclock.DurationOf(p.BackoffCap),
+		}
+	}
+}
+
 // WithDeviceBudgetFraction enables memory admission control: each
 // subsequently plugged non-host device gets an admission budget of the
 // given fraction of its memory (1.0 = the full card). Queries whose
@@ -223,6 +297,9 @@ type Engine struct {
 	rt         *hub.Runtime
 	sched      *session.Scheduler
 	budgetFrac float64
+	faultPlan  *fault.Plan
+	fallback   *DeviceID
+	retry      exec.RetryPolicy
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -237,6 +314,9 @@ func NewEngine(opts ...EngineOption) *Engine {
 		rt:         hub.NewRuntime(),
 		sched:      session.NewScheduler(cfg.sess),
 		budgetFrac: cfg.budgetFrac,
+		faultPlan:  cfg.faultPlan,
+		fallback:   cfg.fallback,
+		retry:      cfg.retry,
 	}
 }
 
@@ -279,8 +359,12 @@ func (e *Engine) PlugDevice(d device.Device) (DeviceID, error) {
 	return e.register(d)
 }
 
-// register plugs a device and applies the engine's admission budget.
+// register plugs a device — wrapped in the fault-injection layer when the
+// engine's fault plan targets it — and applies the admission budget.
 func (e *Engine) register(d device.Device) (DeviceID, error) {
+	if e.faultPlan != nil && e.faultPlan.Enabled() && e.faultPlan.AppliesTo(d.Info().Name) {
+		d = fault.Wrap(d, e.faultPlan)
+	}
 	id, err := e.rt.Register(d)
 	if err != nil {
 		return 0, err
@@ -348,9 +432,11 @@ func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) 
 		return nil, err
 	}
 	res, err := e.runGraph(ctx, p.graph(), exec.Options{
-		Model:      exec.Model(opts.Model),
-		ChunkElems: opts.ChunkElems,
-		Trace:      opts.Trace,
+		Model:          exec.Model(opts.Model),
+		ChunkElems:     opts.ChunkElems,
+		Trace:          opts.Trace,
+		Retry:          e.retry,
+		FallbackDevice: e.fallback,
 	}, opts.Priority)
 	if err != nil {
 		return nil, err
@@ -370,8 +456,24 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 		return nil, err
 	}
 	defer grant.Release()
-	return exec.RunContext(ctx, e.rt, g, opts)
+	res, runErr := exec.RunContext(ctx, e.rt, g, opts)
+	if res != nil {
+		// A failover means the lost device is unhealthy: quarantine it so
+		// later admissions charge its demand to the fallback's budget.
+		for _, ev := range res.Stats.Events {
+			if ev.Kind == exec.EventFailover {
+				e.sched.Quarantine(ev.From, ev.To)
+			}
+		}
+	}
+	return res, runErr
 }
+
+// Quarantined lists the devices currently quarantined after failovers.
+func (e *Engine) Quarantined() []DeviceID { return e.sched.Quarantined() }
+
+// Readmit clears a device's quarantine (it recovered or was replaced).
+func (e *Engine) Readmit(id DeviceID) { e.sched.Readmit(id) }
 
 // Runtime exposes the underlying device registry for advanced integrations
 // (custom experiment harnesses, direct device access).

@@ -26,6 +26,7 @@ import (
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/simhw"
@@ -57,6 +58,9 @@ func run(ctx context.Context) error {
 	maxRows := flag.Int("rows", 10, "result rows to print")
 	explain := flag.Bool("explain", false, "print the pipeline plan before executing")
 	timeline := flag.Bool("timeline", false, "render the copy/compute engine timelines after executing")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,transient=0.01,die=500 (repro scripts)")
+	fallback := flag.String("fallback", "", "plug a second device (cuda, opencl-gpu, opencl-cpu, openmp) as the failover target")
+	retries := flag.Int("retries", 0, "max retries per device op for transient faults")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -71,29 +75,55 @@ func run(ctx context.Context) error {
 	fmt.Printf("TPC-H SF%g (ratio %.5f): lineitem=%d orders=%d customer=%d rows\n",
 		*sf, *ratio, ds.Lineitem.Rows(), ds.Orders.Rows(), ds.Customer.Rows())
 
+	var plan *fault.Plan
+	if *faults != "" {
+		plan, err = fault.ParsePlan(*faults)
+		if err != nil {
+			return err
+		}
+	}
+
 	rt := hub.NewRuntime()
-	var dev device.Device
-	switch *driver {
-	case "cuda":
-		dev = simcuda.New(&simhw.RTX2080Ti, nil)
-	case "opencl-gpu":
-		dev = simopencl.NewGPU(&simhw.RTX2080Ti, nil)
-	case "opencl-cpu":
-		dev = simopencl.NewCPU(&simhw.CoreI78700, nil)
-	case "openmp":
-		dev = simomp.New(&simhw.CoreI78700, nil)
-	default:
-		return fmt.Errorf("unknown driver %q", *driver)
+	dev, err := buildDevice(*driver)
+	if err != nil {
+		return err
+	}
+	if plan != nil && plan.AppliesTo(dev.Info().Name) {
+		dev = fault.Wrap(dev, plan)
 	}
 	id, err := rt.Register(dev)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("device: %s\n", dev.Info().Name)
+	if plan != nil {
+		fmt.Printf("faults: %s\n", *faults)
+	}
+
+	var fallbackID *device.ID
+	if *fallback != "" {
+		fdev, err := buildDevice(*fallback)
+		if err != nil {
+			return err
+		}
+		if plan != nil && plan.AppliesTo(fdev.Info().Name) {
+			fdev = fault.Wrap(fdev, plan)
+		}
+		fid, err := rt.Register(fdev)
+		if err != nil {
+			return err
+		}
+		fallbackID = &fid
+		fmt.Printf("fallback: %s\n", fdev.Info().Name)
+	}
 
 	var events *device.EventLog
 	if *timeline {
-		if sim, ok := dev.(*device.Sim); ok {
+		inner := dev
+		if inj, ok := inner.(*fault.Injector); ok {
+			inner = inj.Inner()
+		}
+		if sim, ok := inner.(*device.Sim); ok {
 			events = &device.EventLog{}
 			sim.SetEventLog(events)
 		}
@@ -154,7 +184,12 @@ func run(ctx context.Context) error {
 			chunkElems = 1024
 		}
 	}
-	res, err := core.RunContext(ctx, rt, g, core.Options{Model: model, ChunkElems: chunkElems})
+	res, err := core.RunContext(ctx, rt, g, core.Options{
+		Model:          model,
+		ChunkElems:     chunkElems,
+		Retry:          core.RetryPolicy{MaxRetries: *retries},
+		FallbackDevice: fallbackID,
+	})
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !(cancelled && res != nil) {
 		return err
@@ -176,6 +211,12 @@ func run(ctx context.Context) error {
 	fmt.Printf("  moved      %.1f MiB H2D, %.1f MiB D2H over %d chunks, %d pipelines\n",
 		float64(s.H2DBytes)/(1<<20), float64(s.D2HBytes)/(1<<20), s.Chunks, s.Pipelines)
 	fmt.Printf("  peak mem   %.1f MiB device\n", float64(s.PeakDeviceBytes)/(1<<20))
+	if s.Retries > 0 {
+		fmt.Printf("  retries    %d transient faults retried\n", s.Retries)
+	}
+	for _, ev := range s.Events {
+		fmt.Printf("  event      %s\n", ev)
+	}
 
 	if events != nil {
 		fmt.Println("\nengine timelines:")
@@ -210,6 +251,21 @@ func run(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+func buildDevice(driver string) (device.Device, error) {
+	switch driver {
+	case "cuda":
+		return simcuda.New(&simhw.RTX2080Ti, nil), nil
+	case "opencl-gpu":
+		return simopencl.NewGPU(&simhw.RTX2080Ti, nil), nil
+	case "opencl-cpu":
+		return simopencl.NewCPU(&simhw.CoreI78700, nil), nil
+	case "openmp":
+		return simomp.New(&simhw.CoreI78700, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown driver %q", driver)
+	}
 }
 
 func parseModel(name string) (core.Model, error) {

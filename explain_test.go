@@ -3,6 +3,8 @@ package adamant_test
 import (
 	"strings"
 	"testing"
+
+	adamant "github.com/adamant-db/adamant"
 )
 
 func TestExplain(t *testing.T) {
@@ -28,6 +30,81 @@ func TestExplain(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestExplainAllTableIPrimitives builds one plan containing every Table-I
+// primitive — MAP, FILTER_BITMAP, FILTER_POSITION, MATERIALIZE,
+// MATERIALIZE_POSITION, PREFIX_SUM, AGG_BLOCK, HASH_BUILD, HASH_PROBE,
+// HASH_AGG, SORT_AGG — and checks Explain names each, then executes the
+// plan to prove the rendered pipelines are real.
+func TestExplainAllTableIPrimitives(t *testing.T) {
+	eng, gpu := engineWithGPU(t)
+	const n = 64
+	sorted := make([]int32, n)
+	values := make([]int32, n)
+	col := make([]int32, n)
+	probe := make([]int32, n)
+	gkeys := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = int32(i / 8)
+		values[i] = int32(i % 10)
+		col[i] = int32(i * 3 % 100)
+		probe[i] = int32((i % 8) * 10)
+		gkeys[i] = int32(i % 4)
+	}
+	buildKeys := []int32{10, 20, 30, 40}
+
+	plan := eng.NewPlan().On(gpu)
+
+	// Breaker pipelines first: PREFIX_SUM group indexes, both HASH_BUILD
+	// shapes, and a HASH_AGG group table.
+	pxsum := plan.GroupIndexes(plan.ScanInt32("sorted_keys", sorted))
+	index := plan.BuildKeyIndex(plan.ScanInt32("index_keys", buildKeys), len(buildKeys))
+	set := plan.BuildKeySet(plan.ScanInt32("set_keys", buildKeys), 8)
+	grp := plan.GroupSum(plan.ScanInt32("gkeys", gkeys),
+		plan.CastInt64(plan.ScanInt32("gvals", values)), 8)
+
+	// Streamed pipelines: the SORT_AGG tail, a filter/semi-join/materialize
+	// chain with a MAP and block aggregate, a HASH_PROBE join with a
+	// position gather, and a FILTER_POSITION pick.
+	gk, ga := plan.SortedGroupSum(plan.ScanInt32("sorted_keys2", sorted),
+		plan.CastInt64(plan.ScanInt32("values", values)), pxsum, 8)
+	plan.Return("group", gk)
+	plan.Return("group_sum", ga)
+
+	c := plan.ScanInt32("col", col)
+	bm := plan.Filter(c, adamant.Lt, 50)
+	keep := plan.And(bm, plan.ExistsIn(plan.ScanInt32("probe_keys", probe), set))
+	mat := plan.Materialize(c, keep)
+	plan.Return("sum", plan.SumInt64(plan.Mul(mat, mat)))
+
+	left, _ := plan.JoinPairs(plan.ScanInt32("join_keys", probe), index, 1.0)
+	plan.Return("joined", plan.Gather(c, left))
+
+	pos := plan.FilterPositions(c, adamant.Gt, 10, 1.0)
+	plan.Return("picked", plan.Gather(c, pos))
+
+	hk, hs := plan.GroupResults(grp, 8)
+	plan.Return("hash_keys", hk)
+	plan.Return("hash_sums", hs)
+
+	out, err := plan.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"MAP[", "FILTER_BITMAP[", "FILTER_POSITION[", "MATERIALIZE[",
+		"MATERIALIZE_POSITION[", "PREFIX_SUM[", "AGG_BLOCK[",
+		"HASH_BUILD[", "HASH_PROBE[", "HASH_AGG[", "SORT_AGG[", "†",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.OperatorAtATime}); err != nil {
+		t.Fatalf("all-primitives plan failed to execute: %v", err)
 	}
 }
 

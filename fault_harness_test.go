@@ -1,0 +1,315 @@
+package adamant
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// The differential fault harness: for random plans × random fault schedules
+// across all execution models and drivers, a faulted run must either match
+// the fault-free baseline bit-for-bit or fail with a typed error wrapping
+// ErrInjected — never a wrong answer — and device memory must return to its
+// pre-query baseline either way.
+
+// harnessDriver is one primary-device configuration under test.
+type harnessDriver struct {
+	name     string
+	hw       Hardware
+	sdk      SDK
+	fbHW     Hardware // fallback device (host-resident, distinct name)
+	fbSDK    SDK
+	devName  string // full device name, for fault targeting
+	fallback string
+}
+
+var harnessDrivers = []harnessDriver{
+	{name: "cuda", hw: RTX2080Ti, sdk: CUDA, fbHW: CoreI78700, fbSDK: OpenMP,
+		devName: "GeForce RTX 2080 Ti/cuda"},
+	{name: "opencl-gpu", hw: RTX2080Ti, sdk: OpenCL, fbHW: CoreI78700, fbSDK: OpenMP,
+		devName: "GeForce RTX 2080 Ti/opencl"},
+	{name: "opencl-cpu", hw: CoreI78700, sdk: OpenCL, fbHW: CoreI78700, fbSDK: OpenMP,
+		devName: "Intel Core i7-8700/opencl"},
+	// The OpenMP primary falls back to the OpenCL CPU so the fault plan's
+	// device targeting (a name substring) cannot hit both.
+	{name: "openmp", hw: CoreI78700, sdk: OpenMP, fbHW: CoreI78700, fbSDK: OpenCL,
+		devName: "Intel Core i7-8700/openmp"},
+}
+
+var harnessModels = []Model{OperatorAtATime, Chunked, Pipelined, FourPhaseChunked, FourPhasePipelined}
+
+// harnessEngine builds an engine with the driver's primary device (ID 0)
+// and its fallback (ID 1). A nil fault plan yields the baseline engine.
+func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan) *Engine {
+	t.Helper()
+	var opts []EngineOption
+	if plan != nil {
+		opts = append(opts,
+			WithFaultPlan(plan),
+			WithRetryPolicy(RetryPolicy{MaxRetries: 3}),
+			WithFallbackDevice(DeviceID(1)),
+		)
+	}
+	eng := NewEngine(opts...)
+	if _, err := eng.Plug(drv.hw, drv.sdk); err != nil {
+		t.Fatalf("plug %s: %v", drv.name, err)
+	}
+	if _, err := eng.Plug(drv.fbHW, drv.fbSDK); err != nil {
+		t.Fatalf("plug fallback: %v", err)
+	}
+	return eng
+}
+
+// buildHarnessPlan builds a random but seed-deterministic plan on device 0:
+// filters combined with random bitmap logic, a materialize/map/aggregate
+// tail, and (sometimes) a hash-set semi-join adding a second pipeline. The
+// same seed always builds the same plan over the same data.
+func buildHarnessPlan(eng *Engine, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	rows := []int{2048, 1024, 777, 96, 0}[rng.Intn(5)]
+
+	price := make([]int32, rows)
+	disc := make([]int32, rows)
+	qty := make([]int32, rows)
+	keys := make([]int32, rows)
+	for i := 0; i < rows; i++ {
+		price[i] = int32(rng.Intn(10000))
+		disc[i] = int32(rng.Intn(11))
+		qty[i] = int32(rng.Intn(50))
+		keys[i] = int32(rng.Intn(64))
+	}
+
+	p := eng.NewPlan()
+	p.On(DeviceID(0))
+
+	// Semi-join variant: a separate build pipeline feeds a hash set the
+	// probe side filters against. The build side comes first so its
+	// pipeline precedes the consumers'.
+	semiJoin := rng.Intn(3) == 0
+	var set Port
+	if semiJoin {
+		nBuild := 1 + rng.Intn(32)
+		build := make([]int32, nBuild)
+		for i := range build {
+			build[i] = int32(rng.Intn(64))
+		}
+		set = p.BuildKeySet(p.ScanInt32("build", build), 128)
+	}
+
+	cPrice := p.ScanInt32("price", price)
+	cDisc := p.ScanInt32("disc", disc)
+	cQty := p.ScanInt32("qty", qty)
+
+	ops := []CmpOp{Lt, Le, Gt, Ge, Eq, Ne}
+	b1 := p.Filter(cDisc, ops[rng.Intn(len(ops))], int64(rng.Intn(11)))
+	lo := int64(rng.Intn(25))
+	b2 := p.FilterBetween(cQty, lo, lo+int64(rng.Intn(25)))
+	var combined Port
+	switch rng.Intn(4) {
+	case 0:
+		combined = p.And(b1, b2)
+	case 1:
+		combined = p.Or(b1, b2)
+	case 2:
+		combined = p.AndNot(b1, b2)
+	default:
+		combined = b1
+	}
+
+	if semiJoin {
+		cKeys := p.ScanInt32("keys", keys)
+		combined = p.And(combined, p.ExistsIn(cKeys, set))
+	}
+
+	mp := p.Materialize(cPrice, combined)
+	md := p.Materialize(cDisc, combined)
+	rev := p.Mul(mp, md)
+	p.Return("sum", p.SumInt64(rev))
+	p.Return("count", p.CountBits(combined))
+	if rng.Intn(2) == 0 {
+		p.Return("rows", mp) // non-aggregate output: concatenated per chunk
+	}
+	return p
+}
+
+// harnessFaultPlan derives a random fault schedule for iteration i,
+// targeting only the primary device.
+func harnessFaultPlan(i int, drv harnessDriver) *FaultPlan {
+	plan := &FaultPlan{
+		Seed:    uint64(i)*0x9e3779b9 + 17,
+		Devices: []string{drv.devName},
+	}
+	switch i % 5 {
+	case 0:
+		plan.PTransient = 0.08
+	case 1:
+		plan.PTransient = 0.02
+		plan.PLaunch = 0.04
+	case 2:
+		plan.POOM = 0.04
+		plan.PLatency = 0.2
+	case 3:
+		plan.DieAfterOps = int64(5 + (i % 37))
+	case 4:
+		plan.PTransient = 0.3 // heavy: most runs exhaust the retry budget
+	}
+	return plan
+}
+
+// checkMemBaseline asserts every device of the engine is back to zero
+// used/pinned bytes and zero live buffers.
+func checkMemBaseline(t *testing.T, eng *Engine, label string) {
+	t.Helper()
+	for i, d := range eng.Runtime().Devices() {
+		ms := d.MemStats()
+		if ms.Used != 0 || ms.PinnedUsed != 0 || ms.LiveBuffers != 0 {
+			t.Errorf("%s: device %d memory not at baseline: used=%d pinned=%d live=%d",
+				label, i, ms.Used, ms.PinnedUsed, ms.LiveBuffers)
+		}
+	}
+}
+
+// sameResults compares two results bit-for-bit.
+func sameResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	wc, gc := want.Columns(), got.Columns()
+	if !reflect.DeepEqual(wc, gc) {
+		t.Errorf("%s: columns %v != baseline %v", label, gc, wc)
+		return
+	}
+	for _, name := range wc {
+		wv, _ := want.column(name)
+		gv, _ := got.column(name)
+		if !vecEqual(wv, gv) {
+			t.Errorf("%s: column %q diverged from baseline", label, name)
+		}
+	}
+}
+
+// vecEqual compares two vectors bit-for-bit.
+func vecEqual(a, b vec.Vector) bool {
+	if a.Type() != b.Type() || a.Len() != b.Len() {
+		return false
+	}
+	switch a.Type() {
+	case vec.Int32:
+		return reflect.DeepEqual(a.I32(), b.I32())
+	case vec.Int64:
+		return reflect.DeepEqual(a.I64(), b.I64())
+	case vec.Float64:
+		return reflect.DeepEqual(a.F64(), b.F64())
+	case vec.Bits:
+		return reflect.DeepEqual(a.Words(), b.Words())
+	default:
+		return a.Len() == 0
+	}
+}
+
+// TestDifferentialFaultHarness is the acceptance harness: ≥100 random
+// (plan, fault schedule) pairs across all five execution models and four
+// drivers. Every faulted run either equals the fault-free baseline exactly
+// or fails with an error wrapping ErrInjected; memory always returns to
+// baseline.
+func TestDifferentialFaultHarness(t *testing.T) {
+	pairs := 120
+	if testing.Short() {
+		pairs = 12
+	}
+	var matched, failedTyped int
+	for i := 0; i < pairs; i++ {
+		model := harnessModels[i%len(harnessModels)]
+		drv := harnessDrivers[(i/len(harnessModels))%len(harnessDrivers)]
+		seed := int64(i)*7919 + 3
+		label := fmt.Sprintf("pair %d (%v on %s)", i, model, drv.name)
+
+		baseEng := harnessEngine(t, drv, nil)
+		opts := ExecOptions{Model: model, ChunkElems: 256}
+		baseRes, err := baseEng.Execute(buildHarnessPlan(baseEng, seed), opts)
+		if err != nil {
+			t.Fatalf("%s: fault-free baseline failed: %v", label, err)
+		}
+		checkMemBaseline(t, baseEng, label+" baseline")
+
+		faultEng := harnessEngine(t, drv, harnessFaultPlan(i, drv))
+		faultRes, err := faultEng.Execute(buildHarnessPlan(faultEng, seed), opts)
+		switch {
+		case err == nil:
+			sameResults(t, label, baseRes, faultRes)
+			matched++
+		case errors.Is(err, ErrInjected):
+			failedTyped++ // a typed, injected failure is a correct outcome
+		default:
+			t.Errorf("%s: untyped error under faults: %v", label, err)
+		}
+		checkMemBaseline(t, faultEng, label+" faulted")
+	}
+	t.Logf("%d runs matched the baseline, %d failed with typed injected errors", matched, failedTyped)
+	if matched == 0 {
+		t.Error("no faulted run ever completed; degradation is not working")
+	}
+	if !testing.Short() && failedTyped == 0 {
+		t.Error("no faulted run ever failed; the schedules are not injecting")
+	}
+}
+
+// TestFailoverCompletesOnFallback is the device-death acceptance case: a
+// query that loses its primary mid-run completes on the fallback CPU with
+// results identical to the fault-free run, the event log records the
+// failover, and the engine quarantines the dead device.
+func TestFailoverCompletesOnFallback(t *testing.T) {
+	for _, model := range harnessModels {
+		t.Run(model.String(), func(t *testing.T) {
+			const seed = 42
+			drv := harnessDrivers[0] // cuda primary, openmp fallback
+
+			baseEng := harnessEngine(t, drv, nil)
+			opts := ExecOptions{Model: model, ChunkElems: 256}
+			baseRes, err := baseEng.Execute(buildHarnessPlan(baseEng, seed), opts)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+
+			// Kill the primary a few dozen operations in: mid-staging or
+			// mid-chunk for every model.
+			plan := &FaultPlan{DieAfterOps: 25, Devices: []string{drv.devName}}
+			eng := harnessEngine(t, drv, plan)
+			res, err := eng.Execute(buildHarnessPlan(eng, seed), opts)
+			if err != nil {
+				t.Fatalf("faulted run did not fail over: %v", err)
+			}
+			sameResults(t, "failover", baseRes, res)
+
+			events := res.Stats().Events
+			if len(events) != 1 || events[0].Kind != EventFailover ||
+				events[0].From != DeviceID(0) || events[0].To != DeviceID(1) {
+				t.Errorf("event log = %v, want one failover 0->1", events)
+			}
+			if q := eng.Quarantined(); len(q) != 1 || q[0] != DeviceID(0) {
+				t.Errorf("quarantined = %v, want [0]", q)
+			}
+			checkMemBaseline(t, eng, "failover")
+		})
+	}
+}
+
+// TestDeadFallbackStillTyped: when the fallback device is the one that
+// dies, there is nowhere to go — the query must fail with the typed
+// device-lost error rather than loop or return a wrong answer.
+func TestDeadFallbackStillTyped(t *testing.T) {
+	drv := harnessDrivers[0]
+	plan := &FaultPlan{DieAfterOps: 4} // no device filter: both die
+	eng := harnessEngine(t, drv, plan)
+	_, err := eng.Execute(buildHarnessPlan(eng, 1), ExecOptions{Model: Chunked, ChunkElems: 256})
+	if err == nil {
+		t.Fatal("run with both devices dying succeeded")
+	}
+	if !errors.Is(err, ErrDeviceLost) || !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("error %v is not a typed device-lost fault", err)
+	}
+	checkMemBaseline(t, eng, "dead fallback")
+}

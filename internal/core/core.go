@@ -32,6 +32,9 @@ const (
 // Options is the execution configuration.
 type Options = exec.Options
 
+// RetryPolicy configures transient-fault retries at the device interfaces.
+type RetryPolicy = exec.RetryPolicy
+
 // Result is a query outcome with execution statistics.
 type Result = exec.Result
 

@@ -174,6 +174,8 @@ func (p *Pool) alloc(t vec.Type, n int, format Format, pinnedBuf bool) (*Buffer,
 
 // Adopt registers an existing host vector as a zero-copy buffer. It is used
 // by host-resident devices, whose place_data degenerates to registration.
+// Adopted buffers count as pinned host bytes while registered, so Free's
+// pinned accounting stays symmetric.
 func (p *Pool) Adopt(data vec.Vector, format Format) *Buffer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -181,6 +183,7 @@ func (p *Pool) Adopt(data vec.Vector, format Format) *Buffer {
 	b := &Buffer{ID: p.next, Data: data, Pinned: true, Format: format}
 	p.buffers[b.ID] = b
 	p.allocs++
+	p.pinned += data.Bytes()
 	return b
 }
 

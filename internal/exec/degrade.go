@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// ErrUnknownModel reports an Options.Model outside the defined execution
+// models. Validating up front keeps a bad model from silently running under
+// zero-value flags (which happen to be the naive chunked policy).
+var ErrUnknownModel = errors.New("exec: unknown execution model")
+
+// RetryPolicy configures how the executor retries transient device faults
+// (failed transfers, kernel launch errors). The zero value disables
+// retries, preserving fail-fast behaviour for callers that never opted in.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts per device operation after
+	// the first failure. Zero disables retrying.
+	MaxRetries int
+	// Backoff is the virtual-time delay before the first retry; it doubles
+	// per attempt up to BackoffCap. Defaults to 50µs / 5ms when MaxRetries
+	// is set — retries cost simulated time like everything else, so the
+	// paper-style timing figures stay honest under faults.
+	Backoff    vclock.Duration
+	BackoffCap vclock.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		return RetryPolicy{}
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * vclock.Microsecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = 5 * vclock.Millisecond
+	}
+	return p
+}
+
+// DeviceLostError reports that a device died while a query was using it.
+// The executor surfaces it (wrapped) when no fallback is configured, and
+// consumes it internally when failover re-places the query.
+type DeviceLostError struct {
+	// Device is the runtime ID of the lost device.
+	Device device.ID
+	// Err is the underlying fault.
+	Err error
+}
+
+// Error implements error.
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("exec: device %v lost: %v", e.Device, e.Err)
+}
+
+// Unwrap exposes the underlying fault so errors.Is sees
+// fault.ErrDeviceLost and fault.ErrInjected through the wrapper.
+func (e *DeviceLostError) Unwrap() error { return e.Err }
+
+// EventKind classifies a RuntimeEvent.
+type EventKind int
+
+// Runtime event kinds.
+const (
+	// EventFailover records a query re-placed from a lost device onto a
+	// healthy fallback.
+	EventFailover EventKind = iota
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventFailover:
+		return "failover"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// RuntimeEvent is one entry of the execution event log: something the
+// runtime did to keep the query alive, recorded so operators (and the
+// acceptance tests) can see that degradation happened and where.
+type RuntimeEvent struct {
+	Kind EventKind
+	// From and To are the devices involved (for EventFailover: the lost
+	// device and its replacement).
+	From device.ID
+	To   device.ID
+}
+
+// String formats the event for logs.
+func (e RuntimeEvent) String() string {
+	return fmt.Sprintf("%s %v->%v", e.Kind, e.From, e.To)
+}
+
+// resolve follows the executor's failover remap chain: after a device dies
+// and the query re-places onto a fallback, every logical reference to the
+// dead device resolves to its replacement.
+func (x *executor) resolve(id device.ID) device.ID {
+	for i := 0; i <= len(x.remap); i++ {
+		next, ok := x.remap[id]
+		if !ok {
+			return id
+		}
+		id = next
+	}
+	return id
+}
+
+// device resolves a logical device ID through the failover remap and wraps
+// the device with the executor's retry policy. The returned ID is the
+// effective device the query actually runs on; it is what port state,
+// allocation tracking and routing must record.
+func (x *executor) device(id device.ID) (device.ID, device.Device, error) {
+	eff := x.resolve(id)
+	d, err := x.rt.Device(eff)
+	if err != nil {
+		return eff, nil, err
+	}
+	return eff, &retrier{x: x, id: eff, d: d}, nil
+}
+
+// retrier wraps a device.Device with transient-fault retries. Each faulted
+// operation is re-issued with capped exponential backoff charged in
+// virtual-clock time; a device-lost fault is wrapped in DeviceLostError so
+// the executor's failover loop can catch it with errors.As. Non-transient
+// faults (OOM) pass through untouched.
+type retrier struct {
+	x  *executor
+	id device.ID
+	d  device.Device
+}
+
+var _ device.Device = (*retrier)(nil)
+
+// attempt drives op under the retry policy. op receives the ready time for
+// each try (later tries are pushed back by the backoff) and returns the
+// operation's error.
+func (r *retrier) attempt(ready vclock.Time, op func(vclock.Time) error) error {
+	pol := r.x.opts.Retry.withDefaults()
+	backoff := pol.Backoff
+	for tries := 0; ; tries++ {
+		err := op(ready)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, fault.ErrDeviceLost) {
+			return &DeviceLostError{Device: r.id, Err: err}
+		}
+		if tries >= pol.MaxRetries || !fault.IsTransient(err) {
+			return err
+		}
+		r.x.retries++
+		ready = ready.Add(backoff)
+		backoff *= 2
+		if backoff > pol.BackoffCap {
+			backoff = pol.BackoffCap
+		}
+	}
+}
+
+// Initialize implements device.Device.
+func (r *retrier) Initialize() error {
+	return r.attempt(0, func(vclock.Time) error { return r.d.Initialize() })
+}
+
+// Info implements device.Device.
+func (r *retrier) Info() device.Info { return r.d.Info() }
+
+// PlaceData implements device.Device.
+func (r *retrier) PlaceData(data vec.Vector, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	var buf devmem.BufferID
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		buf, end, err = r.d.PlaceData(data, at)
+		return err
+	})
+	return buf, end, err
+}
+
+// PlaceDataInto implements device.Device.
+func (r *retrier) PlaceDataInto(id devmem.BufferID, off int, data vec.Vector, ready vclock.Time) (vclock.Time, error) {
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		end, err = r.d.PlaceDataInto(id, off, data, at)
+		return err
+	})
+	return end, err
+}
+
+// RetrieveData implements device.Device.
+func (r *retrier) RetrieveData(id devmem.BufferID, off, n int, dst vec.Vector, ready vclock.Time) (vclock.Time, error) {
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		end, err = r.d.RetrieveData(id, off, n, dst, at)
+		return err
+	})
+	return end, err
+}
+
+// PrepareMemory implements device.Device.
+func (r *retrier) PrepareMemory(t vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	var buf devmem.BufferID
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		buf, end, err = r.d.PrepareMemory(t, n, at)
+		return err
+	})
+	return buf, end, err
+}
+
+// AddPinnedMemory implements device.Device.
+func (r *retrier) AddPinnedMemory(t vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	var buf devmem.BufferID
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		buf, end, err = r.d.AddPinnedMemory(t, n, at)
+		return err
+	})
+	return buf, end, err
+}
+
+// CreateChunk implements device.Device. Views are host-side bookkeeping;
+// retries carry no virtual-time backoff.
+func (r *retrier) CreateChunk(id devmem.BufferID, off, n int) (devmem.BufferID, error) {
+	var buf devmem.BufferID
+	err := r.attempt(0, func(vclock.Time) error {
+		var err error
+		buf, err = r.d.CreateChunk(id, off, n)
+		return err
+	})
+	return buf, err
+}
+
+// TransformMemory implements device.Device.
+func (r *retrier) TransformMemory(id devmem.BufferID, target devmem.Format, ready vclock.Time) (vclock.Time, error) {
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		end, err = r.d.TransformMemory(id, target, at)
+		return err
+	})
+	return end, err
+}
+
+// DeleteMemory implements device.Device. Deletion passes through: the leak
+// barrier must always be able to free, and the injector never faults it.
+func (r *retrier) DeleteMemory(id devmem.BufferID) error { return r.d.DeleteMemory(id) }
+
+// PrepareKernel implements device.Device.
+func (r *retrier) PrepareKernel(name, source string) error {
+	return r.attempt(0, func(vclock.Time) error { return r.d.PrepareKernel(name, source) })
+}
+
+// Execute implements device.Device.
+func (r *retrier) Execute(req device.ExecRequest, ready vclock.Time) (vclock.Time, error) {
+	end := ready
+	err := r.attempt(ready, func(at vclock.Time) error {
+		var err error
+		end, err = r.d.Execute(req, at)
+		return err
+	})
+	return end, err
+}
+
+// Sync implements device.Device.
+func (r *retrier) Sync(ready vclock.Time) vclock.Time { return r.d.Sync(ready) }
+
+// Buffer implements device.Device.
+func (r *retrier) Buffer(id devmem.BufferID) (*devmem.Buffer, error) { return r.d.Buffer(id) }
+
+// CopyEngine implements device.Device.
+func (r *retrier) CopyEngine() *vclock.Timeline { return r.d.CopyEngine() }
+
+// ComputeEngine implements device.Device.
+func (r *retrier) ComputeEngine() *vclock.Timeline { return r.d.ComputeEngine() }
+
+// MemStats implements device.Device.
+func (r *retrier) MemStats() devmem.Stats { return r.d.MemStats() }
+
+// Stats implements device.Device.
+func (r *retrier) Stats() device.Stats { return r.d.Stats() }
+
+// Reset implements device.Device.
+func (r *retrier) Reset() { r.d.Reset() }

@@ -1,0 +1,40 @@
+package exec_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// TestDeviceDeathFiresAtEveryOp sweeps the death mark across every device
+// operation of a chunked run: no op index — including the fault-exempt
+// deletions at chunk boundaries — may let the run complete after its
+// device was scheduled to die.
+func TestDeviceDeathFiresAtEveryOp(t *testing.T) {
+	n := 2048
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 100)
+		b[i] = int32(i % 7)
+	}
+	for die := int64(2); die <= 120; die++ {
+		rt := hub.NewRuntime()
+		inj := fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), &fault.Plan{DieAfterOps: die})
+		if _, err := rt.Register(inj); err != nil {
+			continue
+		}
+		g := filterSumGraph(t, a, b, 50, 0)
+		_, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 256})
+		if err == nil {
+			t.Errorf("die=%d: run SUCCEEDED, want device lost", die)
+		} else if !errors.Is(err, fault.ErrDeviceLost) {
+			t.Errorf("die=%d: err = %v, want device lost", die, err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -37,6 +39,9 @@ func bytesFor(t vec.Type, n int) int64 {
 // sums across pipelines instead of modelling intermediate frees, so an
 // admitted query never out-grows its reservation mid-flight.
 func EstimateDemand(g *graph.Graph, opts Options) (map[device.ID]int64, error) {
+	if !opts.Model.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownModel, int(opts.Model))
+	}
 	pipelines, err := g.BuildPipelines()
 	if err != nil {
 		return nil, err

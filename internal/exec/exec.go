@@ -71,6 +71,11 @@ func Models() []Model {
 	return []Model{OperatorAtATime, Chunked, Pipelined, FourPhaseChunked, FourPhasePipelined}
 }
 
+// valid reports whether m names a defined execution model.
+func (m Model) valid() bool {
+	return m >= OperatorAtATime && m <= FourPhasePipelined
+}
+
 // modeFlags are the policy knobs a model maps onto.
 type modeFlags struct {
 	wholeInput    bool // transfer entire columns up front
@@ -115,6 +120,14 @@ type Options struct {
 	// Trace records a device-memory footprint sample after every
 	// primitive execution (Figure 7 right).
 	Trace bool
+	// Retry configures transient-fault retries at the device interfaces.
+	// The zero value disables retrying.
+	Retry RetryPolicy
+	// FallbackDevice, when set, names the device the query re-places onto
+	// if one of its devices dies mid-run (a DeviceLost fault). Nil (the
+	// default) disables failover: a lost device fails the query. It is a
+	// pointer because ID 0 is a valid device.
+	FallbackDevice *device.ID
 }
 
 // DefaultChunkElems is the paper's chunk size (2^25 values).
@@ -173,6 +186,11 @@ type Stats struct {
 	PeakDeviceBytes int64
 	// Footprint holds the trace when Options.Trace is set.
 	Footprint []FootprintSample
+	// Retries counts device operations re-issued after transient faults.
+	Retries int64
+	// Events is the runtime event log: failovers and other degradation
+	// actions taken to keep the query alive.
+	Events []RuntimeEvent
 }
 
 // Result is the outcome of one execution.
@@ -204,6 +222,9 @@ func Run(rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
 // carries the partial execution statistics accumulated so far (no result
 // columns).
 func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Options) (*Result, error) {
+	if !opts.Model.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownModel, int(opts.Model))
+	}
 	pipelines, err := g.BuildPipelines()
 	if err != nil {
 		return nil, err
@@ -216,6 +237,7 @@ func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Optio
 		flags: opts.Model.flags(),
 		ports: make(map[graph.PortRef]*portState),
 		live:  make(map[liveBuf]struct{}),
+		remap: make(map[device.ID]device.ID),
 	}
 	return x.run(pipelines)
 }

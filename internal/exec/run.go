@@ -61,6 +61,14 @@ type executor struct {
 	// a shared engine.
 	live map[liveBuf]struct{}
 
+	// remap redirects logical device IDs after a failover: once a device
+	// dies and the query re-places, every plan reference to the dead
+	// device resolves to its fallback. events and retries feed the
+	// degradation fields of Stats.
+	remap   map[device.ID]device.ID
+	events  []RuntimeEvent
+	retries int64
+
 	builders    map[graph.PortRef]*hostAccum
 	trace       []FootprintSample
 	chunksTotal int
@@ -145,45 +153,52 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	}
 	x.chain = x.base
 	x.horizon = x.base
-	x.builders = make(map[graph.PortRef]*hostAccum)
-	x.pendingUses = make(map[graph.PortRef]int)
-	if x.flags.wholeInput {
-		// Whole intermediates free as soon as every consumer anywhere in
-		// the plan has run (the footprint curve of Figure 7 right).
-		for _, e := range x.g.Edges() {
-			x.pendingUses[graph.PortRef{Node: e.From, Port: e.FromPort}]++
-		}
-	}
 
+	// Each attempt runs the whole plan. On a device-lost fault with a
+	// configured fallback, the dead device is remapped onto the fallback,
+	// everything the attempt allocated is released, and the plan restarts
+	// from its host-resident scans — the coarsest but always-correct
+	// re-placement. At most one failover per plugged device bounds the
+	// loop even if fallbacks die in turn.
+	maxAttempts := len(devs)
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	var runErr error
-	for _, p := range pipelines {
-		if err := x.checkCtx(); err != nil {
-			runErr = err
+	var columns []ResultColumn
+	for attempt := 0; ; attempt++ {
+		x.resetAttempt()
+		columns, runErr = x.attemptRun(pipelines)
+		if runErr == nil || attempt >= maxAttempts {
 			break
 		}
-		if err := x.runPipeline(p); err != nil {
-			runErr = fmt.Errorf("exec: %s: %w", p, err)
+		var lost *DeviceLostError
+		if !errors.As(runErr, &lost) || x.opts.FallbackDevice == nil {
 			break
 		}
-	}
-
-	res := &Result{}
-	if runErr == nil {
-		for _, r := range x.g.Results() {
-			col, err := x.collectResult(r)
-			if err != nil {
-				return nil, err
-			}
-			res.Columns = append(res.Columns, col)
+		fb := x.resolve(*x.opts.FallbackDevice)
+		if fb == lost.Device {
+			break // the fallback itself is the dead device
 		}
+		if _, err := x.rt.Device(fb); err != nil {
+			break
+		}
+		x.events = append(x.events, RuntimeEvent{Kind: EventFailover, From: lost.Device, To: fb})
+		x.remap[lost.Device] = fb
+		x.releaseAll()
 	}
 
+	// Statistics are assembled whether the run succeeded, failed or was
+	// cancelled: an early return must still report the partial work done.
+	res := &Result{Columns: columns}
 	res.Stats = Stats{
 		Elapsed:   x.horizon.Sub(x.base),
 		Wall:      time.Since(wallStart),
 		Chunks:    x.chunksTotal,
 		Pipelines: len(pipelines),
 		Footprint: x.trace,
+		Retries:   x.retries,
+		Events:    x.events,
 	}
 	for i, d := range devs {
 		delta := statsDelta(d.Stats(), before[device.ID(i)])
@@ -198,11 +213,57 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		}
 	}
 	if runErr != nil {
-		// Cancellation still reports the partial statistics, so callers
-		// (the CLI's SIGINT path) can print what happened before the cut.
+		// Cancellation and faults still report the partial statistics, so
+		// callers (the CLI's SIGINT path) can print what happened before
+		// the cut.
+		res.Columns = nil
 		return res, runErr
 	}
 	return res, nil
+}
+
+// resetAttempt clears all per-attempt execution state so the plan can run
+// (or re-run, after a failover) from its host-resident inputs.
+func (x *executor) resetAttempt() {
+	x.ports = make(map[graph.PortRef]*portState)
+	x.builders = make(map[graph.PortRef]*hostAccum)
+	x.pendingUses = make(map[graph.PortRef]int)
+	x.perChunkAllocs = nil
+	x.pipelineAllocs = nil
+	x.counts = nil
+	x.staging = nil
+	if x.flags.wholeInput {
+		// Whole intermediates free as soon as every consumer anywhere in
+		// the plan has run (the footprint curve of Figure 7 right).
+		for _, e := range x.g.Edges() {
+			x.pendingUses[graph.PortRef{Node: e.From, Port: e.FromPort}]++
+		}
+	}
+	// A re-run happens strictly after everything the failed attempt
+	// issued; the serial chain restarts at the current horizon.
+	x.chain = x.horizon
+}
+
+// attemptRun executes every pipeline and collects the named results. It is
+// one failover attempt: any error aborts the attempt and reports it.
+func (x *executor) attemptRun(pipelines []*graph.Pipeline) ([]ResultColumn, error) {
+	for _, p := range pipelines {
+		if err := x.checkCtx(); err != nil {
+			return nil, err
+		}
+		if err := x.runPipeline(p); err != nil {
+			return nil, fmt.Errorf("exec: %s: %w", p, err)
+		}
+	}
+	var columns []ResultColumn
+	for _, r := range x.g.Results() {
+		col, err := x.collectResult(r)
+		if err != nil {
+			return nil, err
+		}
+		columns = append(columns, col)
+	}
+	return columns, nil
 }
 
 func (x *executor) observe(t vclock.Time) {
@@ -253,6 +314,14 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 	}
 
 	// ---- Copy/compute phase.
+	if rows == 0 && len(p.Scans) > 0 {
+		// A zero-row scan pipeline streams nothing: no chunk is staged and
+		// no primitive launches. Accumulators keep their initialized state
+		// (a sum over nothing is the init value) and streamed results are
+		// pinned to empty so collection does not look for dead ports.
+		x.emptyStreamedResults(p)
+		return x.deletePhase()
+	}
 	primary, err := x.primaryDevice(p)
 	if err != nil {
 		return err
@@ -326,8 +395,12 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 		}
 	}
 
-	// ---- Delete phase: release pipeline-scoped buffers; accumulators
-	// and single-pass outputs stay for downstream pipelines and results.
+	return x.deletePhase()
+}
+
+// deletePhase releases pipeline-scoped buffers; accumulators and
+// single-pass outputs stay for downstream pipelines and results.
+func (x *executor) deletePhase() error {
 	for _, a := range x.pipelineAllocs {
 		if err := x.free(a.dev, a.buf); err != nil {
 			return err
@@ -337,13 +410,35 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 	return nil
 }
 
+// emptyStreamedResults registers empty host builders for every streamed
+// (non-accumulating) result produced inside the pipeline, so a zero-row
+// pipeline still yields its result columns — with zero rows.
+func (x *executor) emptyStreamedResults(p *graph.Pipeline) {
+	for _, r := range x.g.Results() {
+		node := x.g.Node(r.Ref.Node)
+		if node.IsScan() || node.Task.Accumulate {
+			continue
+		}
+		for _, nid := range p.Nodes {
+			if nid != r.Ref.Node {
+				continue
+			}
+			if x.builders[r.Ref] == nil {
+				x.builders[r.Ref] = newHostAccum(node.OutputSpec(r.Ref.Port).Type)
+			}
+			break
+		}
+	}
+}
+
 // primaryDevice is the device the pipeline's tasks run on (used for the
 // per-chunk thread handshake).
 func (x *executor) primaryDevice(p *graph.Pipeline) (device.Device, error) {
 	if len(p.Nodes) == 0 {
 		return nil, fmt.Errorf("%w: pipeline %d has no tasks", graph.ErrBadGraph, p.Index)
 	}
-	return x.rt.Device(x.g.Node(p.Nodes[0]).Device)
+	_, d, err := x.device(x.g.Node(p.Nodes[0]).Device)
+	return d, err
 }
 
 func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePass bool) error {
@@ -351,7 +446,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 	for _, nid := range p.Nodes {
 		n := x.g.Node(nid)
 		t := n.Task
-		d, err := x.rt.Device(n.Device)
+		dev, d, err := x.device(n.Device)
 		if err != nil {
 			return err
 		}
@@ -362,9 +457,9 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: accumulator: %w", n, err)
 				}
-				x.track(n.Device, buf)
+				x.track(dev, buf)
 				x.advance(done)
-				ps := &portState{dev: n.Device, buf: buf, capacity: size, n: size, ready: done, persistent: true}
+				ps := &portState{dev: dev, buf: buf, capacity: size, n: size, ready: done, persistent: true}
 				x.ports[graph.PortRef{Node: nid, Port: port}] = ps
 				if t.InitKernel != "" {
 					end, err := d.Execute(device.ExecRequest{
@@ -385,10 +480,10 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return fmt.Errorf("%s: count buffer: %w", n, err)
 			}
-			x.track(n.Device, buf)
+			x.track(dev, buf)
 			x.advance(done)
 			x.counts[nid] = buf
-			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: dev, buf: buf})
 		}
 	}
 
@@ -396,7 +491,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 	if x.flags.reuseStaging && !x.flags.wholeInput && rows > 0 {
 		for _, sid := range p.Scans {
 			n := x.g.Node(sid)
-			d, err := x.rt.Device(n.Device)
+			dev, d, err := x.device(n.Device)
 			if err != nil {
 				return err
 			}
@@ -412,10 +507,10 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: staging: %w", n, err)
 				}
-				x.track(n.Device, buf)
+				x.track(dev, buf)
 				x.advance(done)
 				bufs[i] = buf
-				x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+				x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: dev, buf: buf})
 			}
 			x.staging[sid] = bufs
 		}
@@ -425,7 +520,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 	if x.flags.wholeInput && rows > 0 {
 		for _, sid := range p.Scans {
 			n := x.g.Node(sid)
-			d, err := x.rt.Device(n.Device)
+			dev, d, err := x.device(n.Device)
 			if err != nil {
 				return err
 			}
@@ -433,12 +528,12 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return fmt.Errorf("%s: place: %w", n, err)
 			}
-			x.track(n.Device, buf)
+			x.track(dev, buf)
 			x.advance(end)
 			x.ports[graph.PortRef{Node: sid, Port: 0}] = &portState{
-				dev: n.Device, buf: buf, capacity: rows, n: rows, ready: end,
+				dev: dev, buf: buf, capacity: rows, n: rows, ready: end,
 			}
-			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+			x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: dev, buf: buf})
 		}
 	}
 
@@ -454,7 +549,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if t.Accumulate {
 				continue
 			}
-			d, err := x.rt.Device(n.Device)
+			dev, d, err := x.device(n.Device)
 			if err != nil {
 				return err
 			}
@@ -467,13 +562,13 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 				if err != nil {
 					return fmt.Errorf("%s: scratch: %w", n, err)
 				}
-				x.track(n.Device, buf)
+				x.track(dev, buf)
 				x.advance(done)
 				x.ports[graph.PortRef{Node: nid, Port: port}] = &portState{
-					dev: n.Device, buf: buf, capacity: size, ready: done, persistent: singlePass,
+					dev: dev, buf: buf, capacity: size, ready: done, persistent: singlePass,
 				}
 				if !singlePass {
-					x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: n.Device, buf: buf})
+					x.pipelineAllocs = append(x.pipelineAllocs, alloc{dev: dev, buf: buf})
 				}
 			}
 		}
@@ -492,7 +587,7 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 	}
 	for _, sid := range p.Scans {
 		node := x.g.Node(sid)
-		d, err := x.rt.Device(node.Device)
+		dev, d, err := x.device(node.Device)
 		if err != nil {
 			return err
 		}
@@ -519,7 +614,7 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 				}
 			}
 			x.advance(end)
-			x.ports[ref] = &portState{dev: node.Device, buf: buf, capacity: cap0(x.opts.chunkElems()), n: n, ready: end, persistent: true}
+			x.ports[ref] = &portState{dev: dev, buf: buf, capacity: cap0(x.opts.chunkElems()), n: n, ready: end, persistent: true}
 			continue
 		}
 
@@ -528,10 +623,10 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 		if err != nil {
 			return fmt.Errorf("%s: stage chunk %d: %w", node, c, err)
 		}
-		x.track(node.Device, buf)
+		x.track(dev, buf)
 		x.advance(end)
-		x.ports[ref] = &portState{dev: node.Device, buf: buf, capacity: n, n: n, ready: end}
-		x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: node.Device, buf: buf, ref: ref, hasRef: true})
+		x.ports[ref] = &portState{dev: dev, buf: buf, capacity: n, n: n, ready: end}
+		x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: dev, buf: buf, ref: ref, hasRef: true})
 	}
 	return nil
 }
@@ -546,7 +641,7 @@ func cap0(v int) int {
 // execNode launches one primitive over the current chunk.
 func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePass bool) (vclock.Time, error) {
 	t := n.Task
-	d, err := x.rt.Device(n.Device)
+	dev, d, err := x.device(n.Device)
 	if err != nil {
 		return 0, err
 	}
@@ -564,15 +659,21 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 		if !ok {
 			return 0, fmt.Errorf("%s: input %d (%s) not materialized", n, i, e)
 		}
-		if ps.dev != n.Device {
-			buf, end, err := x.rt.Route(ps.dev, n.Device, ps.buf, ps.n, x.ready(ps.ready))
+		if ps.dev != dev {
+			// Route through the wrapped endpoints so transfer faults on
+			// either leg are retried like any other transfer.
+			_, sd, err := x.device(ps.dev)
+			if err != nil {
+				return 0, err
+			}
+			buf, end, err := hub.RouteBetween(sd, d, ps.buf, ps.n, x.ready(ps.ready))
 			if err != nil {
 				return 0, fmt.Errorf("%s: route input %d: %w", n, i, err)
 			}
-			x.track(n.Device, buf)
+			x.track(dev, buf)
 			x.advance(end)
 			routed := *ps
-			routed.dev = n.Device
+			routed.dev = dev
 			routed.buf = buf
 			routed.capacity = ps.n
 			routed.ready = end
@@ -586,7 +687,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: view input %d: %w", n, i, err)
 			}
-			x.track(n.Device, view)
+			x.track(dev, view)
 			views = append(views, view)
 			arg = view
 		}
@@ -616,15 +717,15 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: output %d: %w", n, port, err)
 			}
-			x.track(n.Device, buf)
+			x.track(dev, buf)
 			if done > dataReady {
 				dataReady = done
 			}
 			x.advance(done)
-			ps = &portState{dev: n.Device, buf: buf, capacity: size, ready: done, persistent: singlePass && !x.flags.wholeInput}
+			ps = &portState{dev: dev, buf: buf, capacity: size, ready: done, persistent: singlePass && !x.flags.wholeInput}
 			x.ports[ref] = ps
 			if !singlePass && !t.Accumulate {
-				x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: n.Device, buf: buf, ref: ref, hasRef: true})
+				x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: dev, buf: buf, ref: ref, hasRef: true})
 			}
 		}
 		// Logical output length: input-sized ports follow the logical
@@ -653,7 +754,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, fmt.Errorf("%s: view output %d: %w", n, port, err)
 			}
-			x.track(n.Device, view)
+			x.track(dev, view)
 			views = append(views, view)
 			arg = view
 		}
@@ -705,7 +806,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 
 	// Views were only needed to shape this launch.
 	for _, v := range views {
-		if err := x.free(n.Device, v); err != nil {
+		if err := x.free(dev, v); err != nil {
 			return 0, err
 		}
 	}
@@ -796,7 +897,7 @@ func (x *executor) appendChunkResults(p *graph.Pipeline) error {
 			}
 			continue
 		}
-		d, err := x.rt.Device(ps.dev)
+		_, d, err := x.device(ps.dev)
 		if err != nil {
 			return err
 		}
@@ -825,7 +926,7 @@ func (x *executor) collectResult(r graph.Result) (ResultColumn, error) {
 	if !ok {
 		return ResultColumn{}, fmt.Errorf("exec: result %q was never materialized", r.Name)
 	}
-	d, err := x.rt.Device(ps.dev)
+	_, d, err := x.device(ps.dev)
 	if err != nil {
 		return ResultColumn{}, err
 	}

@@ -1,0 +1,435 @@
+// Package fault provides deterministic fault injection for ADAMANT's
+// device layer.
+//
+// The paper's runtime assumes devices never fail; a production co-processor
+// deployment cannot. Transfers drop, kernel launches fail, device memory
+// runs out, drivers hang, and whole cards fall off the bus mid-query. This
+// package wraps any device.Device with an Injector that injects typed
+// faults at the ten plug-in interface boundaries, driven by a reproducible
+// Plan: a seed plus per-operation probabilities, an explicit step script,
+// or both. Because the simulated SDKs are deterministic and the executor
+// issues device operations in a fixed order, the same Plan against the
+// same query always injects the same faults — a failing run is a repro
+// script, not a flake.
+//
+// The runtime layer (package exec) reacts to the taxonomy: transient
+// transfer and launch faults are retried with capped virtual-clock
+// backoff; a lost device triggers failover onto a healthy fallback; OOM
+// and exhausted retries surface as typed errors wrapping ErrInjected so a
+// caller can always distinguish "the fault layer fired" from a wrong
+// answer.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// Sentinel errors. Every injected fault wraps ErrInjected plus the
+// kind-specific sentinel, so callers can match at either granularity with
+// errors.Is.
+var (
+	// ErrInjected is the root sentinel: every error produced by an
+	// Injector wraps it.
+	ErrInjected = errors.New("fault: injected")
+	// ErrTransient marks a transient transfer failure; the operation did
+	// not happen and retrying it may succeed.
+	ErrTransient = errors.New("fault: transient transfer failure")
+	// ErrLaunch marks a kernel launch failure; the kernel did not run and
+	// relaunching it may succeed.
+	ErrLaunch = errors.New("fault: kernel launch failure")
+	// ErrOOM marks an injected device out-of-memory; the allocation did
+	// not happen and retrying without freeing memory will not help.
+	ErrOOM = errors.New("fault: device out of memory")
+	// ErrDeviceLost marks a dead device: every subsequent operation on it
+	// fails until Revive. Only failover to another device helps.
+	ErrDeviceLost = errors.New("fault: device lost")
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindNone injects nothing.
+	KindNone Kind = iota
+	// Transient fails one transfer; the operation is retryable.
+	Transient
+	// Launch fails one kernel launch; the launch is retryable.
+	Launch
+	// OOM fails one allocation as if device memory were exhausted.
+	OOM
+	// Latency stalls one operation by the plan's spike duration without
+	// failing it.
+	Latency
+	// DeviceLost kills the device: the triggering operation and every
+	// later one fail with ErrDeviceLost.
+	DeviceLost
+)
+
+// String names the kind as used in -faults scripts.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case Transient:
+		return "transient"
+	case Launch:
+		return "launch"
+	case OOM:
+		return "oom"
+	case Latency:
+		return "latency"
+	case DeviceLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "transient":
+		return Transient, nil
+	case "launch":
+		return Launch, nil
+	case "oom":
+		return OOM, nil
+	case "latency":
+		return Latency, nil
+	case "lost", "die":
+		return DeviceLost, nil
+	default:
+		return KindNone, fmt.Errorf("fault: unknown fault kind %q", s)
+	}
+}
+
+// sentinel maps a kind to its matching sentinel error.
+func (k Kind) sentinel() error {
+	switch k {
+	case Transient:
+		return ErrTransient
+	case Launch:
+		return ErrLaunch
+	case OOM:
+		return ErrOOM
+	case DeviceLost:
+		return ErrDeviceLost
+	default:
+		return ErrInjected
+	}
+}
+
+// Op names one of the device layer's interface boundaries (the paper's ten
+// plug-in functions, in Go spelling).
+type Op int
+
+// Interface boundaries at which faults inject.
+const (
+	OpInitialize Op = iota
+	OpPlaceData     // place_data: PlaceData and PlaceDataInto
+	OpRetrieveData
+	OpPrepareMemory
+	OpAddPinnedMemory
+	OpCreateChunk
+	OpTransformMemory
+	OpDeleteMemory
+	OpPrepareKernel
+	OpExecute
+	numOps
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInitialize:
+		return "initialize"
+	case OpPlaceData:
+		return "place_data"
+	case OpRetrieveData:
+		return "retrieve_data"
+	case OpPrepareMemory:
+		return "prepare_memory"
+	case OpAddPinnedMemory:
+		return "add_pinned_memory"
+	case OpCreateChunk:
+		return "create_chunk"
+	case OpTransformMemory:
+		return "transform_memory"
+	case OpDeleteMemory:
+		return "delete_memory"
+	case OpPrepareKernel:
+		return "prepare_kernel"
+	case OpExecute:
+		return "execute"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// transferOp reports whether the op moves data (transient faults apply).
+func (o Op) transferOp() bool {
+	return o == OpPlaceData || o == OpRetrieveData || o == OpTransformMemory
+}
+
+// allocOp reports whether the op allocates device memory (OOM applies).
+func (o Op) allocOp() bool {
+	return o == OpPrepareMemory || o == OpAddPinnedMemory
+}
+
+// Step is one entry of an explicit fault script: at the At-th device
+// operation (1-based, counted across all ops, in issue order), inject Kind.
+// When Op is non-negative the step counts and fires only on that operation
+// type.
+type Step struct {
+	// At is the 1-based operation index the step fires at. Counted over
+	// all operations when Op < 0, over operations of type Op otherwise.
+	At int64
+	// Op restricts the step to one interface boundary; negative means any.
+	Op Op
+	// Kind is the fault to inject.
+	Kind Kind
+}
+
+// Plan is a reproducible fault schedule. The zero value injects nothing.
+// The same Plan (same seed, rates and script) against the same sequence of
+// device operations injects exactly the same faults.
+type Plan struct {
+	// Seed seeds the per-device random stream for the probabilistic
+	// rates. Two devices with different names draw from different streams
+	// derived from this seed, so multi-device runs stay deterministic
+	// regardless of scheduling.
+	Seed uint64
+
+	// PTransient is the per-transfer probability of a transient failure
+	// (place_data, retrieve_data, transform_memory).
+	PTransient float64
+	// PLaunch is the per-launch probability of a kernel launch failure.
+	PLaunch float64
+	// POOM is the per-allocation probability of an injected OOM
+	// (prepare_memory, add_pinned_memory).
+	POOM float64
+	// PLatency is the per-operation probability of a latency spike of
+	// SpikeDuration on any time-charged operation.
+	PLatency float64
+	// SpikeDuration is the virtual stall per latency spike (default
+	// 100µs when PLatency > 0 or a Latency step fires).
+	SpikeDuration vclock.Duration
+
+	// DieAfterOps kills the device at its N-th operation (1-based);
+	// zero means never.
+	DieAfterOps int64
+
+	// Script lists explicit steps, evaluated alongside the probabilistic
+	// rates. Scripted steps take precedence at the op they name.
+	Script []Step
+
+	// Devices restricts the plan to devices whose name contains one of
+	// the given substrings. Empty means every wrapped device.
+	Devices []string
+}
+
+// AppliesTo reports whether the plan targets the named device.
+func (p *Plan) AppliesTo(deviceName string) bool {
+	if p == nil {
+		return false
+	}
+	if len(p.Devices) == 0 {
+		return true
+	}
+	for _, d := range p.Devices {
+		if strings.Contains(deviceName, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.PTransient > 0 || p.PLaunch > 0 || p.POOM > 0 || p.PLatency > 0 ||
+		p.DieAfterOps > 0 || len(p.Script) > 0
+}
+
+// spike returns the configured latency spike duration with its default.
+func (p *Plan) spike() vclock.Duration {
+	if p.SpikeDuration > 0 {
+		return p.SpikeDuration
+	}
+	return 100 * vclock.Microsecond
+}
+
+// seedFor derives the per-device RNG seed: the plan seed mixed with the
+// device name, so each device draws an independent deterministic stream.
+func (p *Plan) seedFor(deviceName string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(deviceName))
+	return p.Seed ^ h.Sum64() ^ 0x9e3779b97f4a7c15
+}
+
+// ParsePlan parses the -faults CLI spec: a comma-separated list of
+// key=value fields.
+//
+//	seed=N            RNG seed for the probabilistic rates
+//	transient=P       per-transfer transient failure probability
+//	launch=P          per-launch kernel failure probability
+//	oom=P             per-allocation OOM probability
+//	latency=P         per-operation latency spike probability
+//	spike=DUR         latency spike duration (Go duration, e.g. 200us)
+//	die=N             the device dies at its N-th operation
+//	at=N:KIND         script step: inject KIND at operation N
+//	                  (KIND: transient, launch, oom, latency, lost)
+//	dev=NAME          only inject on devices whose name contains NAME
+//
+// Example: "seed=7,transient=0.01,die=500,dev=cuda".
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad -faults field %q (want key=value)", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", val)
+			}
+			p.Seed = n
+		case "transient", "launch", "oom", "latency":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("fault: bad probability %q for %s", val, key)
+			}
+			switch key {
+			case "transient":
+				p.PTransient = f
+			case "launch":
+				p.PLaunch = f
+			case "oom":
+				p.POOM = f
+			case "latency":
+				p.PLatency = f
+			}
+		case "spike":
+			d, err := parseDuration(val)
+			if err != nil {
+				return nil, err
+			}
+			p.SpikeDuration = d
+		case "die":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad die op count %q", val)
+			}
+			p.DieAfterOps = n
+		case "at":
+			atStr, kindStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad step %q (want at=N:kind)", field)
+			}
+			n, err := strconv.ParseInt(atStr, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad step index %q", atStr)
+			}
+			k, err := parseKind(kindStr)
+			if err != nil {
+				return nil, err
+			}
+			p.Script = append(p.Script, Step{At: n, Op: -1, Kind: k})
+		case "dev":
+			p.Devices = append(p.Devices, val)
+		default:
+			return nil, fmt.Errorf("fault: unknown -faults key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// parseDuration accepts Go duration syntax and converts to virtual time.
+func parseDuration(s string) (vclock.Duration, error) {
+	var total vclock.Duration
+	rest := s
+	for rest != "" {
+		i := 0
+		for i < len(rest) && (rest[i] >= '0' && rest[i] <= '9') {
+			i++
+		}
+		if i == 0 {
+			return 0, fmt.Errorf("fault: bad duration %q", s)
+		}
+		n, err := strconv.ParseInt(rest[:i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fault: bad duration %q", s)
+		}
+		rest = rest[i:]
+		j := 0
+		for j < len(rest) && (rest[j] < '0' || rest[j] > '9') {
+			j++
+		}
+		var unit vclock.Duration
+		switch rest[:j] {
+		case "ns":
+			unit = vclock.Nanosecond
+		case "us", "µs":
+			unit = vclock.Microsecond
+		case "ms":
+			unit = vclock.Millisecond
+		case "s":
+			unit = vclock.Second
+		default:
+			return 0, fmt.Errorf("fault: bad duration unit in %q", s)
+		}
+		total += vclock.Duration(n) * unit
+		rest = rest[j:]
+	}
+	return total, nil
+}
+
+// Error is one injected fault, carrying the taxonomy for errors.Is
+// matching and the schedule position for reproduction.
+type Error struct {
+	// Kind is the injected fault kind.
+	Kind Kind
+	// Op is the interface boundary the fault fired at.
+	Op Op
+	// Seq is the device's 1-based operation count when the fault fired.
+	Seq int64
+	// Device is the faulted device's name.
+	Device string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s op %d on %s", e.Kind, e.Op, e.Seq, e.Device)
+}
+
+// Unwrap exposes both the root sentinel and the kind sentinel, so
+// errors.Is(err, ErrInjected) and errors.Is(err, ErrTransient) both hold.
+func (e *Error) Unwrap() []error {
+	return []error{ErrInjected, e.Kind.sentinel()}
+}
+
+// Injected reports whether err originates from an Injector.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// IsTransient reports whether err is worth retrying: a transient transfer
+// failure or a kernel launch failure. OOM and device loss are not.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrLaunch)
+}

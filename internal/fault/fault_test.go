@@ -1,0 +1,243 @@
+package fault_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func newDev(t *testing.T, plan *fault.Plan) *fault.Injector {
+	t.Helper()
+	in := fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)
+	if err := in.Initialize(); err != nil {
+		t.Fatalf("initialize: %v", err)
+	}
+	return in
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := newDev(t, nil)
+	data := vec.FromInt32([]int32{1, 2, 3})
+	for i := 0; i < 100; i++ {
+		buf, _, err := in.PlaceData(data, 0)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if err := in.DeleteMemory(buf); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if got := in.Injections(); len(got) != 0 {
+		t.Errorf("zero plan injected %v", got)
+	}
+}
+
+// TestDeterministicSchedule: the same plan over the same op sequence fires
+// exactly the same faults.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := &fault.Plan{Seed: 42, PTransient: 0.3, POOM: 0.2, PLatency: 0.1}
+	run := func() []fault.Injection {
+		in := newDev(t, plan)
+		data := vec.FromInt32(make([]int32, 8))
+		for i := 0; i < 200; i++ {
+			if buf, _, err := in.PlaceData(data, 0); err == nil {
+				in.DeleteMemory(buf)
+			}
+			in.PrepareMemory(vec.Int64, 8, 0)
+		}
+		return in.Injections()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("plan with 30% transfer fault rate injected nothing over 400 ops")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("schedules diverged:\n  a=%v\n  b=%v", a, b)
+	}
+}
+
+// TestSeedIndependencePerDevice: two devices with different names draw
+// different fault streams from the same plan.
+func TestSeedIndependencePerDevice(t *testing.T) {
+	plan := &fault.Plan{Seed: 7, PTransient: 0.5}
+	a := fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)
+	b := fault.Wrap(device.NewSim(device.SimConfig{
+		Name: "gpu1/cuda", Spec: &simhw.RTX2080Ti, SDK: &simhw.CUDAProfile, Format: devmem.FormatCUDA,
+	}), plan)
+	data := vec.FromInt32(make([]int32, 8))
+	var sa, sb []bool
+	for i := 0; i < 64; i++ {
+		_, _, errA := a.PlaceData(data, 0)
+		_, _, errB := b.PlaceData(data, 0)
+		sa = append(sa, errA != nil)
+		sb = append(sb, errB != nil)
+	}
+	if reflect.DeepEqual(sa, sb) {
+		t.Error("distinct devices drew identical fault streams")
+	}
+}
+
+func TestScriptStep(t *testing.T) {
+	plan := &fault.Plan{Script: []fault.Step{
+		{At: 2, Op: fault.OpPlaceData, Kind: fault.Transient},
+		{At: 1, Op: fault.OpExecute, Kind: fault.Launch},
+	}}
+	in := newDev(t, plan)
+	data := vec.FromInt32(make([]int32, 8))
+
+	if _, _, err := in.PlaceData(data, 0); err != nil {
+		t.Fatalf("place 1 should pass: %v", err)
+	}
+	_, _, err := in.PlaceData(data, 0)
+	if !errors.Is(err, fault.ErrTransient) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("place 2 = %v, want transient injected fault", err)
+	}
+	if !fault.IsTransient(err) {
+		t.Error("transient fault not classified retryable")
+	}
+	// The faulted op did not happen: no buffer allocated.
+	if used := in.MemStats().Used; used <= 0 {
+		t.Errorf("first placement should still be resident, used=%d", used)
+	}
+}
+
+func TestDeviceDeathIsPermanent(t *testing.T) {
+	plan := &fault.Plan{DieAfterOps: 3}
+	in := newDev(t, plan) // Initialize is op 1
+	data := vec.FromInt32(make([]int32, 8))
+	buf, _, err := in.PlaceData(data, 0) // op 2
+	if err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, _, err := in.PlaceData(data, 0); !errors.Is(err, fault.ErrDeviceLost) { // op 3: dies
+		t.Fatalf("op 3 = %v, want device lost", err)
+	}
+	if !in.Dead() {
+		t.Error("device should be dead")
+	}
+	if _, _, err := in.PlaceData(data, 0); !errors.Is(err, fault.ErrDeviceLost) {
+		t.Fatalf("post-death op = %v, want device lost", err)
+	}
+	if fault.IsTransient(errors.New("wrapped: " + fault.ErrDeviceLost.Error())) {
+		t.Error("string matching must not classify faults")
+	}
+	// Teardown still works: the leak barrier must be able to drain a dead
+	// device so accounting returns to baseline.
+	if err := in.DeleteMemory(buf); err != nil {
+		t.Fatalf("delete on dead device: %v", err)
+	}
+	if used := in.MemStats().Used; used != 0 {
+		t.Errorf("used = %d after draining dead device, want 0", used)
+	}
+	in.Revive()
+	if _, _, err := in.PlaceData(data, 0); err != nil {
+		t.Errorf("revived device still failing: %v", err)
+	}
+}
+
+// TestDieAfterOpsOnExemptOp: DeleteMemory is exempt from faulting but
+// still advances the op counter, so a death mark landing exactly on a
+// deletion must kill the device at the next faultable op instead of
+// silently never firing.
+func TestDieAfterOpsOnExemptOp(t *testing.T) {
+	plan := &fault.Plan{DieAfterOps: 3}
+	in := newDev(t, plan) // Initialize is op 1
+	data := vec.FromInt32(make([]int32, 8))
+	buf, _, err := in.PlaceData(data, 0) // op 2
+	if err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := in.DeleteMemory(buf); err != nil { // op 3: the mark, exempt
+		t.Fatalf("op 3 (delete): %v", err)
+	}
+	if _, _, err := in.PlaceData(data, 0); !errors.Is(err, fault.ErrDeviceLost) { // op 4
+		t.Fatalf("first faultable op past the mark = %v, want device lost", err)
+	}
+	if !in.Dead() {
+		t.Error("device should be dead")
+	}
+}
+
+func TestLatencySpikeDelaysWithoutFailing(t *testing.T) {
+	spike := 5 * vclock.Millisecond
+	plan := &fault.Plan{
+		SpikeDuration: spike,
+		Script:        []fault.Step{{At: 1, Op: fault.OpPlaceData, Kind: fault.Latency}},
+	}
+	in := newDev(t, plan)
+	data := vec.FromInt32(make([]int32, 8))
+	_, end, err := in.PlaceData(data, 0)
+	if err != nil {
+		t.Fatalf("latency spike must not fail the op: %v", err)
+	}
+	if end < vclock.Time(spike) {
+		t.Errorf("completion %v earlier than the %v spike", end, spike)
+	}
+	inj := in.Injections()
+	if len(inj) != 1 || inj[0].Kind != fault.Latency {
+		t.Errorf("injections = %v, want one latency spike", inj)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := fault.ParsePlan("seed=9,transient=0.25,launch=0.1,oom=0.05,latency=0.5,spike=200us,die=40,at=7:lost,dev=cuda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &fault.Plan{
+		Seed: 9, PTransient: 0.25, PLaunch: 0.1, POOM: 0.05, PLatency: 0.5,
+		SpikeDuration: 200 * vclock.Microsecond, DieAfterOps: 40,
+		Script:  []fault.Step{{At: 7, Op: -1, Kind: fault.DeviceLost}},
+		Devices: []string{"cuda"},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("ParsePlan = %+v, want %+v", p, want)
+	}
+	if !p.AppliesTo("RTX 2080 Ti/cuda") || p.AppliesTo("i7/omp") {
+		t.Error("device targeting wrong")
+	}
+	for _, bad := range []string{"nope", "transient=2", "die=0", "at=3", "at=x:lost", "at=3:meteor", "spike=fast", "seed=-1"} {
+		if _, err := fault.ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+	empty, err := fault.ParsePlan("  ")
+	if err != nil || empty.Enabled() {
+		t.Errorf("empty spec = (%+v, %v), want disabled plan", empty, err)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		kind fault.Kind
+		is   error
+	}{
+		{fault.Transient, fault.ErrTransient},
+		{fault.Launch, fault.ErrLaunch},
+		{fault.OOM, fault.ErrOOM},
+		{fault.DeviceLost, fault.ErrDeviceLost},
+	}
+	for _, c := range cases {
+		err := error(&fault.Error{Kind: c.kind, Op: fault.OpExecute, Seq: 3, Device: "d"})
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("%v does not wrap ErrInjected", c.kind)
+		}
+		if !errors.Is(err, c.is) {
+			t.Errorf("%v does not wrap its sentinel", c.kind)
+		}
+	}
+	if fault.IsTransient(&fault.Error{Kind: fault.OOM}) {
+		t.Error("OOM must not be retryable")
+	}
+	if !fault.IsTransient(&fault.Error{Kind: fault.Launch}) {
+		t.Error("launch failures are retryable")
+	}
+}

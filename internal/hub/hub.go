@@ -86,6 +86,15 @@ func (r *Runtime) Route(src, dst device.ID, buf devmem.BufferID, n int, ready vc
 	if err != nil {
 		return 0, ready, err
 	}
+	return RouteBetween(sd, dd, buf, n, ready)
+}
+
+// RouteBetween is Route over already-resolved device endpoints. Callers
+// that wrap devices (fault injection, retry policies) route through the
+// wrappers so both transfer legs see the same policies as every other
+// device operation. The endpoints must be distinct devices; same-device
+// short-circuiting is the caller's concern.
+func RouteBetween(sd, dd device.Device, buf devmem.BufferID, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
 	b, err := sd.Buffer(buf)
 	if err != nil {
 		return 0, ready, err

@@ -123,23 +123,85 @@ type waiter struct {
 // Scheduler admits query sessions against per-device memory budgets and a
 // concurrency cap. It is safe for concurrent use.
 type Scheduler struct {
-	mu      sync.Mutex
-	cfg     Config
-	budgets map[device.ID]int64
-	inUse   map[device.ID]int64
-	running int
-	seq     uint64
-	queue   []*waiter
-	stats   Stats
+	mu         sync.Mutex
+	cfg        Config
+	budgets    map[device.ID]int64
+	inUse      map[device.ID]int64
+	quarantine map[device.ID]device.ID
+	running    int
+	seq        uint64
+	queue      []*waiter
+	stats      Stats
 }
 
 // NewScheduler returns a scheduler with no device budgets configured.
 func NewScheduler(cfg Config) *Scheduler {
 	return &Scheduler{
-		cfg:     cfg,
-		budgets: make(map[device.ID]int64),
-		inUse:   make(map[device.ID]int64),
+		cfg:        cfg,
+		budgets:    make(map[device.ID]int64),
+		inUse:      make(map[device.ID]int64),
+		quarantine: make(map[device.ID]device.ID),
 	}
+}
+
+// Quarantine marks a device unhealthy and names the device that stands in
+// for it. Subsequent admissions charge the quarantined device's estimated
+// demand against the fallback's budget — the memory the re-placed query
+// will actually use — instead of the dead device's. Quarantining is how a
+// server keeps admitting after a co-processor dies: the executor fails the
+// query over, and the scheduler stops reserving memory nobody can use.
+func (s *Scheduler) Quarantine(dev, fallback device.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dev == fallback {
+		return
+	}
+	s.quarantine[dev] = fallback
+	// Queued demand was remapped at admission time against the quarantine
+	// state of that moment; new state applies to new arrivals only, so
+	// grants stay symmetric with their releases.
+	s.dispatchLocked()
+}
+
+// Readmit clears a device's quarantine (it recovered or was replaced).
+func (s *Scheduler) Readmit(dev device.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.quarantine, dev)
+	s.dispatchLocked()
+}
+
+// Quarantined lists the currently quarantined devices.
+func (s *Scheduler) Quarantined() []device.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]device.ID, 0, len(s.quarantine))
+	for dev := range s.quarantine {
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// remapDemandLocked redirects demand on quarantined devices onto their
+// fallbacks, following chains (a fallback that later dies itself) with a
+// step bound so a configuration cycle cannot loop forever.
+func (s *Scheduler) remapDemandLocked(demand map[device.ID]int64) map[device.ID]int64 {
+	if len(s.quarantine) == 0 || len(demand) == 0 {
+		return demand
+	}
+	out := make(map[device.ID]int64, len(demand))
+	for dev, need := range demand {
+		for step := 0; step <= len(s.quarantine); step++ {
+			next, ok := s.quarantine[dev]
+			if !ok {
+				break
+			}
+			dev = next
+		}
+		out[dev] += need
+	}
+	return out
 }
 
 // SetBudget sets the admission budget for a device in bytes. A non-positive
@@ -186,6 +248,9 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 	}
 
 	s.mu.Lock()
+	// Demand on quarantined devices is charged to their fallbacks — the
+	// budget the re-placed query will actually consume.
+	req.Demand = s.remapDemandLocked(req.Demand)
 	// Hard reject: the working set exceeds the budget outright, so no
 	// amount of waiting makes it fit (the paper's OOM analysis, Fig. 7).
 	for dev, need := range req.Demand {

@@ -24,10 +24,27 @@ func Parse(query string) (*Query, error) {
 	return q, nil
 }
 
+// maxNesting bounds recursive descent (parenthesized OR groups and IN
+// subqueries can nest), so adversarial input fails with an error instead of
+// exhausting the goroutine stack.
+const maxNesting = 100
+
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// enter guards one level of recursive descent.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNesting {
+		return p.errorf("query nested deeper than %d levels", maxNesting)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.i] }
 
@@ -69,6 +86,10 @@ func (p *parser) errorf(format string, args ...any) error {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
 		return nil, err
 	}
@@ -262,6 +283,10 @@ func (p *parser) parseColumn() (string, error) {
 }
 
 func (p *parser) parseCond() (Cond, error) {
+	if err := p.enter(); err != nil {
+		return Cond{}, err
+	}
+	defer p.leave()
 	// Parenthesized OR group: ( cond OR cond [OR cond...] ).
 	if p.at(tokSymbol, "(") {
 		save := p.i

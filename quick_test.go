@@ -1,0 +1,76 @@
+package adamant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelDriverEquivalence is the zero-fault half of the differential
+// property: for random seed-deterministic plans, every execution model on
+// every driver must produce bit-identical results to the OperatorAtATime
+// baseline on the CUDA device, with memory back at baseline afterwards.
+func TestQuickModelDriverEquivalence(t *testing.T) {
+	maxCount := 12
+	if testing.Short() {
+		maxCount = 3
+	}
+	prop := func(seed int64) bool {
+		refEng := harnessEngine(t, harnessDrivers[0], nil)
+		refPlan := buildHarnessPlan(refEng, seed)
+		refRes, err := refEng.Execute(refPlan, ExecOptions{Model: OperatorAtATime, ChunkElems: 192})
+		if err != nil {
+			t.Logf("seed %d: baseline failed: %v", seed, err)
+			return false
+		}
+		ok := true
+		for _, drv := range harnessDrivers {
+			for _, model := range harnessModels {
+				eng := harnessEngine(t, drv, nil)
+				res, err := eng.Execute(buildHarnessPlan(eng, seed),
+					ExecOptions{Model: model, ChunkElems: 192})
+				label := drv.name + "/" + model.String()
+				if err != nil {
+					t.Logf("seed %d %s: %v", seed, label, err)
+					ok = false
+					continue
+				}
+				if !resultsEqual(refRes, res) {
+					t.Logf("seed %d %s: result diverged from baseline", seed, label)
+					ok = false
+				}
+				checkMemBaseline(t, eng, label)
+			}
+		}
+		return ok
+	}
+	cfg := &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(20230419)), // deterministic seeds
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// resultsEqual is a non-failing variant of sameResults for use inside a
+// quick property, where divergence should surface as the failing seed.
+func resultsEqual(want, got *Result) bool {
+	wc, gc := want.Columns(), got.Columns()
+	if len(wc) != len(gc) {
+		return false
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			return false
+		}
+	}
+	for _, name := range wc {
+		wv, _ := want.column(name)
+		gv, _ := got.column(name)
+		if !vecEqual(wv, gv) {
+			return false
+		}
+	}
+	return true
+}

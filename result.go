@@ -78,6 +78,10 @@ type Stats struct {
 	Pipelines int
 	// PeakDeviceBytes is the device-memory high-water mark.
 	PeakDeviceBytes int64
+	// Retries counts device operations re-issued after transient faults.
+	Retries int64
+	// Events is the degradation event log (failovers).
+	Events []RuntimeEvent
 }
 
 // Stats returns the execution statistics.
@@ -95,6 +99,8 @@ func (r *Result) Stats() Stats {
 		Chunks:          s.Chunks,
 		Pipelines:       s.Pipelines,
 		PeakDeviceBytes: s.PeakDeviceBytes,
+		Retries:         s.Retries,
+		Events:          append([]RuntimeEvent(nil), s.Events...),
 	}
 }
 

@@ -5,3 +5,6 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sql
+go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sql
+./scripts/cover.sh

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Coverage floor for the packages that carry the fault/degradation and
+# front-end contracts. The floor is deliberately below current coverage —
+# it catches wholesale test deletion and untested rewrites, not noise.
+set -e
+cd "$(dirname "$0")/.."
+
+floor() {
+	pkg=$1
+	min=$2
+	pct=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
+	if [ -z "$pct" ]; then
+		echo "cover: no coverage figure for $pkg" >&2
+		exit 1
+	fi
+	ok=$(awk -v p="$pct" -v m="$min" 'BEGIN { print (p >= m) ? 1 : 0 }')
+	if [ "$ok" != 1 ]; then
+		echo "cover: $pkg at ${pct}%, below the ${min}% floor" >&2
+		exit 1
+	fi
+	echo "cover: $pkg ${pct}% (floor ${min}%)"
+}
+
+floor ./internal/fault 60
+floor ./internal/exec 80
+floor ./internal/sql 80
+floor ./internal/devmem 90
