@@ -55,6 +55,7 @@ import (
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 )
 
@@ -158,6 +159,9 @@ type ExecOptions struct {
 	// Priority orders this query in the admission queue under the
 	// Priority admission policy; higher runs first. Ignored under FIFO.
 	Priority int
+	// Recorder, when non-nil, captures a per-operation execution trace of
+	// the query (see NewTraceRecorder). Nil disables tracing at zero cost.
+	Recorder *TraceRecorder
 }
 
 // ErrAdmission is the sentinel every admission rejection wraps: the
@@ -300,6 +304,7 @@ type Engine struct {
 	faultPlan  *fault.Plan
 	fallback   *DeviceID
 	retry      exec.RetryPolicy
+	metrics    *trace.Metrics
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -317,6 +322,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 		faultPlan:  cfg.faultPlan,
 		fallback:   cfg.fallback,
 		retry:      cfg.retry,
+		metrics:    trace.NewMetrics(),
 	}
 }
 
@@ -435,6 +441,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) 
 		Model:          exec.Model(opts.Model),
 		ChunkElems:     opts.ChunkElems,
 		Trace:          opts.Trace,
+		Recorder:       opts.Recorder.internal(),
 		Retry:          e.retry,
 		FallbackDevice: e.fallback,
 	}, opts.Priority)
@@ -451,22 +458,58 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 	if err != nil {
 		return nil, err
 	}
+	admitStart := time.Now()
 	grant, err := e.sched.Admit(ctx, session.Request{Priority: priority, Demand: demand})
 	if err != nil {
 		return nil, err
 	}
 	defer grant.Release()
+	if opts.Recorder.Enabled() {
+		// Admission happens in host time, before the query touches any
+		// virtual timeline, so the span carries only a wall-clock duration
+		// (kept out of the deterministic exports).
+		opts.Recorder.Add(trace.Span{
+			Parent: trace.NoSpan, Kind: trace.KindAdmission,
+			Label: admissionLabel(grant.Queued()),
+			Wall:  time.Since(admitStart),
+			Node:  -1, Pipeline: -1, Chunk: -1,
+		})
+	}
 	res, runErr := exec.RunContext(ctx, e.rt, g, opts)
 	if res != nil {
 		// A failover means the lost device is unhealthy: quarantine it so
 		// later admissions charge its demand to the fallback's budget.
+		var failovers int64
 		for _, ev := range res.Stats.Events {
 			if ev.Kind == exec.EventFailover {
+				failovers++
 				e.sched.Quarantine(ev.From, ev.To)
 			}
 		}
+		e.metrics.ObserveQuery(trace.QueryStats{
+			Elapsed:      res.Stats.Elapsed,
+			KernelTime:   res.Stats.KernelTime,
+			TransferTime: res.Stats.TransferTime,
+			OverheadTime: res.Stats.OverheadTime,
+			H2DBytes:     res.Stats.H2DBytes,
+			D2HBytes:     res.Stats.D2HBytes,
+			Launches:     res.Stats.Launches,
+			Chunks:       res.Stats.Chunks,
+			Pipelines:    res.Stats.Pipelines,
+			Retries:      res.Stats.Retries,
+			Failovers:    failovers,
+			Queued:       grant.Queued(),
+			Err:          runErr != nil,
+		})
 	}
 	return res, runErr
+}
+
+func admissionLabel(queued bool) string {
+	if queued {
+		return "admission (queued)"
+	}
+	return "admission"
 }
 
 // Quarantined lists the devices currently quarantined after failovers.

@@ -19,18 +19,19 @@ import (
 
 	adamant "github.com/adamant-db/adamant"
 	"github.com/adamant-db/adamant/internal/core"
-	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/heavysim"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/kernels"
 	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
 )
@@ -588,6 +589,70 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 			b.ReportMetric(float64(sched.Stats().Waited)/float64(b.N), "waits/op")
 		})
 	}
+}
+
+// TestTracingDisabledAllocs guards the overhead budget of DESIGN.md §9:
+// with no recorder attached the executor's tracing seams reduce to nil
+// checks, and every recorder method is a nil-receiver no-op. The guard
+// drives the full nil-recorder method surface and demands zero allocations
+// per operation — a full query run allocates for data regardless, so the
+// seams themselves are what AllocsPerRun can pin down.
+func TestTracingDisabledAllocs(t *testing.T) {
+	var rec *trace.Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		id := rec.Add(trace.Span{Kind: trace.KindKernel, Label: "noop", Start: 1, End: 2})
+		rec.SetRows(id, 64)
+		if rec.Enabled() || rec.Len() != 0 || rec.Spans() != nil {
+			t.Fatal("nil recorder must observe nothing")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled recorder: %.1f allocs/op on the hot path, want 0", n)
+	}
+}
+
+// BenchmarkTraceOverhead measures the tracing layer's cost on chunked Q6:
+// "off" is the production default (no recorder, guarded alloc-free by
+// TestTracingDisabledAllocs), "on" attaches a fresh recorder per query.
+// Run with -benchmem and compare allocs/op between the two cases to see
+// the full recording overhead; spans/op reports the trace volume bought.
+func BenchmarkTraceOverhead(b *testing.B) {
+	ds := dataset(b, 10)
+	run := func(b *testing.B, traced bool) {
+		rt := hub.NewRuntime()
+		dev, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var virtual vclock.Duration
+		var spans int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := tpch.BuildQ6(ds, dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rec *trace.Recorder
+			if traced {
+				rec = trace.NewRecorder()
+			}
+			res, err := core.Run(rt, g, core.Options{
+				Model: core.Chunked, ChunkElems: benchChunk(), Recorder: rec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += res.Stats.Elapsed
+			spans += rec.Len()
+		}
+		b.StopTimer()
+		reportVirtual(b, virtual)
+		if traced {
+			b.ReportMetric(float64(spans)/float64(b.N), "spans/op")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAblationPrefetchDepth sweeps the rotating staging-buffer count

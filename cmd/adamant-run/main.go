@@ -26,12 +26,14 @@ import (
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/sql"
 	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
 )
 
 func main() {
@@ -57,6 +59,9 @@ func run(ctx context.Context) error {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	maxRows := flag.Int("rows", 10, "result rows to print")
 	explain := flag.Bool("explain", false, "print the pipeline plan before executing")
+	analyze := flag.Bool("analyze", false, "print the plan annotated with measured per-primitive virtual times after executing")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the execution to this file")
+	metrics := flag.Bool("metrics", false, "print the cumulative execution-metrics snapshot after executing")
 	timeline := flag.Bool("timeline", false, "render the copy/compute engine timelines after executing")
 	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,transient=0.01,die=500 (repro scripts)")
 	fallback := flag.String("fallback", "", "plug a second device (cuda, opencl-gpu, opencl-cpu, openmp) as the failover target")
@@ -154,27 +159,7 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Println("\nplan:")
-		for _, pl := range pipelines {
-			fmt.Printf("  pipeline %d", pl.Index)
-			if len(pl.DependsOn) > 0 {
-				fmt.Printf(" (after %v)", pl.DependsOn)
-			}
-			if rows := pl.ScanRows(g); rows > 0 {
-				fmt.Printf(" — %d rows", rows)
-			}
-			fmt.Println()
-			for _, sid := range pl.Scans {
-				fmt.Printf("    scan %s\n", g.Node(sid).Scan.Name)
-			}
-			for _, nid := range pl.Nodes {
-				n := g.Node(nid)
-				dagger := ""
-				if n.Breaker() {
-					dagger = " †"
-				}
-				fmt.Printf("    %s%s\n", n.Task, dagger)
-			}
-		}
+		graph.WriteExplain(os.Stdout, g, pipelines, "  ")
 	}
 
 	chunkElems := *chunk
@@ -184,9 +169,14 @@ func run(ctx context.Context) error {
 			chunkElems = 1024
 		}
 	}
+	var rec *trace.Recorder
+	if *analyze || *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
 	res, err := core.RunContext(ctx, rt, g, core.Options{
 		Model:          model,
 		ChunkElems:     chunkElems,
+		Recorder:       rec,
 		Retry:          core.RetryPolicy{MaxRetries: *retries},
 		FallbackDevice: fallbackID,
 	})
@@ -216,6 +206,57 @@ func run(ctx context.Context) error {
 	}
 	for _, ev := range s.Events {
 		fmt.Printf("  event      %s\n", ev)
+	}
+
+	if *analyze {
+		pipelines, err := g.BuildPipelines()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		exec.WriteAnalyze(os.Stdout, g, pipelines, s, rec.Spans())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, rec.Spans()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: %d spans written to %s\n", rec.Len(), *traceOut)
+	}
+	if *metrics {
+		m := trace.NewMetrics()
+		var failovers int64
+		for _, ev := range s.Events {
+			if ev.Kind == exec.EventFailover {
+				failovers++
+			}
+		}
+		m.ObserveQuery(trace.QueryStats{
+			Elapsed: s.Elapsed, KernelTime: s.KernelTime,
+			TransferTime: s.TransferTime, OverheadTime: s.OverheadTime,
+			H2DBytes: s.H2DBytes, D2HBytes: s.D2HBytes, Launches: s.Launches,
+			Chunks: s.Chunks, Pipelines: s.Pipelines,
+			Retries: s.Retries, Failovers: failovers, Err: cancelled,
+		})
+		var devRows []trace.DeviceRow
+		for _, d := range rt.Devices() {
+			st := d.Stats()
+			devRows = append(devRows, trace.DeviceRow{
+				Name: d.Info().Name, Launches: st.Launches,
+				KernelTime: st.KernelTime, TransferTime: st.TransferTime,
+				OverheadTime: st.OverheadTime,
+				H2DBytes:     st.H2DBytes, D2HBytes: st.D2HBytes,
+			})
+		}
+		fmt.Println("\nmetrics:")
+		m.WriteSnapshot(os.Stdout, devRows)
 	}
 
 	if events != nil {

@@ -3,12 +3,15 @@ package adamant
 import (
 	"fmt"
 	"strings"
+
+	"github.com/adamant-db/adamant/internal/graph"
 )
 
 // Explain renders the plan's primitive graph as text: its pipelines (split
-// at pipeline breakers, as the runtime will execute them), each pipeline's
-// streamed inputs, and the primitives in execution order. Breakers are
-// marked with the paper's dagger.
+// at pipeline breakers, as the runtime will execute them) with exact or
+// estimated row counts, each pipeline's streamed inputs, and the
+// primitives in execution order. Breakers are marked with the paper's
+// dagger.
 func (p *Plan) Explain() (string, error) {
 	if err := p.err(); err != nil {
 		return "", err
@@ -19,27 +22,7 @@ func (p *Plan) Explain() (string, error) {
 	}
 
 	var b strings.Builder
-	for _, pl := range pipelines {
-		fmt.Fprintf(&b, "pipeline %d", pl.Index)
-		if len(pl.DependsOn) > 0 {
-			fmt.Fprintf(&b, " (after %v)", pl.DependsOn)
-		}
-		if rows := pl.ScanRows(p.g); rows > 0 {
-			fmt.Fprintf(&b, " — %d rows", rows)
-		}
-		b.WriteString("\n")
-		for _, sid := range pl.Scans {
-			fmt.Fprintf(&b, "  scan %s\n", p.g.Node(sid).Scan.Name)
-		}
-		for _, nid := range pl.Nodes {
-			n := p.g.Node(nid)
-			dagger := ""
-			if n.Breaker() {
-				dagger = " †"
-			}
-			fmt.Fprintf(&b, "  %s%s\n", n.Task, dagger)
-		}
-	}
+	graph.WriteExplain(&b, p.g, pipelines, "")
 	if results := p.g.Results(); len(results) > 0 {
 		b.WriteString("returns:")
 		for _, r := range results {

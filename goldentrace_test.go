@@ -1,0 +1,167 @@
+package adamant_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
+)
+
+// update regenerates the golden trace files instead of diffing against
+// them: go test -run TestGoldenTraces -update ./...
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenModels maps the filename slug of every execution model.
+var goldenModels = []struct {
+	slug  string
+	model exec.Model
+}{
+	{"oaat", exec.OperatorAtATime},
+	{"chunked", exec.Chunked},
+	{"pipelined", exec.Pipelined},
+	{"4p-chunked", exec.FourPhaseChunked},
+	{"4p-pipelined", exec.FourPhasePipelined},
+}
+
+// goldenTrace runs one TPC-H query under one model on a fresh runtime and
+// renders the canonical observability text: the ExplainAnalyze tree
+// followed by the deterministic trace summary. Everything in it is derived
+// from the virtual clock and seeded data, so the rendering is reproducible
+// bit for bit.
+func goldenTrace(t *testing.T, query string, model exec.Model) string {
+	t.Helper()
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := hub.NewRuntime()
+	id, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tpch.BuildQuery(query, ds, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Recorder: rec})
+	if err != nil {
+		t.Fatalf("%s under %v: %v", query, model, err)
+	}
+	var b strings.Builder
+	exec.WriteAnalyze(&b, g, pipelines, res.Stats, rec.Spans())
+	b.WriteString("\n")
+	trace.WriteSummary(&b, rec.Spans())
+	return b.String()
+}
+
+// diffLines reports the first line where got and want diverge, with a line
+// of context, so a golden mismatch reads like a unified diff hunk.
+func diffLines(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) || i < len(w); i++ {
+		gl, wl := "<EOF>", "<EOF>"
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl != wl {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, gl, wl)
+		}
+	}
+	return "contents equal"
+}
+
+// TestTraceWarmEngineDeterminism: rendered traces are rebased to the trace
+// epoch, so running the same plan twice on ONE engine — whose device
+// timelines have already advanced past the first query — yields identical
+// summary and Chrome renderings, not just on fresh runtimes.
+func TestTraceWarmEngineDeterminism(t *testing.T) {
+	eng := adamant.NewEngine()
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int32, 4096)
+	for i := range vals {
+		vals[i] = int32(i % 100)
+	}
+	render := func() (string, string) {
+		plan := eng.NewPlan().On(gpu)
+		col := plan.ScanInt32("v", vals)
+		kept := plan.Materialize(col, plan.Filter(col, adamant.Lt, 30))
+		plan.Return("sum", plan.SumInt64(plan.CastInt64(kept)))
+		rec := adamant.NewTraceRecorder()
+		if _, err := eng.Execute(plan, adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024, Recorder: rec}); err != nil {
+			t.Fatal(err)
+		}
+		var chrome, sum strings.Builder
+		if err := rec.WriteChrome(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		rec.WriteSummary(&sum)
+		return chrome.String(), sum.String()
+	}
+	c1, s1 := render()
+	c2, s2 := render()
+	if s1 != s2 {
+		t.Errorf("warm-engine summary drifts:\n%s", diffLines(s2, s1))
+	}
+	if c1 != c2 {
+		t.Errorf("warm-engine Chrome trace drifts:\n%s", diffLines(c2, c1))
+	}
+}
+
+// TestGoldenTraces pins the ExplainAnalyze and trace-summary renderings of
+// TPC-H Q3, Q4 and Q6 under every execution model against golden files.
+// Each combination renders twice on fresh runtimes and must be
+// byte-identical — the determinism the golden files rely on.
+func TestGoldenTraces(t *testing.T) {
+	for _, query := range []string{"Q3", "Q4", "Q6"} {
+		for _, m := range goldenModels {
+			name := fmt.Sprintf("%s-%s", query, m.slug)
+			t.Run(name, func(t *testing.T) {
+				got := goldenTrace(t, query, m.model)
+				if again := goldenTrace(t, query, m.model); again != got {
+					t.Fatalf("trace of %s not deterministic across two runs:\n%s",
+						name, diffLines(again, got))
+				}
+				path := filepath.Join("testdata", "traces", name+".txt")
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run: go test -run TestGoldenTraces -update .): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("golden mismatch for %s (re-bless with -update if intended):\n%s",
+						path, diffLines(got, string(want)))
+				}
+			})
+		}
+	}
+}

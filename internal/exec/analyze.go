@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// nodeCost aggregates the engine spans attributed to one plan node.
+type nodeCost struct {
+	busy     vclock.Duration
+	launches int
+	h2d      int64
+	d2h      int64
+	rows     int64
+	sawRows  bool
+}
+
+// WriteAnalyze renders the executed plan annotated with measured execution
+// detail: per-primitive virtual busy time, kernel launch counts, bytes
+// moved, and actual-vs-estimated result rows, followed by a totals line
+// whose per-primitive sum balances against the Stats decomposition. The
+// spans are one query's trace (Options.Recorder); stats is that query's
+// Stats.
+func WriteAnalyze(w io.Writer, g *graph.Graph, pipelines []*graph.Pipeline, stats Stats, spans []trace.Span) {
+	est := graph.EstimateRows(g, pipelines)
+
+	costs := make(map[int]*nodeCost)
+	var attributed, unattributed vclock.Duration
+	for i := range spans {
+		s := &spans[i]
+		if !s.Kind.Engine() {
+			continue
+		}
+		if s.Node < 0 {
+			unattributed += s.Duration()
+			continue
+		}
+		c := costs[s.Node]
+		if c == nil {
+			c = &nodeCost{}
+			costs[s.Node] = c
+		}
+		c.busy += s.Duration()
+		attributed += s.Duration()
+		switch s.Kind {
+		case trace.KindKernel:
+			c.launches++
+			// Streamed primitives emit rows per chunk; accumulating
+			// breakers fold, so only the final state counts.
+			if n := g.Node(graph.NodeID(s.Node)); n.Task != nil && n.Task.Accumulate {
+				c.rows = s.Rows
+			} else {
+				c.rows += s.Rows
+			}
+			c.sawRows = true
+		case trace.KindH2D:
+			c.h2d += s.Bytes
+		case trace.KindD2H:
+			c.d2h += s.Bytes
+		}
+	}
+
+	fmt.Fprintf(w, "explain analyze: %d pipelines, %d chunks, elapsed %v\n",
+		stats.Pipelines, stats.Chunks, stats.Elapsed)
+	for _, pl := range pipelines {
+		fmt.Fprintf(w, "pipeline %d", pl.Index)
+		if len(pl.DependsOn) > 0 {
+			fmt.Fprintf(w, " (after %v)", pl.DependsOn)
+		}
+		if rows := pl.ScanRows(g); rows > 0 {
+			fmt.Fprintf(w, " — %d rows", rows)
+		} else if est[pl.Index] > 0 {
+			fmt.Fprintf(w, " — ~%d rows (estimated)", est[pl.Index])
+		}
+		fmt.Fprintln(w)
+		for _, sid := range pl.Scans {
+			fmt.Fprintf(w, "  scan %s", g.Node(sid).Scan.Name)
+			if c := costs[int(sid)]; c != nil {
+				fmt.Fprintf(w, " — %v", c.busy)
+				if c.h2d > 0 {
+					fmt.Fprintf(w, ", %dB H2D", c.h2d)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		for _, nid := range pl.Nodes {
+			n := g.Node(nid)
+			dagger := ""
+			if n.Breaker() {
+				dagger = " †"
+			}
+			fmt.Fprintf(w, "  %s%s", n.Task, dagger)
+			if c := costs[int(nid)]; c != nil {
+				fmt.Fprintf(w, " — %v", c.busy)
+				if c.launches > 0 {
+					fmt.Fprintf(w, ", %d launches", c.launches)
+				}
+				if c.h2d > 0 {
+					fmt.Fprintf(w, ", %dB H2D", c.h2d)
+				}
+				if c.d2h > 0 {
+					fmt.Fprintf(w, ", %dB D2H", c.d2h)
+				}
+				if c.sawRows {
+					fmt.Fprintf(w, ", rows %d (est %d)",
+						c.rows, n.OutputSpec(0).Size.Elements(est[pl.Index]))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if results := g.Results(); len(results) > 0 {
+		fmt.Fprint(w, "returns:")
+		for _, r := range results {
+			fmt.Fprintf(w, " %s", r.Name)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "totals: primitives %v + other %v = %v device busy (kernels %v + transfers %v + overhead %v); elapsed %v\n",
+		attributed, unattributed, attributed+unattributed,
+		stats.KernelTime, stats.TransferTime, stats.OverheadTime, stats.Elapsed)
+}

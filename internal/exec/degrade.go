@@ -7,6 +7,7 @@ import (
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
 )
@@ -123,6 +124,11 @@ func (x *executor) device(id device.ID) (device.ID, device.Device, error) {
 	if err != nil {
 		return eff, nil, err
 	}
+	if x.rec != nil {
+		// Tracing sits inside the retrier: a faulted attempt consumes no
+		// engine time and leaves no span, only the successful issue does.
+		d = &traced{x: x, name: d.Info().Name, d: d}
+	}
 	return eff, &retrier{x: x, id: eff, d: d}, nil
 }
 
@@ -157,6 +163,17 @@ func (r *retrier) attempt(ready vclock.Time, op func(vclock.Time) error) error {
 			return err
 		}
 		r.x.retries++
+		if r.x.rec != nil {
+			// The retry span covers the backoff gap: virtual time the query
+			// lost to the fault, annotated with the injector's error string.
+			r.x.rec.Add(trace.Span{
+				Parent: r.x.parentSpan(), Kind: trace.KindRetry,
+				Label:  err.Error(),
+				Device: r.d.Info().Name,
+				Start:  ready, End: ready.Add(backoff),
+				Node: r.x.curNode, Pipeline: r.x.pidx, Chunk: r.x.cidx,
+			})
+		}
 		ready = ready.Add(backoff)
 		backoff *= 2
 		if backoff > pol.BackoffCap {

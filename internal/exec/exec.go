@@ -19,6 +19,7 @@ import (
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
 )
@@ -120,6 +121,13 @@ type Options struct {
 	// Trace records a device-memory footprint sample after every
 	// primitive execution (Figure 7 right).
 	Trace bool
+	// Recorder, when non-nil, records a span for every simulated
+	// operation the query issues (transfers, kernels, allocations, chunk
+	// and pipeline boundaries, retries, failovers) with virtual times.
+	// Recording does not perturb the simulation: virtual timings are
+	// identical with and without a recorder. Nil disables tracing at zero
+	// cost.
+	Recorder *trace.Recorder
 	// Retry configures transient-fault retries at the device interfaces.
 	// The zero value disables retrying.
 	Retry RetryPolicy
@@ -238,6 +246,15 @@ func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Optio
 		ports: make(map[graph.PortRef]*portState),
 		live:  make(map[liveBuf]struct{}),
 		remap: make(map[device.ID]device.ID),
+
+		rec:        opts.Recorder,
+		qspan:      trace.NoSpan,
+		pspan:      trace.NoSpan,
+		cspan:      trace.NoSpan,
+		lastKernel: trace.NoSpan,
+		pidx:       -1,
+		cidx:       -1,
+		curNode:    -1,
 	}
 	return x.run(pipelines)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/adamant-db/adamant/internal/device"
@@ -11,6 +12,7 @@ import (
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
 )
@@ -73,6 +75,22 @@ type executor struct {
 	trace       []FootprintSample
 	chunksTotal int
 
+	// tracing state. rec is nil when tracing is off; every other field is
+	// only consulted behind a rec != nil guard, so the disabled path does
+	// no tracing work at all. qspan/pspan/cspan are the open container
+	// spans; pidx/cidx/curNode/opLabel attribute the next engine span;
+	// lastKernel is the most recent kernel span (its row count is learned
+	// only after the count buffer is retrieved).
+	rec        *trace.Recorder
+	qspan      trace.SpanID
+	pspan      trace.SpanID
+	cspan      trace.SpanID
+	lastKernel trace.SpanID
+	pidx       int
+	cidx       int
+	curNode    int
+	opLabel    string
+
 	// per-pipeline state
 	perChunkAllocs []alloc
 	pipelineAllocs []alloc
@@ -99,24 +117,70 @@ func (x *executor) track(dev device.ID, buf devmem.BufferID) {
 	x.live[liveBuf{dev, buf}] = struct{}{}
 }
 
-// free releases one tracked buffer.
+// parentSpan is the innermost open container span.
+func (x *executor) parentSpan() trace.SpanID {
+	if x.cspan != trace.NoSpan {
+		return x.cspan
+	}
+	if x.pspan != trace.NoSpan {
+		return x.pspan
+	}
+	return x.qspan
+}
+
+// setOp attributes the next engine spans to a plan node and operation
+// label. A no-op without a recorder.
+func (x *executor) setOp(node graph.NodeID, label string) {
+	if x.rec == nil {
+		return
+	}
+	x.curNode = int(node)
+	x.opLabel = label
+}
+
+// free releases one tracked buffer. Frees deliberately bypass the failover
+// remap and the retry wrapper (a buffer on a dead device must be freed
+// there, and deletion never faults), so tracing wraps the raw device here.
 func (x *executor) free(dev device.ID, buf devmem.BufferID) error {
 	d, err := x.rt.Device(dev)
 	if err != nil {
 		return err
 	}
 	delete(x.live, liveBuf{dev, buf})
+	if x.rec != nil {
+		d = &traced{x: x, name: d.Info().Name, d: d}
+	}
 	return d.DeleteMemory(buf)
 }
 
 // releaseAll frees every buffer the query still owns: the delete phase on
 // success, and the leak barrier on cancellation or error. Buffers already
-// gone (views invalidated by a parent free) are skipped.
-func (x *executor) releaseAll() {
+// gone (views invalidated by a parent free) are skipped. The failover path
+// passes traced=true so the re-placement's frees appear in the trace (they
+// fall inside the statistics window); the deferred end-of-run teardown
+// runs after statistics are assembled and stays untraced, keeping the
+// trace's engine spans in balance with Stats.
+func (x *executor) releaseAll(traced_ bool) {
+	order := make([]liveBuf, 0, len(x.live))
 	for lb := range x.live {
+		order = append(order, lb)
+	}
+	// Free in a deterministic order: the virtual-time outcome is the same
+	// either way, but traces are diffed byte-for-byte.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].dev != order[j].dev {
+			return order[i].dev < order[j].dev
+		}
+		return order[i].buf < order[j].buf
+	})
+	for _, lb := range order {
 		d, err := x.rt.Device(lb.dev)
 		if err != nil {
 			continue
+		}
+		if traced_ && x.rec != nil {
+			x.setOp(-1, "failover teardown")
+			d = &traced{x: x, name: d.Info().Name, d: d}
 		}
 		if err := d.DeleteMemory(lb.buf); err != nil && !errors.Is(err, devmem.ErrUnknownBuffer) {
 			// Nothing actionable mid-teardown; the pool's accounting
@@ -133,7 +197,7 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	// query allocated — staging, scratch, accumulators, routed copies —
 	// is released when it finishes, is cancelled, or fails. A shared
 	// engine must come back to its memory baseline after every session.
-	defer x.releaseAll()
+	defer x.releaseAll(false)
 
 	// Establish the virtual time base: everything in this run happens
 	// after all prior activity on every device. The device snapshot is
@@ -153,6 +217,14 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	}
 	x.chain = x.base
 	x.horizon = x.base
+	if x.rec != nil {
+		x.qspan = x.rec.Add(trace.Span{
+			Parent: trace.NoSpan, Kind: trace.KindQuery,
+			Label: x.opts.Model.String(),
+			Start: x.base, End: x.base,
+			Node: -1, Pipeline: -1, Chunk: -1,
+		})
+	}
 
 	// Each attempt runs the whole plan. On a device-lost fault with a
 	// configured fallback, the dead device is remapped onto the fallback,
@@ -184,8 +256,16 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 			break
 		}
 		x.events = append(x.events, RuntimeEvent{Kind: EventFailover, From: lost.Device, To: fb})
+		if x.rec != nil {
+			x.rec.Add(trace.Span{
+				Parent: x.qspan, Kind: trace.KindFailover,
+				Label: fmt.Sprintf("%v->%v: %v", lost.Device, fb, lost.Err),
+				Start: x.horizon, End: x.horizon,
+				Node: -1, Pipeline: -1, Chunk: -1,
+			})
+		}
 		x.remap[lost.Device] = fb
-		x.releaseAll()
+		x.releaseAll(true)
 	}
 
 	// Statistics are assembled whether the run succeeded, failed or was
@@ -291,6 +371,19 @@ func (x *executor) advance(end vclock.Time) {
 }
 
 func (x *executor) runPipeline(p *graph.Pipeline) error {
+	if x.rec != nil {
+		x.pidx = p.Index
+		x.pspan = x.rec.Add(trace.Span{
+			Parent: x.qspan, Kind: trace.KindPipeline,
+			Label: fmt.Sprintf("pipeline %d", p.Index),
+			Start: x.horizon, End: x.horizon,
+			Node: -1, Pipeline: p.Index, Chunk: -1,
+		})
+		defer func() {
+			x.pspan, x.cspan = trace.NoSpan, trace.NoSpan
+			x.pidx, x.cidx = -1, -1
+		}()
+	}
 	rows := p.ScanRows(x.g)
 	chunkElems := x.opts.chunkElems()
 	if x.flags.wholeInput || rows == 0 || chunkElems > rows {
@@ -351,6 +444,15 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 			n = 0
 		}
 		x.chunksTotal++
+		if x.rec != nil {
+			x.cidx = c
+			x.cspan = x.rec.Add(trace.Span{
+				Parent: x.pspan, Kind: trace.KindChunk,
+				Label: fmt.Sprintf("chunk %d", c),
+				Start: x.horizon, End: x.horizon,
+				Node: -1, Pipeline: p.Index, Chunk: c,
+			})
+		}
 
 		// Stage this chunk's scan columns.
 		slotFree := chunkDone[c%len(chunkDone)]
@@ -379,6 +481,7 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 		}
 
 		// Naive models release this chunk's allocations immediately.
+		x.setOp(-1, "free chunk")
 		for _, a := range x.perChunkAllocs {
 			if err := x.free(a.dev, a.buf); err != nil {
 				return err
@@ -390,8 +493,12 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 		x.perChunkAllocs = nil
 
 		if x.flags.syncPerChunk {
+			x.setOp(-1, "chunk handshake")
 			end := primary.Sync(x.ready(chunkEnd))
 			x.advance(end)
+		}
+		if x.rec != nil {
+			x.cspan, x.cidx = trace.NoSpan, -1
 		}
 	}
 
@@ -401,6 +508,7 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 // deletePhase releases pipeline-scoped buffers; accumulators and
 // single-pass outputs stay for downstream pipelines and results.
 func (x *executor) deletePhase() error {
+	x.setOp(-1, "delete phase")
 	for _, a := range x.pipelineAllocs {
 		if err := x.free(a.dev, a.buf); err != nil {
 			return err
@@ -451,6 +559,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			return err
 		}
 		if t.Accumulate {
+			x.setOp(nid, "accumulator")
 			for port, spec := range t.Outputs {
 				size := spec.Size.Elements(rows)
 				buf, done, err := d.PrepareMemory(spec.Type, size, x.ready(x.base))
@@ -476,6 +585,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			}
 		}
 		if t.EmitsCount {
+			x.setOp(nid, "count buffer")
 			buf, done, err := d.PrepareMemory(vec.Int64, 1, x.ready(x.base))
 			if err != nil {
 				return fmt.Errorf("%s: count buffer: %w", n, err)
@@ -495,6 +605,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return err
 			}
+			x.setOp(sid, "staging "+n.Scan.Name)
 			bufs := make([]devmem.BufferID, x.opts.stagingBuffers())
 			for i := range bufs {
 				var buf devmem.BufferID
@@ -524,6 +635,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return err
 			}
+			x.setOp(sid, "place "+n.Scan.Name)
 			buf, end, err := d.PlaceData(n.Scan.Data, x.ready(x.base))
 			if err != nil {
 				return fmt.Errorf("%s: place: %w", n, err)
@@ -553,6 +665,7 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 			if err != nil {
 				return err
 			}
+			x.setOp(nid, "scratch")
 			for port, spec := range t.Outputs {
 				size := spec.Size.Elements(per)
 				if size <= 0 {
@@ -593,6 +706,7 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 		}
 		hostChunk := node.Scan.Data.Slice(off, off+n)
 		ref := graph.PortRef{Node: sid, Port: 0}
+		x.setOp(sid, "stage "+node.Scan.Name)
 
 		if x.flags.reuseStaging {
 			slots := x.staging[sid]
@@ -666,6 +780,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 			if err != nil {
 				return 0, err
 			}
+			x.setOp(e.From, "route")
 			buf, end, err := hub.RouteBetween(sd, d, ps.buf, ps.n, x.ready(ps.ready))
 			if err != nil {
 				return 0, fmt.Errorf("%s: route input %d: %w", n, i, err)
@@ -709,6 +824,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 		ps, ok := x.ports[ref]
 		if !ok {
 			// Per-chunk allocation (naive models).
+			x.setOp(n.ID, "output")
 			size := spec.Size.Elements(chunkN)
 			if size <= 0 {
 				size = 1
@@ -773,6 +889,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 		params[t.ChunkBaseParam] = chunkBase
 	}
 
+	x.setOp(n.ID, t.Kernel)
 	end, err := d.Execute(device.ExecRequest{Kernel: t.Kernel, Args: args, Params: params}, x.ready(dataReady))
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", n, err)
@@ -786,6 +903,7 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 	// host must know how much of the estimated output is real before it
 	// can launch dependent kernels.
 	if t.EmitsCount {
+		x.setOp(n.ID, "count")
 		host := vec.New(vec.Int64, 1)
 		cend, err := d.RetrieveData(x.counts[n.ID], 0, 1, host, end)
 		if err != nil {
@@ -804,7 +922,17 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 		end = cend
 	}
 
+	// The kernel's result cardinality is known only now: streamed outputs
+	// narrow to the count, everything else keeps its logical length.
+	if x.rec != nil && x.lastKernel != trace.NoSpan {
+		if ps0, ok := x.ports[graph.PortRef{Node: n.ID, Port: 0}]; ok {
+			x.rec.SetRows(x.lastKernel, int64(ps0.n))
+		}
+		x.lastKernel = trace.NoSpan
+	}
+
 	// Views were only needed to shape this launch.
+	x.setOp(n.ID, "free view")
 	for _, v := range views {
 		if err := x.free(dev, v); err != nil {
 			return 0, err
@@ -842,6 +970,7 @@ func (x *executor) releaseDeadInputs(n *graph.Node) error {
 		if src.Task != nil && src.Task.Accumulate {
 			continue
 		}
+		x.setOp(e.From, "free dead input")
 		if err := x.free(ps.dev, ps.buf); err != nil {
 			return err
 		}
@@ -901,6 +1030,7 @@ func (x *executor) appendChunkResults(p *graph.Pipeline) error {
 		if err != nil {
 			return err
 		}
+		x.setOp(r.Ref.Node, "result "+r.Name)
 		host := vec.New(node.OutputSpec(r.Ref.Port).Type, ps.n)
 		end, err := d.RetrieveData(ps.buf, 0, ps.n, host, x.ready(ps.ready))
 		if err != nil {
@@ -931,6 +1061,7 @@ func (x *executor) collectResult(r graph.Result) (ResultColumn, error) {
 		return ResultColumn{}, err
 	}
 	node := x.g.Node(r.Ref.Node)
+	x.setOp(r.Ref.Node, "result "+r.Name)
 	host := vec.New(node.OutputSpec(r.Ref.Port).Type, ps.n)
 	end, err := d.RetrieveData(ps.buf, 0, ps.n, host, x.ready(ps.ready))
 	if err != nil {

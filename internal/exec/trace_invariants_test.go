@@ -1,0 +1,227 @@
+package exec_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// tracedRun executes filterSumGraph on a fresh single-GPU runtime with a
+// recorder attached and returns the spans with the run's stats.
+func tracedRun(t *testing.T, raw, b []int32, cut int64, model exec.Model, chunk int) ([]trace.Span, exec.Stats) {
+	t.Helper()
+	rt, dev := gpuRuntime(t)
+	g := filterSumGraph(t, raw, b, cut, dev)
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: chunk, Recorder: rec})
+	if err != nil {
+		t.Fatalf("%v chunk=%d: %v", model, chunk, err)
+	}
+	return rec.Spans(), res.Stats
+}
+
+// checkTraceInvariants verifies the structural guarantees every trace must
+// satisfy; it returns an error describing the first violation.
+func checkTraceInvariants(spans []trace.Span, stats exec.Stats) error {
+	// Spans nest within their parents (envelope widening guarantees
+	// containment even when a child was scheduled ahead of its container).
+	for _, s := range spans {
+		if s.Parent == trace.NoSpan {
+			continue
+		}
+		p := spans[s.Parent]
+		if s.Start < p.Start || s.End > p.End {
+			return fmt.Errorf("span %d [%v,%v] escapes parent %d [%v,%v]",
+				s.ID, s.Start, s.End, p.ID, p.Start, p.End)
+		}
+	}
+
+	// The executor issues one query's operations serially, so the engine
+	// spans of one device engine never overlap.
+	type lane struct{ dev, eng string }
+	last := map[lane]trace.Span{}
+	for _, s := range spans {
+		if !s.Kind.Engine() {
+			continue
+		}
+		l := lane{s.Device, s.Engine}
+		if prev, ok := last[l]; ok && s.Start < prev.End {
+			return fmt.Errorf("%s/%s: span %d starts %v before span %d ends %v",
+				s.Device, s.Engine, s.ID, s.Start, prev.ID, prev.End)
+		}
+		last[l] = s
+	}
+
+	// The engine spans balance against the Stats decomposition exactly:
+	// durations against the virtual-time split, byte counts against the
+	// bytes-moved counters, kernel spans against the launch counter.
+	var busy vclock.Duration
+	var h2d, d2h, launches int64
+	var queryDur vclock.Duration
+	for _, s := range spans {
+		switch {
+		case s.Kind == trace.KindQuery:
+			queryDur = s.Duration()
+		case s.Kind.Engine():
+			busy += s.Duration()
+			switch s.Kind {
+			case trace.KindH2D:
+				h2d += s.Bytes
+			case trace.KindD2H:
+				d2h += s.Bytes
+			case trace.KindKernel:
+				launches++
+			}
+		}
+	}
+	if want := stats.KernelTime + stats.TransferTime + stats.OverheadTime; busy != want {
+		return fmt.Errorf("engine spans sum to %v, stats decompose to %v", busy, want)
+	}
+	if h2d != stats.H2DBytes || d2h != stats.D2HBytes {
+		return fmt.Errorf("span bytes %d/%d, stats %d/%d", h2d, d2h, stats.H2DBytes, stats.D2HBytes)
+	}
+	if launches != stats.Launches {
+		return fmt.Errorf("%d kernel spans, stats count %d launches", launches, stats.Launches)
+	}
+	// The query envelope covers at least the measured elapsed time (frees
+	// trailing past the observed horizon may widen it further).
+	if queryDur < stats.Elapsed {
+		return fmt.Errorf("query span %v shorter than elapsed %v", queryDur, stats.Elapsed)
+	}
+	return nil
+}
+
+// Property: for random data, chunk sizes and models, traces nest, engine
+// lanes never overlap, span sums balance the Stats decomposition, and the
+// same workload on a fresh runtime reproduces the identical trace.
+func TestTraceInvariantsProperty(t *testing.T) {
+	models := exec.Models()
+	f := func(raw []int32, chunkRaw uint16, cut int32, modelRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := make([]int32, len(raw))
+		for i := range b {
+			b[i] = int32(i % 97)
+		}
+		chunk := int(chunkRaw)%len(raw) + 64
+		model := models[int(modelRaw)%len(models)]
+
+		spans, stats := tracedRun(t, raw, b, int64(cut), model, chunk)
+		if err := checkTraceInvariants(spans, stats); err != nil {
+			t.Logf("%v chunk=%d: %v", model, chunk, err)
+			return false
+		}
+		again, _ := tracedRun(t, raw, b, int64(cut), model, chunk)
+		if !reflect.DeepEqual(spans, again) {
+			t.Logf("%v chunk=%d: trace not reproducible across fresh runtimes", model, chunk)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceRecordsRetries: a run under scripted transient faults records
+// exactly as many retry spans as Stats.Retries, each carrying the injected
+// error and a backoff-long duration.
+func TestTraceRecordsRetries(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{Script: []fault.Step{
+		{At: 2, Op: -1, Kind: fault.Transient},
+		{At: 9, Op: -1, Kind: fault.Launch},
+	}}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	g := filterSumGraph(t, []int32{1, 2, 3, 4}, []int32{10, 20, 30, 40}, 3, 0)
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{
+		Model:    exec.Chunked,
+		Recorder: rec,
+		Retry:    exec.RetryPolicy{MaxRetries: 3},
+	})
+	if err != nil {
+		t.Fatalf("run with retryable faults: %v", err)
+	}
+	var retries int64
+	for _, s := range rec.Spans() {
+		if s.Kind != trace.KindRetry {
+			continue
+		}
+		retries++
+		if s.Label == "" || s.Duration() <= 0 {
+			t.Errorf("retry span %d: label=%q dur=%v, want fault text and backoff", s.ID, s.Label, s.Duration())
+		}
+	}
+	if retries != res.Stats.Retries || retries == 0 {
+		t.Errorf("%d retry spans, stats count %d", retries, res.Stats.Retries)
+	}
+}
+
+// TestTraceRecordsFailover: when the primary dies and the query re-places
+// onto the fallback, the trace carries one failover span naming both
+// devices and spans attributed to both device names.
+func TestTraceRecordsFailover(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{DieAfterOps: 12, Devices: []string{"cuda"}}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 512
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 10)
+		b[i] = int32(i % 13)
+	}
+	g := filterSumGraph(t, a, b, 5, 0)
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{
+		Model:          exec.Pipelined,
+		ChunkElems:     64,
+		Recorder:       rec,
+		FallbackDevice: &fb,
+	})
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	var failoverSpans int
+	devices := map[string]bool{}
+	for _, s := range rec.Spans() {
+		if s.Kind == trace.KindFailover {
+			failoverSpans++
+		}
+		if s.Device != "" {
+			devices[s.Device] = true
+		}
+	}
+	var failoverEvents int
+	for _, ev := range res.Stats.Events {
+		if ev.Kind == exec.EventFailover {
+			failoverEvents++
+		}
+	}
+	if failoverSpans != failoverEvents || failoverSpans == 0 {
+		t.Errorf("%d failover spans, stats log %d failover events", failoverSpans, failoverEvents)
+	}
+	if len(devices) != 2 {
+		t.Errorf("trace attributes spans to %d devices, want both primary and fallback", len(devices))
+	}
+}

@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// traced wraps a device.Device and records one trace span per engine
+// operation. It sits between the retrier and the device (so only
+// operations that actually ran are recorded; faulted attempts consume no
+// engine time and leave no span) and is only installed when the executor
+// carries a recorder — the nil-recorder hot path never sees it.
+//
+// Span start times are recovered from the engine timelines: the device
+// reports only an operation's completion, but the timeline's busy counter
+// advances by exactly the operation's scheduled duration, and the executor
+// issues one query's operations serially, so start = end - busyDelta. An
+// operation that schedules several back-to-back segments in one call (a
+// fresh placement's allocation + copy) records one span covering both.
+type traced struct {
+	x    *executor
+	name string
+	d    device.Device
+}
+
+var _ device.Device = (*traced)(nil)
+
+// record appends one engine span. Zero-duration spans are kept only for
+// transfers (their byte counts feed the bytes-moved invariants); free,
+// sync, transform and alloc operations that cost nothing (views,
+// host-resident devices) record nothing.
+func (t *traced) record(kind trace.Kind, label, engine string, tl *vclock.Timeline, busyBefore vclock.Duration, end vclock.Time, bytes int64) {
+	x := t.x
+	delta := tl.Busy() - busyBefore
+	if delta == 0 && kind != trace.KindH2D && kind != trace.KindD2H {
+		return
+	}
+	id := x.rec.Add(trace.Span{
+		Parent:   x.parentSpan(),
+		Kind:     kind,
+		Label:    label,
+		Device:   t.name,
+		Engine:   engine,
+		Start:    end.Add(-delta),
+		End:      end,
+		Bytes:    bytes,
+		Node:     x.curNode,
+		Pipeline: x.pidx,
+		Chunk:    x.cidx,
+	})
+	if kind == trace.KindKernel {
+		x.lastKernel = id
+	}
+}
+
+// Initialize implements device.Device.
+func (t *traced) Initialize() error { return t.d.Initialize() }
+
+// Info implements device.Device.
+func (t *traced) Info() device.Info { return t.d.Info() }
+
+// PlaceData implements device.Device.
+func (t *traced) PlaceData(data vec.Vector, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	buf, end, err := t.d.PlaceData(data, ready)
+	if err == nil {
+		t.record(trace.KindH2D, t.x.opLabel, "copy", tl, busy, end, data.Bytes())
+	}
+	return buf, end, err
+}
+
+// PlaceDataInto implements device.Device.
+func (t *traced) PlaceDataInto(id devmem.BufferID, off int, data vec.Vector, ready vclock.Time) (vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	end, err := t.d.PlaceDataInto(id, off, data, ready)
+	if err == nil {
+		t.record(trace.KindH2D, t.x.opLabel, "copy", tl, busy, end, data.Bytes())
+	}
+	return end, err
+}
+
+// RetrieveData implements device.Device.
+func (t *traced) RetrieveData(id devmem.BufferID, off, n int, dst vec.Vector, ready vclock.Time) (vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	end, err := t.d.RetrieveData(id, off, n, dst, ready)
+	if err == nil {
+		t.record(trace.KindD2H, t.x.opLabel, "copy", tl, busy, end, bytesFor(dst.Type(), n))
+	}
+	return end, err
+}
+
+// PrepareMemory implements device.Device.
+func (t *traced) PrepareMemory(typ vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	buf, end, err := t.d.PrepareMemory(typ, n, ready)
+	if err == nil {
+		t.record(trace.KindAlloc, t.x.opLabel, "copy", tl, busy, end, bytesFor(typ, n))
+	}
+	return buf, end, err
+}
+
+// AddPinnedMemory implements device.Device.
+func (t *traced) AddPinnedMemory(typ vec.Type, n int, ready vclock.Time) (devmem.BufferID, vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	buf, end, err := t.d.AddPinnedMemory(typ, n, ready)
+	if err == nil {
+		t.record(trace.KindPinnedAlloc, t.x.opLabel, "copy", tl, busy, end, bytesFor(typ, n))
+	}
+	return buf, end, err
+}
+
+// CreateChunk implements device.Device. Views are host-side bookkeeping:
+// no engine time, no span.
+func (t *traced) CreateChunk(id devmem.BufferID, off, n int) (devmem.BufferID, error) {
+	return t.d.CreateChunk(id, off, n)
+}
+
+// TransformMemory implements device.Device.
+func (t *traced) TransformMemory(id devmem.BufferID, target devmem.Format, ready vclock.Time) (vclock.Time, error) {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	end, err := t.d.TransformMemory(id, target, ready)
+	if err == nil {
+		t.record(trace.KindTransform, t.x.opLabel, "copy", tl, busy, end, 0)
+	}
+	return end, err
+}
+
+// DeleteMemory implements device.Device. The device reports no completion
+// event for a free; the span ends when the copy engine next becomes idle,
+// which is exactly the free's end because deletions schedule at the
+// engine's availability.
+func (t *traced) DeleteMemory(id devmem.BufferID) error {
+	tl := t.d.CopyEngine()
+	busy := tl.Busy()
+	err := t.d.DeleteMemory(id)
+	if err == nil {
+		t.record(trace.KindFree, t.x.opLabel, "copy", tl, busy, tl.Avail(), 0)
+	}
+	return err
+}
+
+// PrepareKernel implements device.Device.
+func (t *traced) PrepareKernel(name, source string) error { return t.d.PrepareKernel(name, source) }
+
+// Execute implements device.Device. The span covers the SDK launch
+// overhead plus the kernel body and is labelled with the kernel name.
+func (t *traced) Execute(req device.ExecRequest, ready vclock.Time) (vclock.Time, error) {
+	tl := t.d.ComputeEngine()
+	busy := tl.Busy()
+	end, err := t.d.Execute(req, ready)
+	if err == nil {
+		t.record(trace.KindKernel, req.Kernel, "compute", tl, busy, end, 0)
+	}
+	return end, err
+}
+
+// Sync implements device.Device.
+func (t *traced) Sync(ready vclock.Time) vclock.Time {
+	tl := t.d.ComputeEngine()
+	busy := tl.Busy()
+	end := t.d.Sync(ready)
+	t.record(trace.KindSync, t.x.opLabel, "compute", tl, busy, end, 0)
+	return end
+}
+
+// Buffer implements device.Device.
+func (t *traced) Buffer(id devmem.BufferID) (*devmem.Buffer, error) { return t.d.Buffer(id) }
+
+// CopyEngine implements device.Device.
+func (t *traced) CopyEngine() *vclock.Timeline { return t.d.CopyEngine() }
+
+// ComputeEngine implements device.Device.
+func (t *traced) ComputeEngine() *vclock.Timeline { return t.d.ComputeEngine() }
+
+// MemStats implements device.Device.
+func (t *traced) MemStats() devmem.Stats { return t.d.MemStats() }
+
+// Stats implements device.Device.
+func (t *traced) Stats() device.Stats { return t.d.Stats() }
+
+// Reset implements device.Device.
+func (t *traced) Reset() { t.d.Reset() }

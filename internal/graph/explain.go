@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// EstimateRows returns the planner's input-cardinality estimate for every
+// pipeline. Scan-fed pipelines stream exactly their scan rows. A pipeline
+// fed only by intermediate results (ScanRows 0 — e.g. a probe over a
+// device-resident hash table) is estimated from its producers: each
+// incoming breaker output applies its size rule to the producing pipeline's
+// estimate, and the maximum across inputs wins. Pipelines come back in
+// execution order, so producer estimates are always computed first.
+func EstimateRows(g *Graph, pipelines []*Pipeline) []int {
+	est := make([]int, len(pipelines))
+	pipeOf := make(map[NodeID]int)
+	for _, p := range pipelines {
+		for _, nid := range p.Nodes {
+			pipeOf[nid] = p.Index
+		}
+	}
+	for _, p := range pipelines {
+		if rows := p.ScanRows(g); rows > 0 {
+			est[p.Index] = rows
+			continue
+		}
+		for _, nid := range p.Nodes {
+			for _, e := range g.Node(nid).Inputs() {
+				src := g.Node(e.From)
+				if src.IsScan() || pipeOf[e.From] == p.Index {
+					continue
+				}
+				n := src.OutputSpec(e.FromPort).Size.Elements(est[pipeOf[e.From]])
+				if n > est[p.Index] {
+					est[p.Index] = n
+				}
+			}
+		}
+	}
+	return est
+}
+
+// WriteExplain renders the pipeline plan as text: each pipeline with its
+// dependencies and row count (exact for scan-fed pipelines, the planner's
+// estimate for pipelines fed by intermediate results), its streamed scans,
+// and its primitives in execution order with breakers marked by the
+// paper's dagger. indent prefixes every line.
+func WriteExplain(w io.Writer, g *Graph, pipelines []*Pipeline, indent string) {
+	est := EstimateRows(g, pipelines)
+	for _, pl := range pipelines {
+		fmt.Fprintf(w, "%spipeline %d", indent, pl.Index)
+		if len(pl.DependsOn) > 0 {
+			fmt.Fprintf(w, " (after %v)", pl.DependsOn)
+		}
+		if rows := pl.ScanRows(g); rows > 0 {
+			fmt.Fprintf(w, " — %d rows", rows)
+		} else if est[pl.Index] > 0 {
+			fmt.Fprintf(w, " — ~%d rows (estimated)", est[pl.Index])
+		}
+		fmt.Fprintln(w)
+		for _, sid := range pl.Scans {
+			fmt.Fprintf(w, "%s  scan %s\n", indent, g.Node(sid).Scan.Name)
+		}
+		for _, nid := range pl.Nodes {
+			n := g.Node(nid)
+			dagger := ""
+			if n.Breaker() {
+				dagger = " †"
+			}
+			fmt.Fprintf(w, "%s  %s%s\n", indent, n.Task, dagger)
+		}
+	}
+}

@@ -115,9 +115,10 @@ type Stats struct {
 }
 
 type waiter struct {
-	req   Request
-	seq   uint64
-	ready chan *Grant
+	req    Request
+	seq    uint64
+	ready  chan *Grant
+	queued bool
 }
 
 // Scheduler admits query sessions against per-device memory budgets and a
@@ -275,6 +276,7 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 	s.dispatchLocked()
 	if len(w.ready) == 0 {
 		s.stats.Waited++
+		w.queued = true
 	}
 	s.mu.Unlock()
 
@@ -331,7 +333,7 @@ func (s *Scheduler) dispatchLocked() {
 			s.inUse[dev] += need
 		}
 		s.stats.Admitted++
-		w.ready <- &Grant{s: s, demand: w.req.Demand}
+		w.ready <- &Grant{s: s, demand: w.req.Demand, queued: w.queued}
 	}
 }
 
@@ -382,8 +384,13 @@ func (s *Scheduler) QueuedPriorities() []int {
 type Grant struct {
 	s      *Scheduler
 	demand map[device.ID]int64
+	queued bool
 	once   sync.Once
 }
+
+// Queued reports whether the session waited in the admission queue before
+// this grant (it did not fit — or was behind a misfit — on arrival).
+func (g *Grant) Queued() bool { return g != nil && g.queued }
 
 // Release returns the grant's reservations and wakes eligible waiters.
 func (g *Grant) Release() {

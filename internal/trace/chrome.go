@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and Perfetto). Only the fields we emit.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`             // microseconds
+	Dur   *float64       `json:"dur,omitempty"`  // microseconds
+	Args  map[string]any `json:"args,omitempty"` // small, fixed keys
+}
+
+// WriteChrome renders spans as Chrome trace_event JSON. Containers and
+// annotations land on an "executor" track; engine spans land on one track
+// per device engine, so copy/compute overlap in the pipelined models is
+// visually inspectable. All timestamps are virtual and rebased to the
+// trace's Epoch, so the output is deterministic for a deterministic
+// workload regardless of engine warm-up (admission spans, whose only
+// extent is wall time, render as zero-length markers at the origin).
+func WriteChrome(w io.Writer, spans []Span) error {
+	epoch := Epoch(spans)
+	type track struct {
+		name string
+		tid  int
+	}
+	tracks := map[string]track{"": {name: "executor", tid: 0}}
+	order := []track{{name: "executor", tid: 0}}
+	for _, s := range spans {
+		if !s.Kind.Engine() {
+			continue
+		}
+		key := s.Device + "/" + s.Engine
+		if _, ok := tracks[key]; !ok {
+			t := track{name: key, tid: len(order)}
+			tracks[key] = t
+			order = append(order, t)
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(order))
+	for _, t := range order {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   t.tid,
+			Args:  map[string]any{"name": t.name},
+		})
+	}
+	for i := range spans {
+		s := &spans[i]
+		tid := 0
+		if s.Kind.Engine() {
+			tid = tracks[s.Device+"/"+s.Engine].tid
+		}
+		name := s.Label
+		if name == "" {
+			name = s.Kind.String()
+		}
+		ts := float64(s.Start.Sub(epoch)) / 1e3
+		if ts < 0 { // admission spans carry no virtual time; pin to origin
+			ts = 0
+		}
+		dur := float64(s.Duration()) / 1e3
+		args := map[string]any{}
+		if s.Bytes > 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Rows > 0 {
+			args["rows"] = s.Rows
+		}
+		if s.Node >= 0 {
+			args["node"] = s.Node
+		}
+		if s.Chunk >= 0 {
+			args["chunk"] = s.Chunk
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name:  name,
+			Cat:   s.Kind.String(),
+			Phase: "X",
+			TID:   tid,
+			TS:    ts,
+			Dur:   &dur,
+			Args:  args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string][]chromeEvent{"traceEvents": events})
+}

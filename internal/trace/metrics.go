@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// QueryStats is the per-query observation the metrics registry folds in.
+// It mirrors the executor's Stats without importing it (exec imports this
+// package, not the other way round).
+type QueryStats struct {
+	Elapsed      vclock.Duration
+	KernelTime   vclock.Duration
+	TransferTime vclock.Duration
+	OverheadTime vclock.Duration
+	H2DBytes     int64
+	D2HBytes     int64
+	Launches     int64
+	Chunks       int
+	Pipelines    int
+	Retries      int64
+	Failovers    int64
+	// Queued marks a query that waited in the admission queue before
+	// running.
+	Queued bool
+	// Err marks a query that finished with an error.
+	Err bool
+}
+
+// elapsedBuckets are the upper bounds of the elapsed-time histogram, in
+// virtual time. The last bucket is unbounded.
+var elapsedBuckets = []vclock.Duration{
+	100 * vclock.Microsecond,
+	vclock.Millisecond,
+	10 * vclock.Millisecond,
+	100 * vclock.Millisecond,
+	vclock.Second,
+}
+
+// Metrics is a cumulative, engine-lifetime registry of execution counters:
+// the aggregate view the per-query traces roll up into. It is safe for
+// concurrent use.
+type Metrics struct {
+	mu           sync.Mutex
+	queries      int64
+	errors       int64
+	chunks       int64
+	pipelines    int64
+	h2dBytes     int64
+	d2hBytes     int64
+	launches     int64
+	retries      int64
+	failovers    int64
+	waits        int64
+	kernelTime   vclock.Duration
+	transferTime vclock.Duration
+	overheadTime vclock.Duration
+	elapsedTotal vclock.Duration
+	elapsedHist  []int64 // len(elapsedBuckets)+1
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{elapsedHist: make([]int64, len(elapsedBuckets)+1)}
+}
+
+// ObserveQuery folds one finished query into the registry. Nil receivers
+// are no-ops so call sites need no guards.
+func (m *Metrics) ObserveQuery(q QueryStats) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	if q.Err {
+		m.errors++
+	}
+	m.chunks += int64(q.Chunks)
+	m.pipelines += int64(q.Pipelines)
+	m.h2dBytes += q.H2DBytes
+	m.d2hBytes += q.D2HBytes
+	m.launches += q.Launches
+	m.retries += q.Retries
+	m.failovers += q.Failovers
+	if q.Queued {
+		m.waits++
+	}
+	m.kernelTime += q.KernelTime
+	m.transferTime += q.TransferTime
+	m.overheadTime += q.OverheadTime
+	m.elapsedTotal += q.Elapsed
+	i := 0
+	for i < len(elapsedBuckets) && q.Elapsed > elapsedBuckets[i] {
+		i++
+	}
+	m.elapsedHist[i]++
+}
+
+// DeviceRow is one device's cumulative counters for the snapshot, pulled
+// from the device registry by the caller (the device layer keeps the
+// per-device truth; the registry only aggregates queries).
+type DeviceRow struct {
+	Name         string
+	Launches     int64
+	KernelTime   vclock.Duration
+	TransferTime vclock.Duration
+	OverheadTime vclock.Duration
+	H2DBytes     int64
+	D2HBytes     int64
+}
+
+// WriteSnapshot renders the registry (and optional per-device rows) as the
+// text form `adamant-run -metrics` and Engine.MetricsSnapshot print. All
+// figures are counts or virtual durations, so the snapshot of a
+// deterministic workload is itself deterministic.
+func (m *Metrics) WriteSnapshot(w io.Writer, devices []DeviceRow) {
+	if m == nil {
+		fmt.Fprintln(w, "metrics: disabled")
+		return
+	}
+	m.mu.Lock()
+	fmt.Fprintf(w, "queries            %d (%d errors, %d queued before running)\n", m.queries, m.errors, m.waits)
+	fmt.Fprintf(w, "pipelines          %d over %d chunks\n", m.pipelines, m.chunks)
+	fmt.Fprintf(w, "kernel launches    %d\n", m.launches)
+	fmt.Fprintf(w, "virtual time       elapsed %v = kernels %v + transfers %v + overhead %v (busy)\n",
+		m.elapsedTotal, m.kernelTime, m.transferTime, m.overheadTime)
+	fmt.Fprintf(w, "bytes moved        %d H2D, %d D2H\n", m.h2dBytes, m.d2hBytes)
+	fmt.Fprintf(w, "degradation        %d retries, %d failovers\n", m.retries, m.failovers)
+	fmt.Fprintf(w, "elapsed histogram ")
+	for i, n := range m.elapsedHist {
+		if i < len(elapsedBuckets) {
+			fmt.Fprintf(w, " <=%v:%d", elapsedBuckets[i], n)
+		} else {
+			fmt.Fprintf(w, " >%v:%d", elapsedBuckets[len(elapsedBuckets)-1], n)
+		}
+	}
+	fmt.Fprintln(w)
+	m.mu.Unlock()
+
+	for _, d := range devices {
+		fmt.Fprintf(w, "device %-24s %d launches, kernels %v, transfers %v, overhead %v, %d B H2D, %d B D2H\n",
+			d.Name, d.Launches, d.KernelTime, d.TransferTime, d.OverheadTime, d.H2DBytes, d.D2HBytes)
+	}
+}

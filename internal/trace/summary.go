@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// Epoch returns the trace's virtual origin: the earliest start among the
+// spans that carry virtual time (admission spans don't — they are recorded
+// before the query touches any timeline). Renderers subtract it, so a
+// trace reads identically whether the engine was fresh or had already
+// advanced its device timelines running earlier queries.
+func Epoch(spans []Span) vclock.Time {
+	var epoch vclock.Time
+	found := false
+	for i := range spans {
+		s := &spans[i]
+		if s.Kind == KindAdmission {
+			continue
+		}
+		if !found || s.Start < epoch {
+			epoch = s.Start
+			found = true
+		}
+	}
+	return epoch
+}
+
+// summaryGroup aggregates the engine spans sharing one
+// (pipeline, kind, device/engine, label) identity.
+type summaryGroup struct {
+	pipeline int
+	kind     Kind
+	device   string
+	engine   string
+	label    string
+	count    int
+	busy     vclock.Duration
+	bytes    int64
+	rows     int64
+}
+
+// WriteSummary renders a compact, deterministic digest of a trace: the
+// query envelope, per-pipeline chunk counts, and every engine-span group
+// with its operation count, total busy time and bytes moved. Groups appear
+// in first-recorded order (the executor issues operations
+// deterministically), so two runs of the same workload render byte-equal
+// summaries — the golden-trace harness diffs exactly this text.
+func WriteSummary(w io.Writer, spans []Span) {
+	fmt.Fprintf(w, "trace summary: %d spans\n", len(spans))
+	epoch := Epoch(spans)
+
+	chunksPer := map[int]int{}
+	var retries, failovers int
+	var groups []*summaryGroup
+	index := map[summaryGroup]*summaryGroup{}
+	for i := range spans {
+		s := &spans[i]
+		switch s.Kind {
+		case KindQuery:
+			fmt.Fprintf(w, "query %q %v..%v (%v)\n", s.Label,
+				vclock.Time(0).Add(s.Start.Sub(epoch)), vclock.Time(0).Add(s.End.Sub(epoch)), s.Duration())
+			continue
+		case KindChunk:
+			chunksPer[s.Pipeline]++
+			continue
+		case KindPipeline, KindAdmission:
+			continue
+		case KindRetry:
+			retries++
+			continue
+		case KindFailover:
+			failovers++
+			fmt.Fprintf(w, "failover: %s\n", s.Label)
+			continue
+		}
+		key := summaryGroup{
+			pipeline: s.Pipeline, kind: s.Kind,
+			device: s.Device, engine: s.Engine, label: s.Label,
+		}
+		g := index[key]
+		if g == nil {
+			cp := key
+			g = &cp
+			index[key] = g
+			groups = append(groups, g)
+		}
+		g.count++
+		g.busy += s.Duration()
+		g.bytes += s.Bytes
+		g.rows += s.Rows
+	}
+	if retries > 0 {
+		fmt.Fprintf(w, "retries: %d\n", retries)
+	}
+
+	pipeline := -2 // sentinel distinct from the -1 "no pipeline" scope
+	for _, g := range groups {
+		if g.pipeline != pipeline {
+			pipeline = g.pipeline
+			if pipeline < 0 {
+				fmt.Fprintf(w, "outside pipelines:\n")
+			} else {
+				fmt.Fprintf(w, "pipeline %d (%d chunks):\n", pipeline, chunksPer[pipeline])
+			}
+		}
+		fmt.Fprintf(w, "  %-12s %-28s %-24s x%-4d %v", g.kind, g.label, g.device+":"+g.engine, g.count, g.busy)
+		if g.bytes > 0 {
+			fmt.Fprintf(w, "  %dB", g.bytes)
+		}
+		if g.rows > 0 {
+			fmt.Fprintf(w, "  rows=%d", g.rows)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,249 @@
+// Package trace records per-query execution traces of the simulated
+// ADAMANT stack.
+//
+// The paper's entire evaluation (§V) decomposes query time into data
+// transfer, kernel execution, and runtime overhead. The executor's Stats
+// report those sums per query; this package records the individual
+// operations behind the sums — every transfer, kernel launch, allocation,
+// chunk and pipeline boundary, retry and failover — as spans with virtual
+// start/end times taken from the vclock timelines. Because every time in a
+// span is virtual, a trace is a pure function of (plan, data, options,
+// fault seed): running the same query twice yields bit-for-bit identical
+// traces, which turns traces into golden, diffable test artifacts instead
+// of flaky timings.
+//
+// The one exception is the admission-wait span: waiting in the session
+// queue happens in host wall time (virtual time is per-device, not global),
+// so admission spans carry a Wall duration and zero-length virtual times,
+// and the deterministic renderers (summary, Chrome export) omit the wall
+// figure.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// Span kinds. The first three are containers (the query, one pipeline, one
+// chunk iteration); the engine kinds occupy virtual time on a device
+// engine; the remaining kinds annotate runtime decisions.
+const (
+	// KindQuery is the root container: one per execution attempt set.
+	KindQuery Kind = iota
+	// KindPipeline contains everything one pipeline issued.
+	KindPipeline
+	// KindChunk contains one chunk iteration of a pipeline.
+	KindChunk
+	// KindH2D is a host-to-device transfer (place_data). A fresh
+	// placement's driver-side allocation is folded into its span: the
+	// device schedules allocation and copy back to back in one call.
+	KindH2D
+	// KindD2H is a device-to-host transfer (retrieve_data).
+	KindD2H
+	// KindAlloc is a device-memory allocation (prepare_memory).
+	KindAlloc
+	// KindPinnedAlloc is a pinned host allocation (add_pinned_memory).
+	KindPinnedAlloc
+	// KindFree is a buffer release (delete_memory). View and host-resident
+	// frees cost nothing and record no span.
+	KindFree
+	// KindKernel is a kernel dispatch: SDK launch overhead plus the kernel
+	// body, as one compute-engine span.
+	KindKernel
+	// KindSync is a chunk-boundary transfer/execute thread handshake.
+	KindSync
+	// KindTransform is a memory-format transform (transform_memory).
+	KindTransform
+	// KindRetry annotates a transient fault being retried: the span covers
+	// the virtual backoff before the re-attempt and its label carries the
+	// injected fault.
+	KindRetry
+	// KindFailover annotates a query re-placing from a lost device onto
+	// its fallback.
+	KindFailover
+	// KindAdmission is the wait in the session admission queue. Wall time
+	// only; excluded from deterministic renderings.
+	KindAdmission
+
+	numKinds
+)
+
+// String returns the kind's name as used in trace renderings.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindPipeline:
+		return "pipeline"
+	case KindChunk:
+		return "chunk"
+	case KindH2D:
+		return "h2d"
+	case KindD2H:
+		return "d2h"
+	case KindAlloc:
+		return "alloc"
+	case KindPinnedAlloc:
+		return "pinned-alloc"
+	case KindFree:
+		return "free"
+	case KindKernel:
+		return "kernel"
+	case KindSync:
+		return "sync"
+	case KindTransform:
+		return "transform"
+	case KindRetry:
+		return "retry"
+	case KindFailover:
+		return "failover"
+	case KindAdmission:
+		return "admission"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Container reports whether the kind is a grouping span (query, pipeline,
+// chunk) whose extent is the envelope of its children.
+func (k Kind) Container() bool {
+	return k == KindQuery || k == KindPipeline || k == KindChunk
+}
+
+// Engine reports whether the kind occupies busy time on a device engine
+// timeline. The sum of engine-span durations in a single-query trace equals
+// the query's KernelTime + TransferTime + OverheadTime.
+func (k Kind) Engine() bool {
+	switch k {
+	case KindH2D, KindD2H, KindAlloc, KindPinnedAlloc, KindFree, KindKernel, KindSync, KindTransform:
+		return true
+	default:
+		return false
+	}
+}
+
+// SpanID indexes a span within its recorder.
+type SpanID int32
+
+// NoSpan is the nil parent reference.
+const NoSpan SpanID = -1
+
+// Span is one recorded operation or grouping.
+type Span struct {
+	// ID is the span's index in the recorder; Parent links to the
+	// enclosing container (NoSpan for roots).
+	ID     SpanID
+	Parent SpanID
+	// Kind classifies the span; Label carries the operation detail (kernel
+	// name, scan column, fault description, ...).
+	Kind  Kind
+	Label string
+	// Device and Engine attribute engine spans to a device timeline
+	// ("copy" or "compute"). Both empty for containers and annotations.
+	Device string
+	Engine string
+	// Start and End are virtual times. Containers hold the envelope of
+	// their children.
+	Start vclock.Time
+	End   vclock.Time
+	// Bytes is the payload moved (transfers) or allocated (allocations).
+	Bytes int64
+	// Rows is the logical output cardinality a kernel produced (set after
+	// count retrieval for counted kernels; 0 when not applicable).
+	Rows int64
+	// Node, Pipeline and Chunk attribute the span to the plan: graph node
+	// ID, pipeline index, chunk index. -1 when not applicable.
+	Node     int
+	Pipeline int
+	Chunk    int
+	// Wall is the host wall-clock duration for admission spans, which
+	// have no virtual extent. Excluded from deterministic renderings.
+	Wall time.Duration
+}
+
+// Duration returns the span's virtual extent.
+func (s *Span) Duration() vclock.Duration { return s.End.Sub(s.Start) }
+
+// Recorder collects the spans of one query execution. A nil *Recorder is a
+// valid, disabled recorder: every method is a no-op, so call sites need no
+// guards and the disabled path costs nothing.
+//
+// Span times are exact for the single query the executor issues serially;
+// concurrent queries sharing a device should record into separate
+// recorders per query (the executor does).
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewRecorder returns an empty, enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether the recorder records.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Add records a span, assigns its ID, and widens every ancestor
+// container's envelope to include it (overlapped execution models schedule
+// child operations before or after the instant a container was opened).
+// It returns the new span's ID, or NoSpan on a nil recorder.
+func (r *Recorder) Add(s Span) SpanID {
+	if r == nil {
+		return NoSpan
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.ID = SpanID(len(r.spans))
+	r.spans = append(r.spans, s)
+	for p := s.Parent; p != NoSpan; {
+		a := &r.spans[p]
+		if s.Start < a.Start {
+			a.Start = s.Start
+		}
+		if s.End > a.End {
+			a.End = s.End
+		}
+		p = a.Parent
+	}
+	return s.ID
+}
+
+// SetRows updates a recorded span's output cardinality (kernels learn
+// their true output length only after the count buffer is retrieved).
+func (r *Recorder) SetRows(id SpanID, rows int64) {
+	if r == nil || id == NoSpan {
+		return
+	}
+	r.mu.Lock()
+	if int(id) < len(r.spans) {
+		r.spans[id].Rows = rows
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestKindClasses(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Container() && k.Engine() {
+			t.Errorf("%v is both container and engine", k)
+		}
+	}
+	if !KindQuery.Container() || !KindChunk.Container() {
+		t.Error("query/chunk must be containers")
+	}
+	for _, k := range []Kind{KindH2D, KindD2H, KindAlloc, KindPinnedAlloc, KindFree, KindKernel, KindSync, KindTransform} {
+		if !k.Engine() {
+			t.Errorf("%v must be an engine kind", k)
+		}
+	}
+	for _, k := range []Kind{KindRetry, KindFailover, KindAdmission} {
+		if k.Engine() || k.Container() {
+			t.Errorf("%v must be an annotation", k)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if id := r.Add(Span{Kind: KindKernel}); id != NoSpan {
+		t.Errorf("nil Add = %d, want NoSpan", id)
+	}
+	r.SetRows(0, 5) // must not panic
+	if r.Len() != 0 || r.Spans() != nil {
+		t.Error("nil recorder reports spans")
+	}
+}
+
+func TestRecorderEnvelopeWidening(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("recorder not enabled")
+	}
+	q := r.Add(Span{Kind: KindQuery, Parent: NoSpan, Start: 100, End: 100, Node: -1, Pipeline: -1, Chunk: -1})
+	p := r.Add(Span{Kind: KindPipeline, Parent: q, Start: 100, End: 100, Pipeline: 0, Node: -1, Chunk: -1})
+	// A child scheduled before the container opened (overlap) and one after.
+	r.Add(Span{Kind: KindH2D, Parent: p, Start: 40, End: 90, Bytes: 64})
+	k := r.Add(Span{Kind: KindKernel, Parent: p, Start: 120, End: 250})
+	r.SetRows(k, 17)
+	r.SetRows(SpanID(99), 1) // out of range: ignored
+
+	spans := r.Spans()
+	if len(spans) != 4 || r.Len() != 4 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for _, id := range []SpanID{q, p} {
+		s := spans[id]
+		if s.Start != 40 || s.End != 250 {
+			t.Errorf("span %d envelope = [%v,%v], want [40,250]", id, s.Start, s.End)
+		}
+	}
+	if spans[k].Rows != 17 {
+		t.Errorf("rows = %d, want 17", spans[k].Rows)
+	}
+	if d := spans[q].Duration(); d != 210 {
+		t.Errorf("query duration = %v, want 210ns", d)
+	}
+	// Spans() returns a copy: mutating it must not touch the recorder.
+	spans[0].Label = "mutated"
+	if r.Spans()[0].Label == "mutated" {
+		t.Error("Spans aliases internal storage")
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveQuery(QueryStats{
+		Elapsed: 2 * vclock.Millisecond, KernelTime: vclock.Millisecond,
+		TransferTime: 600 * vclock.Microsecond, OverheadTime: 400 * vclock.Microsecond,
+		H2DBytes: 1024, D2HBytes: 8, Launches: 7, Chunks: 3, Pipelines: 1,
+		Retries: 2, Failovers: 1, Queued: true,
+	})
+	m.ObserveQuery(QueryStats{Elapsed: 50 * vclock.Microsecond, Err: true})
+	m.ObserveQuery(QueryStats{Elapsed: 10 * vclock.Second})
+
+	var b strings.Builder
+	m.WriteSnapshot(&b, []DeviceRow{{Name: "RTX2080Ti/CUDA", Launches: 7, KernelTime: vclock.Millisecond, H2DBytes: 1024}})
+	out := b.String()
+	for _, want := range []string{
+		"queries            3 (1 errors, 1 queued before running)",
+		"pipelines          1 over 3 chunks",
+		"kernel launches    7",
+		"1024 H2D, 8 D2H",
+		"2 retries, 1 failovers",
+		"<=100µs:1", ">1s:1",
+		"device RTX2080Ti/CUDA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilM *Metrics
+	nilM.ObserveQuery(QueryStats{}) // no-op
+	b.Reset()
+	nilM.WriteSnapshot(&b, nil)
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("nil snapshot = %q", b.String())
+	}
+}
+
+func sampleSpans() []Span {
+	return []Span{
+		{ID: 0, Parent: NoSpan, Kind: KindQuery, Label: "chunked", Start: 0, End: 1000, Node: -1, Pipeline: -1, Chunk: -1},
+		{ID: 1, Parent: 0, Kind: KindPipeline, Start: 0, End: 900, Pipeline: 0, Node: -1, Chunk: -1},
+		{ID: 2, Parent: 1, Kind: KindChunk, Start: 0, End: 500, Pipeline: 0, Chunk: 0, Node: -1},
+		{ID: 3, Parent: 2, Kind: KindH2D, Label: "stage price", Device: "gpu", Engine: "copy", Start: 0, End: 200, Bytes: 512, Pipeline: 0, Chunk: 0, Node: 0},
+		{ID: 4, Parent: 2, Kind: KindKernel, Label: "filter_bitmap_i32", Device: "gpu", Engine: "compute", Start: 200, End: 450, Rows: 64, Pipeline: 0, Chunk: 0, Node: 1},
+		{ID: 5, Parent: 2, Kind: KindChunk, Start: 500, End: 900, Pipeline: 0, Chunk: 1, Node: -1},
+		{ID: 6, Parent: 0, Kind: KindRetry, Label: "injected: transient", Start: 450, End: 460, Pipeline: 0, Node: -1, Chunk: -1},
+		{ID: 7, Parent: 0, Kind: KindFailover, Label: "device(0)->device(1)", Start: 900, End: 900, Node: -1, Pipeline: -1, Chunk: -1},
+		{ID: 8, Parent: 0, Kind: KindD2H, Label: "result sum", Device: "gpu", Engine: "copy", Start: 900, End: 950, Bytes: 8, Pipeline: -1, Chunk: -1, Node: 2},
+		{ID: 9, Parent: NoSpan, Kind: KindAdmission, Label: "admission", Wall: 123, Node: -1, Pipeline: -1, Chunk: -1},
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var b strings.Builder
+	WriteSummary(&b, sampleSpans())
+	out := b.String()
+	for _, want := range []string{
+		"trace summary: 10 spans",
+		`query "chunked" +0s..+1µs (1µs)`,
+		"retries: 1",
+		"failover: device(0)->device(1)",
+		"pipeline 0 (2 chunks):",
+		"stage price", "512B",
+		"filter_bitmap_i32", "rows=64",
+		"outside pipelines:",
+		"result sum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "123") {
+		t.Errorf("summary leaks wall time:\n%s", out)
+	}
+
+	// Determinism: rendering the same spans twice is byte-identical.
+	var b2 strings.Builder
+	WriteSummary(&b2, sampleSpans())
+	if b2.String() != out {
+		t.Error("summary not deterministic")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 thread-name metadata records (executor, gpu/copy, gpu/compute)
+	// plus one complete event per span.
+	if got, want := len(doc.TraceEvents), 3+10; got != want {
+		t.Fatalf("%d events, want %d", got, want)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			names[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"executor", "gpu/copy", "gpu/compute"} {
+		if !names[want] {
+			t.Errorf("missing track %q", want)
+		}
+	}
+	var b2 strings.Builder
+	if err := WriteChrome(&b2, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Error("chrome export not deterministic")
+	}
+}

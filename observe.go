@@ -1,0 +1,120 @@
+package adamant
+
+import (
+	"context"
+	"io"
+	"strings"
+
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/trace"
+)
+
+// TraceRecorder captures a per-operation execution trace of the queries it
+// is attached to (via ExecOptions.Recorder): one span per simulated
+// transfer, kernel launch, allocation, chunk and pipeline boundary, retry
+// and failover, with virtual start/end times and device attribution.
+// Recording does not perturb the simulation — virtual timings are identical
+// with and without a recorder — and traces are deterministic: the same
+// engine setup and queries produce byte-identical exports.
+//
+// A recorder may be reused across queries; spans accumulate. It is safe
+// for concurrent use, but interleaving concurrent queries onto one
+// recorder interleaves their spans.
+type TraceRecorder struct {
+	rec *trace.Recorder
+}
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{rec: trace.NewRecorder()}
+}
+
+// internal returns the wrapped recorder, nil-safely.
+func (t *TraceRecorder) internal() *trace.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Len reports the number of spans recorded so far.
+func (t *TraceRecorder) Len() int { return t.internal().Len() }
+
+// WriteChrome exports the trace in Chrome trace_event JSON (load it at
+// chrome://tracing or https://ui.perfetto.dev): one track per device
+// engine plus an executor track for query/pipeline/chunk structure.
+func (t *TraceRecorder) WriteChrome(w io.Writer) error {
+	return trace.WriteChrome(w, t.internal().Spans())
+}
+
+// WriteSummary renders a compact deterministic text digest of the trace:
+// the query envelope, per-pipeline chunk counts, and every operation group
+// with counts, busy time and bytes moved.
+func (t *TraceRecorder) WriteSummary(w io.Writer) {
+	trace.WriteSummary(w, t.internal().Spans())
+}
+
+// MetricsSnapshot renders the engine's cumulative execution metrics as
+// text: query/chunk/byte counters, virtual-time decomposition, degradation
+// counts, an elapsed-time histogram, and per-device totals. Counters
+// accumulate over the engine's lifetime across all sessions.
+func (e *Engine) MetricsSnapshot() string {
+	var rows []trace.DeviceRow
+	for _, d := range e.rt.Devices() {
+		st := d.Stats()
+		rows = append(rows, trace.DeviceRow{
+			Name:         d.Info().Name,
+			Launches:     st.Launches,
+			KernelTime:   st.KernelTime,
+			TransferTime: st.TransferTime,
+			OverheadTime: st.OverheadTime,
+			H2DBytes:     st.H2DBytes,
+			D2HBytes:     st.D2HBytes,
+		})
+	}
+	var b strings.Builder
+	e.metrics.WriteSnapshot(&b, rows)
+	return b.String()
+}
+
+// ExplainAnalyze executes the plan under the given options and renders the
+// Explain tree annotated with measured execution detail: per-primitive
+// virtual busy time, kernel launches, bytes moved, and actual result rows
+// against the planner's estimates, with a totals line balancing the
+// per-primitive sum against the run's statistics. It is ExplainAnalyzeContext
+// with a background context.
+func (p *Plan) ExplainAnalyze(e *Engine, opts ExecOptions) (string, error) {
+	return p.ExplainAnalyzeContext(context.Background(), e, opts)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze honouring a context. When
+// opts.Recorder is set it records the run's trace as usual, so one
+// execution can yield both the analysis text and a trace export.
+func (p *Plan) ExplainAnalyzeContext(ctx context.Context, e *Engine, opts ExecOptions) (string, error) {
+	if err := p.err(); err != nil {
+		return "", err
+	}
+	pipelines, err := p.g.BuildPipelines()
+	if err != nil {
+		return "", err
+	}
+	rec := opts.Recorder.internal()
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	mark := rec.Len()
+	res, err := e.runGraph(ctx, p.g, exec.Options{
+		Model:          exec.Model(opts.Model),
+		ChunkElems:     opts.ChunkElems,
+		Trace:          opts.Trace,
+		Recorder:       rec,
+		Retry:          e.retry,
+		FallbackDevice: e.fallback,
+	}, opts.Priority)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	exec.WriteAnalyze(&b, p.g, pipelines, res.Stats, rec.Spans()[mark:])
+	return b.String(), nil
+}

@@ -7,4 +7,22 @@ go build ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sql
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sql
+
+# Golden-trace determinism: the same Q6 run must serialise to a
+# byte-identical Chrome trace across two fresh processes. (The golden
+# files under testdata/traces/ assert the same within one process; this
+# catches map-iteration or address-dependent ordering leaking into the
+# export path.)
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/adamant-run -q Q6 -ratio 0.000244140625 -model 4p-pipelined \
+	-trace "$tracedir/a.json" >/dev/null
+go run ./cmd/adamant-run -q Q6 -ratio 0.000244140625 -model 4p-pipelined \
+	-trace "$tracedir/b.json" >/dev/null
+cmp "$tracedir/a.json" "$tracedir/b.json" || {
+	echo "ci: Q6 trace not byte-identical across two runs" >&2
+	exit 1
+}
+echo "ci: golden-trace determinism OK ($(wc -c <"$tracedir/a.json") bytes)"
+
 ./scripts/cover.sh

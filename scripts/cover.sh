@@ -25,3 +25,4 @@ floor ./internal/fault 60
 floor ./internal/exec 80
 floor ./internal/sql 80
 floor ./internal/devmem 90
+floor ./internal/trace 85
