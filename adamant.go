@@ -162,6 +162,11 @@ type ExecOptions struct {
 	// Recorder, when non-nil, captures a per-operation execution trace of
 	// the query (see NewTraceRecorder). Nil disables tracing at zero cost.
 	Recorder *TraceRecorder
+	// Deadline, when positive, is this query's virtual-time budget,
+	// overriding the engine-wide WithDeadline setting. It is enforced at
+	// admission (load shedding) and at every chunk boundary; violations
+	// fail with an error wrapping ErrDeadline.
+	Deadline time.Duration
 }
 
 // ErrAdmission is the sentinel every admission rejection wraps: the
@@ -169,6 +174,12 @@ type ExecOptions struct {
 // budget, or the admission queue is full) rather than letting it OOM a
 // running session. Match with errors.Is.
 var ErrAdmission = session.ErrAdmission
+
+// ErrDeadline is the sentinel every virtual-time deadline violation wraps:
+// a query shed at admission because its predicted queue wait exceeded its
+// deadline, or cut at a chunk boundary after overrunning it. Match with
+// errors.Is.
+var ErrDeadline = vclock.ErrDeadline
 
 // AdmissionPolicy selects the order in which queued queries are admitted.
 type AdmissionPolicy = session.Policy
@@ -213,12 +224,30 @@ type RetryPolicy struct {
 	BackoffCap time.Duration
 }
 
+// DeviceLostError is the typed failure surfaced when a device dies and no
+// viable fallback remains; it wraps ErrDeviceLost (and so ErrInjected for
+// injected deaths). Match with errors.As to learn which device was lost.
+type DeviceLostError = exec.DeviceLostError
+
+// OOMError is the typed failure surfaced when a device allocation fails
+// and adaptive chunking is off (or exhausted). It records the device the
+// allocation failed on.
+type OOMError = exec.OOMError
+
 // RuntimeEvent is one degradation action from a query's event log (e.g. a
 // failover from a dead device to its fallback).
 type RuntimeEvent = exec.RuntimeEvent
 
 // EventFailover marks a query re-placed from a lost device to a fallback.
 const EventFailover = exec.EventFailover
+
+// EventDegrade marks one step of the adaptive OOM ladder: a chunk-size
+// halving or the last-resort re-placement onto a host-resident device.
+const EventDegrade = exec.EventDegrade
+
+// HealthPolicy parameterizes the per-device circuit breaker enabled with
+// WithHealthPolicy. The zero value uses the documented defaults.
+type HealthPolicy = session.HealthPolicy
 
 // EngineOption configures a new Engine.
 type EngineOption func(*engineConfig)
@@ -229,6 +258,10 @@ type engineConfig struct {
 	faultPlan  *fault.Plan
 	fallback   *DeviceID
 	retry      exec.RetryPolicy
+	deadline   vclock.Duration
+	adaptive   bool
+	minChunk   int
+	health     *session.HealthPolicy
 }
 
 // WithMaxConcurrent caps how many queries execute concurrently on the
@@ -282,6 +315,38 @@ func WithRetryPolicy(p RetryPolicy) EngineOption {
 	}
 }
 
+// WithDeadline sets an engine-wide virtual-time budget per query,
+// overridable per query via ExecOptions.Deadline. Deadline-carrying queries
+// are shed at admission when their predicted queue wait already exceeds the
+// budget, and cut at the first chunk boundary past it; both failures wrap
+// ErrDeadline. Zero disables deadlines.
+func WithDeadline(d time.Duration) EngineOption {
+	return func(c *engineConfig) { c.deadline = vclock.DurationOf(d) }
+}
+
+// WithAdaptiveChunking enables graceful OOM degradation: when a device
+// allocation fails, the chunk-streaming models halve the effective chunk
+// size and retry down to the given floor in elements (0 = the default
+// floor), then re-place the query on a host-resident device as the last
+// resort. Degradation steps appear in the result's event log and trace.
+func WithAdaptiveChunking(minChunkElems int) EngineOption {
+	return func(c *engineConfig) {
+		c.adaptive = true
+		c.minChunk = minChunkElems
+	}
+}
+
+// WithHealthPolicy arms the per-device circuit breaker: the engine tracks a
+// sliding error-rate window per device from every query's fault counts,
+// quarantines a device when its breaker trips (or a failover proves it
+// lost), and then runs cheap synthetic probation probes after each query;
+// once HealthPolicy.ProbeSuccesses consecutive probes succeed the device is
+// automatically readmitted — no manual Readmit needed. The zero policy uses
+// the documented defaults.
+func WithHealthPolicy(p HealthPolicy) EngineOption {
+	return func(c *engineConfig) { c.health = &p }
+}
+
 // WithDeviceBudgetFraction enables memory admission control: each
 // subsequently plugged non-host device gets an admission budget of the
 // given fraction of its memory (1.0 = the full card). Queries whose
@@ -305,6 +370,10 @@ type Engine struct {
 	fallback   *DeviceID
 	retry      exec.RetryPolicy
 	metrics    *trace.Metrics
+	deadline   vclock.Duration
+	adaptive   bool
+	minChunk   int
+	health     *session.HealthTracker
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -315,7 +384,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Engine{
+	e := &Engine{
 		rt:         hub.NewRuntime(),
 		sched:      session.NewScheduler(cfg.sess),
 		budgetFrac: cfg.budgetFrac,
@@ -323,7 +392,14 @@ func NewEngine(opts ...EngineOption) *Engine {
 		fallback:   cfg.fallback,
 		retry:      cfg.retry,
 		metrics:    trace.NewMetrics(),
+		deadline:   cfg.deadline,
+		adaptive:   cfg.adaptive,
+		minChunk:   cfg.minChunk,
 	}
+	if cfg.health != nil {
+		e.health = session.NewHealthTracker(*cfg.health)
+	}
+	return e
 }
 
 // Plug registers a simulated co-processor accessed through the given SDK
@@ -437,13 +513,20 @@ func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) 
 	if err := p.err(); err != nil {
 		return nil, err
 	}
+	deadline := e.deadline
+	if opts.Deadline > 0 {
+		deadline = vclock.DurationOf(opts.Deadline)
+	}
 	res, err := e.runGraph(ctx, p.graph(), exec.Options{
-		Model:          exec.Model(opts.Model),
-		ChunkElems:     opts.ChunkElems,
-		Trace:          opts.Trace,
-		Recorder:       opts.Recorder.internal(),
-		Retry:          e.retry,
-		FallbackDevice: e.fallback,
+		Model:            exec.Model(opts.Model),
+		ChunkElems:       opts.ChunkElems,
+		Trace:            opts.Trace,
+		Recorder:         opts.Recorder.internal(),
+		Retry:            e.retry,
+		FallbackDevice:   e.fallback,
+		AdaptiveChunking: e.adaptive,
+		MinChunkElems:    e.minChunk,
+		Deadline:         deadline,
 	}, opts.Priority)
 	if err != nil {
 		return nil, err
@@ -459,8 +542,16 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 		return nil, err
 	}
 	admitStart := time.Now()
-	grant, err := e.sched.Admit(ctx, session.Request{Priority: priority, Demand: demand})
+	grant, err := e.sched.Admit(ctx, session.Request{
+		Priority: priority,
+		Demand:   demand,
+		Deadline: opts.Deadline,
+		Cost:     e.estimateCost(demand),
+	})
 	if err != nil {
+		if errDeadline(err) {
+			e.metrics.ObserveQuery(trace.QueryStats{Shed: true, Err: true})
+		}
 		return nil, err
 	}
 	defer grant.Release()
@@ -479,13 +570,21 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 	if res != nil {
 		// A failover means the lost device is unhealthy: quarantine it so
 		// later admissions charge its demand to the fallback's budget.
-		var failovers int64
+		// With a health tracker armed, quarantining goes through the
+		// breaker (observeHealth) so probation probes can undo it.
+		var failovers, degrades int64
 		for _, ev := range res.Stats.Events {
-			if ev.Kind == exec.EventFailover {
+			switch ev.Kind {
+			case exec.EventFailover:
 				failovers++
-				e.sched.Quarantine(ev.From, ev.To)
+				if e.health == nil {
+					e.sched.Quarantine(ev.From, ev.To)
+				}
+			case exec.EventDegrade:
+				degrades++
 			}
 		}
+		e.observeHealth(res, runErr)
 		e.metrics.ObserveQuery(trace.QueryStats{
 			Elapsed:      res.Stats.Elapsed,
 			KernelTime:   res.Stats.KernelTime,
@@ -498,11 +597,24 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 			Pipelines:    res.Stats.Pipelines,
 			Retries:      res.Stats.Retries,
 			Failovers:    failovers,
+			Degrades:     degrades,
 			Queued:       grant.Queued(),
 			Err:          runErr != nil,
 		})
 	}
+	e.pulseHealth()
 	return res, runErr
+}
+
+// estimateCost predicts a query's virtual runtime from its per-device
+// demand estimate and the engine's observed cost per byte, for
+// admission-side load shedding.
+func (e *Engine) estimateCost(demand map[device.ID]int64) vclock.Duration {
+	var bytes int64
+	for _, b := range demand {
+		bytes += b
+	}
+	return vclock.Duration(float64(bytes) * e.metrics.NsPerByte())
 }
 
 func admissionLabel(queued bool) string {

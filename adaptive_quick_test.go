@@ -1,0 +1,51 @@
+package adamant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAdaptiveChunkingEquivalence is the degradation-correctness
+// property: for random plans across all five execution models and four
+// drivers, a run that degrades under OOM pressure (chunk halvings and, at
+// the floor, re-placement onto the host) produces results bit-identical to
+// the undisturbed fixed-chunk run. The fault plan targets only the primary
+// device, so the host fallback guarantees every degraded run completes.
+func TestQuickAdaptiveChunkingEquivalence(t *testing.T) {
+	property := func(seedRaw uint32, modelIdx, drvIdx uint8) bool {
+		seed := int64(seedRaw % (1 << 20))
+		model := harnessModels[int(modelIdx)%len(harnessModels)]
+		drv := harnessDrivers[int(drvIdx)%len(harnessDrivers)]
+
+		base := harnessEngine(t, drv, nil)
+		fixed := ExecOptions{Model: model, ChunkElems: 256}
+		want, err := base.Execute(buildHarnessPlan(base, seed), fixed)
+		if err != nil {
+			t.Errorf("fixed-chunk baseline (%v on %s, seed %d): %v", model, drv.name, seed, err)
+			return false
+		}
+
+		plan := &FaultPlan{Seed: uint64(seedRaw), POOM: 0.3, Devices: []string{drv.devName}}
+		eng := harnessEngine(t, drv, plan) // adaptive chunking + health policy on
+		got, err := eng.Execute(buildHarnessPlan(eng, seed), fixed)
+		if err != nil {
+			t.Errorf("adaptive run (%v on %s, seed %d): %v", model, drv.name, seed, err)
+			return false
+		}
+		label := "quick " + model.String() + " on " + drv.name
+		sameResults(t, label, want, got)
+		checkMemBaseline(t, eng, label)
+		return !t.Failed()
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(0xADA)), // deterministic: same cases every run
+	}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/adamant-db/adamant/internal/sql"
 	"github.com/adamant-db/adamant/internal/tpch"
 	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func run(ctx context.Context) error {
 	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=7,transient=0.01,die=500 (repro scripts)")
 	fallback := flag.String("fallback", "", "plug a second device (cuda, opencl-gpu, opencl-cpu, openmp) as the failover target")
 	retries := flag.Int("retries", 0, "max retries per device op for transient faults")
+	deadline := flag.Duration("deadline", 0, "virtual-time budget for the query; exceeding it at a chunk boundary fails the run (0 = none)")
+	adapt := flag.Bool("adapt", false, "adaptive chunking: on device OOM, halve the chunk size and retry, then re-place on a host device")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -174,11 +177,13 @@ func run(ctx context.Context) error {
 		rec = trace.NewRecorder()
 	}
 	res, err := core.RunContext(ctx, rt, g, core.Options{
-		Model:          model,
-		ChunkElems:     chunkElems,
-		Recorder:       rec,
-		Retry:          core.RetryPolicy{MaxRetries: *retries},
-		FallbackDevice: fallbackID,
+		Model:            model,
+		ChunkElems:       chunkElems,
+		Recorder:         rec,
+		Retry:            core.RetryPolicy{MaxRetries: *retries},
+		FallbackDevice:   fallbackID,
+		AdaptiveChunking: *adapt,
+		Deadline:         vclock.DurationOf(*deadline),
 	})
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !(cancelled && res != nil) {

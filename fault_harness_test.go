@@ -53,6 +53,8 @@ func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan) *Engine {
 			WithFaultPlan(plan),
 			WithRetryPolicy(RetryPolicy{MaxRetries: 3}),
 			WithFallbackDevice(DeviceID(1)),
+			WithAdaptiveChunking(64),
+			WithHealthPolicy(HealthPolicy{}),
 		)
 	}
 	eng := NewEngine(opts...)
@@ -144,7 +146,7 @@ func harnessFaultPlan(i int, drv harnessDriver) *FaultPlan {
 		Seed:    uint64(i)*0x9e3779b9 + 17,
 		Devices: []string{drv.devName},
 	}
-	switch i % 5 {
+	switch i % 7 {
 	case 0:
 		plan.PTransient = 0.08
 	case 1:
@@ -157,6 +159,14 @@ func harnessFaultPlan(i int, drv harnessDriver) *FaultPlan {
 		plan.DieAfterOps = int64(5 + (i % 37))
 	case 4:
 		plan.PTransient = 0.3 // heavy: most runs exhaust the retry budget
+	case 5:
+		// Heavy OOM pressure: the adaptive ladder must walk down to its
+		// floor and re-place on the host rather than surface the OOM.
+		plan.POOM = 0.5
+	case 6:
+		// Breaker-trip schedule: an early device death forces a failover
+		// and opens the primary's circuit breaker mid-harness.
+		plan.DieAfterOps = int64(3 + (i % 11))
 	}
 	return plan
 }
@@ -210,11 +220,24 @@ func vecEqual(a, b vec.Vector) bool {
 	}
 }
 
+// harnessTypedError reports whether err is one of the typed failures the
+// resilience layer is allowed to surface: an injected fault, an admission
+// rejection, a deadline violation, or a device loss with nowhere to go.
+func harnessTypedError(err error) bool {
+	var lost *DeviceLostError
+	return errors.Is(err, ErrInjected) ||
+		errors.Is(err, ErrAdmission) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.As(err, &lost)
+}
+
 // TestDifferentialFaultHarness is the acceptance harness: ≥100 random
 // (plan, fault schedule) pairs across all five execution models and four
-// drivers. Every faulted run either equals the fault-free baseline exactly
-// or fails with an error wrapping ErrInjected; memory always returns to
-// baseline.
+// drivers — now including heavy-OOM-pressure and breaker-trip schedules
+// against an engine with adaptive chunking and a health policy enabled.
+// Every faulted run either equals the fault-free baseline exactly or fails
+// with a typed error (ErrInjected, ErrAdmission, ErrDeadline, or a
+// *DeviceLostError); memory always returns to baseline.
 func TestDifferentialFaultHarness(t *testing.T) {
 	pairs := 120
 	if testing.Short() {
@@ -241,8 +264,8 @@ func TestDifferentialFaultHarness(t *testing.T) {
 		case err == nil:
 			sameResults(t, label, baseRes, faultRes)
 			matched++
-		case errors.Is(err, ErrInjected):
-			failedTyped++ // a typed, injected failure is a correct outcome
+		case harnessTypedError(err):
+			failedTyped++ // a typed failure is a correct outcome
 		default:
 			t.Errorf("%s: untyped error under faults: %v", label, err)
 		}
@@ -295,6 +318,55 @@ func TestFailoverCompletesOnFallback(t *testing.T) {
 			checkMemBaseline(t, eng, "failover")
 		})
 	}
+}
+
+// TestBreakerAutoReadmission is the self-healing acceptance case: a device
+// that dies mid-query is failed over, breaker-opened, and quarantined; once
+// the device recovers, the engine's probation probes readmit it after
+// enough consecutive successes — without any manual Readmit call.
+func TestBreakerAutoReadmission(t *testing.T) {
+	drv := harnessDrivers[0] // cuda primary, openmp fallback
+	plan := &FaultPlan{DieAfterOps: 25, Devices: []string{drv.devName}}
+	eng := harnessEngine(t, drv, plan)
+	opts := ExecOptions{Model: Chunked, ChunkElems: 256}
+
+	res, err := eng.Execute(buildHarnessPlan(eng, 42), opts)
+	if err != nil {
+		t.Fatalf("faulted run did not fail over: %v", err)
+	}
+	if evs := res.Stats().Events; len(evs) != 1 || evs[0].Kind != EventFailover {
+		t.Fatalf("events = %v, want one failover", evs)
+	}
+	if q := eng.Quarantined(); len(q) != 1 || q[0] != DeviceID(0) {
+		t.Fatalf("quarantined = %v, want [0]", q)
+	}
+
+	// The device comes back. DieAfterOps fires only once, so after Revive
+	// the primary is healthy again; each subsequent query's probation probe
+	// scores one success until the breaker closes and readmits it.
+	inj, ok := eng.Runtime().Devices()[0].(*fault.Injector)
+	if !ok {
+		t.Fatal("primary device is not fault-wrapped")
+	}
+	inj.Revive()
+	for i := 0; i < 10 && len(eng.Quarantined()) > 0; i++ {
+		if _, err := eng.Execute(buildHarnessPlan(eng, int64(100+i)), opts); err != nil {
+			t.Fatalf("query %d during probation: %v", i, err)
+		}
+	}
+	if q := eng.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined = %v after recovery, want auto-readmission", q)
+	}
+
+	// The readmitted primary serves a clean query with no new events.
+	res, err = eng.Execute(buildHarnessPlan(eng, 7), opts)
+	if err != nil {
+		t.Fatalf("post-readmission query: %v", err)
+	}
+	if evs := res.Stats().Events; len(evs) != 0 {
+		t.Errorf("post-readmission events = %v, want none", evs)
+	}
+	checkMemBaseline(t, eng, "auto-readmission")
 }
 
 // TestDeadFallbackStillTyped: when the fallback device is the one that

@@ -10,11 +10,14 @@ import (
 
 	adamant "github.com/adamant-db/adamant"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/tpch"
 	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 // update regenerates the golden trace files instead of diffing against
@@ -126,6 +129,102 @@ func TestTraceWarmEngineDeterminism(t *testing.T) {
 	}
 	if c1 != c2 {
 		t.Errorf("warm-engine Chrome trace drifts:\n%s", diffLines(c2, c1))
+	}
+}
+
+// TestGoldenTraceOOMDegrade pins the observability rendering of a query
+// that degrades all the way down: permanent OOM pressure on the GPU walks
+// Q6's chunk size from 512 to the 64-element floor and then re-places the
+// query onto the host CPU. The golden file shows every rung of the ladder
+// as a degrade span; the engine-span durations still sum exactly to the
+// query's KernelTime + TransferTime + OverheadTime, so degraded attempts
+// stay fully accounted for.
+func TestGoldenTraceOOMDegrade(t *testing.T) {
+	run := func() (string, *exec.Result, []trace.Span) {
+		ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := hub.NewRuntime()
+		plan := &fault.Plan{POOM: 1.0, Devices: []string{"cuda"}}
+		gpu, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := tpch.BuildQuery("Q6", ds, gpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipelines, err := g.BuildPipelines()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		res, err := exec.Run(rt, g, exec.Options{
+			Model:            exec.Chunked,
+			ChunkElems:       512,
+			MinChunkElems:    64,
+			AdaptiveChunking: true,
+			FallbackDevice:   &fb,
+			Recorder:         rec,
+		})
+		if err != nil {
+			t.Fatalf("degraded Q6: %v", err)
+		}
+		var b strings.Builder
+		exec.WriteAnalyze(&b, g, pipelines, res.Stats, rec.Spans())
+		b.WriteString("\n")
+		trace.WriteSummary(&b, rec.Spans())
+		return b.String(), res, rec.Spans()
+	}
+
+	got, res, spans := run()
+	if again, _, _ := run(); again != got {
+		t.Fatalf("degraded trace not deterministic across two runs:\n%s", diffLines(again, got))
+	}
+
+	// The full ladder is visible: three halvings, then the host re-place.
+	for _, step := range []string{
+		"degrade: chunk 512->256",
+		"degrade: chunk 256->128",
+		"degrade: chunk 128->64",
+		"degrade: re-place",
+	} {
+		if !strings.Contains(got, step) {
+			t.Errorf("rendering lacks %q:\n%s", step, got)
+		}
+	}
+	var engineSum vclock.Duration
+	for _, s := range spans {
+		if s.Kind.Engine() {
+			engineSum += s.End.Sub(s.Start)
+		}
+	}
+	if want := res.Stats.KernelTime + res.Stats.TransferTime + res.Stats.OverheadTime; engineSum != want {
+		t.Errorf("engine spans sum to %v, Stats say %v: degraded attempts leak from the accounting", engineSum, want)
+	}
+
+	path := filepath.Join("testdata", "traces", "Q6-oom-degrade.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test -run TestGoldenTraceOOMDegrade -update .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s (re-bless with -update if intended):\n%s",
+			path, diffLines(got, string(want)))
 	}
 }
 

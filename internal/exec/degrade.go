@@ -64,6 +64,32 @@ func (e *DeviceLostError) Error() string {
 // fault.ErrDeviceLost and fault.ErrInjected through the wrapper.
 func (e *DeviceLostError) Unwrap() error { return e.Err }
 
+// OOMError reports a failed device allocation — an injected OOM fault or
+// genuine pool exhaustion — attributed to the device it happened on. The
+// adaptive-chunking ladder catches it with errors.As; without adaptive
+// chunking it surfaces wrapped, so errors.Is still sees the underlying
+// sentinel (fault.ErrOOM or devmem.ErrOutOfMemory).
+type OOMError struct {
+	// Device is the runtime ID of the device that ran out of memory.
+	Device device.ID
+	// Err is the underlying allocation failure.
+	Err error
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("exec: device %v out of memory: %v", e.Device, e.Err)
+}
+
+// Unwrap exposes the underlying allocation failure.
+func (e *OOMError) Unwrap() error { return e.Err }
+
+// isOOM reports whether err is a device allocation failure: an injected
+// OOM fault or the memory pool's genuine exhaustion.
+func isOOM(err error) bool {
+	return errors.Is(err, fault.ErrOOM) || errors.Is(err, devmem.ErrOutOfMemory)
+}
+
 // EventKind classifies a RuntimeEvent.
 type EventKind int
 
@@ -72,6 +98,11 @@ const (
 	// EventFailover records a query re-placed from a lost device onto a
 	// healthy fallback.
 	EventFailover EventKind = iota
+	// EventDegrade records one step of the adaptive OOM ladder: either the
+	// effective chunk size halving (ChunkFrom > ChunkTo, From == To), or
+	// the last-resort re-placement onto a host-resident device (From !=
+	// To) once the chunk floor is reached.
+	EventDegrade
 )
 
 // String returns the event kind's name.
@@ -79,6 +110,8 @@ func (k EventKind) String() string {
 	switch k {
 	case EventFailover:
 		return "failover"
+	case EventDegrade:
+		return "degrade"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -90,14 +123,126 @@ func (k EventKind) String() string {
 type RuntimeEvent struct {
 	Kind EventKind
 	// From and To are the devices involved (for EventFailover: the lost
-	// device and its replacement).
+	// device and its replacement; for an EventDegrade re-placement: the
+	// OOM device and the host-resident target).
 	From device.ID
 	To   device.ID
+	// ChunkFrom and ChunkTo are the effective chunk sizes before and after
+	// an EventDegrade halving step (both zero otherwise).
+	ChunkFrom int
+	ChunkTo   int
 }
 
 // String formats the event for logs.
 func (e RuntimeEvent) String() string {
+	if e.Kind == EventDegrade && e.ChunkTo > 0 && e.ChunkFrom != e.ChunkTo {
+		return fmt.Sprintf("%s chunk %d->%d on %v", e.Kind, e.ChunkFrom, e.ChunkTo, e.From)
+	}
 	return fmt.Sprintf("%s %v->%v", e.Kind, e.From, e.To)
+}
+
+// recoverAttempt decides whether the attempt loop in run() may retry after
+// runErr. It implements the two self-healing paths:
+//
+//   - Failover: a *DeviceLostError with a configured, live fallback remaps
+//     the dead device onto it (at most once per plugged device).
+//   - Adaptive OOM degradation: with Options.AdaptiveChunking set, an
+//     *OOMError first halves the effective chunk size down to
+//     minChunkElems(), then — at the floor, or under a whole-input model
+//     with no chunks to shrink — re-places the query onto a host-resident
+//     device as the last resort.
+//
+// Every step releases the failed attempt's buffers (traced, inside the
+// statistics window), appends a RuntimeEvent, and records an annotation
+// span, so the virtual-time cost of degradation stays visible. It returns
+// false when runErr is not recoverable and the loop must surface it.
+func (x *executor) recoverAttempt(runErr error) bool {
+	var lost *DeviceLostError
+	if errors.As(runErr, &lost) && x.opts.FallbackDevice != nil {
+		fb := x.resolve(*x.opts.FallbackDevice)
+		if fb == lost.Device {
+			return false // the fallback itself is the dead device
+		}
+		if _, err := x.rt.Device(fb); err != nil {
+			return false
+		}
+		x.events = append(x.events, RuntimeEvent{Kind: EventFailover, From: lost.Device, To: fb})
+		if x.rec != nil {
+			x.rec.Add(trace.Span{
+				Parent: x.qspan, Kind: trace.KindFailover,
+				Label: fmt.Sprintf("%v->%v: %v", lost.Device, fb, lost.Err),
+				Start: x.horizon, End: x.horizon,
+				Node: -1, Pipeline: -1, Chunk: -1,
+			})
+		}
+		x.remap[lost.Device] = fb
+		x.releaseAll(true)
+		return true
+	}
+	var oom *OOMError
+	if !x.opts.AdaptiveChunking || !errors.As(runErr, &oom) {
+		return false
+	}
+	if !x.flags.wholeInput {
+		if half := ((x.chunkEff / 2) + 63) &^ 63; half >= x.opts.minChunkElems() && half < x.chunkEff {
+			x.events = append(x.events, RuntimeEvent{
+				Kind: EventDegrade, From: oom.Device, To: oom.Device,
+				ChunkFrom: x.chunkEff, ChunkTo: half,
+			})
+			if x.rec != nil {
+				x.rec.Add(trace.Span{
+					Parent: x.qspan, Kind: trace.KindDegrade,
+					Label: fmt.Sprintf("chunk %d->%d: %v", x.chunkEff, half, oom.Err),
+					Start: x.horizon, End: x.horizon,
+					Node: -1, Pipeline: -1, Chunk: -1,
+				})
+			}
+			x.chunkEff = half
+			x.releaseAll(true)
+			return true
+		}
+	}
+	// Chunk floor reached (or nothing to shrink): re-place the query onto a
+	// host-resident device, where "device memory" is host memory and the
+	// working set fits by construction.
+	host, ok := x.hostFallback(oom.Device)
+	if !ok {
+		return false
+	}
+	x.events = append(x.events, RuntimeEvent{Kind: EventDegrade, From: oom.Device, To: host})
+	if x.rec != nil {
+		x.rec.Add(trace.Span{
+			Parent: x.qspan, Kind: trace.KindDegrade,
+			Label: fmt.Sprintf("re-place %v->%v: %v", oom.Device, host, oom.Err),
+			Start: x.horizon, End: x.horizon,
+			Node: -1, Pipeline: -1, Chunk: -1,
+		})
+	}
+	x.remap[oom.Device] = host
+	x.releaseAll(true)
+	return true
+}
+
+// hostFallback picks the device the OOM last-resort re-placement targets:
+// the configured fallback when it resolves to a host-resident device, else
+// the lowest-ID host-resident device other than the one that ran out of
+// memory. ok is false when the runtime has no such device.
+func (x *executor) hostFallback(avoid device.ID) (device.ID, bool) {
+	if x.opts.FallbackDevice != nil {
+		fb := x.resolve(*x.opts.FallbackDevice)
+		if fb != avoid {
+			if d, err := x.rt.Device(fb); err == nil && d.Info().HostResident {
+				return fb, true
+			}
+		}
+	}
+	for i, d := range x.rt.Devices() {
+		id := device.ID(i)
+		if id != avoid && x.resolve(id) == id && d.Info().HostResident {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // resolve follows the executor's failover remap chain: after a device dies
@@ -156,8 +301,14 @@ func (r *retrier) attempt(ready vclock.Time, op func(vclock.Time) error) error {
 		if err == nil {
 			return nil
 		}
+		// Every faulted operation counts against the device's health window,
+		// whether it is retried, degraded around, or surfaced.
+		r.x.faults[r.id]++
 		if errors.Is(err, fault.ErrDeviceLost) {
 			return &DeviceLostError{Device: r.id, Err: err}
+		}
+		if isOOM(err) {
+			return &OOMError{Device: r.id, Err: err}
 		}
 		if tries >= pol.MaxRetries || !fault.IsTransient(err) {
 			return err

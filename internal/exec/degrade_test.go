@@ -12,6 +12,7 @@ import (
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 // TestEstimateDemandUnknownModel: demand estimation and execution both
@@ -209,6 +210,180 @@ func TestFailoverReroutesToFallback(t *testing.T) {
 	}
 	if len(res.Stats.Events) != 1 || res.Stats.Events[0].Kind != exec.EventFailover {
 		t.Errorf("events = %v, want one failover", res.Stats.Events)
+	}
+	for i, d := range rt.Devices() {
+		ms := d.MemStats()
+		if ms.Used != 0 || ms.PinnedUsed != 0 || ms.LiveBuffers != 0 {
+			t.Errorf("device %d not at baseline: used=%d pinned=%d live=%d",
+				i, ms.Used, ms.PinnedUsed, ms.LiveBuffers)
+		}
+	}
+}
+
+// degradeWorkload builds a deterministic multi-chunk filter+sum plan and
+// returns (a, b, expected sum for cut).
+func degradeWorkload(n int, cut int64) (a, b []int32, want int64) {
+	a = make([]int32, n)
+	b = make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 100)
+		b[i] = int32(i % 11)
+		if int64(a[i]) < cut {
+			want += int64(b[i])
+		}
+	}
+	return a, b, want
+}
+
+// TestAdaptiveChunkingHalvesOnOOM: a single scripted OOM mid-run makes the
+// adaptive ladder halve the effective chunk size once; the re-run completes
+// with the baseline-identical result, one degrade event carrying the
+// before/after sizes, and the fault counted against the device.
+func TestAdaptiveChunkingHalvesOnOOM(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{Script: []fault.Step{{At: 8, Op: -1, Kind: fault.OOM}}}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	a, b, want := degradeWorkload(2048, 50)
+	g := filterSumGraph(t, a, b, 50, 0)
+	res, err := exec.Run(rt, g, exec.Options{
+		Model:            exec.Chunked,
+		ChunkElems:       256,
+		MinChunkElems:    64,
+		AdaptiveChunking: true,
+	})
+	if err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	sum, _ := res.Column("sum")
+	if sum.I64()[0] != want {
+		t.Errorf("sum = %d, want %d", sum.I64()[0], want)
+	}
+	if len(res.Stats.Events) != 1 {
+		t.Fatalf("events = %v, want exactly one degrade", res.Stats.Events)
+	}
+	ev := res.Stats.Events[0]
+	if ev.Kind != exec.EventDegrade || ev.ChunkFrom != 256 || ev.ChunkTo != 128 {
+		t.Errorf("event = %+v, want degrade chunk 256->128", ev)
+	}
+	if res.Stats.FaultsByDevice[device.ID(0)] == 0 {
+		t.Error("FaultsByDevice[0] = 0, want > 0 after an injected OOM")
+	}
+}
+
+// TestAdaptiveChunkingFloorReplacesOnHost: permanent OOM pressure on the
+// GPU walks the ladder to its floor and then re-places the query onto the
+// host-resident device; the result still matches and every device returns
+// to its memory baseline.
+func TestAdaptiveChunkingFloorReplacesOnHost(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{POOM: 1.0, Devices: []string{"cuda"}}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(simomp.New(&simhw.CoreI78700, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, b, want := degradeWorkload(1024, 40)
+	g := filterSumGraph(t, a, b, 40, 0)
+	res, err := exec.Run(rt, g, exec.Options{
+		Model:            exec.Chunked,
+		ChunkElems:       256,
+		MinChunkElems:    64,
+		AdaptiveChunking: true,
+	})
+	if err != nil {
+		t.Fatalf("floor re-place run: %v", err)
+	}
+	sum, _ := res.Column("sum")
+	if sum.I64()[0] != want {
+		t.Errorf("sum = %d, want %d", sum.I64()[0], want)
+	}
+	evs := res.Stats.Events
+	if len(evs) != 3 {
+		t.Fatalf("events = %v, want two halvings then a re-place", evs)
+	}
+	if evs[0].ChunkFrom != 256 || evs[0].ChunkTo != 128 ||
+		evs[1].ChunkFrom != 128 || evs[1].ChunkTo != 64 {
+		t.Errorf("halving ladder = %v, %v; want 256->128 then 128->64", evs[0], evs[1])
+	}
+	last := evs[2]
+	if last.Kind != exec.EventDegrade || last.From != device.ID(0) || last.To != device.ID(1) {
+		t.Errorf("last event = %+v, want re-place 0->1", last)
+	}
+	for i, d := range rt.Devices() {
+		ms := d.MemStats()
+		if ms.Used != 0 || ms.PinnedUsed != 0 || ms.LiveBuffers != 0 {
+			t.Errorf("device %d not at baseline: used=%d pinned=%d live=%d",
+				i, ms.Used, ms.PinnedUsed, ms.LiveBuffers)
+		}
+	}
+}
+
+// TestAdaptiveOAATReplacesDirectly: operator-at-a-time has no chunks to
+// shrink, so an OOM re-places straight onto the host device.
+func TestAdaptiveOAATReplacesDirectly(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{POOM: 1.0, Devices: []string{"cuda"}}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(simomp.New(&simhw.CoreI78700, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, b, want := degradeWorkload(512, 30)
+	g := filterSumGraph(t, a, b, 30, 0)
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.OperatorAtATime, AdaptiveChunking: true})
+	if err != nil {
+		t.Fatalf("oaat re-place run: %v", err)
+	}
+	sum, _ := res.Column("sum")
+	if sum.I64()[0] != want {
+		t.Errorf("sum = %d, want %d", sum.I64()[0], want)
+	}
+	if len(res.Stats.Events) != 1 || res.Stats.Events[0].From == res.Stats.Events[0].To {
+		t.Errorf("events = %v, want exactly one re-place", res.Stats.Events)
+	}
+}
+
+// TestOOMFailsFastWithoutAdaptive: without AdaptiveChunking an injected OOM
+// surfaces as a typed error (wrapping both the OOM sentinel and OOMError)
+// instead of silently degrading.
+func TestOOMFailsFastWithoutAdaptive(t *testing.T) {
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{POOM: 1.0}
+	if _, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan)); err != nil {
+		t.Fatal(err)
+	}
+	g := filterSumGraph(t, []int32{1, 2, 3, 4}, []int32{5, 6, 7, 8}, 3, 0)
+	_, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 64})
+	if !errors.Is(err, fault.ErrOOM) {
+		t.Errorf("err = %v, want fault.ErrOOM", err)
+	}
+	var oom *exec.OOMError
+	if !errors.As(err, &oom) || oom.Device != device.ID(0) {
+		t.Errorf("err = %v, want OOMError on device 0", err)
+	}
+}
+
+// TestDeadlineExceededAtChunkBoundary: a multi-chunk query with a tiny
+// virtual-time deadline fails with the typed deadline sentinel at a chunk
+// boundary, keeps its partial statistics, and leaks nothing.
+func TestDeadlineExceededAtChunkBoundary(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	a, b, _ := degradeWorkload(4096, 50)
+	g := filterSumGraph(t, a, b, 50, dev)
+	res, err := exec.Run(rt, g, exec.Options{
+		Model:      exec.Chunked,
+		ChunkElems: 64,
+		Deadline:   1, // one virtual nanosecond: the first boundary check trips
+	})
+	if !errors.Is(err, vclock.ErrDeadline) {
+		t.Fatalf("err = %v, want vclock.ErrDeadline", err)
+	}
+	if res == nil || res.Columns != nil {
+		t.Errorf("deadline failure: res = %+v, want partial stats without columns", res)
 	}
 	for i, d := range rt.Devices() {
 		ms := d.MemStats()

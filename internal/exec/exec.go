@@ -136,10 +136,35 @@ type Options struct {
 	// default) disables failover: a lost device fails the query. It is a
 	// pointer because ID 0 is a valid device.
 	FallbackDevice *device.ID
+	// AdaptiveChunking enables graceful OOM degradation: when a device
+	// allocation fails (an injected OOM fault or genuine pool exhaustion),
+	// the chunk-streaming models halve the effective chunk size and re-run
+	// the plan, stepping down to MinChunkElems; once at the floor (or
+	// under OperatorAtATime, which has no chunks to shrink) the query
+	// re-places onto a host-resident device as the last resort. Every step
+	// is recorded as an EventDegrade and, when tracing, a degrade span, so
+	// the virtual-time cost of degradation stays visible. False (the
+	// default) keeps OOM fail-fast.
+	AdaptiveChunking bool
+	// MinChunkElems is the adaptive-chunking floor in elements (rounded up
+	// to a multiple of 64). Zero means DefaultMinChunkElems. Values above
+	// ChunkElems clamp to it.
+	MinChunkElems int
+	// Deadline, when positive, is the query's virtual-time budget: at every
+	// chunk and pipeline boundary the executor compares the virtual time
+	// elapsed since the query began against it and fails with an error
+	// wrapping vclock.ErrDeadline once exceeded. The query's buffers are
+	// released like any other failure. Zero disables the deadline.
+	Deadline vclock.Duration
 }
 
 // DefaultChunkElems is the paper's chunk size (2^25 values).
 const DefaultChunkElems = 1 << 25
+
+// DefaultMinChunkElems is the adaptive-chunking floor when Options leaves
+// MinChunkElems zero: small enough that a working set which still OOMs at
+// this chunk size needs a different device, not a smaller chunk.
+const DefaultMinChunkElems = 1024
 
 func (o Options) chunkElems() int {
 	c := o.ChunkElems
@@ -147,6 +172,17 @@ func (o Options) chunkElems() int {
 		c = DefaultChunkElems
 	}
 	return (c + 63) &^ 63
+}
+
+func (o Options) minChunkElems() int {
+	m := o.MinChunkElems
+	if m <= 0 {
+		m = DefaultMinChunkElems
+	}
+	if c := o.chunkElems(); m > c {
+		m = c
+	}
+	return (m + 63) &^ 63
 }
 
 func (o Options) stagingBuffers() int {
@@ -199,6 +235,11 @@ type Stats struct {
 	// Events is the runtime event log: failovers and other degradation
 	// actions taken to keep the query alive.
 	Events []RuntimeEvent
+	// FaultsByDevice counts device-interface errors observed per device
+	// during the run — every faulted operation, whether it was retried,
+	// degraded around, or surfaced. The per-device health tracker feeds
+	// its error-rate window from these counts.
+	FaultsByDevice map[device.ID]int64
 }
 
 // Result is the outcome of one execution.
@@ -238,14 +279,15 @@ func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Optio
 		return nil, err
 	}
 	x := &executor{
-		ctx:   ctx,
-		rt:    rt,
-		g:     g,
-		opts:  opts,
-		flags: opts.Model.flags(),
-		ports: make(map[graph.PortRef]*portState),
-		live:  make(map[liveBuf]struct{}),
-		remap: make(map[device.ID]device.ID),
+		ctx:    ctx,
+		rt:     rt,
+		g:      g,
+		opts:   opts,
+		flags:  opts.Model.flags(),
+		ports:  make(map[graph.PortRef]*portState),
+		live:   make(map[liveBuf]struct{}),
+		remap:  make(map[device.ID]device.ID),
+		faults: make(map[device.ID]int64),
 
 		rec:        opts.Recorder,
 		qspan:      trace.NoSpan,

@@ -71,6 +71,14 @@ type executor struct {
 	events  []RuntimeEvent
 	retries int64
 
+	// chunkEff is the effective chunk size in elements for the current
+	// attempt. It starts at Options.chunkElems() and is halved by the
+	// adaptive OOM ladder (recoverAttempt), never below minChunkElems().
+	chunkEff int
+	// faults counts device-interface errors per device across the whole
+	// run, feeding Stats.FaultsByDevice and the session health tracker.
+	faults map[device.ID]int64
+
 	builders    map[graph.PortRef]*hostAccum
 	trace       []FootprintSample
 	chunksTotal int
@@ -99,15 +107,29 @@ type executor struct {
 	pendingUses    map[graph.PortRef]int
 }
 
-// checkCtx reports the context's cancellation as an execution error. It is
+// checkCtx reports the context's cancellation — and, when Options.Deadline
+// is set, a virtual-time deadline overrun — as an execution error. It is
 // consulted at pipeline and chunk boundaries: the granularity at which a
 // query can stop without leaving a device operation half-issued.
 func (x *executor) checkCtx() error {
-	if x.ctx == nil {
-		return nil
+	if x.ctx != nil {
+		if err := x.ctx.Err(); err != nil {
+			return fmt.Errorf("exec: query cancelled at chunk boundary: %w", err)
+		}
 	}
-	if err := x.ctx.Err(); err != nil {
-		return fmt.Errorf("exec: query cancelled at chunk boundary: %w", err)
+	if d := x.opts.Deadline; d > 0 {
+		if elapsed := x.horizon.Sub(x.base); elapsed > d {
+			if x.rec != nil {
+				x.rec.Add(trace.Span{
+					Parent: x.qspan, Kind: trace.KindDeadline,
+					Label: fmt.Sprintf("elapsed %v > deadline %v", elapsed, d),
+					Start: x.horizon, End: x.horizon,
+					Node: -1, Pipeline: -1, Chunk: -1,
+				})
+			}
+			return fmt.Errorf("exec: query overran its deadline at chunk boundary (elapsed %v, deadline %v): %w",
+				elapsed, d, vclock.ErrDeadline)
+		}
 	}
 	return nil
 }
@@ -226,16 +248,15 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		})
 	}
 
-	// Each attempt runs the whole plan. On a device-lost fault with a
-	// configured fallback, the dead device is remapped onto the fallback,
-	// everything the attempt allocated is released, and the plan restarts
-	// from its host-resident scans — the coarsest but always-correct
-	// re-placement. At most one failover per plugged device bounds the
-	// loop even if fallbacks die in turn.
-	maxAttempts := len(devs)
-	if maxAttempts < 1 {
-		maxAttempts = 1
-	}
+	// Each attempt runs the whole plan; recoverAttempt decides whether a
+	// failed attempt may retry (failover onto a fallback device, or one
+	// step of the adaptive OOM ladder), releasing everything the attempt
+	// allocated so the plan restarts from its host-resident scans — the
+	// coarsest but always-correct re-placement. The bound covers one
+	// failover per plugged device plus the longest possible halving ladder
+	// (chunk sizes are int: at most ~32 halvings) and a final re-place.
+	maxAttempts := len(devs) + 34
+	x.chunkEff = x.opts.chunkElems()
 	var runErr error
 	var columns []ResultColumn
 	for attempt := 0; ; attempt++ {
@@ -244,41 +265,23 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		if runErr == nil || attempt >= maxAttempts {
 			break
 		}
-		var lost *DeviceLostError
-		if !errors.As(runErr, &lost) || x.opts.FallbackDevice == nil {
+		if !x.recoverAttempt(runErr) {
 			break
 		}
-		fb := x.resolve(*x.opts.FallbackDevice)
-		if fb == lost.Device {
-			break // the fallback itself is the dead device
-		}
-		if _, err := x.rt.Device(fb); err != nil {
-			break
-		}
-		x.events = append(x.events, RuntimeEvent{Kind: EventFailover, From: lost.Device, To: fb})
-		if x.rec != nil {
-			x.rec.Add(trace.Span{
-				Parent: x.qspan, Kind: trace.KindFailover,
-				Label: fmt.Sprintf("%v->%v: %v", lost.Device, fb, lost.Err),
-				Start: x.horizon, End: x.horizon,
-				Node: -1, Pipeline: -1, Chunk: -1,
-			})
-		}
-		x.remap[lost.Device] = fb
-		x.releaseAll(true)
 	}
 
 	// Statistics are assembled whether the run succeeded, failed or was
 	// cancelled: an early return must still report the partial work done.
 	res := &Result{Columns: columns}
 	res.Stats = Stats{
-		Elapsed:   x.horizon.Sub(x.base),
-		Wall:      time.Since(wallStart),
-		Chunks:    x.chunksTotal,
-		Pipelines: len(pipelines),
-		Footprint: x.trace,
-		Retries:   x.retries,
-		Events:    x.events,
+		Elapsed:        x.horizon.Sub(x.base),
+		Wall:           time.Since(wallStart),
+		Chunks:         x.chunksTotal,
+		Pipelines:      len(pipelines),
+		Footprint:      x.trace,
+		Retries:        x.retries,
+		Events:         x.events,
+		FaultsByDevice: x.faults,
 	}
 	for i, d := range devs {
 		delta := statsDelta(d.Stats(), before[device.ID(i)])
@@ -385,7 +388,7 @@ func (x *executor) runPipeline(p *graph.Pipeline) error {
 		}()
 	}
 	rows := p.ScanRows(x.g)
-	chunkElems := x.opts.chunkElems()
+	chunkElems := x.chunkEff
 	if x.flags.wholeInput || rows == 0 || chunkElems > rows {
 		chunkElems = rows
 	}
@@ -728,7 +731,7 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 				}
 			}
 			x.advance(end)
-			x.ports[ref] = &portState{dev: dev, buf: buf, capacity: cap0(x.opts.chunkElems()), n: n, ready: end, persistent: true}
+			x.ports[ref] = &portState{dev: dev, buf: buf, capacity: cap0(x.chunkEff), n: n, ready: end, persistent: true}
 			continue
 		}
 

@@ -1,0 +1,182 @@
+package session
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+// HealthPolicy parameterizes the per-device circuit breaker. The zero value
+// is usable: every field defaults to a sensible setting via withDefaults.
+type HealthPolicy struct {
+	// Window is the sliding observation window per device: the breaker
+	// computes its error rate over the last Window operations observed on
+	// the device. Default 8.
+	Window int
+	// TripRatio is the error fraction within the window at or above which
+	// the breaker opens and the device is quarantined. Default 0.5.
+	TripRatio float64
+	// MinObservations is the minimum number of observations in the window
+	// before the breaker may trip — a single early fault on a fresh device
+	// must not quarantine it. Default 4.
+	MinObservations int
+	// ProbeSuccesses is the number of consecutive successful probation
+	// probes after which an open breaker closes and the device is
+	// readmitted. Default 3.
+	ProbeSuccesses int
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.Window <= 0 {
+		p.Window = 8
+	}
+	if p.TripRatio <= 0 || p.TripRatio > 1 {
+		p.TripRatio = 0.5
+	}
+	if p.MinObservations <= 0 {
+		p.MinObservations = 4
+	}
+	if p.MinObservations > p.Window {
+		p.MinObservations = p.Window
+	}
+	if p.ProbeSuccesses <= 0 {
+		p.ProbeSuccesses = 3
+	}
+	return p
+}
+
+// deviceHealth is one device's breaker state.
+type deviceHealth struct {
+	window []bool // ring buffer of outcomes, true = ok
+	next   int    // ring write position
+	filled int    // observations recorded, capped at len(window)
+	open   bool   // breaker open: device quarantined, on probation
+	streak int    // consecutive successful probes while open
+}
+
+// HealthTracker is the per-device circuit breaker behind automatic
+// quarantine and readmission. It is a pure state machine over fault
+// observations: callers feed it operation outcomes (Observe) and probation
+// probe results (ProbeResult); it decides when a device's breaker trips
+// open and when enough consecutive probes have succeeded to close it again.
+// It never touches devices or the scheduler itself — the facade translates
+// its decisions into Quarantine/Readmit calls. Safe for concurrent use.
+type HealthTracker struct {
+	mu     sync.Mutex
+	policy HealthPolicy
+	devs   map[device.ID]*deviceHealth
+}
+
+// NewHealthTracker returns a tracker with the given policy (zero fields
+// take their defaults).
+func NewHealthTracker(policy HealthPolicy) *HealthTracker {
+	return &HealthTracker{policy: policy.withDefaults(), devs: make(map[device.ID]*deviceHealth)}
+}
+
+// Policy returns the tracker's effective (defaulted) policy.
+func (h *HealthTracker) Policy() HealthPolicy { return h.policy }
+
+func (h *HealthTracker) stateLocked(dev device.ID) *deviceHealth {
+	d := h.devs[dev]
+	if d == nil {
+		d = &deviceHealth{window: make([]bool, h.policy.Window)}
+		h.devs[dev] = d
+	}
+	return d
+}
+
+// Observe records one operation outcome on a device (ok=false for a fault)
+// and reports whether this observation tripped the breaker open. Outcomes
+// observed while the breaker is already open only keep the window current;
+// recovery goes through ProbeResult.
+func (h *HealthTracker) Observe(dev device.ID, ok bool) (tripped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.stateLocked(dev)
+	d.window[d.next] = ok
+	d.next = (d.next + 1) % len(d.window)
+	if d.filled < len(d.window) {
+		d.filled++
+	}
+	if d.open || d.filled < h.policy.MinObservations {
+		return false
+	}
+	errs := 0
+	for i := 0; i < d.filled; i++ {
+		if !d.window[i] {
+			errs++
+		}
+	}
+	if float64(errs) >= h.policy.TripRatio*float64(d.filled) {
+		d.open = true
+		d.streak = 0
+		return true
+	}
+	return false
+}
+
+// ForceOpen trips a device's breaker unconditionally — the caller saw
+// conclusive evidence (a device-lost failover) that outvotes any error-rate
+// window. It reports whether the breaker was previously closed.
+func (h *HealthTracker) ForceOpen(dev device.ID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.stateLocked(dev)
+	if d.open {
+		return false
+	}
+	d.open = true
+	d.streak = 0
+	return true
+}
+
+// Open reports whether a device's breaker is open (the device is on
+// probation).
+func (h *HealthTracker) Open(dev device.ID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.devs[dev]
+	return d != nil && d.open
+}
+
+// OpenDevices lists the devices whose breakers are open, in ID order.
+func (h *HealthTracker) OpenDevices() []device.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []device.ID
+	for dev, d := range h.devs {
+		if d.open {
+			out = append(out, dev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProbeResult records one probation probe outcome on an open breaker and
+// reports whether the device just earned readmission (ProbeSuccesses
+// consecutive successes). Readmission closes the breaker and clears the
+// observation window so stale faults cannot immediately re-trip it. A probe
+// failure resets the streak. Results for closed breakers are ignored.
+func (h *HealthTracker) ProbeResult(dev device.ID, ok bool) (readmit bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.devs[dev]
+	if d == nil || !d.open {
+		return false
+	}
+	if !ok {
+		d.streak = 0
+		return false
+	}
+	d.streak++
+	if d.streak < h.policy.ProbeSuccesses {
+		return false
+	}
+	d.open = false
+	d.streak = 0
+	d.filled = 0
+	d.next = 0
+	return true
+}

@@ -1,0 +1,97 @@
+package session
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+func TestHealthTrackerTripsOnErrorRate(t *testing.T) {
+	h := NewHealthTracker(HealthPolicy{Window: 4, TripRatio: 0.5, MinObservations: 4, ProbeSuccesses: 2})
+	// Three observations: below MinObservations, no trip even at 100% errors.
+	for i := 0; i < 3; i++ {
+		if h.Observe(0, false) {
+			t.Fatalf("tripped after %d observations, below MinObservations", i+1)
+		}
+	}
+	if h.Open(0) {
+		t.Fatal("breaker open before MinObservations reached")
+	}
+	// Fourth fills the window at 4/4 errors >= 0.5 ratio: trip.
+	if !h.Observe(0, false) {
+		t.Fatal("did not trip at 100% error rate with a full window")
+	}
+	if !h.Open(0) {
+		t.Fatal("Open(0) = false after trip")
+	}
+	// Further observations on an open breaker never re-trip.
+	if h.Observe(0, false) {
+		t.Fatal("re-tripped an already-open breaker")
+	}
+	if got := h.OpenDevices(); len(got) != 1 || got[0] != device.ID(0) {
+		t.Fatalf("OpenDevices() = %v, want [0]", got)
+	}
+}
+
+func TestHealthTrackerStaysClosedUnderRatio(t *testing.T) {
+	h := NewHealthTracker(HealthPolicy{Window: 8, TripRatio: 0.5, MinObservations: 4, ProbeSuccesses: 3})
+	// Three successes then two failures keep the error rate strictly below
+	// the 0.5 trip ratio (1/4, then 2/5): no trip.
+	for i := 0; i < 3; i++ {
+		h.Observe(1, true)
+	}
+	for i := 0; i < 2; i++ {
+		if h.Observe(1, false) {
+			t.Fatalf("tripped at failure %d, error rate still below ratio", i+1)
+		}
+	}
+	if h.Open(1) {
+		t.Fatal("breaker open below the trip ratio")
+	}
+	// A third failure makes it 3 errors in 6 observations — at the ratio.
+	if !h.Observe(1, false) {
+		t.Fatal("3 errors in 6 observations must reach ratio 0.5 and trip")
+	}
+}
+
+func TestHealthTrackerForceOpen(t *testing.T) {
+	h := NewHealthTracker(HealthPolicy{})
+	if !h.ForceOpen(2) {
+		t.Fatal("ForceOpen on a closed breaker must report the transition")
+	}
+	if h.ForceOpen(2) {
+		t.Fatal("ForceOpen on an open breaker must be a no-op")
+	}
+	if !h.Open(2) {
+		t.Fatal("breaker not open after ForceOpen")
+	}
+}
+
+func TestHealthTrackerProbationReadmits(t *testing.T) {
+	h := NewHealthTracker(HealthPolicy{Window: 4, TripRatio: 0.25, MinObservations: 2, ProbeSuccesses: 3})
+	h.ForceOpen(0)
+	// Two successes, then a failure: streak resets.
+	if h.ProbeResult(0, true) || h.ProbeResult(0, true) {
+		t.Fatal("readmitted before ProbeSuccesses consecutive successes")
+	}
+	if h.ProbeResult(0, false) {
+		t.Fatal("a failed probe must not readmit")
+	}
+	// Three consecutive successes close the breaker.
+	for i := 0; i < 2; i++ {
+		if h.ProbeResult(0, true) {
+			t.Fatalf("readmitted after only %d consecutive successes", i+1)
+		}
+	}
+	if !h.ProbeResult(0, true) {
+		t.Fatal("three consecutive successes must close the breaker")
+	}
+	if h.Open(0) {
+		t.Fatal("breaker still open after probation succeeded")
+	}
+	// The error window was cleared: one fresh failure (above MinObservations
+	// only with more data) must not immediately re-trip.
+	if h.Observe(0, false) {
+		t.Fatal("stale pre-quarantine window survived readmission")
+	}
+}

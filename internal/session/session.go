@@ -22,13 +22,15 @@ import (
 	"sync"
 
 	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 // ErrAdmission is the sentinel all admission rejections wrap; match it with
 // errors.Is and recover the details with errors.As on *AdmissionError.
 var ErrAdmission = errors.New("session: admission denied")
 
-// AdmissionError reports why a query was refused admission.
+// AdmissionError reports why a query was refused admission, with the
+// numbers that caused the rejection.
 type AdmissionError struct {
 	// Device is the device whose budget was exceeded (valid when Need > 0).
 	Device device.ID
@@ -36,21 +38,42 @@ type AdmissionError struct {
 	Need int64
 	// Budget is the device's admission budget.
 	Budget int64
+	// InUse is the memory already reserved on the device when the request
+	// was refused (valid when Need > 0).
+	InUse int64
+	// Wait and Deadline report a load-shedding rejection: the predicted
+	// queue wait already exceeded the request's deadline (both zero
+	// otherwise).
+	Wait     vclock.Duration
+	Deadline vclock.Duration
 	// Reason is a human-readable explanation.
 	Reason string
+	// Err, when non-nil, is an additional sentinel the rejection wraps
+	// (vclock.ErrDeadline for load shedding).
+	Err error
 }
 
 // Error implements error.
 func (e *AdmissionError) Error() string {
 	if e.Need > 0 {
-		return fmt.Sprintf("session: admission denied: %s on %v (need %d bytes, budget %d)",
-			e.Reason, e.Device, e.Need, e.Budget)
+		return fmt.Sprintf("session: admission denied: %s on %v (need %d B, budget %d B, in use %d B)",
+			e.Reason, e.Device, e.Need, e.Budget, e.InUse)
+	}
+	if e.Deadline > 0 {
+		return fmt.Sprintf("session: admission denied: %s (predicted wait %v, deadline %v)",
+			e.Reason, e.Wait, e.Deadline)
 	}
 	return "session: admission denied: " + e.Reason
 }
 
-// Unwrap makes errors.Is(err, ErrAdmission) hold for every AdmissionError.
-func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+// Unwrap makes errors.Is(err, ErrAdmission) hold for every AdmissionError,
+// and errors.Is(err, vclock.ErrDeadline) hold for shedding rejections.
+func (e *AdmissionError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrAdmission, e.Err}
+	}
+	return []error{ErrAdmission}
+}
 
 // Policy selects the order in which queued sessions are admitted.
 type Policy int
@@ -99,6 +122,16 @@ type Request struct {
 	// Demand is the query's estimated device-memory working set, per
 	// device. Devices without a configured budget are not checked.
 	Demand map[device.ID]int64
+	// Deadline, when positive, is the query's virtual-time budget. A
+	// request whose predicted queue wait (the summed Cost of the sessions
+	// already waiting) exceeds its deadline is shed at admission — rejected
+	// with an AdmissionError wrapping vclock.ErrDeadline — instead of
+	// queueing for a slot it can no longer use.
+	Deadline vclock.Duration
+	// Cost is the query's predicted virtual runtime, used to estimate the
+	// queue wait ahead of later arrivals. Zero is a valid (optimistic)
+	// estimate.
+	Cost vclock.Duration
 }
 
 // Stats summarizes a scheduler's activity.
@@ -109,15 +142,26 @@ type Stats struct {
 	Admitted int64
 	Rejected int64
 	Waited   int64
+	// Shed counts rejections by deadline-aware load shedding (a subset of
+	// Rejected).
+	Shed int64
 	// Queued and Running are the current queue depth and admitted count.
 	Queued  int
 	Running int
 }
 
+// admitOutcome is what a waiter receives when the scheduler decides its
+// fate: a grant, or a typed rejection discovered at dispatch time (its
+// remapped demand can no longer fit any budget).
+type admitOutcome struct {
+	g   *Grant
+	err error
+}
+
 type waiter struct {
 	req    Request
 	seq    uint64
-	ready  chan *Grant
+	ready  chan admitOutcome
 	queued bool
 }
 
@@ -158,13 +202,16 @@ func (s *Scheduler) Quarantine(dev, fallback device.ID) {
 		return
 	}
 	s.quarantine[dev] = fallback
-	// Queued demand was remapped at admission time against the quarantine
-	// state of that moment; new state applies to new arrivals only, so
-	// grants stay symmetric with their releases.
+	// Queued waiters keep their logical demand; dispatch remaps it against
+	// the quarantine state of the moment the grant is issued, so a waiter
+	// queued before this call is charged to the fallback too.
 	s.dispatchLocked()
 }
 
-// Readmit clears a device's quarantine (it recovered or was replaced).
+// Readmit clears a device's quarantine (it recovered or was replaced) and
+// re-runs dispatch immediately: waiters queued while their demand was being
+// charged to the fallback re-evaluate against the readmitted device's own
+// budget without waiting for the next Release.
 func (s *Scheduler) Readmit(dev device.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -225,6 +272,14 @@ func (s *Scheduler) Budget(dev device.ID) int64 {
 	return s.budgets[dev]
 }
 
+// InUse reports the memory currently reserved on a device by admitted
+// sessions.
+func (s *Scheduler) InUse(dev device.ID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse[dev]
+}
+
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
@@ -249,17 +304,18 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 	}
 
 	s.mu.Lock()
-	// Demand on quarantined devices is charged to their fallbacks — the
-	// budget the re-placed query will actually consume.
-	req.Demand = s.remapDemandLocked(req.Demand)
-	// Hard reject: the working set exceeds the budget outright, so no
-	// amount of waiting makes it fit (the paper's OOM analysis, Fig. 7).
-	for dev, need := range req.Demand {
+	// Hard reject: the working set — viewed through the current quarantine
+	// remap, the budget a re-placed query would actually consume — exceeds
+	// a budget outright, so no amount of waiting makes it fit (the paper's
+	// OOM analysis, Fig. 7). The logical demand stays on the request:
+	// dispatch re-remaps against the quarantine state of the grant moment.
+	for dev, need := range s.remapDemandLocked(req.Demand) {
 		if b, ok := s.budgets[dev]; ok && need > b {
 			s.stats.Rejected++
+			inUse := s.inUse[dev]
 			s.mu.Unlock()
 			return nil, &AdmissionError{
-				Device: dev, Need: need, Budget: b,
+				Device: dev, Need: need, Budget: b, InUse: inUse,
 				Reason: "working set exceeds device budget",
 			}
 		}
@@ -270,7 +326,23 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 		s.mu.Unlock()
 		return nil, &AdmissionError{Reason: fmt.Sprintf("admission queue full (%d waiting)", n)}
 	}
-	w := &waiter{req: req, seq: s.seq, ready: make(chan *Grant, 1)}
+	// Load shedding: a deadline-carrying request whose predicted wait — the
+	// summed cost estimates of the sessions already queued ahead of it —
+	// exceeds its deadline would only burn a queue slot to time out later;
+	// reject it now with the deadline sentinel.
+	if req.Deadline > 0 {
+		if wait := s.queuedCostLocked(); wait > req.Deadline {
+			s.stats.Rejected++
+			s.stats.Shed++
+			s.mu.Unlock()
+			return nil, &AdmissionError{
+				Wait: wait, Deadline: req.Deadline,
+				Reason: "shed: predicted queue wait exceeds deadline",
+				Err:    vclock.ErrDeadline,
+			}
+		}
+	}
+	w := &waiter{req: req, seq: s.seq, ready: make(chan admitOutcome, 1)}
 	s.seq++
 	s.queue = append(s.queue, w)
 	s.dispatchLocked()
@@ -281,8 +353,8 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 	s.mu.Unlock()
 
 	select {
-	case g := <-w.ready:
-		return g, nil
+	case o := <-w.ready:
+		return o.g, o.err
 	case <-ctx.Done():
 		s.mu.Lock()
 		for i, q := range s.queue {
@@ -293,20 +365,31 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 			}
 		}
 		s.mu.Unlock()
-		// The grant raced the cancellation: take it and release it so the
-		// reserved memory is returned.
-		g := <-w.ready
-		g.Release()
+		// The outcome raced the cancellation: take it and release any grant
+		// so the reserved memory is returned.
+		o := <-w.ready
+		o.g.Release()
 		return nil, ctx.Err()
 	}
 }
 
-// fitsLocked reports whether a request can run right now.
-func (s *Scheduler) fitsLocked(req Request) bool {
+// queuedCostLocked sums the predicted runtime of every queued session: the
+// wait a new arrival would see before its turn (admission never overtakes
+// the first misfit, so everything queued runs first).
+func (s *Scheduler) queuedCostLocked() vclock.Duration {
+	var total vclock.Duration
+	for _, w := range s.queue {
+		total += w.req.Cost
+	}
+	return total
+}
+
+// fitsLocked reports whether a demand map can be charged right now.
+func (s *Scheduler) fitsLocked(demand map[device.ID]int64) bool {
 	if s.cfg.MaxConcurrent > 0 && s.running >= s.cfg.MaxConcurrent {
 		return false
 	}
-	for dev, need := range req.Demand {
+	for dev, need := range demand {
 		if b, ok := s.budgets[dev]; ok && s.inUse[dev]+need > b {
 			return false
 		}
@@ -317,6 +400,12 @@ func (s *Scheduler) fitsLocked(req Request) bool {
 // dispatchLocked grants queued waiters, in policy order, until the first
 // one that does not fit. Stopping at the first misfit keeps admission fair:
 // a large query at the head is never overtaken indefinitely by small ones.
+// Demand is remapped through the quarantine table here, at grant time, so
+// quarantining or readmitting a device immediately re-prices every queued
+// waiter; the grant records the effective (charged) demand so its release
+// stays symmetric even if the quarantine table changes mid-run. A waiter
+// whose remapped demand can no longer fit any budget is rejected with a
+// typed error instead of blocking the head of the queue forever.
 func (s *Scheduler) dispatchLocked() {
 	for len(s.queue) > 0 {
 		idx := 0
@@ -324,17 +413,44 @@ func (s *Scheduler) dispatchLocked() {
 			idx = s.frontByPriorityLocked()
 		}
 		w := s.queue[idx]
-		if !s.fitsLocked(w.req) {
+		eff := s.remapDemandLocked(w.req.Demand)
+		if dev, need, b, never := s.neverFitsLocked(eff); never {
+			s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+			s.stats.Rejected++
+			w.ready <- admitOutcome{err: &AdmissionError{
+				Device: dev, Need: need, Budget: b, InUse: s.inUse[dev],
+				Reason: "remapped working set exceeds device budget",
+			}}
+			continue
+		}
+		if !s.fitsLocked(eff) {
 			return
 		}
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		s.running++
-		for dev, need := range w.req.Demand {
+		for dev, need := range eff {
 			s.inUse[dev] += need
 		}
 		s.stats.Admitted++
-		w.ready <- &Grant{s: s, demand: w.req.Demand, queued: w.queued}
+		w.ready <- admitOutcome{g: &Grant{s: s, demand: eff, queued: w.queued}}
 	}
+}
+
+// neverFitsLocked reports the first device (in ID order, for deterministic
+// errors) whose demand exceeds its whole budget — a waiter that can never
+// be granted no matter how much memory is released.
+func (s *Scheduler) neverFitsLocked(demand map[device.ID]int64) (device.ID, int64, int64, bool) {
+	devs := make([]device.ID, 0, len(demand))
+	for dev := range demand {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	for _, dev := range devs {
+		if b, ok := s.budgets[dev]; ok && demand[dev] > b {
+			return dev, demand[dev], b, true
+		}
+	}
+	return 0, 0, 0, false
 }
 
 // frontByPriorityLocked returns the index of the highest-priority waiter,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/vclock"
 )
 
 func waitUntil(t *testing.T, what string, cond func() bool) {
@@ -234,10 +235,101 @@ func TestHeadOfLineBlocksSmaller(t *testing.T) {
 
 func TestGrantReleaseIdempotent(t *testing.T) {
 	s := NewScheduler(Config{MaxConcurrent: 2})
-	g, _ := s.Admit(context.Background(), Request{})
+	s.SetBudget(0, 100)
+	g, _ := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 60}})
+	if got := s.InUse(0); got != 60 {
+		t.Fatalf("InUse(0) = %d while grant held, want 60", got)
+	}
 	g.Release()
+	if got := s.InUse(0); got != 0 {
+		t.Fatalf("InUse(0) = %d after release, want 0", got)
+	}
 	g.Release()
+	if got := s.InUse(0); got != 0 {
+		t.Fatalf("InUse(0) = %d after double release, want 0 (refund must not repeat)", got)
+	}
 	if st := s.Stats(); st.Running != 0 {
 		t.Fatalf("double release corrupted running count: %+v", st)
 	}
+}
+
+func TestAdmissionErrorDetail(t *testing.T) {
+	// A hard rejection reports the full arithmetic the operator needs:
+	// demand, budget, and what is currently charged to the device.
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 100)
+	g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	_, err = s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 200}})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AdmissionError, got %v", err)
+	}
+	if ae.Need != 200 || ae.Budget != 100 || ae.InUse != 60 {
+		t.Fatalf("admission error detail = %+v, want need=200 budget=100 inuse=60", ae)
+	}
+	want := "session: admission denied: " + ae.Reason + " on dev0 (need 200 B, budget 100 B, in use 60 B)"
+	if got := err.Error(); got != want {
+		t.Fatalf("message = %q, want %q", got, want)
+	}
+}
+
+func TestReadmitRedispatchesWaiters(t *testing.T) {
+	// A waiter queued because its demand was remapped onto an overloaded
+	// stand-in must be granted as soon as Readmit restores the quarantined
+	// device — without any Release happening in between.
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 100)
+	s.SetBudget(1, 50)
+	s.Quarantine(0, 1)
+	a, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InUse(1); got != 40 {
+		t.Fatalf("InUse(1) = %d, want remapped demand 40", got)
+	}
+	got := make(chan *Grant, 1)
+	go func() {
+		b, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 40}})
+		if err != nil {
+			t.Error(err)
+		}
+		got <- b
+	}()
+	waitUntil(t, "B queued behind the quarantine", func() bool { return s.Stats().Queued == 1 })
+	select {
+	case <-got:
+		t.Fatal("B admitted while the stand-in is out of budget")
+	default:
+	}
+	s.Readmit(0)
+	b := <-got
+	if got := s.InUse(0); got != 40 {
+		t.Fatalf("InUse(0) = %d after readmit, want 40", got)
+	}
+	b.Release()
+	a.Release()
+}
+
+func TestLoadSheddingOnPredictedWait(t *testing.T) {
+	s := NewScheduler(Config{MaxConcurrent: 1})
+	a, _ := s.Admit(context.Background(), Request{})
+	go s.Admit(context.Background(), Request{Cost: 100}) // queued, predicted cost 100ns
+	waitUntil(t, "costly waiter queued", func() bool { return s.Stats().Queued == 1 })
+	_, err := s.Admit(context.Background(), Request{Deadline: 50})
+	if !errors.Is(err, ErrAdmission) || !errors.Is(err, vclock.ErrDeadline) {
+		t.Fatalf("want ErrAdmission and vclock.ErrDeadline, got %v", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Wait != 100 || ae.Deadline != 50 {
+		t.Fatalf("shed detail = %+v, want wait=100 deadline=50", ae)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("stats = %+v, want Shed=1", st)
+	}
+	a.Release()
 }

@@ -23,6 +23,12 @@ type QueryStats struct {
 	Pipelines    int
 	Retries      int64
 	Failovers    int64
+	// Degrades counts adaptive OOM degradation steps (chunk halvings and
+	// host re-placements) the query took.
+	Degrades int64
+	// Shed marks a query rejected by admission-side load shedding because
+	// its predicted queue wait exceeded its deadline.
+	Shed bool
 	// Queued marks a query that waited in the admission queue before
 	// running.
 	Queued bool
@@ -54,6 +60,8 @@ type Metrics struct {
 	launches     int64
 	retries      int64
 	failovers    int64
+	degrades     int64
+	shed         int64
 	waits        int64
 	kernelTime   vclock.Duration
 	transferTime vclock.Duration
@@ -86,6 +94,10 @@ func (m *Metrics) ObserveQuery(q QueryStats) {
 	m.launches += q.Launches
 	m.retries += q.Retries
 	m.failovers += q.Failovers
+	m.degrades += q.Degrades
+	if q.Shed {
+		m.shed++
+	}
 	if q.Queued {
 		m.waits++
 	}
@@ -98,6 +110,29 @@ func (m *Metrics) ObserveQuery(q QueryStats) {
 		i++
 	}
 	m.elapsedHist[i]++
+}
+
+// defaultNsPerByte is the virtual cost per payload byte assumed before any
+// query completes: on the order of a 10 GB/s interconnect, the right ballpark
+// for the simulated PCIe links.
+const defaultNsPerByte = 0.1
+
+// NsPerByte estimates the engine's observed virtual cost per payload byte
+// moved — total elapsed virtual time over total bytes transferred. The
+// facade multiplies it by a request's demand estimate to predict queue wait
+// for admission-side load shedding. Before any query completes (or on a nil
+// registry) it reports defaultNsPerByte.
+func (m *Metrics) NsPerByte() float64 {
+	if m == nil {
+		return defaultNsPerByte
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	moved := m.h2dBytes + m.d2hBytes
+	if moved <= 0 || m.elapsedTotal <= 0 {
+		return defaultNsPerByte
+	}
+	return float64(m.elapsedTotal) / float64(moved)
 }
 
 // DeviceRow is one device's cumulative counters for the snapshot, pulled
@@ -129,7 +164,8 @@ func (m *Metrics) WriteSnapshot(w io.Writer, devices []DeviceRow) {
 	fmt.Fprintf(w, "virtual time       elapsed %v = kernels %v + transfers %v + overhead %v (busy)\n",
 		m.elapsedTotal, m.kernelTime, m.transferTime, m.overheadTime)
 	fmt.Fprintf(w, "bytes moved        %d H2D, %d D2H\n", m.h2dBytes, m.d2hBytes)
-	fmt.Fprintf(w, "degradation        %d retries, %d failovers\n", m.retries, m.failovers)
+	fmt.Fprintf(w, "degradation        %d retries, %d failovers, %d degrades, %d shed\n",
+		m.retries, m.failovers, m.degrades, m.shed)
 	fmt.Fprintf(w, "elapsed histogram ")
 	for i, n := range m.elapsedHist {
 		if i < len(elapsedBuckets) {

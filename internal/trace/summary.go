@@ -75,6 +75,12 @@ func WriteSummary(w io.Writer, spans []Span) {
 			failovers++
 			fmt.Fprintf(w, "failover: %s\n", s.Label)
 			continue
+		case KindDegrade:
+			fmt.Fprintf(w, "degrade: %s\n", s.Label)
+			continue
+		case KindDeadline:
+			fmt.Fprintf(w, "deadline: %s\n", s.Label)
+			continue
 		}
 		key := summaryGroup{
 			pipeline: s.Pipeline, kind: s.Kind,

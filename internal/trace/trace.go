@@ -70,6 +70,14 @@ const (
 	// KindAdmission is the wait in the session admission queue. Wall time
 	// only; excluded from deterministic renderings.
 	KindAdmission
+	// KindDegrade annotates one step of the adaptive OOM ladder: a halving
+	// of the effective chunk size, or the last-resort re-placement onto a
+	// host-resident device. The label carries the sizes (or devices) and
+	// the allocation failure that forced the step.
+	KindDegrade
+	// KindDeadline annotates a query failing its virtual-time deadline at
+	// a chunk boundary.
+	KindDeadline
 
 	numKinds
 )
@@ -105,6 +113,10 @@ func (k Kind) String() string {
 		return "failover"
 	case KindAdmission:
 		return "admission"
+	case KindDegrade:
+		return "degrade"
+	case KindDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -13,10 +13,19 @@
 package vclock
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrDeadline is the sentinel wrapped by every virtual-time deadline
+// violation: the executor when a query overruns its deadline at a chunk
+// boundary, and the session scheduler when it sheds a request whose
+// predicted queue wait already exceeds its deadline. It lives here because
+// both layers charge deadlines against the virtual clock, and both must
+// surface the same typed error without importing each other.
+var ErrDeadline = errors.New("vclock: virtual-time deadline exceeded")
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation. The zero Time is the simulation epoch.

@@ -5,6 +5,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+# The concurrency/resilience chaos soak must always run race-enabled, even
+# if the line above is ever narrowed or switched to -short.
+go test -race -run '^TestChaosSoak$' .
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sql
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sql
 
