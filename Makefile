@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench fuzz cover
+.PHONY: ci vet build test race bench fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -30,3 +30,8 @@ cover:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
+# /events, /flight, /util and /run?n=K on port 9464.
+serve:
+	go run ./cmd/adamant-run -serve 127.0.0.1:9464 -ratio 0.002

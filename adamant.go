@@ -55,6 +55,7 @@ import (
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 )
@@ -374,6 +375,7 @@ type Engine struct {
 	adaptive   bool
 	minChunk   int
 	health     *session.HealthTracker
+	tele       *engineTelemetry
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -513,11 +515,20 @@ func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) 
 	if err := p.err(); err != nil {
 		return nil, err
 	}
-	deadline := e.deadline
-	if opts.Deadline > 0 {
-		deadline = vclock.DurationOf(opts.Deadline)
+	res, err := e.runGraph(ctx, p.graph(), e.execOptions(opts, e.queryDeadline(opts)), opts.Priority)
+	if err != nil {
+		return nil, err
 	}
-	res, err := e.runGraph(ctx, p.graph(), exec.Options{
+	return newResult(res), nil
+}
+
+// execOptions lowers the facade's per-query options onto the executor's,
+// folding in every engine-wide setting (retry policy, fallback device,
+// adaptive chunking, deadline). All execution paths — plan API, SQL
+// front-end, EXPLAIN ANALYZE — go through it, so they degrade and trace
+// uniformly.
+func (e *Engine) execOptions(opts ExecOptions, deadline vclock.Duration) exec.Options {
+	return exec.Options{
 		Model:            exec.Model(opts.Model),
 		ChunkElems:       opts.ChunkElems,
 		Trace:            opts.Trace,
@@ -527,11 +538,16 @@ func (e *Engine) ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) 
 		AdaptiveChunking: e.adaptive,
 		MinChunkElems:    e.minChunk,
 		Deadline:         deadline,
-	}, opts.Priority)
-	if err != nil {
-		return nil, err
 	}
-	return newResult(res), nil
+}
+
+// queryDeadline resolves a query's virtual-time budget: its own override,
+// else the engine-wide default.
+func (e *Engine) queryDeadline(opts ExecOptions) vclock.Duration {
+	if opts.Deadline > 0 {
+		return vclock.DurationOf(opts.Deadline)
+	}
+	return e.deadline
 }
 
 // runGraph is the shared admission + execution path: estimate the query's
@@ -540,6 +556,28 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 	demand, err := exec.EstimateDemand(g, opts)
 	if err != nil {
 		return nil, err
+	}
+	// Telemetry bookkeeping: assign the query ID, route executor events to
+	// the sink, and make sure a recorder exists so the flight recorder can
+	// retain full spans for interesting queries. Recording never perturbs
+	// virtual timings, so traces stay bit-identical with telemetry on; with
+	// telemetry off (tel == nil) this path adds zero allocations.
+	var (
+		tel             = e.tele
+		qid             uint64
+		devName, driver string
+		startVT         vclock.Time
+		mark            int
+	)
+	if tel != nil {
+		qid = tel.nextQuery.Add(1)
+		opts.QueryID = qid
+		opts.Events = tel.sink
+		devName, driver = e.primaryDevice(demand)
+		if opts.Recorder == nil {
+			opts.Recorder = trace.NewRecorder()
+		}
+		mark = opts.Recorder.Len()
 	}
 	admitStart := time.Now()
 	grant, err := e.sched.Admit(ctx, session.Request{
@@ -564,6 +602,13 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 			Label: admissionLabel(grant.Queued()),
 			Wall:  time.Since(admitStart),
 			Node:  -1, Pipeline: -1, Chunk: -1,
+		})
+	}
+	if tel != nil {
+		startVT = e.vtNow()
+		tel.sink.Emit(telemetry.Event{
+			Type: telemetry.EventQueryStart, Query: qid,
+			VT: int64(startVT), Device: devName, Model: opts.Model.String(),
 		})
 	}
 	res, runErr := exec.RunContext(ctx, e.rt, g, opts)
@@ -601,6 +646,10 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 			Queued:       grant.Queued(),
 			Err:          runErr != nil,
 		})
+	}
+	if tel != nil {
+		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), startVT,
+			res, runErr, opts.Recorder.Spans()[mark:])
 	}
 	e.pulseHealth()
 	return res, runErr

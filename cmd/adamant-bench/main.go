@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	adamant-bench [-exp name] [-quick] [-ratio f] [-seed n]
+//	adamant-bench [-exp name] [-quick] [-ratio f] [-seed n] [-json out.json]
 //
 // With no -exp it runs every experiment. Experiment names: table2, fig3,
-// fig5, fig7, fig9, fig10, fig11, heavydb.
+// fig5, fig7, fig9, fig10, fig11, heavydb. With -json, every numeric table
+// cell is also written to the given file as machine-readable records
+// ({experiment, metric, value, unit, seed, ratio}) for trend tracking.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	ratio := flag.Float64("ratio", 0, "TPC-H down-scale ratio (0 = profile default)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
 	// Ctrl-C cancels the in-flight query at its next chunk boundary; the
@@ -34,6 +37,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := experiments.Config{Quick: *quick, Ratio: *ratio, Seed: *seed, Ctx: ctx}
+	if *jsonOut != "" {
+		cfg.Results = experiments.NewCollector()
+	}
 
 	var err error
 	if *exp == "" {
@@ -45,6 +51,13 @@ func main() {
 			err = gen(cfg, os.Stdout)
 		}
 	}
+	if *jsonOut != "" && err == nil {
+		if werr := writeResults(*jsonOut, cfg.Results); werr != nil {
+			err = werr
+		} else {
+			fmt.Fprintf(os.Stderr, "adamant-bench: wrote %d records to %s\n", len(cfg.Results.Records()), *jsonOut)
+		}
+	}
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "adamant-bench: interrupted — partial results above")
 		os.Exit(130)
@@ -53,4 +66,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adamant-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeResults dumps the collected records to path as indented JSON.
+func writeResults(path string, c *experiments.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -69,11 +69,29 @@ func run(ctx context.Context) error {
 	retries := flag.Int("retries", 0, "max retries per device op for transient faults")
 	deadline := flag.Duration("deadline", 0, "virtual-time budget for the query; exceeding it at a chunk boundary fails the run (0 = none)")
 	adapt := flag.Bool("adapt", false, "adaptive chunking: on device OOM, halve the chunk size and retry, then re-place on a host device")
+	serveAddr := flag.String("serve", "", "run as a telemetry service on this address (e.g. :9090 or 127.0.0.1:0), exposing /metrics, /events, /flight and /util")
+	warm := flag.Int("serve-warm", 3, "queries to run at service start so telemetry is populated (with -serve)")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
 	if err != nil {
 		return err
+	}
+
+	if *serveAddr != "" {
+		chunkElems := *chunk
+		if chunkElems <= 0 {
+			chunkElems = int(float64(int64(1)<<25) * *ratio)
+			if chunkElems < 1024 {
+				chunkElems = 1024
+			}
+		}
+		return serve(ctx, *serveAddr, serveConfig{
+			q: *q, sqlText: *sqlText, sf: *sf, ratio: *ratio, seed: *seed,
+			driver: *driver, fallback: *fallback, model: model,
+			chunkElems: chunkElems, faults: *faults, retries: *retries,
+			deadline: *deadline, adapt: *adapt, warm: *warm,
+		})
 	}
 
 	ds, err := tpch.Generate(tpch.Config{SF: *sf, Ratio: *ratio, Seed: *seed})

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	adamant "github.com/adamant-db/adamant"
+	"github.com/adamant-db/adamant/internal/storage"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// serveConfig carries the CLI flags the telemetry service needs.
+type serveConfig struct {
+	q          string
+	sqlText    string
+	sf         float64
+	ratio      float64
+	seed       uint64
+	driver     string
+	fallback   string
+	model      adamant.Model
+	chunkElems int
+	faults     string
+	retries    int
+	deadline   time.Duration
+	adapt      bool
+	warm       int
+}
+
+// servedSQL maps -q names onto the SQL the service runs through the facade
+// front-end (the plan-builder queries live on the internal graph API, which
+// the telemetry-wired engine does not expose).
+var servedSQL = map[string]string{
+	"Q6": `SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+	       WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'
+	         AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24`,
+}
+
+// facadePlug maps a CLI driver name onto the facade's hardware + SDK pair.
+func facadePlug(driver string) (adamant.Hardware, adamant.SDK, error) {
+	switch driver {
+	case "cuda":
+		return adamant.RTX2080Ti, adamant.CUDA, nil
+	case "opencl-gpu":
+		return adamant.RTX2080Ti, adamant.OpenCL, nil
+	case "opencl-cpu":
+		return adamant.CoreI78700, adamant.OpenCL, nil
+	case "openmp":
+		return adamant.CoreI78700, adamant.OpenMP, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown driver %q", driver)
+	}
+}
+
+// facadeCatalog converts the generated TPC-H dataset into the facade's SQL
+// catalog (the generator emits int32 columns only).
+func facadeCatalog(ds *tpch.Dataset) (*adamant.Catalog, error) {
+	var tables []*adamant.Table
+	for _, st := range []*storage.Table{ds.Lineitem, ds.Orders, ds.Customer} {
+		t := adamant.NewTable(st.Name, st.Rows())
+		for _, col := range st.Columns() {
+			if col.Data.Type() != vec.Int32 {
+				return nil, fmt.Errorf("table %s column %s: unsupported type %v", st.Name, col.Name, col.Data.Type())
+			}
+			if err := t.AddInt32(col.Name, col.Data.I32()); err != nil {
+				return nil, err
+			}
+		}
+		tables = append(tables, t)
+	}
+	return adamant.NewCatalog(tables...), nil
+}
+
+// serve runs the telemetry service: a telemetry-armed engine over the
+// TPC-H catalog, a canned workload to warm it, and the observability
+// endpoints (/metrics, /events, /flight, /util, /run) on addr.
+func serve(ctx context.Context, addr string, cfg serveConfig) error {
+	query := cfg.sqlText
+	if query == "" {
+		var ok bool
+		query, ok = servedSQL[cfg.q]
+		if !ok {
+			return fmt.Errorf("serve mode has no canned SQL for -q %s; pass -sql", cfg.q)
+		}
+	}
+
+	ds, err := tpch.Generate(tpch.Config{SF: cfg.sf, Ratio: cfg.ratio, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	cat, err := facadeCatalog(ds)
+	if err != nil {
+		return err
+	}
+
+	var eopts []adamant.EngineOption
+	if cfg.faults != "" {
+		plan, err := adamant.ParseFaultPlan(cfg.faults)
+		if err != nil {
+			return err
+		}
+		eopts = append(eopts, adamant.WithFaultPlan(plan))
+	}
+	if cfg.retries > 0 {
+		eopts = append(eopts, adamant.WithRetryPolicy(adamant.RetryPolicy{MaxRetries: cfg.retries}))
+	}
+	if cfg.adapt {
+		eopts = append(eopts, adamant.WithAdaptiveChunking(0))
+	}
+	if cfg.deadline > 0 {
+		eopts = append(eopts, adamant.WithDeadline(cfg.deadline))
+	}
+	if cfg.fallback != "" {
+		// Devices plug sequentially: the primary gets ID 0, the fallback ID 1.
+		eopts = append(eopts, adamant.WithFallbackDevice(1))
+	}
+	eng := adamant.NewEngine(eopts...).WithTelemetry(adamant.TelemetryConfig{
+		// Anything an order of magnitude over a warm Q6 is worth keeping.
+		SlowThreshold: 10 * time.Second,
+	})
+	hw, sdk, err := facadePlug(cfg.driver)
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Plug(hw, sdk); err != nil {
+		return err
+	}
+	if cfg.fallback != "" {
+		fhw, fsdk, err := facadePlug(cfg.fallback)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Plug(fhw, fsdk); err != nil {
+			return err
+		}
+	}
+
+	runOnce := func(ctx context.Context) (*adamant.Result, error) {
+		return eng.QueryContext(ctx, cat, 0, query, adamant.QueryOptions{
+			ExecOptions: adamant.ExecOptions{Model: cfg.model, ChunkElems: cfg.chunkElems},
+		})
+	}
+	for i := 0; i < cfg.warm; i++ {
+		if _, err := runOnce(ctx); err != nil {
+			return fmt.Errorf("warmup query %d: %w", i+1, err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = eng.WriteProm(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = eng.WriteEvents(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = eng.FlightDump(w)
+	})
+	mux.HandleFunc("/util", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		eng.WriteUtilization(w)
+	})
+	mux.HandleFunc("/util.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = eng.WriteUtilizationJSON(w)
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		n := 1
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 && parsed <= 1000 {
+				n = parsed
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, err := runOnce(r.Context()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		fmt.Fprintf(w, "ok: %d queries executed\n", n)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "adamant telemetry service\nendpoints: /metrics /events /flight /util /util.json /run?n=K\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving on %s (endpoints: /metrics /events /flight /util /run)\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		<-done
+		return nil
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -167,6 +168,13 @@ func (x *executor) recoverAttempt(runErr error) bool {
 			return false
 		}
 		x.events = append(x.events, RuntimeEvent{Kind: EventFailover, From: lost.Device, To: fb})
+		if x.opts.Events != nil {
+			x.opts.Events.Emit(telemetry.Event{
+				Type: telemetry.EventFailover, Query: x.opts.QueryID,
+				VT: int64(x.horizon), Device: x.deviceName(lost.Device),
+				Detail: fmt.Sprintf("%v->%v: %v", lost.Device, fb, lost.Err),
+			})
+		}
 		if x.rec != nil {
 			x.rec.Add(trace.Span{
 				Parent: x.qspan, Kind: trace.KindFailover,
@@ -189,6 +197,13 @@ func (x *executor) recoverAttempt(runErr error) bool {
 				Kind: EventDegrade, From: oom.Device, To: oom.Device,
 				ChunkFrom: x.chunkEff, ChunkTo: half,
 			})
+			if x.opts.Events != nil {
+				x.opts.Events.Emit(telemetry.Event{
+					Type: telemetry.EventDegrade, Query: x.opts.QueryID,
+					VT: int64(x.horizon), Device: x.deviceName(oom.Device),
+					Detail: fmt.Sprintf("chunk %d->%d: %v", x.chunkEff, half, oom.Err),
+				})
+			}
 			if x.rec != nil {
 				x.rec.Add(trace.Span{
 					Parent: x.qspan, Kind: trace.KindDegrade,
@@ -210,6 +225,13 @@ func (x *executor) recoverAttempt(runErr error) bool {
 		return false
 	}
 	x.events = append(x.events, RuntimeEvent{Kind: EventDegrade, From: oom.Device, To: host})
+	if x.opts.Events != nil {
+		x.opts.Events.Emit(telemetry.Event{
+			Type: telemetry.EventDegrade, Query: x.opts.QueryID,
+			VT: int64(x.horizon), Device: x.deviceName(oom.Device),
+			Detail: fmt.Sprintf("re-place %v->%v: %v", oom.Device, host, oom.Err),
+		})
+	}
 	if x.rec != nil {
 		x.rec.Add(trace.Span{
 			Parent: x.qspan, Kind: trace.KindDegrade,
@@ -221,6 +243,15 @@ func (x *executor) recoverAttempt(runErr error) bool {
 	x.remap[oom.Device] = host
 	x.releaseAll(true)
 	return true
+}
+
+// deviceName resolves a runtime device ID to its plug name for event
+// attribution; lost devices still resolve (the runtime keeps them).
+func (x *executor) deviceName(id device.ID) string {
+	if d, err := x.rt.Device(id); err == nil {
+		return d.Info().Name
+	}
+	return fmt.Sprintf("device-%d", id)
 }
 
 // hostFallback picks the device the OOM last-resort re-placement targets:
@@ -314,6 +345,13 @@ func (r *retrier) attempt(ready vclock.Time, op func(vclock.Time) error) error {
 			return err
 		}
 		r.x.retries++
+		if r.x.opts.Events != nil {
+			r.x.opts.Events.Emit(telemetry.Event{
+				Type: telemetry.EventRetry, Query: r.x.opts.QueryID,
+				VT: int64(ready), Device: r.d.Info().Name,
+				Detail: err.Error(),
+			})
+		}
 		if r.x.rec != nil {
 			// The retry span covers the backoff gap: virtual time the query
 			// lost to the fault, annotated with the injector's error string.

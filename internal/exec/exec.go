@@ -19,6 +19,7 @@ import (
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -156,6 +157,14 @@ type Options struct {
 	// wrapping vclock.ErrDeadline once exceeded. The query's buffers are
 	// released like any other failure. Zero disables the deadline.
 	Deadline vclock.Duration
+	// Events, when non-nil, receives structured runtime events (retries,
+	// failovers, degrade steps, deadline overruns) stamped with QueryID
+	// and virtual time. Like the Recorder, emission never perturbs the
+	// simulation, and a nil sink costs nothing on the hot path.
+	Events *telemetry.EventSink
+	// QueryID tags emitted events and spans digests with the caller's
+	// query number (the facade assigns one per execution).
+	QueryID uint64
 }
 
 // DefaultChunkElems is the paper's chunk size (2^25 values).

@@ -12,6 +12,7 @@ import (
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -119,6 +120,13 @@ func (x *executor) checkCtx() error {
 	}
 	if d := x.opts.Deadline; d > 0 {
 		if elapsed := x.horizon.Sub(x.base); elapsed > d {
+			if x.opts.Events != nil {
+				x.opts.Events.Emit(telemetry.Event{
+					Type: telemetry.EventDeadline, Query: x.opts.QueryID,
+					VT:     int64(x.horizon),
+					Detail: fmt.Sprintf("elapsed %v > deadline %v", elapsed, d),
+				})
+			}
 			if x.rec != nil {
 				x.rec.Add(trace.Span{
 					Parent: x.qspan, Kind: trace.KindDeadline,

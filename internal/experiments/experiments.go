@@ -40,6 +40,19 @@ type Config struct {
 	// Ctx, when set, cancels in-flight query executions at chunk
 	// boundaries (the CLI wires SIGINT here). Nil means background.
 	Ctx context.Context
+	// Results, when set, collects machine-readable records alongside the
+	// text tables (the CLI's -json flag wires a collector here).
+	Results *Collector
+}
+
+// report writes the table as text and, when a collector is configured,
+// extracts its numeric cells into records under the experiment name.
+func (c Config) report(w io.Writer, experiment string, t *Table) error {
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	c.Results.AddTable(experiment, t, c.Seed, c.ratio())
+	return nil
 }
 
 // Context returns the configured cancellation context, or background.

@@ -53,6 +53,5 @@ func Fig10Overhead(cfg Config, w io.Writer) error {
 			t.Add(q, drv.Label, millis(total), millis(prims), millis(transfer), millis(over), fmt.Sprintf("%.1f", pct))
 		}
 	}
-	_, err = t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig10", t)
 }

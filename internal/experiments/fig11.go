@@ -80,8 +80,7 @@ func Fig11Models(cfg Config, w io.Writer) error {
 			}
 		}
 	}
-	_, err := t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig11", t)
 }
 
 // Fig11HeavyDB reproduces Figure 11 (right): the HeavyDB baseline with and
@@ -134,9 +133,8 @@ func Fig11HeavyDB(cfg Config, w io.Writer) error {
 				}
 				ours[i] = seconds(res.Stats.Elapsed)
 			}
-			t.Add(q, sf, cold, hot, ours[0], ours[1])
+			t.Add(q, fmt.Sprintf("SF%g", sf), cold, hot, ours[0], ours[1])
 		}
 	}
-	_, err := t.WriteTo(w)
-	return err
+	return cfg.report(w, "heavydb", t)
 }

@@ -54,8 +54,7 @@ func Fig3Bandwidth(cfg Config, w io.Writer) error {
 			}
 		}
 	}
-	_, err := t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig3", t)
 }
 
 func sizeHeaders(sizesMiB []int) []string {

@@ -65,6 +65,5 @@ func Fig5MapReduce(cfg Config, w io.Writer) error {
 			p.free(bufA, bufB, out, scalar)
 		}
 	}
-	_, err := t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig5", t)
 }

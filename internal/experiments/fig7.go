@@ -47,7 +47,7 @@ func Fig7Capacity(cfg Config, w io.Writer) error {
 	for _, gpu := range simhw.AllGPUs() {
 		t.Add(fmt.Sprintf("capacity: %s", gpu.Name), gib(gpu.MemoryBytes), "", "", "", "", "")
 	}
-	if _, err := t.WriteTo(w); err != nil {
+	if err := cfg.report(w, "fig7-capacity", t); err != nil {
 		return err
 	}
 
@@ -75,6 +75,5 @@ func Fig7Capacity(cfg Config, w io.Writer) error {
 	for i, s := range res.Stats.Footprint {
 		t2.Add(i+1, s.Label, fmt.Sprintf("%.2f", float64(s.Bytes)/(1<<20)))
 	}
-	_, err = t2.WriteTo(w)
-	return err
+	return cfg.report(w, "fig7-footprint", t2)
 }

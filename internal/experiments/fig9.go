@@ -104,8 +104,7 @@ func fig9Filters(cfg Config, w io.Writer, setup simhw.Setup, n int) error {
 		t.Add(matRow...)
 		p.free(bufIn, bm, matOut, count)
 	}
-	_, err = t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig9-filter/"+setup.Name, t)
 }
 
 func fig9HashAgg(cfg Config, w io.Writer, setup simhw.Setup, n int) error {
@@ -157,8 +156,7 @@ func fig9HashAgg(cfg Config, w io.Writer, setup simhw.Setup, n int) error {
 		}
 		t.Add(row...)
 	}
-	_, err = t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig9-hashagg/"+setup.Name, t)
 }
 
 func fig9BuildProbe(cfg Config, w io.Writer, setup simhw.Setup, maxN int) error {
@@ -222,8 +220,7 @@ func fig9BuildProbe(cfg Config, w io.Writer, setup simhw.Setup, maxN int) error 
 		t.Add(buildRow...)
 		t.Add(probeRow...)
 	}
-	_, err = t.WriteTo(w)
-	return err
+	return cfg.report(w, "fig9-buildprobe/"+setup.Name, t)
 }
 
 func onesInt64(n int) vec.Vector {

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record is one machine-readable measurement extracted from an experiment
+// table: the numeric cell at (row, column), keyed by the row's label cells
+// and the column header, stamped with the run's seed and data ratio.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+	Seed       uint64  `json:"seed"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// Collector accumulates Records across experiments so a bench run can emit
+// machine-readable results alongside the text tables. Safe for concurrent
+// use; a nil Collector discards everything.
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends one record.
+func (c *Collector) Add(r Record) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.records = append(c.records, r)
+	c.mu.Unlock()
+}
+
+// AddTable extracts every numeric cell of the table into records. The
+// metric name joins the row's leading label cells with the column header
+// ("<label>/.../<header>"); the unit comes from the table title's
+// parenthetical when it names a known unit, with per-cell overrides for
+// ratio ("1.23x") and percentage cells.
+func (c *Collector) AddTable(experiment string, t *Table, seed uint64, ratio float64) {
+	if c == nil {
+		return
+	}
+	unit := tableUnit(t.Title)
+	for _, row := range t.Rows {
+		key, span := rowKey(row)
+		for i, cell := range row {
+			if i <= span {
+				continue // part of the key
+			}
+			v, u, ok := parseCell(cell)
+			if !ok {
+				continue
+			}
+			header := ""
+			if i < len(t.Header) {
+				header = t.Header[i]
+			}
+			if u == "" {
+				u = headerUnit(header)
+			}
+			if u == "" {
+				u = unit
+			}
+			c.Add(Record{
+				Experiment: experiment,
+				Metric:     key + "/" + header,
+				Value:      v,
+				Unit:       u,
+				Seed:       seed,
+				Ratio:      ratio,
+			})
+		}
+	}
+}
+
+// Records returns a copy of everything collected so far.
+func (c *Collector) Records() []Record {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// WriteJSON emits the collected records as one indented JSON array.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	records := c.Records()
+	if records == nil {
+		records = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// rowKey joins the row's label cells and reports the index of the last one.
+// Labels span from the first cell through the last non-empty cell that does
+// not parse as a number — so a numeric label (a scale factor, a chunk size)
+// sandwiched between text labels stays in the key, and only the trailing
+// numeric cells become records. Empty cells are skipped.
+func rowKey(row []string) (string, int) {
+	span := 0
+	for i, cell := range row {
+		c := strings.TrimSpace(cell)
+		if _, _, ok := parseCell(cell); !ok && c != "" && !isSentinel(c) {
+			span = i
+		}
+	}
+	var parts []string
+	for _, cell := range row[:span+1] {
+		if c := strings.TrimSpace(cell); c != "" && !isSentinel(c) {
+			parts = append(parts, cell)
+		}
+	}
+	return strings.Join(parts, "/"), span
+}
+
+// isSentinel reports non-numeric data placeholders ("inf", "n/a", "OOM")
+// that mark an unmeasurable cell — they are data, not row labels, so they
+// neither extend the label span nor produce records.
+func isSentinel(cell string) bool {
+	switch cell {
+	case "inf", "n/a", "OOM":
+		return true
+	}
+	return false
+}
+
+// knownUnits maps title parentheticals onto record units.
+var knownUnits = map[string]string{
+	"GB/s":               "GB/s",
+	"GiB":                "GiB",
+	"million values/s":   "Mvalues/s",
+	"virtual seconds":    "s",
+	"virtual ms":         "ms",
+	"simulated":          "",
+	"chunked execution":  "",
+	"operator-at-a-time": "",
+}
+
+// headerUnit recognizes an explicit unit in a column header ("elapsed s",
+// "peak device MiB", "SF100 (GiB)", "overhead %"). Only standalone unit
+// tokens count: sweep-descriptor headers ("4MiB", "sel10%", "2^8 groups")
+// describe the measurement point, not the value's unit, and fall through
+// to the table-wide unit.
+func headerUnit(header string) string {
+	for _, f := range strings.Fields(header) {
+		switch strings.Trim(f, "()") {
+		case "GB/s":
+			return "GB/s"
+		case "Mval/s", "Mvalues/s":
+			return "Mvalues/s"
+		case "GiB":
+			return "GiB"
+		case "MiB":
+			return "MiB"
+		case "ms":
+			return "ms"
+		case "s":
+			return "s"
+		case "%":
+			return "%"
+		case "chunks", "launches":
+			return "count"
+		}
+	}
+	return ""
+}
+
+// tableUnit extracts a unit from the table title's parentheticals, e.g.
+// "... bandwidth (GB/s) by SDK" yields "GB/s". Non-unit parentheticals
+// ("Figure 9(c)", "(simulated)") are skipped.
+func tableUnit(title string) string {
+	for rest := title; ; {
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			return ""
+		}
+		rest = rest[open+1:]
+		close := strings.Index(rest, ")")
+		if close < 0 {
+			return ""
+		}
+		if u, ok := knownUnits[rest[:close]]; ok && u != "" {
+			return u
+		}
+		rest = rest[close+1:]
+	}
+}
+
+// parseCell interprets a table cell as a number, handling the report
+// helpers' suffixed forms: "1.23x" (speedup ratio) and "45%" carry their
+// own units; "inf", "n/a", "OOM" and text cells do not parse.
+func parseCell(s string) (value float64, unit string, ok bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", false
+	}
+	suffix := ""
+	switch {
+	case strings.HasSuffix(s, "x") && strings.Contains(s, "."):
+		// ratioStr output ("1.23x") always carries a decimal point;
+		// "1x"/"16x" sweep labels do not and stay labels.
+		suffix = "x"
+	case strings.HasSuffix(s, "%"):
+		suffix = "%"
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, suffix), 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		// ParseFloat accepts "inf"/"NaN", which JSON cannot encode.
+		return 0, "", false
+	}
+	return v, suffix, true
+}

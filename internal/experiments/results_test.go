@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCollectorAddTable(t *testing.T) {
+	tb := NewTable("demo throughput (GB/s)", "gpu", "sdk", "4MiB", "64MiB")
+	tb.Add("2080 Ti", "CUDA", "10.5", "12.0")
+	tb.Add("2080 Ti", "OpenCL", "8.1", "inf")
+	c := NewCollector()
+	c.AddTable("demo", tb, 42, 0.25)
+
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (inf cell skipped): %+v", len(recs), recs)
+	}
+	first := recs[0]
+	if first.Experiment != "demo" || first.Metric != "2080 Ti/CUDA/4MiB" {
+		t.Errorf("bad keying: %+v", first)
+	}
+	if first.Value != 10.5 || first.Unit != "GB/s" || first.Seed != 42 || first.Ratio != 0.25 {
+		t.Errorf("bad record fields: %+v", first)
+	}
+}
+
+func TestCollectorNumericLabelInKey(t *testing.T) {
+	// A numeric label (scale factor) between text labels stays in the key.
+	tb := NewTable("models (virtual seconds)", "setup", "query", "SF", "driver", "chunked")
+	tb.Add("Setup 1", "Q6", 100, "CUDA", "1.25")
+	c := NewCollector()
+	c.AddTable("fig11", tb, 1, 1)
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1: %+v", len(recs), recs)
+	}
+	if recs[0].Metric != "Setup 1/Q6/100/CUDA/chunked" {
+		t.Errorf("metric = %q", recs[0].Metric)
+	}
+	if recs[0].Unit != "s" {
+		t.Errorf("unit = %q, want s (from title)", recs[0].Unit)
+	}
+}
+
+func TestCollectorCellAndHeaderUnits(t *testing.T) {
+	tb := NewTable("sweep (virtual seconds)", "chunk", "label", "elapsed s", "chunks", "peak device MiB", "speedup")
+	tb.Add(1024, "1x", "0.5", 7, "3.2", "1.40x")
+	c := NewCollector()
+	c.AddTable("sweep", tb, 1, 1)
+	units := map[string]string{}
+	for _, r := range c.Records() {
+		units[r.Metric] = r.Unit
+	}
+	want := map[string]string{
+		"1024/1x/elapsed s":       "s",
+		"1024/1x/chunks":          "count",
+		"1024/1x/peak device MiB": "MiB",
+		"1024/1x/speedup":         "x",
+	}
+	for m, u := range want {
+		if units[m] != u {
+			t.Errorf("unit[%s] = %q, want %q (all: %v)", m, units[m], u, units)
+		}
+	}
+}
+
+func TestCollectorWriteJSON(t *testing.T) {
+	c := NewCollector()
+	c.Add(Record{Experiment: "e", Metric: "m", Value: 1.5, Unit: "s", Seed: 7, Ratio: 0.5})
+	var sb strings.Builder
+	if err := c.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, sb.String())
+	}
+	if len(back) != 1 || back[0] != (Record{Experiment: "e", Metric: "m", Value: 1.5, Unit: "s", Seed: 7, Ratio: 0.5}) {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestCollectorNil(t *testing.T) {
+	var c *Collector
+	c.Add(Record{})
+	c.AddTable("e", NewTable("t", "a"), 0, 0)
+	if c.Records() != nil {
+		t.Error("nil collector should have no records")
+	}
+	var sb strings.Builder
+	if err := c.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("nil collector JSON = %q, want []", sb.String())
+	}
+}
+
+// TestQuickRunCollects runs one real experiment with a collector attached
+// and checks records flow out stamped with the config's seed and ratio.
+func TestQuickRunCollects(t *testing.T) {
+	cfg := quickCfg
+	cfg.Results = NewCollector()
+	gen, err := Lookup("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen(cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	recs := cfg.Results.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records collected from table2")
+	}
+	for _, r := range recs {
+		if r.Experiment != "table2" || r.Seed != cfg.Seed || r.Ratio != cfg.ratio() {
+			t.Errorf("bad stamping: %+v", r)
+		}
+	}
+}

@@ -26,8 +26,7 @@ func Table2(cfg Config, w io.Writer) error {
 	t.Add("SDKs", "OpenCL, OpenMP, CUDA", "OpenCL, OpenMP, CUDA")
 	t.Add("OpenCL kernel compile (startup)",
 		startupCompile(&simhw.OpenCLGPUProfile), startupCompile(&simhw.OpenCLCPUProfile))
-	_, err := t.WriteTo(w)
-	return err
+	return cfg.report(w, "table2", t)
 }
 
 // startupCompile reports the one-time runtime-compilation cost of the

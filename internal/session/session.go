@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/vclock"
 )
 
@@ -177,6 +178,16 @@ type Scheduler struct {
 	seq        uint64
 	queue      []*waiter
 	stats      Stats
+	events     *telemetry.EventSink
+}
+
+// SetEvents wires the scheduler's admission decisions (sheds, quarantines,
+// readmissions) into a telemetry event sink. A nil sink (the default)
+// disables emission at zero cost.
+func (s *Scheduler) SetEvents(sink *telemetry.EventSink) {
+	s.mu.Lock()
+	s.events = sink
+	s.mu.Unlock()
 }
 
 // NewScheduler returns a scheduler with no device budgets configured.
@@ -202,6 +213,12 @@ func (s *Scheduler) Quarantine(dev, fallback device.ID) {
 		return
 	}
 	s.quarantine[dev] = fallback
+	if s.events != nil {
+		s.events.Emit(telemetry.Event{
+			Type: telemetry.EventQuarantine, Device: dev.String(),
+			Detail: fmt.Sprintf("demand remapped to %v", fallback),
+		})
+	}
 	// Queued waiters keep their logical demand; dispatch remaps it against
 	// the quarantine state of the moment the grant is issued, so a waiter
 	// queued before this call is charged to the fallback too.
@@ -215,6 +232,9 @@ func (s *Scheduler) Quarantine(dev, fallback device.ID) {
 func (s *Scheduler) Readmit(dev device.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, was := s.quarantine[dev]; was && s.events != nil {
+		s.events.Emit(telemetry.Event{Type: telemetry.EventReadmit, Device: dev.String()})
+	}
 	delete(s.quarantine, dev)
 	s.dispatchLocked()
 }
@@ -334,6 +354,12 @@ func (s *Scheduler) Admit(ctx context.Context, req Request) (*Grant, error) {
 		if wait := s.queuedCostLocked(); wait > req.Deadline {
 			s.stats.Rejected++
 			s.stats.Shed++
+			if s.events != nil {
+				s.events.Emit(telemetry.Event{
+					Type:   telemetry.EventShed,
+					Detail: fmt.Sprintf("predicted wait %v > deadline %v", wait, req.Deadline),
+				})
+			}
 			s.mu.Unlock()
 			return nil, &AdmissionError{
 				Wait: wait, Deadline: req.Deadline,

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventType names one kind of runtime event. The taxonomy covers the query
+// lifecycle plus every self-healing action the PR 4 resilience layer can
+// take, so the event stream is an audit log of what the engine did and why.
+type EventType string
+
+// Event taxonomy.
+const (
+	// EventQueryStart marks a query admitted and about to execute.
+	EventQueryStart EventType = "query_start"
+	// EventQueryFinish marks a query completing (ok or error — see Err).
+	EventQueryFinish EventType = "query_finish"
+	// EventRetry marks one transient device fault being retried.
+	EventRetry EventType = "retry"
+	// EventFailover marks a query re-placing off a lost device.
+	EventFailover EventType = "failover"
+	// EventDegrade marks one adaptive-OOM ladder step (chunk halving or
+	// host re-placement).
+	EventDegrade EventType = "degrade"
+	// EventQuarantine marks a device quarantined in the admission scheduler.
+	EventQuarantine EventType = "quarantine"
+	// EventReadmit marks a quarantined device readmitted.
+	EventReadmit EventType = "readmit"
+	// EventShed marks a query rejected by admission-side load shedding.
+	EventShed EventType = "shed"
+	// EventDeadline marks a query cut at a chunk boundary after overrunning
+	// its virtual-time deadline.
+	EventDeadline EventType = "deadline"
+)
+
+// Event is one structured entry of the engine's event log. VT is virtual
+// nanoseconds (zero when the layer that emitted it has no virtual clock,
+// e.g. admission-side shedding); Seq orders events totally.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Type   EventType `json:"type"`
+	Query  uint64    `json:"query,omitempty"`
+	VT     int64     `json:"vt_ns,omitempty"`
+	Device string    `json:"device,omitempty"`
+	Model  string    `json:"model,omitempty"`
+	// ElapsedNS is the query's virtual elapsed time (finish events).
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	// Detail carries the human-readable specifics: the fault retried, the
+	// chunk sizes of a degrade step, the shed reason.
+	Detail string `json:"detail,omitempty"`
+	// Err is the error text for finish/deadline events that failed.
+	Err string `json:"err,omitempty"`
+}
+
+// DefaultEventCapacity bounds the event ring when the config leaves it 0.
+const DefaultEventCapacity = 4096
+
+// EventSink is a bounded ring of runtime events. Old events are evicted
+// once the ring is full, but per-type totals keep counting, so balance
+// checks against the metrics registry hold regardless of ring size. A nil
+// *EventSink no-ops on every method and is the disabled state.
+type EventSink struct {
+	mu     sync.Mutex
+	cap    int
+	seq    uint64
+	events []Event // ring, oldest first after compaction
+	start  int     // index of the oldest event
+	totals map[EventType]uint64
+}
+
+// NewEventSink returns a sink retaining at most capacity events
+// (DefaultEventCapacity when capacity <= 0).
+func NewEventSink(capacity int) *EventSink {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventSink{cap: capacity, totals: make(map[EventType]uint64)}
+}
+
+// Enabled reports whether the sink records.
+func (s *EventSink) Enabled() bool { return s != nil }
+
+// Emit appends one event, stamping its sequence number. Nil sinks no-op.
+func (s *EventSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	e.Seq = s.seq
+	s.totals[e.Type]++
+	if len(s.events) < s.cap {
+		s.events = append(s.events, e)
+	} else {
+		s.events[s.start] = e
+		s.start = (s.start + 1) % s.cap
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of events currently retained in the ring.
+func (s *EventSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Total reports how many events of the given type have ever been emitted
+// (including any evicted from the ring).
+func (s *EventSink) Total(t EventType) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals[t]
+}
+
+// Totals returns a copy of the per-type lifetime counts.
+func (s *EventSink) Totals() map[EventType]uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[EventType]uint64, len(s.totals))
+	for k, v := range s.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the retained events, oldest first.
+func (s *EventSink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.events))
+	out = append(out, s.events[s.start:]...)
+	out = append(out, s.events[:s.start]...)
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON lines, oldest first. A nil
+// sink writes nothing.
+func (s *EventSink) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range s.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

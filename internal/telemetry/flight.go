@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// QueryDigest is the flight recorder's per-query record: the summary
+// numbers always, and the full span trace when the query was interesting
+// (errored, degraded, failed over, or ran slower than the threshold).
+type QueryDigest struct {
+	Query     uint64 `json:"query"`
+	Model     string `json:"model"`
+	Device    string `json:"device,omitempty"`
+	StartNS   int64  `json:"start_ns"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	H2DBytes  int64  `json:"h2d_bytes"`
+	D2HBytes  int64  `json:"d2h_bytes"`
+	Chunks    int    `json:"chunks"`
+	Pipelines int    `json:"pipelines"`
+	Retries   int64  `json:"retries,omitempty"`
+	Failovers int    `json:"failovers,omitempty"`
+	Degrades  int    `json:"degrades,omitempty"`
+	Err       string `json:"err,omitempty"`
+	// Retained explains why the spans were kept: "error", "degraded",
+	// "failover", or "slow". Empty for routine queries (spans dropped).
+	Retained string       `json:"retained,omitempty"`
+	Spans    []trace.Span `json:"spans,omitempty"`
+}
+
+// DefaultFlightCapacity bounds the digest ring when the config leaves it 0.
+const DefaultFlightCapacity = 256
+
+// FlightRecorder keeps a bounded ring of recent query digests and
+// automatically retains the full span trace of the ones worth debugging —
+// the slow-query log you wish you had turned on before the incident. A nil
+// *FlightRecorder no-ops on every method.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	cap      int
+	slow     vclock.Duration // retain spans when elapsed >= slow (0 = never by latency)
+	digests  []QueryDigest   // ring
+	start    int             // index of the oldest digest
+	recorded uint64
+	retained uint64
+}
+
+// NewFlightRecorder returns a recorder retaining at most capacity digests
+// (DefaultFlightCapacity when capacity <= 0). Queries at or above
+// slowThreshold keep their full spans; zero disables the latency trigger
+// (error/degrade/failover retention still applies).
+func NewFlightRecorder(capacity int, slowThreshold vclock.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{cap: capacity, slow: slowThreshold}
+}
+
+// SlowThreshold reports the latency retention trigger (0 = disabled).
+func (f *FlightRecorder) SlowThreshold() vclock.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.slow
+}
+
+// retention classifies a digest; empty means routine (drop the spans).
+func (f *FlightRecorder) retention(d *QueryDigest) string {
+	switch {
+	case d.Err != "":
+		return "error"
+	case d.Degrades > 0:
+		return "degraded"
+	case d.Failovers > 0:
+		return "failover"
+	case f.slow > 0 && vclock.Duration(d.ElapsedNS) >= f.slow:
+		return "slow"
+	default:
+		return ""
+	}
+}
+
+// Record files one query's digest. The spans slice is kept (not copied)
+// only when the retention policy fires, so pass a snapshot the caller will
+// not mutate. Nil recorders no-op.
+func (f *FlightRecorder) Record(d QueryDigest, spans []trace.Span) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.Retained = f.retention(&d)
+	if d.Retained != "" {
+		d.Spans = spans
+		f.retained++
+	}
+	f.recorded++
+	if len(f.digests) < f.cap {
+		f.digests = append(f.digests, d)
+	} else {
+		f.digests[f.start] = d
+		f.start = (f.start + 1) % f.cap
+	}
+}
+
+// Len reports the number of digests currently retained in the ring.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.digests)
+}
+
+// Recorded reports how many queries have ever been filed (including any
+// evicted from the ring); Retained how many kept full spans.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recorded
+}
+
+// Retained reports how many filed queries kept their full spans.
+func (f *FlightRecorder) Retained() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retained
+}
+
+// Digests returns the retained digests, oldest first.
+func (f *FlightRecorder) Digests() []QueryDigest {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]QueryDigest, 0, len(f.digests))
+	out = append(out, f.digests[f.start:]...)
+	out = append(out, f.digests[:f.start]...)
+	return out
+}
+
+// flightDump is the JSON shape of a flight-recorder dump.
+type flightDump struct {
+	Recorded        uint64        `json:"recorded"`
+	Retained        uint64        `json:"retained"`
+	SlowThresholdNS int64         `json:"slow_threshold_ns"`
+	Digests         []QueryDigest `json:"digests"`
+}
+
+// WriteJSON dumps the ring (oldest first) plus lifetime counts as JSON. A
+// nil recorder writes an empty dump.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	dump := flightDump{Digests: []QueryDigest{}}
+	if f != nil {
+		dump.Recorded = f.Recorded()
+		dump.Retained = f.Retained()
+		dump.SlowThresholdNS = int64(f.slow)
+		dump.Digests = f.Digests()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}

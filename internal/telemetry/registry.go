@@ -1,0 +1,338 @@
+// Package telemetry is ADAMANT's fleet-level observability layer: where
+// package trace answers "what did this one query do", telemetry answers
+// "what is the engine doing over time, across queries".
+//
+// It provides four cooperating pieces:
+//
+//   - Registry: a labeled metric registry (counters, gauges, histograms)
+//     with deterministic Prometheus text-format exposition. Values are
+//     counts and virtual-time figures, so a deterministic workload scrapes
+//     to byte-identical output.
+//   - EventSink: a bounded structured event log (JSON lines) fed by the
+//     executor, session scheduler, and health layers: query lifecycle,
+//     retries, failovers, degradations, quarantines, sheds, deadlines.
+//   - UtilTracker: per-device-engine utilization timelines — busy fraction
+//     per virtual-time window — rendered as a text heat strip or JSON.
+//   - FlightRecorder: a ring of recent per-query digests that automatically
+//     retains the full span trace of queries that errored, degraded, or ran
+//     slow, so the trace you needed is already captured.
+//
+// Everything is nil-safe: a nil sink/tracker/recorder no-ops on every
+// method, so call sites need no guards and the telemetry-off hot path does
+// no work and allocates nothing. Recording never touches the virtual
+// clock: timings are bit-identical with telemetry on and off.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricKind classifies a metric family for the TYPE exposition line.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// series is one labeled time series within a family.
+type series struct {
+	labels []string // values, parallel to the family's label names
+	value  float64  // counter/gauge value; histogram sum
+	count  uint64   // histogram observation count
+	bucket []uint64 // cumulative per-bucket counts (histograms)
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	kind    MetricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds (le), ascending
+	series  map[string]*series
+}
+
+// key joins label values into the series map key.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	k := seriesKey(values)
+	s := f.series[k]
+	if s == nil {
+		s = &series{labels: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.bucket = make([]uint64, len(f.buckets))
+		}
+		f.series[k] = s
+	}
+	return s
+}
+
+// Registry is a set of metric families with deterministic exposition. All
+// methods are safe for concurrent use; a nil *Registry no-ops everywhere.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	collect  []func(*Registry)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates (or fetches, when already declared) a family.
+func (r *Registry) register(name, help string, kind MetricKind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			name: name, help: help, kind: kind,
+			labels:  append([]string(nil), labels...),
+			buckets: append([]float64(nil), buckets...),
+			series:  make(map[string]*series),
+		}
+		r.families[name] = f
+	}
+	return f
+}
+
+// Counter declares (or fetches) a monotonically increasing metric family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{r: r, f: r.register(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge declares (or fetches) a point-in-time metric family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{r: r, f: r.register(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram declares (or fetches) a cumulative histogram family with the
+// given ascending upper bounds (an implicit +Inf bucket is always added).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &Histogram{r: r, f: r.register(name, help, KindHistogram, buckets, labels)}
+}
+
+// OnScrape registers a callback run at the start of every WriteProm: the
+// place to refresh gauges (queue depth, memory in use) and device-sourced
+// totals from their live owners.
+func (r *Registry) OnScrape(fn func(*Registry)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collect = append(r.collect, fn)
+	r.mu.Unlock()
+}
+
+// Counter is a handle on a counter family.
+type Counter struct {
+	r *Registry
+	f *family
+}
+
+// Add increments the labeled series by delta. Nil receivers no-op.
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	if c == nil || delta == 0 {
+		return
+	}
+	c.r.mu.Lock()
+	c.f.get(labelValues).value += delta
+	c.r.mu.Unlock()
+}
+
+// Set overwrites the labeled series total: for counters whose truth lives
+// elsewhere (device lifetime stats) and is copied in whole at scrape time.
+func (c *Counter) Set(v float64, labelValues ...string) {
+	if c == nil {
+		return
+	}
+	c.r.mu.Lock()
+	c.f.get(labelValues).value = v
+	c.r.mu.Unlock()
+}
+
+// Gauge is a handle on a gauge family.
+type Gauge struct {
+	r *Registry
+	f *family
+}
+
+// Set records the labeled series' current value. Nil receivers no-op.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.f.get(labelValues).value = v
+	g.r.mu.Unlock()
+}
+
+// Histogram is a handle on a histogram family.
+type Histogram struct {
+	r *Registry
+	f *family
+}
+
+// Observe folds one observation into the labeled series. Nil receivers
+// no-op.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	if h == nil {
+		return
+	}
+	h.r.mu.Lock()
+	s := h.f.get(labelValues)
+	s.count++
+	s.value += v
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			s.bucket[i]++
+		}
+	}
+	h.r.mu.Unlock()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a sample value. Integral values print without an
+// exponent so counters read naturally; everything else uses the shortest
+// round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the given schema and values, with an
+// optional extra (le) pair appended.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, n := range names {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: families sort by name, series
+// by label values, histogram buckets ascending. Scrape callbacks run first
+// so gauges and device-sourced totals are fresh. A nil registry writes a
+// comment only.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# telemetry disabled\n")
+		return err
+	}
+	r.mu.Lock()
+	collect := make([]func(*Registry), len(r.collect))
+	copy(collect, r.collect)
+	r.mu.Unlock()
+	for _, fn := range collect {
+		fn(r)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case KindHistogram:
+				// Buckets are stored cumulatively (every Observe increments
+				// all buckets its value fits), matching the text format.
+				for i, ub := range f.buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, s.labels, "le", formatValue(ub)), s.bucket[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labels, "le", "+Inf"), s.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name,
+					labelString(f.labels, s.labels, "", ""), formatValue(s.value))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelString(f.labels, s.labels, "", ""), s.count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name,
+					labelString(f.labels, s.labels, "", ""), formatValue(s.value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,380 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+func TestRegistryWritePromDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("adamant_queries_total", "Queries executed.", "device", "model")
+	c.Add(2, "gpu0", "chunked")
+	c.Add(1, "cpu0", "oaat")
+	g := r.Gauge("adamant_queue_depth", "Admission queue depth.")
+	g.Set(3)
+	h := r.Histogram("adamant_query_elapsed_ns", "Virtual elapsed.", []float64{10, 100}, "model")
+	h.Observe(5, "chunked")
+	h.Observe(50, "chunked")
+	h.Observe(500, "chunked")
+
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# HELP adamant_queries_total Queries executed.",
+		"# TYPE adamant_queries_total counter",
+		`adamant_queries_total{device="cpu0",model="oaat"} 1`,
+		`adamant_queries_total{device="gpu0",model="chunked"} 2`,
+		"# TYPE adamant_queue_depth gauge",
+		"adamant_queue_depth 3",
+		"# TYPE adamant_query_elapsed_ns histogram",
+		`adamant_query_elapsed_ns_bucket{model="chunked",le="10"} 1`,
+		`adamant_query_elapsed_ns_bucket{model="chunked",le="100"} 2`,
+		`adamant_query_elapsed_ns_bucket{model="chunked",le="+Inf"} 3`,
+		`adamant_query_elapsed_ns_sum{model="chunked"} 555`,
+		`adamant_query_elapsed_ns_count{model="chunked"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// cpu0 sorts before gpu0 regardless of insertion order.
+	if strings.Index(out, "cpu0") > strings.Index(out, "gpu0") {
+		t.Errorf("series not sorted by label values:\n%s", out)
+	}
+	// Families sort by name.
+	if strings.Index(out, "adamant_queries_total") > strings.Index(out, "adamant_queue_depth") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistryScrapeCallbackAndSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("live", "refreshed at scrape")
+	calls := 0
+	r.OnScrape(func(*Registry) { calls++; g.Set(float64(calls)) })
+	c := r.Counter("copied_total", "copied at scrape", "device")
+	c.Set(7, "gpu0")
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("scrape callbacks ran %d times, want 1", calls)
+	}
+	if !strings.Contains(buf.String(), "live 1\n") {
+		t.Errorf("gauge not refreshed by scrape callback:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `copied_total{device="gpu0"} 7`) {
+		t.Errorf("counter Set not rendered:\n%s", buf.String())
+	}
+}
+
+func TestRegistryLabelEscapingAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escape test", "name").Add(1, "a\"b\\c\nd")
+	r.Gauge("frac", "fractional").Set(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{name="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "frac 0.5\n") {
+		t.Errorf("fractional value mis-rendered:\n%s", buf.String())
+	}
+}
+
+func TestRegistryLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "x", "device")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	c.Add(1, "a", "b")
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "b").Add(1)
+	r.Counter("a", "b").Set(1)
+	r.Gauge("a", "b").Set(1)
+	r.Histogram("a", "b", nil).Observe(1)
+	r.OnScrape(func(*Registry) {})
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil registry exposition = %q", buf.String())
+	}
+}
+
+func TestEventSinkRingAndTotals(t *testing.T) {
+	s := NewEventSink(3)
+	if !s.Enabled() {
+		t.Fatal("sink not enabled")
+	}
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Type: EventRetry, Query: uint64(i)})
+	}
+	s.Emit(Event{Type: EventShed})
+	if got := s.Len(); got != 3 {
+		t.Fatalf("ring Len = %d, want 3", got)
+	}
+	if got := s.Total(EventRetry); got != 5 {
+		t.Fatalf("retry total = %d, want 5 (totals must survive eviction)", got)
+	}
+	ev := s.Events()
+	if len(ev) != 3 || ev[0].Seq >= ev[1].Seq || ev[1].Seq >= ev[2].Seq {
+		t.Fatalf("events not oldest-first with increasing seq: %+v", ev)
+	}
+	if ev[2].Type != EventShed {
+		t.Fatalf("newest event = %v, want shed", ev[2].Type)
+	}
+	tot := s.Totals()
+	if tot[EventRetry] != 5 || tot[EventShed] != 1 {
+		t.Fatalf("Totals = %v", tot)
+	}
+}
+
+func TestEventSinkJSONL(t *testing.T) {
+	s := NewEventSink(0)
+	s.Emit(Event{Type: EventQueryStart, Query: 1, VT: 10, Device: "gpu0", Model: "chunked"})
+	s.Emit(Event{Type: EventQueryFinish, Query: 1, VT: 30, ElapsedNS: 20})
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Type != EventQueryStart || lines[0].Device != "gpu0" || lines[0].Seq != 1 {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[1].ElapsedNS != 20 {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+}
+
+func TestEventSinkNilSafe(t *testing.T) {
+	var s *EventSink
+	if s.Enabled() {
+		t.Fatal("nil sink enabled")
+	}
+	s.Emit(Event{Type: EventRetry})
+	if s.Len() != 0 || s.Total(EventRetry) != 0 || s.Totals() != nil || s.Events() != nil {
+		t.Fatal("nil sink not inert")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil sink wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestUtilTrackerSnapshot(t *testing.T) {
+	u := NewUtilTracker()
+	// Engine busy 50% of the first half, idle the second half.
+	u.Sample("gpu0", "compute", 100, 50)
+	u.Sample("gpu0", "compute", 200, 50)
+	// Copy engine fully busy throughout.
+	u.Sample("gpu0", "copy", 200, 200)
+
+	tl := u.Snapshot(2)
+	if tl.HorizonNS != 200 || tl.WindowNS != 100 || len(tl.Engines) != 2 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	// Sorted: compute before copy.
+	if tl.Engines[0].Engine != "compute" || tl.Engines[1].Engine != "copy" {
+		t.Fatalf("engines not sorted: %+v", tl.Engines)
+	}
+	comp := tl.Engines[0].Busy
+	if comp[0] != 0.5 || comp[1] != 0 {
+		t.Fatalf("compute busy = %v, want [0.5 0]", comp)
+	}
+	cp := tl.Engines[1].Busy
+	if cp[0] != 1 || cp[1] != 1 {
+		t.Fatalf("copy busy = %v, want [1 1]", cp)
+	}
+}
+
+func TestUtilTrackerClampsRegressions(t *testing.T) {
+	u := NewUtilTracker()
+	u.Sample("d", "e", 100, 80)
+	u.Sample("d", "e", 50, 40)  // vt regression: clamped to 100
+	u.Sample("d", "e", 100, 10) // busy regression on same vt: clamped to 80
+	tl := u.Snapshot(1)
+	if tl.HorizonNS != 100 {
+		t.Fatalf("horizon = %d, want 100", tl.HorizonNS)
+	}
+	if got := tl.Engines[0].Busy[0]; got != 0.8 {
+		t.Fatalf("busy fraction = %v, want 0.8", got)
+	}
+}
+
+func TestUtilTrackerHeatStrip(t *testing.T) {
+	u := NewUtilTracker()
+	u.Sample("gpu0", "compute", 100, 100)
+	var a, b bytes.Buffer
+	u.WriteHeatStrip(&a, 4)
+	u.WriteHeatStrip(&b, 4)
+	if a.String() != b.String() {
+		t.Fatal("heat strip not deterministic")
+	}
+	if !strings.Contains(a.String(), "gpu0/compute") || !strings.Contains(a.String(), "|@@@@|") {
+		t.Errorf("heat strip = %q", a.String())
+	}
+	if !strings.Contains(a.String(), "avg 100%") {
+		t.Errorf("heat strip avg missing: %q", a.String())
+	}
+
+	var empty bytes.Buffer
+	NewUtilTracker().WriteHeatStrip(&empty, 4)
+	if !strings.Contains(empty.String(), "no samples") {
+		t.Errorf("empty tracker strip = %q", empty.String())
+	}
+}
+
+func TestUtilTrackerJSONAndNil(t *testing.T) {
+	u := NewUtilTracker()
+	u.Sample("gpu0", "copy", 10, 5)
+	var buf bytes.Buffer
+	if err := u.WriteJSON(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	if err := json.Unmarshal(buf.Bytes(), &tl); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if tl.Windows != 2 || len(tl.Engines) != 1 || tl.Engines[0].Device != "gpu0" {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	var nilU *UtilTracker
+	nilU.Sample("a", "b", 1, 1)
+	if got := nilU.Snapshot(3); got.Windows != 3 || got.Engines != nil {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	var disabled bytes.Buffer
+	nilU.WriteHeatStrip(&disabled, 1)
+	if !strings.Contains(disabled.String(), "disabled") {
+		t.Errorf("nil strip = %q", disabled.String())
+	}
+	if err := nilU.WriteJSON(&disabled, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(8, 100)
+	if f.SlowThreshold() != 100 {
+		t.Fatalf("threshold = %v", f.SlowThreshold())
+	}
+	spans := []trace.Span{{Kind: trace.KindQuery, End: vclock.Time(10)}}
+	f.Record(QueryDigest{Query: 1, ElapsedNS: 10}, spans)                        // routine
+	f.Record(QueryDigest{Query: 2, ElapsedNS: 10, Err: "boom"}, spans)           // error
+	f.Record(QueryDigest{Query: 3, ElapsedNS: 10, Degrades: 1}, spans)           // degraded
+	f.Record(QueryDigest{Query: 4, ElapsedNS: 10, Failovers: 1}, spans)          // failover
+	f.Record(QueryDigest{Query: 5, ElapsedNS: 150}, spans)                       // slow
+	f.Record(QueryDigest{Query: 6, ElapsedNS: 10, Err: "x", Degrades: 2}, spans) // error wins
+
+	d := f.Digests()
+	if len(d) != 6 {
+		t.Fatalf("Len = %d", len(d))
+	}
+	wantRetained := []string{"", "error", "degraded", "failover", "slow", "error"}
+	for i, w := range wantRetained {
+		if d[i].Retained != w {
+			t.Errorf("digest %d retained = %q, want %q", i, d[i].Retained, w)
+		}
+		if (w == "") != (d[i].Spans == nil) {
+			t.Errorf("digest %d spans retained = %v, want retained=%q", i, d[i].Spans != nil, w)
+		}
+	}
+	if f.Recorded() != 6 || f.Retained() != 5 {
+		t.Fatalf("recorded %d retained %d", f.Recorded(), f.Retained())
+	}
+}
+
+func TestFlightRecorderRingAndJSON(t *testing.T) {
+	f := NewFlightRecorder(2, 0)
+	for i := 1; i <= 3; i++ {
+		f.Record(QueryDigest{Query: uint64(i)}, nil)
+	}
+	d := f.Digests()
+	if len(d) != 2 || d[0].Query != 2 || d[1].Query != 3 {
+		t.Fatalf("ring digests = %+v", d)
+	}
+	// Zero threshold: nothing retained by latency.
+	f.Record(QueryDigest{Query: 4, ElapsedNS: 1 << 60}, []trace.Span{{}})
+	if last := f.Digests()[1]; last.Retained != "" || last.Spans != nil {
+		t.Fatalf("latency retention fired with zero threshold: %+v", last)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Recorded uint64        `json:"recorded"`
+		Digests  []QueryDigest `json:"digests"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("bad dump %q: %v", buf.String(), err)
+	}
+	if dump.Recorded != 4 || len(dump.Digests) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(QueryDigest{Err: "x"}, nil)
+	if f.Len() != 0 || f.Recorded() != 0 || f.Retained() != 0 || f.Digests() != nil || f.SlowThreshold() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"digests": []`) {
+		t.Errorf("nil dump = %q", buf.String())
+	}
+}
+
+func TestMetricKindString(t *testing.T) {
+	if KindCounter.String() != "counter" || KindGauge.String() != "gauge" ||
+		KindHistogram.String() != "histogram" {
+		t.Fatal("kind names wrong")
+	}
+	if MetricKind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// UtilTracker records per-device-engine utilization over virtual time. The
+// facade samples every engine's cumulative busy counter at query
+// boundaries; the tracker turns the resulting monotone (virtual time,
+// cumulative busy) curves into busy fractions per virtual-time window —
+// the transfer-vs-compute balance of the paper's Figs. 9/10, but live,
+// over the whole workload instead of one query.
+//
+// A nil *UtilTracker no-ops on every method.
+type UtilTracker struct {
+	mu      sync.Mutex
+	series  map[string]*utilSeries // key = device + "/" + engine
+	horizon vclock.Time
+}
+
+type utilSample struct {
+	VT   vclock.Time
+	Busy vclock.Duration
+}
+
+type utilSeries struct {
+	device  string
+	engine  string
+	samples []utilSample
+}
+
+// NewUtilTracker returns an empty tracker.
+func NewUtilTracker() *UtilTracker {
+	return &UtilTracker{series: make(map[string]*utilSeries)}
+}
+
+// Sample records one engine's cumulative busy time as of virtual time vt.
+// Samples must be monotone per engine (they are: both figures only grow);
+// regressions are clamped. Nil trackers no-op.
+func (u *UtilTracker) Sample(device, engine string, vt vclock.Time, busy vclock.Duration) {
+	if u == nil {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	key := device + "/" + engine
+	s := u.series[key]
+	if s == nil {
+		s = &utilSeries{device: device, engine: engine}
+		u.series[key] = s
+	}
+	if n := len(s.samples); n > 0 {
+		last := s.samples[n-1]
+		if vt < last.VT {
+			vt = last.VT
+		}
+		if busy < last.Busy {
+			busy = last.Busy
+		}
+		if vt == last.VT {
+			s.samples[n-1].Busy = busy
+			if vt > u.horizon {
+				u.horizon = vt
+			}
+			return
+		}
+	}
+	s.samples = append(s.samples, utilSample{VT: vt, Busy: busy})
+	if vt > u.horizon {
+		u.horizon = vt
+	}
+}
+
+// busyAt interpolates the cumulative busy curve at virtual time t. Before
+// the first sample the curve rises linearly from the origin (a fresh
+// engine is idle at time zero); past the last sample it is flat (the
+// engine has gone idle).
+func (s *utilSeries) busyAt(t vclock.Time) float64 {
+	if len(s.samples) == 0 || t <= 0 {
+		return 0
+	}
+	prev := utilSample{}
+	for _, cur := range s.samples {
+		if t <= cur.VT {
+			span := cur.VT.Sub(prev.VT)
+			if span <= 0 {
+				return float64(cur.Busy)
+			}
+			frac := float64(t.Sub(prev.VT)) / float64(span)
+			return float64(prev.Busy) + frac*float64(cur.Busy-prev.Busy)
+		}
+		prev = cur
+	}
+	return float64(prev.Busy)
+}
+
+// EngineUtilization is one engine's windowed busy fractions.
+type EngineUtilization struct {
+	Device string    `json:"device"`
+	Engine string    `json:"engine"`
+	Busy   []float64 `json:"busy"` // fraction per window, 0..1
+}
+
+// Timeline reports the utilization of every sampled engine over [0,
+// horizon], split into the given number of windows (clamped to at least
+// 1). Engines sort by device then engine name, so output is stable
+// regardless of registration order. WindowNS is the window width.
+type Timeline struct {
+	HorizonNS int64               `json:"horizon_ns"`
+	WindowNS  int64               `json:"window_ns"`
+	Windows   int                 `json:"windows"`
+	Engines   []EngineUtilization `json:"engines"`
+}
+
+// Snapshot computes the windowed utilization timeline. Nil trackers return
+// an empty timeline.
+func (u *UtilTracker) Snapshot(windows int) Timeline {
+	if windows < 1 {
+		windows = 1
+	}
+	tl := Timeline{Windows: windows}
+	if u == nil {
+		return tl
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	tl.HorizonNS = int64(u.horizon)
+	if u.horizon <= 0 || len(u.series) == 0 {
+		return tl
+	}
+	window := (int64(u.horizon) + int64(windows) - 1) / int64(windows)
+	if window < 1 {
+		window = 1
+	}
+	tl.WindowNS = window
+
+	keys := make([]string, 0, len(u.series))
+	for k := range u.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := u.series[k]
+		eu := EngineUtilization{Device: s.device, Engine: s.engine, Busy: make([]float64, windows)}
+		for wi := 0; wi < windows; wi++ {
+			lo := vclock.Time(int64(wi) * window)
+			hi := vclock.Time(int64(wi+1) * window)
+			if hi > u.horizon {
+				hi = u.horizon
+			}
+			if hi <= lo {
+				break
+			}
+			frac := (s.busyAt(hi) - s.busyAt(lo)) / float64(hi.Sub(lo))
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			eu.Busy[wi] = frac
+		}
+		tl.Engines = append(tl.Engines, eu)
+	}
+	return tl
+}
+
+// heatRamp maps a busy fraction to a glyph, light to dark.
+const heatRamp = " .:-=+*#%@"
+
+// glyph returns the heat-strip character for a busy fraction.
+func glyph(frac float64) byte {
+	i := int(frac * float64(len(heatRamp)))
+	if i >= len(heatRamp) {
+		i = len(heatRamp) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return heatRamp[i]
+}
+
+// WriteHeatStrip renders the timeline as a deterministic text heat strip:
+// one row per device engine, one column per window, plus the average busy
+// fraction. Nil trackers render a disabled notice.
+func (u *UtilTracker) WriteHeatStrip(w io.Writer, windows int) {
+	if u == nil {
+		fmt.Fprintln(w, "utilization: disabled")
+		return
+	}
+	tl := u.Snapshot(windows)
+	if len(tl.Engines) == 0 {
+		fmt.Fprintln(w, "utilization: no samples")
+		return
+	}
+	fmt.Fprintf(w, "utilization over %v (%d windows of %v, ramp %q)\n",
+		vclock.Duration(tl.HorizonNS), tl.Windows, vclock.Duration(tl.WindowNS), heatRamp)
+	width := 0
+	for _, e := range tl.Engines {
+		if n := len(e.Device) + len(e.Engine) + 1; n > width {
+			width = n
+		}
+	}
+	for _, e := range tl.Engines {
+		var strip strings.Builder
+		var sum float64
+		for _, f := range e.Busy {
+			strip.WriteByte(glyph(f))
+			sum += f
+		}
+		avg := 0.0
+		if len(e.Busy) > 0 {
+			avg = sum / float64(len(e.Busy))
+		}
+		fmt.Fprintf(w, "%-*s |%s| avg %3.0f%%\n", width, e.Device+"/"+e.Engine, strip.String(), avg*100)
+	}
+}
+
+// WriteJSON exports the timeline as JSON.
+func (u *UtilTracker) WriteJSON(w io.Writer, windows int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(u.Snapshot(windows))
+}

@@ -3,6 +3,7 @@ package adamant
 import (
 	"context"
 	"io"
+	"sort"
 	"strings"
 
 	"github.com/adamant-db/adamant/internal/exec"
@@ -72,6 +73,9 @@ func (e *Engine) MetricsSnapshot() string {
 			D2HBytes:     st.D2HBytes,
 		})
 	}
+	// Sort by device name so the snapshot is stable regardless of the
+	// order devices were plugged in.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	var b strings.Builder
 	e.metrics.WriteSnapshot(&b, rows)
 	return b.String()
@@ -103,14 +107,9 @@ func (p *Plan) ExplainAnalyzeContext(ctx context.Context, e *Engine, opts ExecOp
 		rec = trace.NewRecorder()
 	}
 	mark := rec.Len()
-	res, err := e.runGraph(ctx, p.g, exec.Options{
-		Model:          exec.Model(opts.Model),
-		ChunkElems:     opts.ChunkElems,
-		Trace:          opts.Trace,
-		Recorder:       rec,
-		Retry:          e.retry,
-		FallbackDevice: e.fallback,
-	}, opts.Priority)
+	eopts := e.execOptions(opts, e.queryDeadline(opts))
+	eopts.Recorder = rec
+	res, err := e.runGraph(ctx, p.g, eopts, opts.Priority)
 	if err != nil {
 		return "", err
 	}

@@ -8,6 +8,9 @@ go test -race ./...
 # The concurrency/resilience chaos soak must always run race-enabled, even
 # if the line above is ever narrowed or switched to -short.
 go test -race -run '^TestChaosSoak$' .
+# Likewise the telemetry balance test: concurrent queries + scrapes over
+# one engine is the data-race surface of the observability layer.
+go test -race -run '^TestTelemetryRaceBalance$' .
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sql
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sql
 
@@ -27,5 +30,46 @@ cmp "$tracedir/a.json" "$tracedir/b.json" || {
 	exit 1
 }
 echo "ci: golden-trace determinism OK ($(wc -c <"$tracedir/a.json") bytes)"
+
+# Telemetry service smoke: boot `adamant-run -serve` on an ephemeral port,
+# scrape /metrics, and validate the Prometheus text exposition line by
+# line. Built as a binary (not `go run`) so the PID we kill is the server.
+go build -o "$tracedir/adamant-run" ./cmd/adamant-run
+"$tracedir/adamant-run" -serve 127.0.0.1:0 -ratio 0.000244140625 -serve-warm 2 \
+	>"$tracedir/serve.log" 2>&1 &
+servepid=$!
+addr=
+i=0
+while [ $i -lt 50 ]; do
+	addr=$(awk '/^serving on /{print $3; exit}' "$tracedir/serve.log")
+	[ -n "$addr" ] && break
+	kill -0 "$servepid" 2>/dev/null || break
+	sleep 0.2
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "ci: adamant-run -serve did not come up" >&2
+	cat "$tracedir/serve.log" >&2
+	exit 1
+fi
+curl -fsS "http://$addr/metrics" >"$tracedir/metrics.txt"
+curl -fsS "http://$addr/events" >/dev/null
+curl -fsS "http://$addr/flight" >/dev/null
+kill "$servepid" 2>/dev/null || true
+wait "$servepid" 2>/dev/null || true
+grep -q 'adamant_queries_total{' "$tracedir/metrics.txt" || {
+	echo "ci: /metrics missing adamant_queries_total" >&2
+	exit 1
+}
+awk '
+/^#[ ]HELP /	{ next }
+/^#[ ]TYPE /	{ next }
+/^$/		{ next }
+!/^[a-zA-Z_:][a-zA-Z0-9_:]*([{][^}]*[}])? -?[0-9][0-9eE.+-]*$/ {
+	print "ci: bad exposition line: " $0; bad = 1
+}
+END { exit bad }
+' "$tracedir/metrics.txt"
+echo "ci: /metrics exposition OK ($(grep -vc '^#' "$tracedir/metrics.txt") series)"
 
 ./scripts/cover.sh

@@ -26,3 +26,4 @@ floor ./internal/exec 80
 floor ./internal/sql 80
 floor ./internal/devmem 90
 floor ./internal/trace 85
+floor ./internal/telemetry 85

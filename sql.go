@@ -3,7 +3,6 @@ package adamant
 import (
 	"context"
 
-	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/sql"
 	"github.com/adamant-db/adamant/internal/storage"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -86,11 +85,7 @@ func (e *Engine) QueryContext(ctx context.Context, cat *Catalog, dev DeviceID, q
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.runGraph(ctx, g, core.Options{
-		Model:      core.Model(opts.Model),
-		ChunkElems: opts.ChunkElems,
-		Trace:      opts.Trace,
-	}, opts.Priority)
+	res, err := e.runGraph(ctx, g, e.execOptions(opts.ExecOptions, e.queryDeadline(opts.ExecOptions)), opts.Priority)
 	if err != nil {
 		return nil, err
 	}

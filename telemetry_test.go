@@ -1,0 +1,411 @@
+package adamant_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	adamant "github.com/adamant-db/adamant"
+	"github.com/adamant-db/adamant/internal/telemetry"
+)
+
+// telemetryPlan builds the small filter+sum plan the telemetry tests run.
+func telemetryPlan(eng *adamant.Engine, dev adamant.DeviceID) *adamant.Plan {
+	vals := make([]int32, 4096)
+	for i := range vals {
+		vals[i] = int32(i % 100)
+	}
+	plan := eng.NewPlan().On(dev)
+	col := plan.ScanInt32("v", vals)
+	kept := plan.Materialize(col, plan.Filter(col, adamant.Lt, 30))
+	plan.Return("sum", plan.SumInt64(plan.CastInt64(kept)))
+	return plan
+}
+
+// TestTelemetryEndToEnd arms the telemetry layer, runs queries, and checks
+// the Prometheus exposition carries the labeled families, renders
+// deterministically, and balances with the event sink.
+func TestTelemetryEndToEnd(t *testing.T) {
+	eng := adamant.NewEngine().WithTelemetry(adamant.TelemetryConfig{})
+	if !eng.Telemetry() {
+		t.Fatal("WithTelemetry should arm the layer")
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b1, b2 strings.Builder
+	if err := eng.WriteProm(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("WriteProm is not deterministic across scrapes")
+	}
+	prom := b1.String()
+	for _, want := range []string{
+		`adamant_queries_total{device="GeForce RTX 2080 Ti/cuda",model="pipelined",driver="CUDA"} 3`,
+		`adamant_events_total{type="query_finish"} 3`,
+		`adamant_events_total{type="query_start"} 3`,
+		"# TYPE adamant_query_elapsed_ns histogram",
+		"adamant_query_elapsed_ns_count",
+		`adamant_device_busy_ns{device="GeForce RTX 2080 Ti/cuda",engine="compute"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	totals := eng.EventTotals()
+	if totals["query_start"] != n || totals["query_finish"] != n {
+		t.Errorf("event totals should balance at %d: %v", n, totals)
+	}
+	var events strings.Builder
+	if err := eng.WriteEvents(&events); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(events.String(), `"query_start"`); got != n {
+		t.Errorf("JSONL has %d query_start events, want %d:\n%s", got, n, events.String())
+	}
+	var util strings.Builder
+	eng.WriteUtilization(&util)
+	if !strings.Contains(util.String(), "GeForce RTX 2080 Ti/cuda/compute") {
+		t.Errorf("utilization heat strip missing compute row:\n%s", util.String())
+	}
+}
+
+// TestTelemetryRaceBalance runs concurrent queries against one telemetry-
+// armed engine sharing a single TraceRecorder, scraping metrics in
+// parallel, and requires the event ledger to balance: every admitted query
+// contributes exactly one query_start and one query_finish, and the
+// Prometheus counter and MetricsSnapshot agree on the total. Run under
+// -race this doubles as the telemetry data-race gate.
+func TestTelemetryRaceBalance(t *testing.T) {
+	eng := adamant.NewEngine(adamant.WithMaxConcurrent(4)).WithTelemetry(adamant.TelemetryConfig{})
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := adamant.NewTraceRecorder()
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{
+				Model: adamant.Chunked, ChunkElems: 512, Recorder: shared,
+			})
+			errs <- err
+		}()
+	}
+	// Concurrent scrapes while queries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var b strings.Builder
+			_ = eng.WriteProm(&b)
+			_ = eng.WriteEvents(&b)
+			eng.WriteUtilization(&b)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	totals := eng.EventTotals()
+	if totals["query_start"] != n || totals["query_finish"] != n {
+		t.Errorf("start/finish should balance at %d: %v", n, totals)
+	}
+
+	var prom strings.Builder
+	if err := eng.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^adamant_queries_total{[^}]*} (\d+)$`)
+	var promTotal int
+	for _, m := range re.FindAllStringSubmatch(prom.String(), -1) {
+		var v int
+		fmt.Sscanf(m[1], "%d", &v)
+		promTotal += v
+	}
+	if promTotal != n {
+		t.Errorf("adamant_queries_total sums to %d, want %d:\n%s", promTotal, n, prom.String())
+	}
+
+	var snapQueries int
+	if _, err := fmt.Sscanf(eng.MetricsSnapshot(), "queries %d", &snapQueries); err != nil {
+		t.Fatalf("parsing MetricsSnapshot: %v\n%s", err, eng.MetricsSnapshot())
+	}
+	if snapQueries != n {
+		t.Errorf("MetricsSnapshot queries = %d, want %d", snapQueries, n)
+	}
+
+	if got := len(eng.FlightDigests()); got != n {
+		t.Errorf("flight recorder has %d digests, want %d", got, n)
+	}
+	if shared.Len() == 0 {
+		t.Error("shared recorder captured no spans")
+	}
+}
+
+// TestMetricsSnapshotSortedDevices pins the per-device rows to name order
+// regardless of plug order.
+func TestMetricsSnapshotSortedDevices(t *testing.T) {
+	eng := adamant.NewEngine()
+	// Plug in reverse name order: "Intel ..." then "GeForce ...".
+	if _, err := eng.Plug(adamant.CoreI78700, adamant.OpenMP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.MetricsSnapshot()
+	gi := strings.Index(snap, "device GeForce")
+	ii := strings.Index(snap, "device Intel")
+	if gi < 0 || ii < 0 {
+		t.Fatalf("snapshot missing device rows:\n%s", snap)
+	}
+	if gi > ii {
+		t.Errorf("device rows not sorted by name (GeForce at %d after Intel at %d):\n%s", gi, ii, snap)
+	}
+}
+
+// chromeEvent mirrors the trace_event fields the exporter emits.
+type chromeEvent struct {
+	Name  string   `json:"name"`
+	Phase string   `json:"ph"`
+	PID   int      `json:"pid"`
+	TID   int      `json:"tid"`
+	TS    *float64 `json:"ts"`
+	Dur   *float64 `json:"dur"`
+	Args  map[string]any
+}
+
+// TestChromeTraceRoundTrip exports a traced query to Chrome trace_event
+// JSON and re-parses it: every event must carry the required fields,
+// timestamps are non-negative and monotone per track, and every device
+// track maps to a plugged device.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	eng := adamant.NewEngine().WithTelemetry(adamant.TelemetryConfig{})
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := adamant.NewTraceRecorder()
+	if _, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{
+		Model: adamant.FourPhasePipelined, ChunkElems: 1024, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := rec.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var export struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &export); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	events := export.TraceEvents
+	if len(events) == 0 {
+		t.Fatal("empty chrome trace")
+	}
+
+	trackNames := map[int]string{}
+	lastTS := map[int]float64{}
+	for i, ev := range events {
+		if ev.Name == "" || ev.Phase == "" {
+			t.Fatalf("event %d missing name/ph: %+v", i, ev)
+		}
+		if ev.Phase == "M" {
+			if name, ok := ev.Args["name"].(string); ok {
+				trackNames[ev.TID] = name
+			}
+			continue
+		}
+		if ev.TS == nil {
+			t.Fatalf("event %d (%s) missing ts", i, ev.Name)
+		}
+		if *ev.TS < 0 {
+			t.Errorf("event %d (%s) has negative ts %f", i, ev.Name, *ev.TS)
+		}
+		if ev.Dur != nil && *ev.Dur < 0 {
+			t.Errorf("event %d (%s) has negative dur %f", i, ev.Name, *ev.Dur)
+		}
+		if *ev.TS < lastTS[ev.TID] {
+			t.Errorf("event %d (%s) regresses on track %d: ts %f < %f", i, ev.Name, ev.TID, *ev.TS, lastTS[ev.TID])
+		}
+		lastTS[ev.TID] = *ev.TS
+	}
+
+	if trackNames[0] != "executor" {
+		t.Errorf("track 0 should be the executor track: %v", trackNames)
+	}
+	deviceTracks := 0
+	for tid, name := range trackNames {
+		if tid == 0 {
+			continue
+		}
+		deviceTracks++
+		if !strings.HasPrefix(name, "GeForce RTX 2080 Ti/cuda/") {
+			t.Errorf("track %d (%q) does not map to the plugged device", tid, name)
+		}
+	}
+	if deviceTracks < 2 {
+		t.Errorf("expected copy and compute device tracks, got %v", trackNames)
+	}
+}
+
+// TestTelemetryDisabledAllocs guards the telemetry-off hot path: every
+// telemetry component is a nil-receiver no-op, so an engine that never
+// called WithTelemetry pays zero allocations at the emission seams.
+func TestTelemetryDisabledAllocs(t *testing.T) {
+	var (
+		sink   *telemetry.EventSink
+		util   *telemetry.UtilTracker
+		flight *telemetry.FlightRecorder
+	)
+	if n := testing.AllocsPerRun(1000, func() {
+		sink.Emit(telemetry.Event{Type: telemetry.EventRetry, Query: 7})
+		if sink.Enabled() || sink.Len() != 0 || sink.Total(telemetry.EventRetry) != 0 {
+			t.Fatal("nil sink must observe nothing")
+		}
+		util.Sample("dev", "copy", 10, 5)
+		flight.Record(telemetry.QueryDigest{Query: 7}, nil)
+		if flight.Len() != 0 {
+			t.Fatal("nil flight recorder must retain nothing")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled telemetry: %.1f allocs/op on the hot path, want 0", n)
+	}
+
+	eng := adamant.NewEngine()
+	if eng.Telemetry() {
+		t.Fatal("telemetry should default off")
+	}
+	var b strings.Builder
+	if err := eng.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("telemetry-off exposition should say disabled: %q", b.String())
+	}
+}
+
+// TestTraceIdenticalWithTelemetry is the non-perturbation invariant: the
+// same plan on a telemetry-armed engine produces byte-identical trace
+// summaries, Chrome exports, and engine metrics as on a bare engine.
+func TestTraceIdenticalWithTelemetry(t *testing.T) {
+	render := func(armed bool) (summary, chrome, snapshot string) {
+		eng := adamant.NewEngine()
+		if armed {
+			eng.WithTelemetry(adamant.TelemetryConfig{SlowThreshold: time.Nanosecond})
+		}
+		gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := adamant.NewTraceRecorder()
+		for i := 0; i < 2; i++ {
+			if _, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{
+				Model: adamant.Pipelined, ChunkElems: 1024, Recorder: rec,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var s, c strings.Builder
+		rec.WriteSummary(&s)
+		if err := rec.WriteChrome(&c); err != nil {
+			t.Fatal(err)
+		}
+		return s.String(), c.String(), eng.MetricsSnapshot()
+	}
+	s0, c0, m0 := render(false)
+	s1, c1, m1 := render(true)
+	if s0 != s1 {
+		t.Errorf("telemetry perturbs the trace summary:\n--- off ---\n%s\n--- on ---\n%s", s0, s1)
+	}
+	if c0 != c1 {
+		t.Error("telemetry perturbs the Chrome export")
+	}
+	if m0 != m1 {
+		t.Errorf("telemetry perturbs engine metrics:\n--- off ---\n%s\n--- on ---\n%s", m0, m1)
+	}
+}
+
+// TestFlightRecorderRetention drives one slow and one errored query and
+// checks both come back from the flight recorder with full span traces.
+func TestFlightRecorderRetention(t *testing.T) {
+	// Any nonzero latency crosses a 1ns slow threshold.
+	eng := adamant.NewEngine().WithTelemetry(adamant.TelemetryConfig{SlowThreshold: time.Nanosecond})
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	digests := eng.FlightDigests()
+	if len(digests) != 1 {
+		t.Fatalf("got %d digests, want 1", len(digests))
+	}
+	slow := digests[0]
+	if slow.Retained != "slow" {
+		t.Errorf("retention = %q, want slow", slow.Retained)
+	}
+	if len(slow.Spans) == 0 {
+		t.Error("slow query should retain its full span trace")
+	}
+	if slow.ElapsedNS <= 0 || slow.Chunks <= 0 {
+		t.Errorf("digest missing stats: %+v", slow)
+	}
+
+	// Permanent OOM with no adaptive chunking: the query errors.
+	plan, err := adamant.ParseFaultPlan("seed=1,oom=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feng := adamant.NewEngine(adamant.WithFaultPlan(plan)).WithTelemetry(adamant.TelemetryConfig{})
+	fgpu, err := feng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := feng.Execute(telemetryPlan(feng, fgpu), adamant.ExecOptions{Model: adamant.Chunked, ChunkElems: 1024}); err == nil {
+		t.Fatal("oom=1 query should fail")
+	}
+	fd := feng.FlightDigests()
+	if len(fd) != 1 {
+		t.Fatalf("got %d digests, want 1", len(fd))
+	}
+	bad := fd[0]
+	if bad.Retained != "error" || bad.Err == "" {
+		t.Errorf("errored query digest: %+v", bad)
+	}
+	totals := feng.EventTotals()
+	if totals["query_start"] != 1 || totals["query_finish"] != 1 {
+		t.Errorf("errored query should still balance start/finish: %v", totals)
+	}
+}
