@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench fuzz cover serve
+.PHONY: ci vet build test race bench bench-cache fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -30,6 +30,11 @@ cover:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Buffer-pool cold/warm tables (EXPERIMENTS.md "Hot vs. cold"); regenerates
+# BENCH_PR6.json at the full profile.
+bench-cache:
+	go run ./cmd/adamant-bench -exp cache -json BENCH_PR6.json
 
 # Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
 # /events, /flight, /util and /run?n=K on port 9464.

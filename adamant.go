@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
@@ -263,6 +264,48 @@ type engineConfig struct {
 	adaptive   bool
 	minChunk   int
 	health     *session.HealthPolicy
+	poolCap    int64
+	poolPolicy bufpool.Policy
+}
+
+// CachePolicy selects the buffer pool's eviction order (see
+// WithBufferPool).
+type CachePolicy = bufpool.Policy
+
+// Buffer-pool eviction policies.
+const (
+	// CacheCostAware evicts the column that is cheapest to re-ship
+	// (bytes × the engine's measured ns/byte), LRU breaking ties.
+	CacheCostAware = bufpool.CostAware
+	// CacheLRU evicts the least-recently-used column.
+	CacheLRU = bufpool.LRU
+)
+
+// ParseCachePolicy parses a policy name ("cost" or "lru").
+func ParseCachePolicy(s string) (CachePolicy, error) { return bufpool.ParsePolicy(s) }
+
+// CacheStats is a snapshot of the buffer pool's activity (see
+// Engine.CacheStats).
+type CacheStats = bufpool.Stats
+
+// CachePoint is one lookup outcome of the cache hit-ratio timeline.
+type CachePoint = bufpool.TimelinePoint
+
+// WithBufferPool arms the engine's cross-query device buffer pool: up to
+// capacityBytes of base columns are kept resident per device across
+// queries, so a repeated workload ships each hot column over the bus once
+// instead of once per query (the cold-vs-warm separation of the paper's
+// Fig. 11 discussion). Concurrent queries over the same cold column join
+// one in-flight transfer; in-use columns are lease-pinned and never
+// evicted; the session scheduler charges pooled bytes once against the
+// device budget and can evict cold columns to admit a waiting query. Zero
+// or negative capacity leaves pooling off (the default), preserving the
+// legacy per-query transfer path byte for byte.
+func WithBufferPool(capacityBytes int64, policy CachePolicy) EngineOption {
+	return func(c *engineConfig) {
+		c.poolCap = capacityBytes
+		c.poolPolicy = policy
+	}
 }
 
 // WithMaxConcurrent caps how many queries execute concurrently on the
@@ -376,6 +419,7 @@ type Engine struct {
 	minChunk   int
 	health     *session.HealthTracker
 	tele       *engineTelemetry
+	pool       *bufpool.Manager
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -401,8 +445,35 @@ func NewEngine(opts ...EngineOption) *Engine {
 	if cfg.health != nil {
 		e.health = session.NewHealthTracker(*cfg.health)
 	}
+	if cfg.poolCap > 0 {
+		e.pool = bufpool.New(bufpool.Config{
+			Capacity:   cfg.poolCap,
+			Policy:     cfg.poolPolicy,
+			Cost:       e.metrics,
+			Device:     e.rt.Device,
+			Accountant: e.sched,
+		})
+		e.sched.SetPoolReclaimer(e.pool)
+	}
 	return e
 }
+
+// CacheEnabled reports whether the cross-query buffer pool is armed.
+func (e *Engine) CacheEnabled() bool { return e.pool != nil }
+
+// CacheStats snapshots the buffer pool's hit/miss/eviction activity. The
+// zero value is returned when the pool is not armed.
+func (e *Engine) CacheStats() CacheStats { return e.pool.Stats() }
+
+// CacheTimeline returns the pool's recent lookup outcomes, oldest first —
+// the hit-ratio timeline behind the -serve /cache endpoint. Nil without
+// WithBufferPool.
+func (e *Engine) CacheTimeline() []CachePoint { return e.pool.Timeline() }
+
+// FlushCache evicts every cached column not currently leased by a running
+// query and returns the bytes freed. Harnesses flush before comparing
+// device memory against a pre-query baseline.
+func (e *Engine) FlushCache() int64 { return e.pool.Flush() }
 
 // Plug registers a simulated co-processor accessed through the given SDK
 // and returns its device ID. Plugging is the only device-specific step: the
@@ -538,6 +609,7 @@ func (e *Engine) execOptions(opts ExecOptions, deadline vclock.Duration) exec.Op
 		AdaptiveChunking: e.adaptive,
 		MinChunkElems:    e.minChunk,
 		Deadline:         deadline,
+		Pool:             e.pool,
 	}
 }
 

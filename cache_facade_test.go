@@ -1,0 +1,132 @@
+package adamant_test
+
+import (
+	"strings"
+	"testing"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// pinnedCachePlan returns a plan builder whose scanned column keeps the
+// same backing array across calls, so repeat executions can hit the pool.
+func pinnedCachePlan() func(eng *adamant.Engine, dev adamant.DeviceID) *adamant.Plan {
+	vals := make([]int32, 4096)
+	for i := range vals {
+		vals[i] = int32(i % 100)
+	}
+	return func(eng *adamant.Engine, dev adamant.DeviceID) *adamant.Plan {
+		plan := eng.NewPlan().On(dev)
+		col := plan.ScanInt32("v", vals)
+		kept := plan.Materialize(col, plan.Filter(col, adamant.Lt, 30))
+		plan.Return("sum", plan.SumInt64(plan.CastInt64(kept)))
+		return plan
+	}
+}
+
+// TestCacheFacadeEndToEnd drives the buffer pool through the public API:
+// WithBufferPool arms it, repeated queries hit it, stats/timeline/flush
+// report it, and the telemetry scrape carries the cache metric families.
+func TestCacheFacadeEndToEnd(t *testing.T) {
+	eng := adamant.NewEngine(adamant.WithBufferPool(1<<20, adamant.CacheCostAware)).
+		WithTelemetry(adamant.TelemetryConfig{})
+	if !eng.CacheEnabled() {
+		t.Fatal("WithBufferPool should enable the cache")
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := pinnedCachePlan()
+	opts := adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024}
+	var sums [2]int64
+	for i := range sums {
+		res, err := eng.Execute(build(eng, gpu), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = res.Int64("sum")[0]
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("warm sum %d != cold sum %d", sums[1], sums[0])
+	}
+
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want exactly one miss then one hit", st)
+	}
+	if want := int64(4096 * 4); st.CachedBytes != want {
+		t.Errorf("cached bytes = %d, want %d", st.CachedBytes, want)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", got)
+	}
+	tl := eng.CacheTimeline()
+	if len(tl) != 2 || tl[0].Hit || !tl[1].Hit {
+		t.Errorf("timeline = %+v, want [miss hit]", tl)
+	}
+
+	var prom strings.Builder
+	if err := eng.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"adamant_cache_hits_total 1",
+		"adamant_cache_misses_total 1",
+		"adamant_cache_shared_joins_total 0",
+		"adamant_cache_bytes 16384",
+		"adamant_cache_hit_ratio 0.5",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	if freed := eng.FlushCache(); freed != int64(4096*4) {
+		t.Errorf("flush freed %d bytes, want %d", freed, 4096*4)
+	}
+	if st := eng.CacheStats(); st.CachedBytes != 0 || st.Entries != 0 {
+		t.Errorf("stats after flush = %+v, want empty pool", st)
+	}
+	// A post-flush run reloads cold and still answers correctly.
+	res, err := eng.Execute(build(eng, gpu), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64("sum")[0]; got != sums[0] {
+		t.Errorf("post-flush sum = %d, want %d", got, sums[0])
+	}
+	if st := eng.CacheStats(); st.Misses != 2 {
+		t.Errorf("post-flush stats = %+v, want a second miss", st)
+	}
+}
+
+// TestCacheDisabledByDefault: without WithBufferPool every cache accessor
+// degrades gracefully and queries use the legacy transfer path.
+func TestCacheDisabledByDefault(t *testing.T) {
+	eng := adamant.NewEngine()
+	if eng.CacheEnabled() {
+		t.Error("cache should be off by default")
+	}
+	if st := eng.CacheStats(); st != (adamant.CacheStats{}) {
+		t.Errorf("disabled stats = %+v, want zero", st)
+	}
+	if tl := eng.CacheTimeline(); tl != nil {
+		t.Errorf("disabled timeline = %v, want nil", tl)
+	}
+	if freed := eng.FlushCache(); freed != 0 {
+		t.Errorf("disabled flush freed %d", freed)
+	}
+}
+
+// TestParseCachePolicy pins the CLI policy names.
+func TestParseCachePolicy(t *testing.T) {
+	if p, err := adamant.ParseCachePolicy("cost"); err != nil || p != adamant.CacheCostAware {
+		t.Errorf("cost -> %v, %v", p, err)
+	}
+	if p, err := adamant.ParseCachePolicy("lru"); err != nil || p != adamant.CacheLRU {
+		t.Errorf("lru -> %v, %v", p, err)
+	}
+	if _, err := adamant.ParseCachePolicy("mru"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}

@@ -1,0 +1,88 @@
+package adamant
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+// auditDevices runs the devmem accounting invariant on every device of the
+// engine: pool-held + query-held + free must equal capacity.
+func auditDevices(t *testing.T, eng *Engine, label string) {
+	t.Helper()
+	for i, d := range eng.Runtime().Devices() {
+		if mc, ok := d.(device.MemChecker); ok {
+			if err := mc.CheckMemAccounting(); err != nil {
+				t.Errorf("%s: device %d: %v", label, i, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialFaultHarnessPooled reruns the differential fault harness
+// with the buffer pool enabled: for random (plan, fault schedule) pairs
+// across every model and driver, each faulted+pooled run — cold and warm —
+// must either match the pool-less fault-free baseline bit-for-bit or fail
+// with a typed error, and after a cache flush device memory must return to
+// its pre-query baseline with the accounting invariant intact.
+func TestDifferentialFaultHarnessPooled(t *testing.T) {
+	pairs := 40
+	if testing.Short() {
+		pairs = 10
+	}
+	var matched, failedTyped int
+	var hits, invalidations uint64
+	for i := 0; i < pairs; i++ {
+		model := harnessModels[i%len(harnessModels)]
+		drv := harnessDrivers[(i/len(harnessModels))%len(harnessDrivers)]
+		seed := int64(i)*104729 + 11
+		label := fmt.Sprintf("pooled pair %d (%v on %s)", i, model, drv.name)
+
+		baseEng := harnessEngine(t, drv, nil)
+		opts := ExecOptions{Model: model, ChunkElems: 256}
+		baseRes, err := baseEng.Execute(buildHarnessPlan(baseEng, seed), opts)
+		if err != nil {
+			t.Fatalf("%s: fault-free baseline failed: %v", label, err)
+		}
+
+		faultEng := harnessEngine(t, drv, harnessFaultPlan(i, drv),
+			WithBufferPool(32<<20, CacheCostAware))
+		// Two runs over pinned backing arrays: the cold one fills the pool
+		// under faults, the warm one reads pooled buffers (possibly
+		// invalidated by a device death in between) — both must stay
+		// differentially correct.
+		cols := &harnessColumns{}
+		for run := 0; run < 2; run++ {
+			runLabel := fmt.Sprintf("%s run %d", label, run)
+			faultRes, err := faultEng.Execute(buildHarnessPlanCols(faultEng, seed, cols), opts)
+			switch {
+			case err == nil:
+				sameResults(t, runLabel, baseRes, faultRes)
+				matched++
+			case harnessTypedError(err):
+				failedTyped++
+			default:
+				t.Errorf("%s: untyped error under faults: %v", runLabel, err)
+			}
+			auditDevices(t, faultEng, runLabel)
+		}
+		cs := faultEng.CacheStats()
+		hits += cs.Hits + cs.SharedJoins
+		invalidations += cs.Invalidations
+		faultEng.FlushCache()
+		checkMemBaseline(t, faultEng, label+" after flush")
+		auditDevices(t, faultEng, label+" after flush")
+	}
+	t.Logf("%d pooled runs matched the baseline, %d failed with typed errors; %d hits, %d invalidations",
+		matched, failedTyped, hits, invalidations)
+	if matched == 0 {
+		t.Error("no pooled faulted run ever completed")
+	}
+	if hits == 0 {
+		t.Error("no warm run ever hit the pool; the harness is not exercising the cache")
+	}
+	if invalidations == 0 {
+		t.Error("no device death ever invalidated pooled buffers; the fault schedules are not reaching the pool")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/core"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
@@ -71,6 +72,9 @@ func run(ctx context.Context) error {
 	adapt := flag.Bool("adapt", false, "adaptive chunking: on device OOM, halve the chunk size and retry, then re-place on a host device")
 	serveAddr := flag.String("serve", "", "run as a telemetry service on this address (e.g. :9090 or 127.0.0.1:0), exposing /metrics, /events, /flight and /util")
 	warm := flag.Int("serve-warm", 3, "queries to run at service start so telemetry is populated (with -serve)")
+	cacheMiB := flag.Int64("cache", 0, "device buffer-pool capacity in MiB; base columns stay cached across queries (0 = off)")
+	cachePolicy := flag.String("cache-policy", "cost", "buffer-pool eviction policy: cost (bytes x transfer cost) or lru")
+	repeat := flag.Int("repeat", 1, "run the query this many times on one engine (with -cache, later runs hit the pool)")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -91,6 +95,7 @@ func run(ctx context.Context) error {
 			driver: *driver, fallback: *fallback, model: model,
 			chunkElems: chunkElems, faults: *faults, retries: *retries,
 			deadline: *deadline, adapt: *adapt, warm: *warm,
+			cacheMiB: *cacheMiB, cachePolicy: *cachePolicy,
 		})
 	}
 
@@ -194,7 +199,20 @@ func run(ctx context.Context) error {
 	if *analyze || *traceOut != "" {
 		rec = trace.NewRecorder()
 	}
-	res, err := core.RunContext(ctx, rt, g, core.Options{
+	var pool *bufpool.Manager
+	if *cacheMiB > 0 {
+		pol, err := bufpool.ParsePolicy(*cachePolicy)
+		if err != nil {
+			return err
+		}
+		pool = bufpool.New(bufpool.Config{
+			Capacity: *cacheMiB << 20,
+			Policy:   pol,
+			Device:   rt.Device,
+		})
+		fmt.Printf("cache: %d MiB buffer pool, %s eviction\n", *cacheMiB, *cachePolicy)
+	}
+	opts := core.Options{
 		Model:            model,
 		ChunkElems:       chunkElems,
 		Recorder:         rec,
@@ -202,7 +220,21 @@ func run(ctx context.Context) error {
 		FallbackDevice:   fallbackID,
 		AdaptiveChunking: *adapt,
 		Deadline:         vclock.DurationOf(*deadline),
-	})
+		Pool:             pool,
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var res *core.Result
+	for i := 0; i < *repeat; i++ {
+		res, err = core.RunContext(ctx, rt, g, opts)
+		if err != nil {
+			break
+		}
+		if *repeat > 1 {
+			fmt.Printf("run %d/%d: simulated %v\n", i+1, *repeat, res.Stats.Elapsed)
+		}
+	}
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !(cancelled && res != nil) {
 		return err
@@ -226,6 +258,12 @@ func run(ctx context.Context) error {
 	fmt.Printf("  peak mem   %.1f MiB device\n", float64(s.PeakDeviceBytes)/(1<<20))
 	if s.Retries > 0 {
 		fmt.Printf("  retries    %d transient faults retried\n", s.Retries)
+	}
+	if pool != nil {
+		cs := pool.Stats()
+		fmt.Printf("  cache      %d hits, %d misses, %d shared joins, %d evictions (%.0f%% hits, %.1f MiB resident)\n",
+			cs.Hits, cs.Misses, cs.SharedJoins, cs.Evictions,
+			100*cs.HitRatio(), float64(cs.CachedBytes)/(1<<20))
 	}
 	for _, ev := range s.Events {
 		fmt.Printf("  event      %s\n", ev)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -31,6 +32,9 @@ type serveConfig struct {
 	deadline   time.Duration
 	adapt      bool
 	warm       int
+
+	cacheMiB    int64
+	cachePolicy string
 }
 
 // servedSQL maps -q names onto the SQL the service runs through the facade
@@ -79,7 +83,7 @@ func facadeCatalog(ds *tpch.Dataset) (*adamant.Catalog, error) {
 
 // serve runs the telemetry service: a telemetry-armed engine over the
 // TPC-H catalog, a canned workload to warm it, and the observability
-// endpoints (/metrics, /events, /flight, /util, /run) on addr.
+// endpoints (/metrics, /events, /flight, /util, /cache, /run) on addr.
 func serve(ctx context.Context, addr string, cfg serveConfig) error {
 	query := cfg.sqlText
 	if query == "" {
@@ -119,6 +123,13 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 	if cfg.fallback != "" {
 		// Devices plug sequentially: the primary gets ID 0, the fallback ID 1.
 		eopts = append(eopts, adamant.WithFallbackDevice(1))
+	}
+	if cfg.cacheMiB > 0 {
+		pol, err := adamant.ParseCachePolicy(cfg.cachePolicy)
+		if err != nil {
+			return err
+		}
+		eopts = append(eopts, adamant.WithBufferPool(cfg.cacheMiB<<20, pol))
 	}
 	eng := adamant.NewEngine(eopts...).WithTelemetry(adamant.TelemetryConfig{
 		// Anything an order of magnitude over a warm Q6 is worth keeping.
@@ -173,6 +184,14 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 		w.Header().Set("Content-Type", "application/json")
 		_ = eng.WriteUtilizationJSON(w)
 	})
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Enabled  bool                 `json:"enabled"`
+			Stats    adamant.CacheStats   `json:"stats"`
+			Timeline []adamant.CachePoint `json:"timeline"`
+		}{eng.CacheEnabled(), eng.CacheStats(), eng.CacheTimeline()})
+	})
 	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
 		n := 1
 		if v := r.URL.Query().Get("n"); v != "" {
@@ -193,14 +212,14 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "adamant telemetry service\nendpoints: /metrics /events /flight /util /util.json /run?n=K\n")
+		fmt.Fprint(w, "adamant telemetry service\nendpoints: /metrics /events /flight /util /util.json /cache /run?n=K\n")
 	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (endpoints: /metrics /events /flight /util /run)\n", ln.Addr())
+	fmt.Printf("serving on %s (endpoints: /metrics /events /flight /util /cache /run)\n", ln.Addr())
 	srv := &http.Server{Handler: mux}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

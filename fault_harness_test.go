@@ -45,7 +45,8 @@ var harnessModels = []Model{OperatorAtATime, Chunked, Pipelined, FourPhaseChunke
 
 // harnessEngine builds an engine with the driver's primary device (ID 0)
 // and its fallback (ID 1). A nil fault plan yields the baseline engine.
-func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan) *Engine {
+// Extra options (e.g. WithBufferPool) apply to both variants.
+func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan, extra ...EngineOption) *Engine {
 	t.Helper()
 	var opts []EngineOption
 	if plan != nil {
@@ -57,6 +58,7 @@ func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan) *Engine {
 			WithHealthPolicy(HealthPolicy{}),
 		)
 	}
+	opts = append(opts, extra...)
 	eng := NewEngine(opts...)
 	if _, err := eng.Plug(drv.hw, drv.sdk); err != nil {
 		t.Fatalf("plug %s: %v", drv.name, err)
@@ -72,13 +74,31 @@ func harnessEngine(t *testing.T, drv harnessDriver, plan *FaultPlan) *Engine {
 // tail, and (sometimes) a hash-set semi-join adding a second pipeline. The
 // same seed always builds the same plan over the same data.
 func buildHarnessPlan(eng *Engine, seed int64) *Plan {
+	return buildHarnessPlanCols(eng, seed, &harnessColumns{})
+}
+
+// harnessColumns pins the backing arrays of a harness plan's scanned
+// columns. Rebuilding a plan with the same seed and the same harnessColumns
+// scans the exact same columns (same backing array, same vec.DataID), which
+// is what lets a repeat execution hit the buffer pool.
+type harnessColumns struct {
+	price, disc, qty, keys, build []int32
+}
+
+func buildHarnessPlanCols(eng *Engine, seed int64, cols *harnessColumns) *Plan {
 	rng := rand.New(rand.NewSource(seed))
 	rows := []int{2048, 1024, 777, 96, 0}[rng.Intn(5)]
 
-	price := make([]int32, rows)
-	disc := make([]int32, rows)
-	qty := make([]int32, rows)
-	keys := make([]int32, rows)
+	if cols.price == nil {
+		cols.price = make([]int32, rows)
+		cols.disc = make([]int32, rows)
+		cols.qty = make([]int32, rows)
+		cols.keys = make([]int32, rows)
+	}
+	price, disc, qty, keys := cols.price, cols.disc, cols.qty, cols.keys
+	// The value draws always run so the rng stream stays aligned with the
+	// structure draws below; on a pinned rebuild they rewrite identical
+	// values into the same arrays.
 	for i := 0; i < rows; i++ {
 		price[i] = int32(rng.Intn(10000))
 		disc[i] = int32(rng.Intn(11))
@@ -96,7 +116,10 @@ func buildHarnessPlan(eng *Engine, seed int64) *Plan {
 	var set Port
 	if semiJoin {
 		nBuild := 1 + rng.Intn(32)
-		build := make([]int32, nBuild)
+		if cols.build == nil {
+			cols.build = make([]int32, nBuild)
+		}
+		build := cols.build
 		for i := range build {
 			build[i] = int32(rng.Intn(64))
 		}

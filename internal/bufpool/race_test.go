@@ -1,0 +1,116 @@
+package bufpool_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+)
+
+// TestSharedScanSingleTransfer: N goroutines racing on the same cold
+// column must produce exactly one host-to-device transfer — the first
+// acquirer loads, everyone else joins the in-flight transfer or hits the
+// published entry. Run with -race: this is the pool's central concurrency
+// claim (the paper's shared-scan batching across concurrent queries).
+func TestSharedScanSingleTransfer(t *testing.T) {
+	const workers = 16
+	r := newRig(t)
+	m := bufpool.New(bufpool.Config{Capacity: 1 << 20, Device: r.resolve})
+	name, v := column("l_shipdate", 4096)
+	key := bufpool.KeyFor(name, v)
+
+	var wg sync.WaitGroup
+	leases := make([]*bufpool.Lease, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			leases[i], _, errs[i] = m.Acquire(0, key, r.loader(v, nil))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	buf := leases[0].Buffer()
+	for i, l := range leases {
+		if l.Buffer() != buf {
+			t.Fatalf("worker %d got buffer %d, want shared %d", i, l.Buffer(), buf)
+		}
+	}
+
+	if ds := r.dev.Stats(); ds.H2DTransfers != 1 {
+		t.Errorf("device saw %d H2D transfers, want exactly 1", ds.H2DTransfers)
+	}
+	st := m.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.SharedJoins != workers-1 {
+		t.Errorf("hits %d + joins %d = %d, want %d: every waiter counted once",
+			st.Hits, st.SharedJoins, st.Hits+st.SharedJoins, workers-1)
+	}
+	if st.Entries != 1 || st.CachedBytes != key.Bytes() {
+		t.Errorf("stats %+v", st)
+	}
+
+	for _, l := range leases {
+		l.Release()
+	}
+	r.audit(t)
+	// All leases released: the entry is evictable and the ledger balances.
+	if freed := m.Flush(); freed != key.Bytes() {
+		t.Errorf("flush freed %d, want %d", freed, key.Bytes())
+	}
+	if ms := r.dev.MemStats(); ms.Used != 0 || ms.PooledUsed != 0 {
+		t.Errorf("device not clean: %+v", ms)
+	}
+}
+
+// TestConcurrentMixedColumns: racing goroutines over several distinct
+// columns each trigger exactly one load per column, under -race.
+func TestConcurrentMixedColumns(t *testing.T) {
+	const workers, cols = 12, 4
+	r := newRig(t)
+	m := bufpool.New(bufpool.Config{Capacity: 1 << 20, Device: r.resolve})
+	keys := make([]bufpool.Key, cols)
+	loaders := make([]bufpool.LoadFunc, cols)
+	for c := 0; c < cols; c++ {
+		name, v := column("col", 1024+c)
+		keys[c] = bufpool.KeyFor(name, v)
+		loaders[c] = r.loader(v, nil)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for c := 0; c < cols; c++ {
+				l, _, err := m.Acquire(0, keys[(i+c)%cols], loaders[(i+c)%cols])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				l.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if ds := r.dev.Stats(); ds.H2DTransfers != cols {
+		t.Errorf("device saw %d transfers, want %d (one per column)", ds.H2DTransfers, cols)
+	}
+	st := m.Stats()
+	if st.Misses != cols {
+		t.Errorf("misses = %d, want %d", st.Misses, cols)
+	}
+	if total := st.Hits + st.SharedJoins + st.Misses; total != workers*cols {
+		t.Errorf("lookups = %d, want %d", total, workers*cols)
+	}
+	r.audit(t)
+}

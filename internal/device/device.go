@@ -173,3 +173,31 @@ type Device interface {
 
 // String formats an ID for diagnostics.
 func (id ID) String() string { return fmt.Sprintf("dev%d", int(id)) }
+
+// PoolMarker is the optional interface of devices whose memory manager can
+// distinguish buffers owned by the cross-query buffer pool from buffers
+// owned by an in-flight query. The buffer-pool layer marks a cached column
+// on adoption and unmarks it on eviction, so the devmem accounting
+// invariant (pool-held + query-held + free == capacity) stays checkable.
+// Wrapper devices (fault injection) forward the call to their inner device.
+type PoolMarker interface {
+	MarkPooled(id devmem.BufferID, pooled bool) error
+}
+
+// MemChecker is the optional interface of devices that can audit their
+// memory accounting (see devmem.Pool.CheckAccounting). Tests and the
+// buffer-pool layer use it to verify the accounting invariant after
+// acquire/release/evict transitions.
+type MemChecker interface {
+	CheckMemAccounting() error
+}
+
+// MarkPooled marks a buffer as pool-owned in the simulated device's memory
+// manager, implementing PoolMarker.
+func (s *Sim) MarkPooled(id devmem.BufferID, pooled bool) error {
+	return s.pool.SetPooled(id, pooled)
+}
+
+// CheckMemAccounting audits the simulated device's memory accounting,
+// implementing MemChecker.
+func (s *Sim) CheckMemAccounting() error { return s.pool.CheckAccounting() }

@@ -85,6 +85,11 @@ type Buffer struct {
 	Parent BufferID
 	// Offset is the element offset of the view within the parent.
 	Offset int
+	// Pooled marks a buffer owned by the cross-query buffer pool rather
+	// than an in-flight query. Pooled bytes are a subset of Used; the
+	// distinction is what lets the accounting invariant split device memory
+	// into pool-held + query-held + free.
+	Pooled bool
 }
 
 // Bytes reports the buffer's accounted size.
@@ -98,6 +103,7 @@ type Stats struct {
 	Capacity    int64 // device memory capacity in bytes
 	Used        int64 // device bytes currently allocated
 	PinnedUsed  int64 // pinned host bytes currently allocated
+	PooledUsed  int64 // subset of Used owned by the cross-query buffer pool
 	Peak        int64 // high-water mark of Used
 	Allocs      int64 // total device allocations performed
 	Frees       int64 // total buffers freed
@@ -113,6 +119,7 @@ type Pool struct {
 	capacity int64
 	used     int64
 	pinned   int64
+	pooled   int64
 	peak     int64
 	allocs   int64
 	frees    int64
@@ -254,6 +261,9 @@ func (p *Pool) Free(id BufferID) error {
 			p.pinned -= b.Bytes()
 		} else {
 			p.used -= b.Bytes()
+			if b.Pooled {
+				p.pooled -= b.Bytes()
+			}
 		}
 		// Invalidate dependent views.
 		for vid, vb := range p.buffers {
@@ -261,6 +271,82 @@ func (p *Pool) Free(id BufferID) error {
 				delete(p.buffers, vid)
 				p.frees++
 			}
+		}
+	}
+	return nil
+}
+
+// SetPooled marks (or unmarks) a buffer as owned by the cross-query buffer
+// pool, moving its bytes between the query-held and pool-held sides of the
+// accounting split. Views and pinned buffers cannot be pooled: the pool
+// caches whole device-resident columns.
+func (p *Pool) SetPooled(id BufferID, pooled bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.buffers[id]
+	if !ok {
+		return fmt.Errorf("%w: pool-mark %d in pool %s", ErrUnknownBuffer, id, p.name)
+	}
+	if b.IsView() || b.Pinned {
+		return fmt.Errorf("devmem: pool-mark %d in pool %s: views and pinned buffers cannot be pooled", id, p.name)
+	}
+	if b.Pooled == pooled {
+		return nil
+	}
+	b.Pooled = pooled
+	if pooled {
+		p.pooled += b.Bytes()
+	} else {
+		p.pooled -= b.Bytes()
+	}
+	return nil
+}
+
+// CheckAccounting verifies the pool's byte accounting invariant by
+// recomputing every counter from the live buffer set: pool-held +
+// query-held + free must equal the device capacity, pooled bytes must be a
+// subset of used bytes, and no counter may have drifted from the buffers
+// that back it. It is the cheap self-audit the buffer-pool layer runs after
+// acquire/release/evict transitions (including the fault-injected
+// device-death path), so a leak or double-free surfaces at the mutation
+// that caused it instead of as an unexplained OOM later.
+func (p *Pool) CheckAccounting() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var used, pinned, pooled int64
+	for _, b := range p.buffers {
+		if b.IsView() {
+			if _, ok := p.buffers[b.Parent]; !ok {
+				return fmt.Errorf("devmem: %s: view %d outlived parent %d", p.name, b.ID, b.Parent)
+			}
+			continue
+		}
+		switch {
+		case b.Pinned:
+			pinned += b.Bytes()
+		default:
+			used += b.Bytes()
+			if b.Pooled {
+				pooled += b.Bytes()
+			}
+		}
+	}
+	if used != p.used || pinned != p.pinned || pooled != p.pooled {
+		return fmt.Errorf("devmem: %s: accounting drift: counters used=%d pinned=%d pooled=%d, buffers used=%d pinned=%d pooled=%d",
+			p.name, p.used, p.pinned, p.pooled, used, pinned, pooled)
+	}
+	if p.pooled < 0 || p.pooled > p.used {
+		return fmt.Errorf("devmem: %s: pooled bytes %d outside [0, used=%d]", p.name, p.pooled, p.used)
+	}
+	if p.capacity > 0 {
+		// pool-held + query-held + free == capacity, all non-negative.
+		free := p.capacity - p.used
+		if free < 0 {
+			return fmt.Errorf("devmem: %s: used %d exceeds capacity %d", p.name, p.used, p.capacity)
+		}
+		if queryHeld := p.used - p.pooled; p.pooled+queryHeld+free != p.capacity {
+			return fmt.Errorf("devmem: %s: pooled %d + query %d + free %d != capacity %d",
+				p.name, p.pooled, queryHeld, free, p.capacity)
 		}
 	}
 	return nil
@@ -274,6 +360,7 @@ func (p *Pool) Stats() Stats {
 		Capacity:    p.capacity,
 		Used:        p.used,
 		PinnedUsed:  p.pinned,
+		PooledUsed:  p.pooled,
 		Peak:        p.peak,
 		Allocs:      p.allocs,
 		Frees:       p.frees,
@@ -297,6 +384,7 @@ func (p *Pool) Reset() {
 	p.buffers = make(map[BufferID]*Buffer)
 	p.used = 0
 	p.pinned = 0
+	p.pooled = 0
 	p.peak = 0
 	p.allocs = 0
 	p.frees = 0

@@ -1,0 +1,163 @@
+package devmem
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// TestSetPooledMovesAccounting: marking a buffer pooled moves its bytes to
+// the pool-held side and back, and the invariant audit passes after every
+// transition.
+func TestSetPooledMovesAccounting(t *testing.T) {
+	p := NewPool("gpu", 4096)
+	b, err := p.Alloc(vec.Int32, 256, FormatCUDA) // 1024 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PooledUsed != 0 {
+		t.Fatalf("fresh alloc pooled = %d, want 0", st.PooledUsed)
+	}
+	if err := p.SetPooled(b.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PooledUsed != 1024 || st.Used != 1024 {
+		t.Fatalf("after mark: stats %+v", st)
+	}
+	if err := p.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-mark must not double-count.
+	if err := p.SetPooled(b.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PooledUsed != 1024 {
+		t.Fatalf("re-mark drifted: pooled = %d", st.PooledUsed)
+	}
+	if err := p.SetPooled(b.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PooledUsed != 0 {
+		t.Fatalf("after unmark: pooled = %d", st.PooledUsed)
+	}
+	if err := p.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetPooledFreeReleasesPooledBytes: freeing a pooled buffer returns its
+// bytes from the pooled counter too.
+func TestSetPooledFreeReleasesPooledBytes(t *testing.T) {
+	p := NewPool("gpu", 4096)
+	b, err := p.Alloc(vec.Int32, 256, FormatCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPooled(b.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Used != 0 || st.PooledUsed != 0 {
+		t.Fatalf("after free: stats %+v", st)
+	}
+	if err := p.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetPooledRejectsViewsAndPinned: the pool caches whole device columns,
+// never chunk views or pinned host staging.
+func TestSetPooledRejectsViewsAndPinned(t *testing.T) {
+	p := NewPool("gpu", 8192)
+	parent, err := p.Alloc(vec.Int32, 512, FormatCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := p.CreateChunk(parent.ID, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPooled(view.ID, true); err == nil {
+		t.Error("pool-marking a view must fail")
+	}
+	pinned, err := p.AllocPinned(vec.Int32, 64, FormatCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPooled(pinned.ID, true); err == nil {
+		t.Error("pool-marking a pinned buffer must fail")
+	}
+	if err := p.SetPooled(9999, true); err == nil {
+		t.Error("pool-marking an unknown buffer must fail")
+	}
+	if err := p.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckAccountingDetectsDrift: a hand-corrupted counter is caught by
+// the audit with a drift message.
+func TestCheckAccountingDetectsDrift(t *testing.T) {
+	p := NewPool("gpu", 4096)
+	b, err := p.Alloc(vec.Int32, 64, FormatCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPooled(b.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	p.pooled += 8 // simulate a lost release
+	p.mu.Unlock()
+	err = p.CheckAccounting()
+	if err == nil || !strings.Contains(err.Error(), "drift") {
+		t.Fatalf("corrupted counter not caught: %v", err)
+	}
+}
+
+// TestPooledAccountingProperty: after an arbitrary alloc / mark / unmark /
+// free sequence the recomputed invariant holds.
+func TestPooledAccountingProperty(t *testing.T) {
+	p := NewPool("gpu", 1<<20)
+	var live []BufferID
+	seq := []struct {
+		op   int // 0 alloc, 1 mark, 2 unmark, 3 free
+		pick int
+	}{
+		{0, 0}, {0, 0}, {1, 0}, {0, 0}, {1, 1}, {2, 0}, {3, 0},
+		{0, 0}, {1, 2}, {3, 1}, {1, 0}, {3, 0}, {3, 0},
+	}
+	for i, s := range seq {
+		switch s.op {
+		case 0:
+			b, err := p.Alloc(vec.Int32, 128+32*i, FormatCUDA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, b.ID)
+		case 1, 2:
+			if s.pick < len(live) {
+				if err := p.SetPooled(live[s.pick], s.op == 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 3:
+			if len(live) > 0 {
+				if err := p.Free(live[0]); err != nil {
+					t.Fatal(err)
+				}
+				live = live[1:]
+			}
+		}
+		if err := p.CheckAccounting(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if st := p.Stats(); st.Used != 0 || st.PooledUsed != 0 {
+		t.Fatalf("final stats %+v", st)
+	}
+}

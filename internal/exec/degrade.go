@@ -185,6 +185,12 @@ func (x *executor) recoverAttempt(runErr error) bool {
 		}
 		x.remap[lost.Device] = fb
 		x.releaseAll(true)
+		// Drop this query's eviction pins, then purge the dead device's
+		// cached columns: unreferenced entries free immediately (deletion
+		// works on dead devices), entries still leased by other queries
+		// are doomed and freed on their last release — never leaked.
+		x.releaseLeases()
+		x.opts.Pool.InvalidateDevice(lost.Device)
 		return true
 	}
 	var oom *OOMError
@@ -214,6 +220,7 @@ func (x *executor) recoverAttempt(runErr error) bool {
 			}
 			x.chunkEff = half
 			x.releaseAll(true)
+			x.releaseLeases()
 			return true
 		}
 	}
@@ -242,6 +249,10 @@ func (x *executor) recoverAttempt(runErr error) bool {
 	}
 	x.remap[oom.Device] = host
 	x.releaseAll(true)
+	// The device is under genuine memory pressure; give its cached
+	// columns back before the re-placed attempt runs.
+	x.releaseLeases()
+	x.opts.Pool.InvalidateDevice(oom.Device)
 	return true
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/vec"
@@ -64,6 +65,15 @@ func EstimateDemand(g *graph.Graph, opts Options) (map[device.ID]int64, error) {
 		for _, sid := range p.Scans {
 			n := g.Node(sid)
 			t := n.Scan.Data.Type()
+			// Columns the buffer pool covers are charged once to the pool
+			// by the pool itself, not per query: double-counting them here
+			// would make a warm workload look like it still ships every
+			// column and starve admission. Columns the pool can never hold
+			// (larger than its capacity) stay charged to the query.
+			if opts.Pool != nil && opts.Pool.Covers(n.Device) &&
+				bufpool.KeyFor(n.Scan.Name, n.Scan.Data).Bytes() <= opts.Pool.Capacity() {
+				continue
+			}
 			switch {
 			case flags.wholeInput:
 				add(n.Device, bytesFor(t, rows))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
@@ -165,6 +166,13 @@ type Options struct {
 	// QueryID tags emitted events and spans digests with the caller's
 	// query number (the facade assigns one per execution).
 	QueryID uint64
+	// Pool, when non-nil, is the cross-query buffer pool base columns are
+	// leased from instead of being shipped through the query's private
+	// transfer path. Warm columns cost no bus traffic; cold columns load
+	// once, with concurrent queries joining the in-flight transfer. Nil
+	// (the default) keeps the legacy per-query path and byte-identical
+	// traces.
+	Pool *bufpool.Manager
 }
 
 // DefaultChunkElems is the paper's chunk size (2^25 values).
@@ -293,10 +301,11 @@ func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Optio
 		g:      g,
 		opts:   opts,
 		flags:  opts.Model.flags(),
-		ports:  make(map[graph.PortRef]*portState),
-		live:   make(map[liveBuf]struct{}),
-		remap:  make(map[device.ID]device.ID),
-		faults: make(map[device.ID]int64),
+		ports:     make(map[graph.PortRef]*portState),
+		live:      make(map[liveBuf]struct{}),
+		remap:     make(map[device.ID]device.ID),
+		faults:    make(map[device.ID]int64),
+		poolPorts: make(map[graph.NodeID]*bufpool.Lease),
 
 		rec:        opts.Recorder,
 		qspan:      trace.NoSpan,

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+	"github.com/adamant-db/adamant/internal/devmem"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// poolScan leases a scan's base column from the cross-query buffer pool.
+// ok=false (with a nil error) means the pool does not apply — disabled,
+// host-resident target, column too large, capacity fully leased, or the
+// cold load itself ran out of memory — and the caller must stage through
+// its legacy private path. A warm hit costs no device traffic; a cold
+// miss runs place_data through this query's wrapped device, so the h2d
+// span, fault injection and retries land in this query's trace exactly
+// like a private transfer would.
+func (x *executor) poolScan(sid graph.NodeID, node *graph.Node) (*bufpool.Lease, bool, error) {
+	pool := x.opts.Pool
+	if pool == nil {
+		return nil, false, nil
+	}
+	if l := x.poolPorts[sid]; l != nil {
+		return l, true, nil
+	}
+	eff := x.resolve(node.Device)
+	if !pool.Covers(eff) {
+		return nil, false, nil
+	}
+	_, d, err := x.device(node.Device)
+	if err != nil {
+		return nil, false, err
+	}
+	key := bufpool.KeyFor(node.Scan.Name, node.Scan.Data)
+	start := x.horizon
+	lease, hit, err := pool.Acquire(eff, key, func() (devmem.BufferID, vclock.Time, error) {
+		x.setOp(sid, "place "+node.Scan.Name)
+		return d.PlaceData(node.Scan.Data, x.ready(x.base))
+	})
+	if err != nil {
+		if bufpool.Declined(err) || isOOM(err) {
+			// Legacy staging takes over; a genuine OOM resurfaces there
+			// and enters the adaptive ladder as usual.
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	x.advance(vclock.MaxTime(x.base, lease.Ready()))
+	x.poolLeases = append(x.poolLeases, lease)
+	x.poolPorts[sid] = lease
+	if x.rec != nil {
+		outcome := "miss"
+		if hit {
+			outcome = "hit"
+		}
+		x.rec.Add(trace.Span{
+			Parent: x.parentSpan(), Kind: trace.KindCache,
+			Label: fmt.Sprintf("%s %s", outcome, node.Scan.Name),
+			Start: start, End: x.horizon,
+			Node: int(sid), Pipeline: x.pidx, Chunk: x.cidx,
+		})
+	}
+	return lease, true, nil
+}
+
+// releaseLeases drops every pool lease the run holds: at teardown, and
+// before each recovery attempt so a dead device's pooled columns can be
+// invalidated instead of staying pinned by this query's references.
+func (x *executor) releaseLeases() {
+	for _, l := range x.poolLeases {
+		l.Release()
+	}
+	x.poolLeases = nil
+	x.poolPorts = make(map[graph.NodeID]*bufpool.Lease)
+}

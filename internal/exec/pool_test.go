@@ -1,0 +1,217 @@
+package exec_test
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+)
+
+// poolFor builds a pool over the runtime's device resolver.
+func poolFor(rt *hub.Runtime, capacity int64) *bufpool.Manager {
+	return bufpool.New(bufpool.Config{Capacity: capacity, Device: rt.Device})
+}
+
+// TestPooledMatchesUnpooledAllModels: with the buffer pool enabled, every
+// execution model computes the same result as its legacy private-transfer
+// path — on the cold run that fills the pool and on the warm run that
+// reads from it.
+func TestPooledMatchesUnpooledAllModels(t *testing.T) {
+	n := 3000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 1009)
+		b[i] = int32(i % 97)
+	}
+	var want int64
+	for i, v := range a {
+		if v < 500 {
+			want += int64(b[i])
+		}
+	}
+
+	for _, model := range []exec.Model{
+		exec.OperatorAtATime, exec.Chunked, exec.Pipelined,
+		exec.FourPhaseChunked, exec.FourPhasePipelined,
+	} {
+		t.Run(model.String(), func(t *testing.T) {
+			rt, dev := gpuRuntime(t)
+			pool := poolFor(rt, 1<<20)
+			for run := 0; run < 2; run++ {
+				g := filterSumGraph(t, a, b, 500, dev)
+				res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Pool: pool})
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				col, ok := res.Column("sum")
+				if !ok || col.I64()[0] != want {
+					t.Fatalf("run %d: got %v, want %d", run, col, want)
+				}
+			}
+			st := pool.Stats()
+			if st.Misses != 2 {
+				t.Errorf("misses = %d, want 2 (columns a and b, loaded once)", st.Misses)
+			}
+			if st.Hits != 2 {
+				t.Errorf("hits = %d, want 2 (warm run reuses both)", st.Hits)
+			}
+			// After both queries only pooled bytes remain on the device.
+			d, err := rt.Device(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := d.MemStats()
+			if ms.Used != ms.PooledUsed || ms.PooledUsed != pool.CachedBytes(dev) {
+				t.Errorf("device used=%d pooled=%d, pool says %d: query-held bytes leaked",
+					ms.Used, ms.PooledUsed, pool.CachedBytes(dev))
+			}
+			if mc, ok := d.(device.MemChecker); ok {
+				if err := mc.CheckMemAccounting(); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmRunIssuesNoBaseColumnTransfers: the second pooled run of the
+// same plan moves zero H2D bytes — the refactored transfer path resolves
+// every base column from the pool.
+func TestWarmRunIssuesNoBaseColumnTransfers(t *testing.T) {
+	n := 2048
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i)
+		b[i] = int32(i % 13)
+	}
+	rt, dev := gpuRuntime(t)
+	pool := poolFor(rt, 1<<20)
+	opts := exec.Options{Model: exec.FourPhasePipelined, ChunkElems: 512, Pool: pool}
+
+	g := filterSumGraph(t, a, b, 1000, dev)
+	if _, err := exec.Run(rt, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Device(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldH2D := d.Stats().H2DBytes
+
+	g = filterSumGraph(t, a, b, 1000, dev)
+	if _, err := exec.Run(rt, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	if warm := d.Stats().H2DBytes - coldH2D; warm != 0 {
+		t.Errorf("warm run shipped %d H2D bytes, want 0", warm)
+	}
+}
+
+// TestPoolSurvivesFailover: a pooled query whose primary dies mid-run
+// fails over to the fallback and still matches the fault-free answer; the
+// dead device's cached columns are invalidated, not leaked.
+func TestPoolSurvivesFailover(t *testing.T) {
+	n := 2048
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 701)
+		b[i] = int32(i % 31)
+	}
+	var want int64
+	for i, v := range a {
+		if v < 350 {
+			want += int64(b[i])
+		}
+	}
+
+	rt := hub.NewRuntime()
+	plan := &fault.Plan{DieAfterOps: 12, Devices: []string{"cuda"}}
+	gpu, err := rt.Register(fault.Wrap(simcuda.New(&simhw.RTX2080Ti, nil), plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := poolFor(rt, 1<<20)
+
+	// Warm the pool on the GPU before the death window opens wide: the
+	// first run dies mid-flight and fails over.
+	g := filterSumGraph(t, a, b, 350, gpu)
+	res, err := exec.Run(rt, g, exec.Options{
+		Model: exec.Chunked, ChunkElems: 256, Pool: pool, FallbackDevice: &fb,
+	})
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	col, ok := res.Column("sum")
+	if !ok || col.I64()[0] != want {
+		t.Fatalf("failover result %v, want %d", col, want)
+	}
+	if got := pool.CachedBytes(gpu); got != 0 {
+		t.Errorf("dead device still caches %d bytes; failover must invalidate", got)
+	}
+	if st := pool.Stats(); st.Invalidations == 0 {
+		t.Error("no invalidation recorded on device death")
+	}
+	// The GPU's memory drained even though the pool had marked buffers.
+	d, err := rt.Device(gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := d.MemStats(); ms.PooledUsed != 0 {
+		t.Errorf("dead device pooled bytes = %d, want 0", ms.PooledUsed)
+	}
+}
+
+// TestPoolDeclinesOversizedColumnGracefully: a column larger than the pool
+// capacity silently uses the legacy path — same answer, nothing cached.
+func TestPoolDeclinesOversizedColumnGracefully(t *testing.T) {
+	n := 4096
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 211)
+		b[i] = int32(i % 7)
+	}
+	var want int64
+	for i, v := range a {
+		if v < 100 {
+			want += int64(b[i])
+		}
+	}
+	rt, dev := gpuRuntime(t)
+	pool := poolFor(rt, 100) // 100 B: every 16 KiB column declines
+	g := filterSumGraph(t, a, b, 100, dev)
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 512, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := res.Column("sum")
+	if !ok || col.I64()[0] != want {
+		t.Fatalf("got %v, want %d", col, want)
+	}
+	st := pool.Stats()
+	if st.Entries != 0 || st.CachedBytes != 0 {
+		t.Errorf("oversized columns were cached: %+v", st)
+	}
+	// The executor checks capacity up front, so the scans never even count
+	// as pool lookups — and memory fully drains at query end.
+	d, err := rt.Device(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := d.MemStats(); ms.Used != 0 {
+		t.Errorf("device used = %d after query, want 0", ms.Used)
+	}
+}

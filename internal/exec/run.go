@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/graph"
@@ -71,6 +72,14 @@ type executor struct {
 	remap   map[device.ID]device.ID
 	events  []RuntimeEvent
 	retries int64
+
+	// poolLeases are the buffer-pool leases the run holds on cached base
+	// columns; poolPorts maps each pooled scan node to its lease. Pooled
+	// buffers are pool-owned: they never enter live (the leak barrier must
+	// not free them) and are returned by releaseLeases at teardown and
+	// before every recovery attempt.
+	poolLeases []*bufpool.Lease
+	poolPorts  map[graph.NodeID]*bufpool.Lease
 
 	// chunkEff is the effective chunk size in elements for the current
 	// attempt. It starts at Options.chunkElems() and is halved by the
@@ -227,6 +236,10 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	// query allocated — staging, scratch, accumulators, routed copies —
 	// is released when it finishes, is cancelled, or fails. A shared
 	// engine must come back to its memory baseline after every session.
+	// Pool leases release after the query's own buffers: the pool keeps
+	// its columns (that is the point), it only loses this query's
+	// eviction pin.
+	defer x.releaseLeases()
 	defer x.releaseAll(false)
 
 	// Establish the virtual time base: everything in this run happens
@@ -608,9 +621,37 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 		}
 	}
 
+	// Base columns through the cross-query buffer pool: every model first
+	// offers each scan to the pool. A leased column supersedes the model's
+	// own staging — whole-input reads it directly, the chunked models view
+	// chunks out of the resident column instead of re-shipping them — and
+	// is pool-owned, so it appears in neither live nor the delete phase.
+	if rows > 0 && x.opts.Pool != nil {
+		for _, sid := range p.Scans {
+			n := x.g.Node(sid)
+			lease, ok, err := x.poolScan(sid, n)
+			if err != nil {
+				return fmt.Errorf("%s: pool: %w", n, err)
+			}
+			if !ok {
+				continue
+			}
+			if x.flags.wholeInput {
+				x.ports[graph.PortRef{Node: sid, Port: 0}] = &portState{
+					dev: x.resolve(n.Device), buf: lease.Buffer(),
+					capacity: rows, n: rows,
+					ready: vclock.MaxTime(x.base, lease.Ready()),
+				}
+			}
+		}
+	}
+
 	// Reusable staging double buffers (Figure 8).
 	if x.flags.reuseStaging && !x.flags.wholeInput && rows > 0 {
 		for _, sid := range p.Scans {
+			if x.poolPorts[sid] != nil {
+				continue
+			}
 			n := x.g.Node(sid)
 			dev, d, err := x.device(n.Device)
 			if err != nil {
@@ -641,6 +682,9 @@ func (x *executor) stagePhase(p *graph.Pipeline, rows, chunkElems int, singlePas
 	// Whole-input staging (operator-at-a-time).
 	if x.flags.wholeInput && rows > 0 {
 		for _, sid := range p.Scans {
+			if x.poolPorts[sid] != nil {
+				continue
+			}
 			n := x.g.Node(sid)
 			dev, d, err := x.device(n.Device)
 			if err != nil {
@@ -718,6 +762,23 @@ func (x *executor) stageChunk(p *graph.Pipeline, c, off, n int, slotFree vclock.
 		hostChunk := node.Scan.Data.Slice(off, off+n)
 		ref := graph.PortRef{Node: sid, Port: 0}
 		x.setOp(sid, "stage "+node.Scan.Name)
+
+		if lease := x.poolPorts[sid]; lease != nil {
+			// The whole column is pool-resident: the chunk is a free view
+			// into it, not a transfer. The view is query-owned (freed per
+			// chunk); the column stays pooled.
+			view, err := d.CreateChunk(lease.Buffer(), off, n)
+			if err != nil {
+				return fmt.Errorf("%s: view chunk %d: %w", node, c, err)
+			}
+			x.track(dev, view)
+			x.ports[ref] = &portState{
+				dev: dev, buf: view, capacity: n, n: n,
+				ready: vclock.MaxTime(x.base, lease.Ready()),
+			}
+			x.perChunkAllocs = append(x.perChunkAllocs, alloc{dev: dev, buf: view, ref: ref, hasRef: true})
+			continue
+		}
 
 		if x.flags.reuseStaging {
 			slots := x.staging[sid]

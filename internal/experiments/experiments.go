@@ -55,6 +55,16 @@ func (c Config) report(w io.Writer, experiment string, t *Table) error {
 	return nil
 }
 
+// reportPhase is report with a phase label ("cold", "warm") stamped on the
+// extracted records.
+func (c Config) reportPhase(w io.Writer, experiment, phase string, t *Table) error {
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	c.Results.AddTablePhase(experiment, phase, t, c.Seed, c.ratio())
+	return nil
+}
+
 // Context returns the configured cancellation context, or background.
 func (c Config) Context() context.Context {
 	if c.Ctx != nil {
@@ -97,6 +107,7 @@ var registry = map[string]Generator{
 	"fig11":      Fig11Models,
 	"heavydb":    Fig11HeavyDB,
 	"chunksweep": ChunkSweep,
+	"cache":      CacheWarm,
 }
 
 // Names lists the experiment identifiers in run order.

@@ -19,6 +19,10 @@ type Record struct {
 	Unit       string  `json:"unit"`
 	Seed       uint64  `json:"seed"`
 	Ratio      float64 `json:"ratio"`
+	// Phase distinguishes measurements of the same metric taken at
+	// different cache states ("cold", "warm"); empty for single-phase
+	// experiments.
+	Phase string `json:"phase,omitempty"`
 }
 
 // Collector accumulates Records across experiments so a bench run can emit
@@ -48,6 +52,13 @@ func (c *Collector) Add(r Record) {
 // parenthetical when it names a known unit, with per-cell overrides for
 // ratio ("1.23x") and percentage cells.
 func (c *Collector) AddTable(experiment string, t *Table, seed uint64, ratio float64) {
+	c.AddTablePhase(experiment, "", t, seed, ratio)
+}
+
+// AddTablePhase is AddTable with a phase label ("cold", "warm") stamped on
+// every extracted record, for experiments that measure the same metric at
+// different cache states.
+func (c *Collector) AddTablePhase(experiment, phase string, t *Table, seed uint64, ratio float64) {
 	if c == nil {
 		return
 	}
@@ -79,6 +90,7 @@ func (c *Collector) AddTable(experiment string, t *Table, seed uint64, ratio flo
 				Unit:       u,
 				Seed:       seed,
 				Ratio:      ratio,
+				Phase:      phase,
 			})
 		}
 	}

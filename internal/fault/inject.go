@@ -283,3 +283,22 @@ func (in *Injector) Stats() device.Stats { return in.inner.Stats() }
 // Revive, and the operation counter keeps advancing so a schedule spans
 // resets.
 func (in *Injector) Reset() { in.inner.Reset() }
+
+// MarkPooled forwards device.PoolMarker to the wrapped device. Like
+// DeleteMemory, pool ownership transitions are host-side bookkeeping and
+// never fault; the buffer-pool layer relies on them during invalidation of
+// a dead device.
+func (in *Injector) MarkPooled(id devmem.BufferID, pooled bool) error {
+	if pm, ok := in.inner.(device.PoolMarker); ok {
+		return pm.MarkPooled(id, pooled)
+	}
+	return device.ErrNotSupported
+}
+
+// CheckMemAccounting forwards device.MemChecker to the wrapped device.
+func (in *Injector) CheckMemAccounting() error {
+	if mc, ok := in.inner.(device.MemChecker); ok {
+		return mc.CheckMemAccounting()
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/device"
+)
+
+// TestPoolChargeCountsAgainstAdmission: pool-held bytes shrink the room
+// queries can be admitted into. A demand that fits beside the pool admits
+// immediately; one that does not (and has no reclaimer to evict) queues
+// until the pool releases — it is not hard-rejected, because pooled bytes
+// are evictable in principle.
+func TestPoolChargeCountsAgainstAdmission(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 1000)
+	s.PoolCharge(0, 600)
+	if got := s.PoolHeld(0); got != 600 {
+		t.Fatalf("pool held = %d, want 600", got)
+	}
+	g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 400}})
+	if err != nil {
+		t.Fatalf("demand beside the pool must admit: %v", err)
+	}
+	g.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, Request{Demand: map[device.ID]int64{0: 500}})
+		errc <- err
+	}()
+	waitUntil(t, "misfit queued", func() bool { return s.Stats().Queued == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+
+	s.PoolRelease(0, 600)
+	if got := s.PoolHeld(0); got != 0 {
+		t.Fatalf("pool held = %d after release", got)
+	}
+	g, err = s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 500}})
+	if err != nil {
+		t.Fatalf("after pool release: %v", err)
+	}
+	g.Release()
+}
+
+// TestPoolReleaseClampsAtZero: an over-release (double invalidation) never
+// drives the ledger negative.
+func TestPoolReleaseClampsAtZero(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.PoolCharge(0, 100)
+	s.PoolRelease(0, 400)
+	if got := s.PoolHeld(0); got != 0 {
+		t.Fatalf("pool held = %d, want clamp at 0", got)
+	}
+}
+
+// fakeReclaimer evicts up to avail bytes when asked.
+type fakeReclaimer struct {
+	avail int64
+	calls int
+}
+
+func (f *fakeReclaimer) ReclaimForAdmission(_ device.ID, want int64) int64 {
+	f.calls++
+	freed := want
+	if freed > f.avail {
+		freed = f.avail
+	}
+	f.avail -= freed
+	return freed
+}
+
+// TestAdmissionEvictsPoolToFit: a query that does not fit beside the pool's
+// cached bytes triggers reclaim, and admission succeeds with the freed room.
+func TestAdmissionEvictsPoolToFit(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 1000)
+	rec := &fakeReclaimer{avail: 800}
+	s.SetPoolReclaimer(rec)
+	s.PoolCharge(0, 800)
+
+	g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 700}})
+	if err != nil {
+		t.Fatalf("admission should reclaim pool bytes: %v", err)
+	}
+	defer g.Release()
+	if rec.calls == 0 {
+		t.Fatal("reclaimer was never asked")
+	}
+	// 700 needed, 200 free: at least 500 must have come out of the pool.
+	if held := s.PoolHeld(0); held > 300 {
+		t.Fatalf("pool still holds %d, want <= 300", held)
+	}
+}
+
+// TestAdmissionWaitsWhenPoolCannotYield: if the pool's bytes are all
+// leased (reclaim frees nothing) a misfit query stays queued — it must not
+// dispatch over budget, and it must not be hard-rejected either.
+func TestAdmissionWaitsWhenPoolCannotYield(t *testing.T) {
+	s := NewScheduler(Config{})
+	s.SetBudget(0, 1000)
+	rec := &fakeReclaimer{avail: 0} // everything leased
+	s.SetPoolReclaimer(rec)
+	s.PoolCharge(0, 800)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, Request{Demand: map[device.ID]int64{0: 700}})
+		errc <- err
+	}()
+	waitUntil(t, "misfit queued", func() bool { return s.Stats().Queued == 1 })
+	if rec.calls == 0 {
+		t.Fatal("reclaimer was never asked")
+	}
+	if held := s.PoolHeld(0); held != 800 {
+		t.Fatalf("pool held = %d, want 800 untouched", held)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+}
+
+// TestQueuedQueryDispatchesAfterPoolRelease: a queued query waiting on pool
+// bytes dispatches when the pool releases them (invalidation path).
+func TestQueuedQueryDispatchesAfterPoolRelease(t *testing.T) {
+	s := NewScheduler(Config{MaxQueued: 4})
+	s.SetBudget(0, 1000)
+	s.PoolCharge(0, 900)
+
+	admitted := make(chan *Grant, 1)
+	errc := make(chan error, 1)
+	go func() {
+		g, err := s.Admit(context.Background(), Request{Demand: map[device.ID]int64{0: 500}})
+		if err != nil {
+			errc <- err
+			return
+		}
+		admitted <- g
+	}()
+	waitUntil(t, "query queued", func() bool { return s.Stats().Queued == 1 })
+
+	s.PoolRelease(0, 900)
+	select {
+	case g := <-admitted:
+		g.Release()
+	case err := <-errc:
+		t.Fatalf("admit failed: %v", err)
+	case <-contextDone(t):
+		t.Fatal("query never dispatched after pool release")
+	}
+}
+
+// contextDone returns a channel that closes after the test's patience runs
+// out, mirroring waitUntil's deadline for select-based waits.
+func contextDone(t *testing.T) <-chan struct{} {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx.Done()
+}

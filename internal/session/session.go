@@ -173,12 +173,61 @@ type Scheduler struct {
 	cfg        Config
 	budgets    map[device.ID]int64
 	inUse      map[device.ID]int64
+	poolHeld   map[device.ID]int64
 	quarantine map[device.ID]device.ID
+	reclaim    PoolReclaimer
 	running    int
 	seq        uint64
 	queue      []*waiter
 	stats      Stats
 	events     *telemetry.EventSink
+}
+
+// PoolReclaimer lets admission evict cold cached columns to make room for
+// a waiting query. The buffer pool implements it. It is invoked with the
+// scheduler's lock held, so implementations must never call back into the
+// scheduler; they return the bytes actually freed and the scheduler
+// adjusts its own pool ledger.
+type PoolReclaimer interface {
+	ReclaimForAdmission(dev device.ID, want int64) int64
+}
+
+// SetPoolReclaimer wires the buffer pool's eviction into dispatch: a
+// waiter that does not fit because cached columns occupy budget triggers
+// reclaim before being declared a misfit.
+func (s *Scheduler) SetPoolReclaimer(r PoolReclaimer) {
+	s.mu.Lock()
+	s.reclaim = r
+	s.mu.Unlock()
+}
+
+// PoolCharge records bytes the buffer pool holds on a device, charged once
+// against the device's admission budget regardless of how many queries
+// read the cached column. It implements the pool's Accountant and must be
+// called without the scheduler lock held (the pool guarantees this).
+func (s *Scheduler) PoolCharge(dev device.ID, bytes int64) {
+	s.mu.Lock()
+	s.poolHeld[dev] += bytes
+	s.mu.Unlock()
+}
+
+// PoolRelease returns pool-held bytes (eviction, invalidation, flush) and
+// re-runs dispatch: freed capacity may admit a waiter.
+func (s *Scheduler) PoolRelease(dev device.ID, bytes int64) {
+	s.mu.Lock()
+	s.poolHeld[dev] -= bytes
+	if s.poolHeld[dev] < 0 {
+		s.poolHeld[dev] = 0
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// PoolHeld reports the pool-held bytes currently charged on a device.
+func (s *Scheduler) PoolHeld(dev device.ID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poolHeld[dev]
 }
 
 // SetEvents wires the scheduler's admission decisions (sheds, quarantines,
@@ -196,6 +245,7 @@ func NewScheduler(cfg Config) *Scheduler {
 		cfg:        cfg,
 		budgets:    make(map[device.ID]int64),
 		inUse:      make(map[device.ID]int64),
+		poolHeld:   make(map[device.ID]int64),
 		quarantine: make(map[device.ID]device.ID),
 	}
 }
@@ -410,17 +460,48 @@ func (s *Scheduler) queuedCostLocked() vclock.Duration {
 	return total
 }
 
-// fitsLocked reports whether a demand map can be charged right now.
+// fitsLocked reports whether a demand map can be charged right now. Bytes
+// held by the buffer pool count against the budget alongside query
+// reservations: they are real device memory, just charged once.
 func (s *Scheduler) fitsLocked(demand map[device.ID]int64) bool {
 	if s.cfg.MaxConcurrent > 0 && s.running >= s.cfg.MaxConcurrent {
 		return false
 	}
 	for dev, need := range demand {
-		if b, ok := s.budgets[dev]; ok && s.inUse[dev]+need > b {
+		if b, ok := s.budgets[dev]; ok && s.inUse[dev]+s.poolHeld[dev]+need > b {
 			return false
 		}
 	}
 	return true
+}
+
+// reclaimForLocked asks the buffer pool to evict cold columns on every
+// device where the demand overflows the budget only because of pool-held
+// bytes. It returns true if any bytes were reclaimed. Called with s.mu
+// held; the reclaimer never calls back into the scheduler.
+func (s *Scheduler) reclaimForLocked(demand map[device.ID]int64) bool {
+	if s.reclaim == nil {
+		return false
+	}
+	any := false
+	for dev, need := range demand {
+		b, ok := s.budgets[dev]
+		if !ok {
+			continue
+		}
+		over := s.inUse[dev] + s.poolHeld[dev] + need - b
+		if over <= 0 || s.poolHeld[dev] == 0 {
+			continue
+		}
+		if freed := s.reclaim.ReclaimForAdmission(dev, over); freed > 0 {
+			s.poolHeld[dev] -= freed
+			if s.poolHeld[dev] < 0 {
+				s.poolHeld[dev] = 0
+			}
+			any = true
+		}
+	}
+	return any
 }
 
 // dispatchLocked grants queued waiters, in policy order, until the first
@@ -450,7 +531,11 @@ func (s *Scheduler) dispatchLocked() {
 			continue
 		}
 		if !s.fitsLocked(eff) {
-			return
+			// Cached columns are the softest reservation on the device:
+			// evict cold entries before declaring the head a misfit.
+			if !s.reclaimForLocked(eff) || !s.fitsLocked(eff) {
+				return
+			}
 		}
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		s.running++

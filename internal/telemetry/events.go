@@ -33,6 +33,12 @@ const (
 	// EventDeadline marks a query cut at a chunk boundary after overrunning
 	// its virtual-time deadline.
 	EventDeadline EventType = "deadline"
+	// EventCacheEvict marks the buffer pool evicting a cached column to
+	// make room (capacity pressure or admission reclaim).
+	EventCacheEvict EventType = "cache_evict"
+	// EventCacheInvalidate marks the buffer pool dropping a device's
+	// cached columns after device death or quarantine.
+	EventCacheInvalidate EventType = "cache_invalidate"
 )
 
 // Event is one structured entry of the engine's event log. VT is virtual

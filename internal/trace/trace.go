@@ -78,6 +78,11 @@ const (
 	// KindDeadline annotates a query failing its virtual-time deadline at
 	// a chunk boundary.
 	KindDeadline
+	// KindCache annotates a buffer-pool lookup for a base column: a warm
+	// hit, a shared join onto an in-flight transfer, or the cold miss
+	// that loaded it. Annotation only, never engine time — the cold load's
+	// h2d/alloc spans are recorded separately by the device wrapper.
+	KindCache
 
 	numKinds
 )
@@ -117,6 +122,8 @@ func (k Kind) String() string {
 		return "degrade"
 	case KindDeadline:
 		return "deadline"
+	case KindCache:
+		return "cache"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -12,6 +12,7 @@ package vec
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 )
 
 // Type identifies the physical element type of a Vector.
@@ -125,6 +126,40 @@ func (v Vector) Bytes() int64 {
 		return 8 * int64(v.n)
 	case Bits:
 		return 8 * int64((v.n+63)/64)
+	default:
+		return 0
+	}
+}
+
+// DataID returns an opaque identity of the vector's backing storage: the
+// address of its first backing element. Two vectors sharing the same
+// storage at the same offset (the column itself, handed around by value)
+// report the same non-zero value; vectors over distinct arrays report
+// distinct values. The buffer-pool cache keys base columns by it, so
+// re-generating a dataset (new arrays, same contents) can never alias a
+// stale cache entry. Invalid and empty vectors report 0.
+func (v Vector) DataID() uintptr {
+	switch v.typ {
+	case Int32:
+		if len(v.i32) == 0 {
+			return 0
+		}
+		return uintptr(unsafe.Pointer(unsafe.SliceData(v.i32)))
+	case Int64:
+		if len(v.i64) == 0 {
+			return 0
+		}
+		return uintptr(unsafe.Pointer(unsafe.SliceData(v.i64)))
+	case Float64:
+		if len(v.f64) == 0 {
+			return 0
+		}
+		return uintptr(unsafe.Pointer(unsafe.SliceData(v.f64)))
+	case Bits:
+		if len(v.bit) == 0 {
+			return 0
+		}
+		return uintptr(unsafe.Pointer(unsafe.SliceData(v.bit)))
 	default:
 		return 0
 	}

@@ -72,4 +72,22 @@ END { exit bad }
 ' "$tracedir/metrics.txt"
 echo "ci: /metrics exposition OK ($(grep -vc '^#' "$tracedir/metrics.txt") series)"
 
+# Warm-cache golden trace: a pooled repeat of Q6 must serialise with zero
+# base-column h2d spans (the refactored transfer path), pinned against
+# testdata/traces/Q6-warm-cache.txt.
+go test -run '^TestGoldenTraceWarmCacheQ6$' .
+echo "ci: warm-cache golden trace OK"
+
+# Buffer-pool cold/warm smoke: the quick cache experiment must report a
+# cold phase and a warm phase, and the warm phase must ship zero H2D
+# bytes for at least one model.
+go run ./cmd/adamant-bench -exp cache -quick -json "$tracedir/cache.json" >/dev/null
+for phase in cold warm; do
+	grep -q "\"phase\": \"$phase\"" "$tracedir/cache.json" || {
+		echo "ci: cache bench emitted no $phase-phase records" >&2
+		exit 1
+	}
+done
+echo "ci: cache bench cold/warm smoke OK"
+
 ./scripts/cover.sh

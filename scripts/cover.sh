@@ -27,3 +27,4 @@ floor ./internal/sql 80
 floor ./internal/devmem 90
 floor ./internal/trace 85
 floor ./internal/telemetry 85
+floor ./internal/bufpool 85

@@ -56,6 +56,14 @@ type engineTelemetry struct {
 	failovers *telemetry.Counter
 	degrades  *telemetry.Counter
 
+	cacheHits        *telemetry.Counter
+	cacheMisses      *telemetry.Counter
+	cacheJoins       *telemetry.Counter
+	cacheEvictions   *telemetry.Counter
+	cacheInvalidates *telemetry.Counter
+	cacheBytes       *telemetry.Gauge
+	cacheRatio       *telemetry.Gauge
+
 	events      *telemetry.Counter
 	running     *telemetry.Gauge
 	queued      *telemetry.Gauge
@@ -103,6 +111,14 @@ func (e *Engine) WithTelemetry(cfg TelemetryConfig) *Engine {
 		failovers: reg.Counter("adamant_failovers_total", "Queries re-placed off a lost device.", "model"),
 		degrades:  reg.Counter("adamant_degrades_total", "Adaptive OOM degradation steps.", "model"),
 
+		cacheHits:        reg.Counter("adamant_cache_hits_total", "Buffer-pool lookups served from a resident column."),
+		cacheMisses:      reg.Counter("adamant_cache_misses_total", "Buffer-pool lookups that loaded the column cold."),
+		cacheJoins:       reg.Counter("adamant_cache_shared_joins_total", "Buffer-pool lookups that joined another query's in-flight transfer."),
+		cacheEvictions:   reg.Counter("adamant_cache_evictions_total", "Columns evicted from the buffer pool."),
+		cacheInvalidates: reg.Counter("adamant_cache_invalidations_total", "Device-wide buffer-pool invalidations (death/quarantine)."),
+		cacheBytes:       reg.Gauge("adamant_cache_bytes", "Bytes currently held by the buffer pool."),
+		cacheRatio:       reg.Gauge("adamant_cache_hit_ratio", "Lifetime buffer-pool hit ratio (hits+joins over all lookups)."),
+
 		events:      reg.Counter("adamant_events_total", "Telemetry events emitted, by type (lifetime, survives ring eviction).", "type"),
 		running:     reg.Gauge("adamant_sessions_running", "Admitted sessions currently executing."),
 		queued:      reg.Gauge("adamant_sessions_queued", "Sessions waiting in the admission queue."),
@@ -122,6 +138,9 @@ func (e *Engine) WithTelemetry(cfg TelemetryConfig) *Engine {
 	reg.OnScrape(func(*telemetry.Registry) { e.collectTelemetry() })
 	e.tele = t
 	e.sched.SetEvents(t.sink)
+	if e.pool != nil {
+		e.pool.SetEvents(t.sink)
+	}
 	return e
 }
 
@@ -134,6 +153,16 @@ func (e *Engine) collectTelemetry() {
 	t.quarantined.Set(float64(len(e.sched.Quarantined())))
 	for ty, n := range t.sink.Totals() {
 		t.events.Set(float64(n), string(ty))
+	}
+	if e.pool != nil {
+		cs := e.pool.Stats()
+		t.cacheHits.Set(float64(cs.Hits))
+		t.cacheMisses.Set(float64(cs.Misses))
+		t.cacheJoins.Set(float64(cs.SharedJoins))
+		t.cacheEvictions.Set(float64(cs.Evictions))
+		t.cacheInvalidates.Set(float64(cs.Invalidations))
+		t.cacheBytes.Set(float64(cs.CachedBytes))
+		t.cacheRatio.Set(cs.HitRatio())
 	}
 	for _, d := range e.rt.Devices() {
 		name := d.Info().Name

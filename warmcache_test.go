@@ -1,0 +1,163 @@
+package adamant_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// q6BaseColumns are the base columns Q6 scans; the warm-cache trace must
+// show no H2D transfer for any of them.
+var q6BaseColumns = []string{
+	"lineitem.l_shipdate",
+	"lineitem.l_discount",
+	"lineitem.l_quantity",
+	"lineitem.l_extendedprice",
+}
+
+// warmCacheQ6Trace runs Q6 twice on one runtime with the buffer pool: the
+// cold run fills the pool unrecorded, the warm run records. It returns the
+// rendered observability text and the warm run's spans.
+func warmCacheQ6Trace(t *testing.T, model exec.Model) (string, []trace.Span) {
+	t.Helper()
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := hub.NewRuntime()
+	id, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(bufpool.Config{Capacity: 1 << 26, Device: rt.Device})
+
+	g, err := tpch.BuildQuery("Q6", ds, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Pool: pool}); err != nil {
+		t.Fatalf("cold Q6: %v", err)
+	}
+
+	g, err = tpch.BuildQuery("Q6", ds, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Pool: pool, Recorder: rec})
+	if err != nil {
+		t.Fatalf("warm Q6: %v", err)
+	}
+	var b strings.Builder
+	exec.WriteAnalyze(&b, g, pipelines, res.Stats, rec.Spans())
+	b.WriteString("\n")
+	trace.WriteSummary(&b, rec.Spans())
+	return b.String(), rec.Spans()
+}
+
+// TestGoldenTraceWarmCacheQ6 pins the warm-cache rendering of Q6: with
+// every base column already pooled, the recorded trace contains zero
+// base-column H2D spans — the transfer path is fully bypassed — and cache
+// spans mark each pooled scan as a hit. The rendering is bit-for-bit
+// deterministic and pinned against a golden file.
+func TestGoldenTraceWarmCacheQ6(t *testing.T) {
+	model := exec.FourPhasePipelined
+	got, spans := warmCacheQ6Trace(t, model)
+	if again, _ := warmCacheQ6Trace(t, model); again != got {
+		t.Fatalf("warm-cache trace not deterministic across two runs:\n%s", diffLines(again, got))
+	}
+
+	for _, s := range spans {
+		if s.Kind != trace.KindH2D {
+			continue
+		}
+		for _, col := range q6BaseColumns {
+			if strings.Contains(s.Label, col) {
+				t.Errorf("warm trace has base-column H2D span %q; the pool must serve it", s.Label)
+			}
+		}
+	}
+	var cacheHits int
+	for _, s := range spans {
+		if s.Kind == trace.KindCache && strings.HasPrefix(s.Label, "hit ") {
+			cacheHits++
+		}
+	}
+	if cacheHits != len(q6BaseColumns) {
+		t.Errorf("warm trace has %d cache-hit spans, want %d (one per base column)",
+			cacheHits, len(q6BaseColumns))
+	}
+	path := filepath.Join("testdata", "traces", "Q6-warm-cache.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test -run TestGoldenTraceWarmCacheQ6 -update .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s (re-bless with -update if intended):\n%s",
+			path, diffLines(got, string(want)))
+	}
+}
+
+// TestWarmCacheSpeedupQ6 is the repeated-workload acceptance benchmark: on
+// a realistic Q6 working set, the warm (pooled) run must finish at least
+// twice as fast as the cold run in virtual time, because the base-column
+// transfers dominate the cold run and disappear from the warm one.
+func TestWarmCacheSpeedupQ6(t *testing.T) {
+	ds, err := tpch.Generate(tpch.Config{SF: 100, Ratio: 1.0 / 1024, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := hub.NewRuntime()
+	id, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufpool.New(bufpool.Config{Capacity: 1 << 30, Device: rt.Device})
+	opts := exec.Options{Model: exec.OperatorAtATime, ChunkElems: 32768, Pool: pool}
+
+	var elapsed [2]vclock.Duration
+	for i := range elapsed {
+		g, err := tpch.BuildQuery("Q6", ds, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(rt, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[i] = res.Stats.Elapsed
+	}
+	cold, warm := elapsed[0], elapsed[1]
+	if warm <= 0 || cold < 2*warm {
+		t.Errorf("warm run %v vs cold %v: speedup %.2fx, want >= 2x",
+			warm, cold, float64(cold)/float64(warm))
+	}
+	st := pool.Stats()
+	if st.Misses != uint64(len(q6BaseColumns)) || st.Hits != uint64(len(q6BaseColumns)) {
+		t.Errorf("pool stats %+v: want %d misses then %d hits", st, len(q6BaseColumns), len(q6BaseColumns))
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, float64(cold)/float64(warm))
+}
