@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench bench-cache fuzz cover serve
+.PHONY: ci vet build test race bench bench-cache bench-fuse fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -35,6 +35,11 @@ bench:
 # BENCH_PR6.json at the full profile.
 bench-cache:
 	go run ./cmd/adamant-bench -exp cache -json BENCH_PR6.json
+
+# Fused-vs-unfused Q6 tables (EXPERIMENTS.md "Operator fusion");
+# regenerates BENCH_PR7.json at the full profile.
+bench-fuse:
+	go run ./cmd/adamant-bench -exp fuse -json BENCH_PR7.json
 
 # Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
 # /events, /flight, /util and /run?n=K on port 9464.

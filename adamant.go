@@ -266,6 +266,7 @@ type engineConfig struct {
 	health     *session.HealthPolicy
 	poolCap    int64
 	poolPolicy bufpool.Policy
+	fuse       bool
 }
 
 // CachePolicy selects the buffer pool's eviction order (see
@@ -307,6 +308,23 @@ func WithBufferPool(capacityBytes int64, policy CachePolicy) EngineOption {
 		c.poolPolicy = policy
 	}
 }
+
+// WithFusion enables the operator-fusion pass: before execution, every plan
+// is rewritten so that fusible selection→map→{reduce,materialize} chains run
+// as single-pass fused kernels, skipping the bitmap and gathered-column
+// intermediates of the unfused path (and the demand they would have charged
+// at admission). Chains containing a non-fusible operator — OR/NOT filter
+// combinations, column-column comparisons, semi-joins, position lists —
+// stay on the unfused path, and results are bit-for-bit identical either
+// way. Fused launches show up as FUSED_* primitives in ExplainAnalyze and
+// as fuse spans in traces.
+func WithFusion() EngineOption {
+	return func(c *engineConfig) { c.fuse = true }
+}
+
+// FusionEnabled reports whether the engine rewrites plans with the fusion
+// pass before executing them.
+func (e *Engine) FusionEnabled() bool { return e.fuse }
 
 // WithMaxConcurrent caps how many queries execute concurrently on the
 // engine; further queries wait in the admission queue. Zero (the default)
@@ -420,6 +438,7 @@ type Engine struct {
 	health     *session.HealthTracker
 	tele       *engineTelemetry
 	pool       *bufpool.Manager
+	fuse       bool
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -441,6 +460,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 		deadline:   cfg.deadline,
 		adaptive:   cfg.adaptive,
 		minChunk:   cfg.minChunk,
+		fuse:       cfg.fuse,
 	}
 	if cfg.health != nil {
 		e.health = session.NewHealthTracker(*cfg.health)
@@ -625,6 +645,11 @@ func (e *Engine) queryDeadline(opts ExecOptions) vclock.Duration {
 // runGraph is the shared admission + execution path: estimate the query's
 // per-device working set, pass admission control, run, release.
 func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options, priority int) (*exec.Result, error) {
+	if e.fuse {
+		// Fusion runs before demand estimation so the admission working set
+		// shrinks with the intermediates the fused chains no longer allocate.
+		g = graph.Fuse(g)
+	}
 	demand, err := exec.EstimateDemand(g, opts)
 	if err != nil {
 		return nil, err

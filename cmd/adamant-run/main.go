@@ -75,6 +75,7 @@ func run(ctx context.Context) error {
 	cacheMiB := flag.Int64("cache", 0, "device buffer-pool capacity in MiB; base columns stay cached across queries (0 = off)")
 	cachePolicy := flag.String("cache-policy", "cost", "buffer-pool eviction policy: cost (bytes x transfer cost) or lru")
 	repeat := flag.Int("repeat", 1, "run the query this many times on one engine (with -cache, later runs hit the pool)")
+	fuse := flag.Bool("fuse", false, "rewrite fusible filter/map/aggregate chains into single-pass fused kernels before executing")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -177,6 +178,10 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	if *fuse {
+		g = graph.Fuse(g)
 	}
 
 	if *explain {

@@ -1,0 +1,108 @@
+package adamant
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The differential fusion harness: for random plans — fusible, partially
+// fusible, and non-fusible alike — across all execution models and drivers,
+// a run with the fusion pass enabled must match the unfused run bit-for-bit.
+// Fusion is a pure plan rewrite; any observable difference beyond the trace
+// and the launch count is a bug.
+
+// TestDifferentialFusion compares fused against unfused execution over the
+// same random plan population the fault harness uses: single filters, AND
+// trees, OR/ANDNOT combinations (non-fusible), semi-joins (non-fusible),
+// result-marked materializes, and empty tables, across 5 models × 4 drivers.
+func TestDifferentialFusion(t *testing.T) {
+	pairs := 120
+	if testing.Short() {
+		pairs = 12
+	}
+	var baseLaunches, fusedLaunches int64
+	for i := 0; i < pairs; i++ {
+		model := harnessModels[i%len(harnessModels)]
+		drv := harnessDrivers[(i/len(harnessModels))%len(harnessDrivers)]
+		seed := int64(i)*104729 + 11
+		label := fmt.Sprintf("pair %d (%v on %s)", i, model, drv.name)
+		opts := ExecOptions{Model: model, ChunkElems: 256}
+
+		baseEng := harnessEngine(t, drv, nil)
+		baseRes, err := baseEng.Execute(buildHarnessPlan(baseEng, seed), opts)
+		if err != nil {
+			t.Fatalf("%s: unfused run failed: %v", label, err)
+		}
+
+		fusedEng := harnessEngine(t, drv, nil, WithFusion())
+		if !fusedEng.FusionEnabled() {
+			t.Fatal("WithFusion did not stick")
+		}
+		fusedRes, err := fusedEng.Execute(buildHarnessPlan(fusedEng, seed), opts)
+		if err != nil {
+			t.Fatalf("%s: fused run failed: %v", label, err)
+		}
+		sameResults(t, label, baseRes, fusedRes)
+		checkMemBaseline(t, fusedEng, label+" fused")
+
+		baseLaunches += baseRes.Stats().Launches
+		fusedLaunches += fusedRes.Stats().Launches
+		if fusedRes.Stats().Launches > baseRes.Stats().Launches {
+			t.Errorf("%s: fusion increased launches %d -> %d", label,
+				baseRes.Stats().Launches, fusedRes.Stats().Launches)
+		}
+	}
+	// The population mixes fusible and non-fusible plans; if no plan ever
+	// fused, the harness is not exercising the rewrite at all.
+	if fusedLaunches >= baseLaunches {
+		t.Errorf("launches fused %d vs unfused %d: no plan ever fused", fusedLaunches, baseLaunches)
+	}
+	t.Logf("kernel launches: %d unfused, %d fused", baseLaunches, fusedLaunches)
+}
+
+// TestDifferentialFusionUnderFaults composes fusion with the PR 2 fault
+// harness: a faulted fused run must either match the fault-free unfused
+// baseline bit-for-bit or fail with one of the typed resilience errors —
+// never a wrong answer — and device memory must return to baseline. The
+// fused kernels travel the same retry/degrade/failover machinery as any
+// Table-I primitive.
+func TestDifferentialFusionUnderFaults(t *testing.T) {
+	pairs := 120
+	if testing.Short() {
+		pairs = 12
+	}
+	var matched, failedTyped int
+	for i := 0; i < pairs; i++ {
+		model := harnessModels[i%len(harnessModels)]
+		drv := harnessDrivers[(i/len(harnessModels))%len(harnessDrivers)]
+		seed := int64(i)*7919 + 3 // same population as the fault harness
+		label := fmt.Sprintf("pair %d (%v on %s)", i, model, drv.name)
+		opts := ExecOptions{Model: model, ChunkElems: 256}
+
+		baseEng := harnessEngine(t, drv, nil)
+		baseRes, err := baseEng.Execute(buildHarnessPlan(baseEng, seed), opts)
+		if err != nil {
+			t.Fatalf("%s: baseline failed: %v", label, err)
+		}
+
+		faultEng := harnessEngine(t, drv, harnessFaultPlan(i, drv), WithFusion())
+		faultRes, err := faultEng.Execute(buildHarnessPlan(faultEng, seed), opts)
+		switch {
+		case err == nil:
+			sameResults(t, label, baseRes, faultRes)
+			matched++
+		case harnessTypedError(err):
+			failedTyped++
+		default:
+			t.Errorf("%s: untyped error under faults: %v", label, err)
+		}
+		checkMemBaseline(t, faultEng, label+" faulted+fused")
+	}
+	t.Logf("%d fused runs matched the unfused baseline, %d failed typed", matched, failedTyped)
+	if matched == 0 {
+		t.Error("no faulted fused run ever completed")
+	}
+	if !testing.Short() && failedTyped == 0 {
+		t.Error("no faulted fused run ever failed; the schedules are not injecting")
+	}
+}

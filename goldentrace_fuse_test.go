@@ -1,0 +1,153 @@
+package adamant_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
+)
+
+// goldenTraceSpans is goldenTrace with the fusion pass optionally applied
+// and the raw spans returned alongside the rendering, so tests can assert
+// on the span structure the golden text is built from.
+func goldenTraceSpans(t *testing.T, query string, model exec.Model, fuse bool) (string, []trace.Span) {
+	t.Helper()
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := hub.NewRuntime()
+	id, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tpch.BuildQuery(query, ds, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuse {
+		fg := graph.Fuse(g)
+		if fg == g {
+			t.Fatalf("%s did not fuse", query)
+		}
+		g = fg
+	}
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Recorder: rec})
+	if err != nil {
+		t.Fatalf("%s under %v: %v", query, model, err)
+	}
+	var b strings.Builder
+	exec.WriteAnalyze(&b, g, pipelines, res.Stats, rec.Spans())
+	b.WriteString("\n")
+	trace.WriteSummary(&b, rec.Spans())
+	return b.String(), rec.Spans()
+}
+
+// TestGoldenTraceFused pins the fused renderings of Q6 (full chain fusion)
+// and Q3 (the build-side materialize fuses; the join pipelines stay on the
+// unfused path) under the three basic models, and asserts the headline
+// property of fusion on the span level: a fused chain runs with ZERO
+// intermediate output allocations and frees — only the unfused plan bounces
+// bitmap and gathered-column buffers through device memory.
+func TestGoldenTraceFused(t *testing.T) {
+	models := []struct {
+		slug  string
+		model exec.Model
+	}{
+		{"oaat", exec.OperatorAtATime},
+		{"chunked", exec.Chunked},
+		{"pipelined", exec.Pipelined},
+	}
+	for _, query := range []string{"Q3", "Q6"} {
+		for _, m := range models {
+			name := fmt.Sprintf("%s-fuse-%s", query, m.slug)
+			t.Run(name, func(t *testing.T) {
+				got, spans := goldenTraceSpans(t, query, m.model, true)
+				if again, _ := goldenTraceSpans(t, query, m.model, true); again != got {
+					t.Fatalf("fused trace of %s not deterministic:\n%s", name, diffLines(again, got))
+				}
+
+				// The fused plan dispatches fused kernels, and every one of
+				// them carries its fuse annotation.
+				var fuseSpans, fusedKernels int
+				for _, s := range spans {
+					if s.Kind == trace.KindFuse {
+						fuseSpans++
+					}
+					if s.Kind == trace.KindKernel && strings.HasPrefix(s.Label, "fused_") {
+						fusedKernels++
+					}
+				}
+				if fuseSpans == 0 || fuseSpans != fusedKernels {
+					t.Errorf("%d fuse spans for %d fused kernel launches", fuseSpans, fusedKernels)
+				}
+
+				// The fused trace is visibly shorter than the unfused one.
+				unfused, uspans := goldenTraceSpans(t, query, m.model, false)
+				if len(spans) >= len(uspans) {
+					t.Errorf("fused trace has %d spans, unfused %d", len(spans), len(uspans))
+				}
+				_ = unfused
+
+				if query == "Q6" {
+					// Q6 fuses completely: no intermediate results exist, so
+					// the pipeline allocates no per-operator output buffers at
+					// all (the accumulator and staging allocs remain). The
+					// unfused run must show them, or this check is dead.
+					if n := outputAllocs(spans); n != 0 {
+						t.Errorf("fused Q6 allocates %d intermediate output buffers, want 0", n)
+					}
+					if n := outputAllocs(uspans); n == 0 {
+						t.Error("unfused Q6 shows no intermediate output allocs; the assertion lost its teeth")
+					}
+				}
+
+				path := filepath.Join("testdata", "traces", name+".txt")
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run: go test -run TestGoldenTraceFused -update .): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("golden mismatch for %s (re-bless with -update if intended):\n%s",
+						path, diffLines(got, string(want)))
+				}
+			})
+		}
+	}
+}
+
+// outputAllocs counts the per-operator output-buffer allocations in a
+// trace ("output" in the chunked models, "scratch" in the pipelined ones) —
+// the intermediate results a fused chain is supposed to eliminate.
+func outputAllocs(spans []trace.Span) int {
+	var n int
+	for _, s := range spans {
+		if s.Kind == trace.KindAlloc && (s.Label == "output" || s.Label == "scratch") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package exec_test
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/tpch"
+)
+
+// TestEstimateDemandFusedQ6 pins the admission working set of the fused Q6
+// plan under every model. Fusion runs before demand estimation, so the
+// estimator never sees the chain intermediates — the fused estimate must
+// not charge the bitmap, materialize and map buffers the unfused plan
+// bounces through device memory, and under the 4-phase models (pinned
+// staging, nothing device-resident but outputs) it collapses to the
+// 8-byte accumulator alone.
+func TestEstimateDemandFusedQ6(t *testing.T) {
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tpch.BuildQuery("Q6", ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := graph.Fuse(g)
+	if fg == g {
+		t.Fatal("Q6 did not fuse")
+	}
+
+	// 1514 lineitem rows at ratio 1/4096; chunk 512. The fused plan holds
+	// the four int32 scan columns (per the model's staging rules) plus the
+	// 8-byte accumulator — and nothing else.
+	cases := []struct {
+		model          exec.Model
+		unfused, fused int64
+	}{
+		{exec.OperatorAtATime, 49432, 24232}, // whole columns + accumulator
+		{exec.Chunked, 16728, 8200},          // staging chunks + accumulator
+		{exec.Pipelined, 24920, 16392},       // double-buffered staging + accumulator
+		{exec.FourPhaseChunked, 8536, 8},     // pinned staging: accumulator only
+		{exec.FourPhasePipelined, 8536, 8},
+	}
+	for _, tc := range cases {
+		opts := exec.Options{Model: tc.model, ChunkElems: 512}
+		du, err := exec.EstimateDemand(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := exec.EstimateDemand(fg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if du[0] != tc.unfused {
+			t.Errorf("%v: unfused demand = %d, want %d", tc.model, du[0], tc.unfused)
+		}
+		if df[0] != tc.fused {
+			t.Errorf("%v: fused demand = %d, want %d", tc.model, df[0], tc.fused)
+		}
+		if df[0] >= du[0] {
+			t.Errorf("%v: fusion did not shrink the working set (%d -> %d)", tc.model, du[0], df[0])
+		}
+	}
+}
+
+// TestEstimateDemandFusedPoolNoDoubleSkip: pool-covered scan columns are
+// skipped from the query's demand exactly once on the fused plan — the
+// fused graph holds each base column as a single scan node, so the pool
+// exemption composes with fusion instead of double-discounting, and the
+// remainder is exactly the fused node's accumulator.
+func TestEstimateDemandFusedPoolNoDoubleSkip(t *testing.T) {
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, dev := gpuRuntime(t)
+	g, err := tpch.BuildQuery("Q6", ds, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := graph.Fuse(g)
+	pool := bufpool.New(bufpool.Config{
+		Capacity: 1 << 30,
+		Policy:   bufpool.CostAware,
+		Device:   rt.Device,
+	})
+	d, err := exec.EstimateDemand(fg, exec.Options{Model: exec.Chunked, ChunkElems: 512, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[dev] != 8 {
+		t.Errorf("fused+pooled demand = %d, want the bare 8-byte accumulator", d[dev])
+	}
+}

@@ -3,6 +3,7 @@ package exec_test
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/adamant-db/adamant/internal/driver/simomp"
 	"github.com/adamant-db/adamant/internal/exec"
 	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/trace"
@@ -125,6 +127,119 @@ func TestTraceInvariantsProperty(t *testing.T) {
 		again, _ := tracedRun(t, raw, b, int64(cut), model, chunk)
 		if !reflect.DeepEqual(spans, again) {
 			t.Logf("%v chunk=%d: trace not reproducible across fresh runtimes", model, chunk)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkFuseInvariants verifies the structural guarantees of fuse spans:
+// every fuse span is a pure annotation (no engine time, not a container)
+// riding a fused kernel launch with the identical extent, and every fused
+// kernel launch carries exactly one such annotation. It returns the number
+// of fuse spans.
+func checkFuseInvariants(spans []trace.Span) (int, error) {
+	type extent struct {
+		label      string
+		device     string
+		node       int
+		chunk      int
+		start, end vclock.Time
+	}
+	fusedKernels := map[extent]int{}
+	for _, s := range spans {
+		if s.Kind == trace.KindKernel && strings.HasPrefix(s.Label, "fused_") {
+			fusedKernels[extent{s.Label, s.Device, s.Node, s.Chunk, s.Start, s.End}]++
+		}
+	}
+	var fuses int
+	for _, s := range spans {
+		if s.Kind != trace.KindFuse {
+			continue
+		}
+		fuses++
+		if s.Kind.Engine() || s.Kind.Container() {
+			return 0, fmt.Errorf("fuse span %d classified as engine/container", s.ID)
+		}
+		if s.Engine != "" || s.Bytes != 0 {
+			return 0, fmt.Errorf("fuse span %d carries engine time or bytes", s.ID)
+		}
+		key := extent{s.Label, s.Device, s.Node, s.Chunk, s.Start, s.End}
+		if fusedKernels[key] == 0 {
+			return 0, fmt.Errorf("fuse span %d (%s @%v) has no kernel span of the same extent", s.ID, s.Label, s.Start)
+		}
+		fusedKernels[key]--
+	}
+	for k, n := range fusedKernels {
+		if n != 0 {
+			return 0, fmt.Errorf("fused kernel launch %q has %d unannotated launches", k.label, n)
+		}
+	}
+	return fuses, nil
+}
+
+// Property: fusing a fusible plan preserves every trace invariant, yields
+// the identical answer, annotates each fused launch with exactly one fuse
+// span, and visibly shortens the trace.
+func TestTraceInvariantsFusedProperty(t *testing.T) {
+	models := exec.Models()
+	f := func(raw []int32, chunkRaw uint16, cut int32, modelRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := make([]int32, len(raw))
+		for i := range b {
+			b[i] = int32(i % 97)
+		}
+		chunk := int(chunkRaw)%len(raw) + 64
+		model := models[int(modelRaw)%len(models)]
+
+		spans, _ := tracedRun(t, raw, b, int64(cut), model, chunk)
+
+		rt, dev := gpuRuntime(t)
+		g := filterSumGraph(t, raw, b, int64(cut), dev)
+		fg := graph.Fuse(g)
+		if fg == g {
+			t.Log("filterSumGraph stopped fusing")
+			return false
+		}
+		rec := trace.NewRecorder()
+		res, err := exec.Run(rt, fg, exec.Options{Model: model, ChunkElems: chunk, Recorder: rec})
+		if err != nil {
+			t.Logf("fused %v chunk=%d: %v", model, chunk, err)
+			return false
+		}
+		fspans := rec.Spans()
+		if err := checkTraceInvariants(fspans, res.Stats); err != nil {
+			t.Logf("fused %v chunk=%d: %v", model, chunk, err)
+			return false
+		}
+		fuses, err := checkFuseInvariants(fspans)
+		if err != nil || fuses == 0 {
+			t.Logf("fused %v chunk=%d: %d fuse spans, %v", model, chunk, fuses, err)
+			return false
+		}
+		// The unfused trace carries no fuse spans at all.
+		if n, err := checkFuseInvariants(spans); err != nil || n != 0 {
+			t.Logf("unfused trace has %d fuse spans (%v)", n, err)
+			return false
+		}
+		var want int64
+		for i, v := range raw {
+			if v < cut {
+				want += int64(b[i])
+			}
+		}
+		col, ok := res.Column("sum")
+		if !ok || col.I64()[0] != want {
+			t.Logf("fused %v chunk=%d: got %v, want %d", model, chunk, col, want)
+			return false
+		}
+		if len(fspans) >= len(spans) {
+			t.Logf("fused trace has %d spans, unfused %d: fusion did not shorten it", len(fspans), len(spans))
 			return false
 		}
 		return true

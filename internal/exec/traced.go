@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"strings"
+
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/devmem"
 	"github.com/adamant-db/adamant/internal/trace"
@@ -53,6 +55,23 @@ func (t *traced) record(kind trace.Kind, label, engine string, tl *vclock.Timeli
 	})
 	if kind == trace.KindKernel {
 		x.lastKernel = id
+		// A fused single-pass kernel gets a companion fuse annotation with
+		// the same extent: never engine time (the kernel span already
+		// carries that), but it lets summaries and invariants show which
+		// launches replaced whole primitive chains.
+		if strings.HasPrefix(label, "fused_") {
+			x.rec.Add(trace.Span{
+				Parent:   x.parentSpan(),
+				Kind:     trace.KindFuse,
+				Label:    label,
+				Device:   t.name,
+				Start:    end.Add(-delta),
+				End:      end,
+				Node:     x.curNode,
+				Pipeline: x.pidx,
+				Chunk:    x.cidx,
+			})
+		}
 	}
 }
 

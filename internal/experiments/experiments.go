@@ -108,6 +108,7 @@ var registry = map[string]Generator{
 	"heavydb":    Fig11HeavyDB,
 	"chunksweep": ChunkSweep,
 	"cache":      CacheWarm,
+	"fuse":       FuseSpeedup,
 }
 
 // Names lists the experiment identifiers in run order.

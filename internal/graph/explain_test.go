@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/task"
+)
+
+// buildAggExtract wires a Q3-like tail: a hash aggregate pipeline feeding an
+// extract pipeline that streams no scans, so its cardinality is estimated.
+func buildAggExtract(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	keys := g.AddScan("t.k", col(128), dev)
+	vals := g.AddScan("t.v", col(128), dev)
+	v64 := g.AddTask(task.NewMapCast("cast"), dev, vals)
+	h := g.AddTask(task.NewHashAgg(kernels.AggSum, 16, "sum by k"), dev, keys, g.Out(v64, 0))
+	ext := g.AddTask(task.NewHashExtract(16, "extract"), dev, g.Out(h, 0))
+	g.MarkResult("k", g.Out(ext, 0))
+	g.MarkResult("sum", g.Out(ext, 1))
+	return g
+}
+
+func TestEstimateRows(t *testing.T) {
+	g := buildAggExtract(t)
+	ps, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d pipelines, want 2", len(ps))
+	}
+	est := EstimateRows(g, ps)
+	if est[0] != 128 {
+		t.Errorf("scan-fed pipeline estimate = %d, want its 128 scan rows", est[0])
+	}
+	if est[1] <= 0 {
+		t.Errorf("extract pipeline estimate = %d, want a positive producer-derived estimate", est[1])
+	}
+}
+
+func TestWriteExplain(t *testing.T) {
+	g := buildAggExtract(t)
+	ps, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteExplain(&sb, g, ps, "  ")
+	out := sb.String()
+	for _, want := range []string{
+		"pipeline 0 — 128 rows",
+		"scan t.k",
+		"scan t.v",
+		"HASH_AGG[sum by k] †", // breakers carry the paper's dagger
+		"pipeline 1 (after [0])",
+		"rows (estimated)",
+		"HASH_EXTRACT[extract]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteExplainFused: the fused plan renders with the fused primitive in
+// place of the chain, so -explain shows what actually dispatches.
+func TestWriteExplainFused(t *testing.T) {
+	g := buildQ6Like(t)
+	fg := Fuse(g)
+	ps, err := fg.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteExplain(&sb, fg, ps, "")
+	out := sb.String()
+	if !strings.Contains(out, "FUSED_AGG_BLOCK") {
+		t.Errorf("fused explain missing FUSED_AGG_BLOCK:\n%s", out)
+	}
+	if strings.Contains(out, "MATERIALIZE") || strings.Contains(out, "MAP[") {
+		t.Errorf("fused explain still shows chain intermediates:\n%s", out)
+	}
+}

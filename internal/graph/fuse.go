@@ -1,0 +1,364 @@
+package graph
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// This file implements the fusion pass: a pure rewrite over a primitive
+// graph that recognizes fusible selection→map→{reduce,materialize} chains
+// and replaces them with the single-pass fused primitives, so the chunked
+// execution models stop bouncing bitmap and gathered-column intermediates
+// through device memory (the dominant cost the paper's Fig. 11 gap to
+// HeavyDB comes from).
+//
+// A chain is fusible when every link matches the shapes the fused kernels
+// can interpret, all on one device:
+//
+//   - terminal: an AGG_BLOCK (agg_block_i32/i64) fed by a fusible value
+//     expression, or a MATERIALIZE (materialize_bitmap_*) of a scan column;
+//   - value expression: a MAP (map_mul, map_mul_complement, map_cast) whose
+//     operands are either all scans, or all MATERIALIZEs of scans sharing
+//     one bitmap source — or a single MATERIALIZE of a scan;
+//   - bitmap source: an AND-tree of bitmap_and nodes over constant
+//     FILTER_BITMAP (filter_bitmap_i32/i64) predicates on scan columns.
+//
+// Everything else — OR/NOT/ANDNOT combinations, column-column filters,
+// semi-join filters, position-list filters, hash operators, cross-device
+// chains — breaks the chain: its terminal stays on the unfused path
+// untouched. Partial fusion is sound because a fused kernel re-evaluates
+// the predicates from the base columns, so chain-internal nodes that are
+// still consumed elsewhere (a bitmap feeding a COUNT, a result-marked
+// materialize) simply stay alive alongside the fused node. Internal nodes
+// nothing references anymore are dropped, including scans that would
+// otherwise be left without a consumer.
+
+// chain is one detected fusible chain, rooted at terminal.
+type chain struct {
+	cols    []NodeID // distinct scan nodes, in first-reference order
+	preds   []task.FusedPred
+	m       task.FusedMap
+	isAgg   bool
+	aggOp   kernels.AggOp
+	outType vec.Type
+	label   string
+}
+
+// chainBuilder accumulates a chain while walking the original graph.
+type chainBuilder struct {
+	g      *Graph
+	dev    device.ID
+	c      chain
+	colIdx map[NodeID]int
+}
+
+// col interns a scan node as a fused column argument.
+func (b *chainBuilder) col(scan NodeID) int {
+	if i, ok := b.colIdx[scan]; ok {
+		return i
+	}
+	i := len(b.c.cols)
+	b.colIdx[scan] = i
+	b.c.cols = append(b.c.cols, scan)
+	return i
+}
+
+// scanSource returns the scan node feeding e, or -1 if the source is not a
+// scan on the chain's device.
+func (b *chainBuilder) scanSource(e *Edge) NodeID {
+	n := b.g.nodes[e.From]
+	if !n.IsScan() || n.Device != b.dev {
+		return -1
+	}
+	return n.ID
+}
+
+// predTree walks a bitmap AND-tree, collecting constant predicates over
+// scan columns in DFS order. Any other bitmap producer makes the chain
+// non-fusible.
+func (b *chainBuilder) predTree(e *Edge) bool {
+	n := b.g.nodes[e.From]
+	if n.IsScan() || n.Task == nil || n.Device != b.dev {
+		return false
+	}
+	switch n.Task.Kernel {
+	case "bitmap_and":
+		return b.predTree(n.in[0]) && b.predTree(n.in[1])
+	case "filter_bitmap_i32", "filter_bitmap_i64":
+		src := b.scanSource(n.in[0])
+		if src < 0 {
+			return false
+		}
+		p := n.Task.Params
+		b.c.preds = append(b.c.preds, task.FusedPred{
+			Col: b.col(src), Op: kernels.CmpOp(p[0]), Lo: p[1], Hi: p[2],
+		})
+		return true
+	}
+	return false
+}
+
+func isBitmapMaterialize(n *Node) bool {
+	if n.IsScan() || n.Task == nil {
+		return false
+	}
+	return n.Task.Kernel == "materialize_bitmap_i32" || n.Task.Kernel == "materialize_bitmap_i64"
+}
+
+// operand is one map operand resolved to its base column.
+type operand struct {
+	scan   NodeID
+	bm     *Edge // the materialize's bitmap edge; nil for a direct scan
+	viaMat bool
+}
+
+// resolveOperand resolves a map operand edge to a scan column, either
+// directly or through a MATERIALIZE of a scan.
+func (b *chainBuilder) resolveOperand(e *Edge) (operand, bool) {
+	from := b.g.nodes[e.From]
+	if from.IsScan() {
+		if from.Device != b.dev {
+			return operand{}, false
+		}
+		return operand{scan: from.ID}, true
+	}
+	if !isBitmapMaterialize(from) || from.Device != b.dev {
+		return operand{}, false
+	}
+	src := b.scanSource(from.in[0])
+	if src < 0 {
+		return operand{}, false
+	}
+	return operand{scan: src, bm: from.in[1], viaMat: true}, true
+}
+
+// operands resolves a value expression's operand edges and, when they run
+// through materializes, the shared bitmap's predicate tree. The predicates
+// are collected before the map columns are interned so the fused argument
+// order is always predicates-first.
+func (b *chainBuilder) operands(edges []*Edge) ([]operand, bool) {
+	ops := make([]operand, 0, len(edges))
+	for _, e := range edges {
+		op, ok := b.resolveOperand(e)
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, op)
+	}
+	anyMat := false
+	for _, op := range ops {
+		if op.viaMat {
+			anyMat = true
+		}
+	}
+	if anyMat {
+		// All operands must flow through materializes over one shared
+		// bitmap; mixing filtered and unfiltered columns has no single-pass
+		// form (the lengths differ).
+		first := ops[0]
+		if !first.viaMat {
+			return nil, false
+		}
+		for _, op := range ops[1:] {
+			if !op.viaMat || op.bm.From != first.bm.From || op.bm.FromPort != first.bm.FromPort {
+				return nil, false
+			}
+		}
+		if !b.predTree(first.bm) {
+			return nil, false
+		}
+	}
+	return ops, true
+}
+
+// detectAgg recognizes a fusible chain ending in an AGG_BLOCK over a map or
+// materialize.
+func detectAgg(g *Graph, n *Node) *chain {
+	if n.Task.Kind != primitive.AggBlock {
+		return nil
+	}
+	if n.Task.Kernel != "agg_block_i32" && n.Task.Kernel != "agg_block_i64" {
+		return nil
+	}
+	b := &chainBuilder{g: g, dev: n.Device, colIdx: map[NodeID]int{}}
+	b.c.isAgg = true
+	b.c.aggOp = kernels.AggOp(n.Task.Params[0])
+	b.c.label = n.Task.Label
+	if b.c.label == "" {
+		b.c.label = n.Task.Kernel
+	}
+
+	m := g.nodes[n.in[0].From]
+	if m.IsScan() || m.Task == nil || m.Device != n.Device {
+		return nil
+	}
+	var opEdges []*Edge
+	switch m.Task.Kernel {
+	case "map_mul_i32_i64":
+		b.c.m.Kind = kernels.FusedMapMul
+		opEdges = m.in
+	case "map_mul_complement_i32_i64":
+		b.c.m.Kind = kernels.FusedMapMulComp
+		b.c.m.K = m.Task.Params[0]
+		opEdges = m.in
+	case "map_cast_i32_i64":
+		b.c.m.Kind = kernels.FusedMapCol
+		opEdges = m.in
+	case "materialize_bitmap_i32", "materialize_bitmap_i64":
+		// AGG_BLOCK directly over a materialized column.
+		b.c.m.Kind = kernels.FusedMapCol
+		opEdges = n.in
+	default:
+		return nil
+	}
+	ops, ok := b.operands(opEdges)
+	if !ok {
+		return nil
+	}
+	b.c.m.A = b.col(ops[0].scan)
+	if len(ops) > 1 {
+		b.c.m.B = b.col(ops[1].scan)
+	}
+	return &b.c
+}
+
+// detectMat recognizes a fusible chain ending in a MATERIALIZE of a scan
+// column through a predicate AND-tree.
+func detectMat(g *Graph, n *Node) *chain {
+	if !isBitmapMaterialize(n) {
+		return nil
+	}
+	b := &chainBuilder{g: g, dev: n.Device, colIdx: map[NodeID]int{}}
+	b.c.outType = n.Task.Outputs[0].Type
+	b.c.label = n.Task.Label
+	if b.c.label == "" {
+		b.c.label = n.Task.Kernel
+	}
+	src := b.scanSource(n.in[0])
+	if src < 0 {
+		return nil
+	}
+	if !b.predTree(n.in[1]) {
+		return nil
+	}
+	b.c.m.Kind = kernels.FusedMapCol
+	b.c.m.A = b.col(src)
+	return &b.c
+}
+
+// Fuse returns a graph with every fusible chain rewritten into a fused
+// single-pass node, or g itself (unchanged) when nothing fuses. The rewrite
+// is pure: the input graph is never mutated, estimated cardinalities and
+// result markings are preserved, and chain-internal nodes that are still
+// consumed elsewhere stay on the unfused path.
+func Fuse(g *Graph) *Graph {
+	if g == nil || g.Validate() != nil {
+		return g
+	}
+
+	chains := map[NodeID]*chain{}
+	for _, n := range g.nodes {
+		if n.IsScan() || n.Task == nil {
+			continue
+		}
+		if c := detectAgg(g, n); c != nil {
+			chains[n.ID] = c
+			continue
+		}
+		if c := detectMat(g, n); c != nil {
+			chains[n.ID] = c
+		}
+	}
+	if len(chains) == 0 {
+		return g
+	}
+
+	// Liveness under the rewritten wiring: a fused terminal references its
+	// base-column scans instead of its original inputs, so chain-internal
+	// nodes (and their scans) survive only if a result or an unfused
+	// consumer still needs them. Nodes are processed in reverse insertion
+	// order — edges only point backward, so every consumer is decided
+	// before its producers.
+	isResult := make([]bool, len(g.nodes))
+	for _, r := range g.results {
+		isResult[r.Ref.Node] = true
+	}
+	outDegree := make([]int, len(g.nodes))
+	for _, e := range g.edges {
+		outDegree[e.From]++
+	}
+	referenced := make([]bool, len(g.nodes))
+	keep := make([]bool, len(g.nodes))
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		sink := !n.IsScan() && outDegree[i] == 0
+		keep[i] = isResult[i] || referenced[i] || sink
+		if !keep[i] {
+			continue
+		}
+		if c, fused := chains[n.ID]; fused {
+			for _, s := range c.cols {
+				referenced[s] = true
+			}
+		} else {
+			for _, e := range n.in {
+				referenced[e.From] = true
+			}
+		}
+	}
+	anyFused := false
+	for id := range chains {
+		if keep[id] {
+			anyFused = true
+		} else {
+			delete(chains, id) // chain absorbed into an enclosing one
+		}
+	}
+	if !anyFused {
+		return g
+	}
+
+	// Rebuild: kept nodes in original insertion order, fused terminals
+	// replaced by their single-pass tasks wired straight to the scans.
+	ng := New()
+	newID := make(map[NodeID]NodeID, len(g.nodes))
+	remap := func(old PortRef) PortRef {
+		return PortRef{Node: newID[old.Node], Port: old.Port}
+	}
+	for _, n := range g.nodes {
+		if !keep[n.ID] {
+			continue
+		}
+		if n.IsScan() {
+			ref := ng.AddScan(n.Scan.Name, n.Scan.Data, n.Device)
+			newID[n.ID] = ref.Node
+			continue
+		}
+		if c, fused := chains[n.ID]; fused {
+			var t *task.Task
+			if c.isAgg {
+				t = task.NewFusedFilterAgg(c.aggOp, c.preds, c.m, len(c.cols), c.label)
+			} else {
+				t = task.NewFusedFilterMat(c.outType, c.preds, c.m, len(c.cols), c.label)
+			}
+			inputs := make([]PortRef, len(c.cols))
+			for i, s := range c.cols {
+				inputs[i] = remap(PortRef{Node: s, Port: 0})
+			}
+			newID[n.ID] = ng.AddTask(t, n.Device, inputs...)
+			continue
+		}
+		inputs := make([]PortRef, len(n.in))
+		for i, e := range n.in {
+			inputs[i] = remap(PortRef{Node: e.From, Port: e.FromPort})
+		}
+		newID[n.ID] = ng.AddTask(n.Task, n.Device, inputs...)
+	}
+	for _, r := range g.results {
+		ng.MarkResult(r.Name, remap(r.Ref))
+	}
+	return ng
+}

@@ -1,0 +1,525 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+const dev2 = device.ID(1)
+
+func mustAgg(t *testing.T, op kernels.AggOp) *task.Task {
+	t.Helper()
+	a, err := task.NewAggBlock(op, vec.Int64, "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func fusedNodes(g *Graph) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.IsScan() {
+			continue
+		}
+		if n.Task.Kind == primitive.FusedAgg || n.Task.Kind == primitive.FusedMaterialize {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestFuseQ6LikeChain pins the full rewrite of the canonical fusible shape:
+// filters → AND → materializes → map → aggregate collapses to the scans plus
+// one FUSED_AGG_BLOCK, with the predicate and map micro-program laid out in
+// the parameters exactly as the fused kernel decodes them.
+func TestFuseQ6LikeChain(t *testing.T) {
+	g := buildQ6Like(t)
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("fusible graph came back unchanged")
+	}
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Nodes()) != 4 || len(fg.Edges()) != 3 {
+		t.Fatalf("fused shape: %d nodes, %d edges, want 4 and 3", len(fg.Nodes()), len(fg.Edges()))
+	}
+	fn := fusedNodes(fg)
+	if len(fn) != 1 {
+		t.Fatalf("got %d fused nodes, want 1", len(fn))
+	}
+	f := fn[0]
+	if f.Task.Kind != primitive.FusedAgg || f.Task.Kernel != "fused_filter_agg" {
+		t.Fatalf("fused node is %s/%s", f.Task.Kind, f.Task.Kernel)
+	}
+	if f.Task.NInputs != 3 {
+		t.Errorf("fused NInputs = %d, want 3 (scans a, b, c)", f.Task.NInputs)
+	}
+	// Micro-program: 2 predicates (a<10, b>=5 over ports 0 and 1), then the
+	// map mul over ports 2 (column c via its materialize) and 0 (column a),
+	// then the aggregate op.
+	want := []int64{
+		2,
+		0, int64(kernels.CmpLt), 10, 0,
+		1, int64(kernels.CmpGe), 5, 0,
+		kernels.FusedMapMul, 2, 0, 0,
+		int64(kernels.AggSum),
+	}
+	if len(f.Task.Params) != len(want) {
+		t.Fatalf("params = %v, want %v", f.Task.Params, want)
+	}
+	for i := range want {
+		if f.Task.Params[i] != want[i] {
+			t.Fatalf("params = %v, want %v", f.Task.Params, want)
+		}
+	}
+	rs := fg.Results()
+	if len(rs) != 1 || rs[0].Name != "sum" || rs[0].Ref.Node != f.ID {
+		t.Errorf("results not remapped onto the fused node: %+v", rs)
+	}
+	ps, err := fg.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || len(ps[0].Scans) != 3 || len(ps[0].Nodes) != 1 {
+		t.Errorf("fused pipelines: %d pipelines, %d scans, %d nodes", len(ps), len(ps[0].Scans), len(ps[0].Nodes))
+	}
+}
+
+// TestFuseEstimatedRowsPreserved: fusion must not change the planner's
+// input-cardinality estimates — the fused pipeline streams the same scans.
+func TestFuseEstimatedRowsPreserved(t *testing.T) {
+	g := buildQ6Like(t)
+	before, err := g.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := Fuse(g)
+	after, err := fg.BuildPipelines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ae := EstimateRows(g, before), EstimateRows(fg, after)
+	if len(be) != len(ae) {
+		t.Fatalf("pipeline count changed: %d -> %d", len(be), len(ae))
+	}
+	for i := range be {
+		if be[i] != ae[i] {
+			t.Errorf("pipeline %d estimate %d -> %d", i, be[i], ae[i])
+		}
+	}
+}
+
+// TestFusePureRewrite: the input graph must come back untouched — same
+// nodes, edges, and a still-valid unfused plan.
+func TestFusePureRewrite(t *testing.T) {
+	g := buildQ6Like(t)
+	nodes, edges := len(g.Nodes()), len(g.Edges())
+	_ = Fuse(g)
+	if len(g.Nodes()) != nodes || len(g.Edges()) != edges {
+		t.Fatalf("input graph mutated: %d nodes %d edges", len(g.Nodes()), len(g.Edges()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ps, err := g.BuildPipelines(); err != nil || len(ps) != 1 {
+		t.Fatalf("original plan broken after Fuse: %v", err)
+	}
+}
+
+// TestFuseBareMaterialize pins the Q3-pipeline-1 shape: a filtered
+// materialize feeding a hash build fuses into FUSED_MATERIALIZE; the build
+// stays, rewired onto the fused node.
+func TestFuseBareMaterialize(t *testing.T) {
+	g := New()
+	seg := g.AddScan("c.seg", col(64), dev)
+	key := g.AddScan("c.key", col(64), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpEq, 2, 0, "seg=2"), dev, seg)
+	m := g.AddTask(mustMaterialize(t), dev, key, g.Out(f, 0))
+	b := g.AddTask(task.NewHashBuildSet(64, "set"), dev, g.Out(m, 0))
+	g.MarkResult("set", g.Out(b, 0))
+
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("bare materialize chain did not fuse")
+	}
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fn := fusedNodes(fg)
+	if len(fn) != 1 || fn[0].Task.Kind != primitive.FusedMaterialize {
+		t.Fatalf("fused nodes = %v", fn)
+	}
+	if got := fn[0].Task.Outputs[0].Type; got != vec.Int32 {
+		t.Errorf("fused materialize output type = %v, want the chain's Int32", got)
+	}
+	// scans + fused mat + build = 4 nodes; filter and materialize are gone.
+	if len(fg.Nodes()) != 4 {
+		t.Fatalf("fused shape: %d nodes, want 4", len(fg.Nodes()))
+	}
+	var build *Node
+	for _, n := range fg.Nodes() {
+		if !n.IsScan() && n.Task.Kernel == "hash_build_set_i32" {
+			build = n
+		}
+	}
+	if build == nil {
+		t.Fatal("hash build dropped")
+	}
+	if ins := build.Inputs(); len(ins) != 1 || ins[0].From != fn[0].ID {
+		t.Errorf("hash build not rewired onto the fused node: %v", build.Inputs())
+	}
+}
+
+// TestFusePredicateFreeMap: an aggregate over a map of raw scans (no
+// filter at all) is still a fusible single pass with zero predicates.
+func TestFusePredicateFreeMap(t *testing.T) {
+	g := New()
+	a := g.AddScan("t.a", col(64), dev)
+	b := g.AddScan("t.b", col(64), dev)
+	mul := g.AddTask(task.NewMapMul("a*b"), dev, a, b)
+	agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(mul, 0))
+	g.MarkResult("sum", g.Out(agg, 0))
+
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("predicate-free chain did not fuse")
+	}
+	fn := fusedNodes(fg)
+	if len(fn) != 1 || fn[0].Task.Params[0] != 0 {
+		t.Fatalf("fused with %v, want zero predicates", fn)
+	}
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseComplementMapAndMinMax covers the Q6 revenue expression shape
+// (price * (K - discount)) and the non-sum aggregate identities.
+func TestFuseComplementMapAndMinMax(t *testing.T) {
+	for _, op := range []kernels.AggOp{kernels.AggMin, kernels.AggMax} {
+		g := New()
+		a := g.AddScan("t.a", col(64), dev)
+		b := g.AddScan("t.b", col(64), dev)
+		f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 9, 0, "a<9"), dev, a)
+		m1 := g.AddTask(mustMaterialize(t), dev, a, g.Out(f, 0))
+		m2 := g.AddTask(mustMaterialize(t), dev, b, g.Out(f, 0))
+		mul := g.AddTask(task.NewMapMulComplement(100, "p*(100-d)"), dev, g.Out(m1, 0), g.Out(m2, 0))
+		agg := g.AddTask(mustAgg(t, op), dev, g.Out(mul, 0))
+		g.MarkResult("x", g.Out(agg, 0))
+
+		fg := Fuse(g)
+		fn := fusedNodes(fg)
+		if len(fn) != 1 {
+			t.Fatalf("%v: did not fuse", op)
+		}
+		p := fn[0].Task.Params
+		// [1, pred(4), kind, A, B, K, op]
+		if p[5] != kernels.FusedMapMulComp || p[8] != 100 || p[9] != int64(op) {
+			t.Errorf("%v: params = %v", op, p)
+		}
+		if fn[0].Task.InitParams[0] == 0 {
+			t.Errorf("%v: accumulator identity not set", op)
+		}
+	}
+}
+
+// TestFuseNonFusibleChains: every chain containing an operator outside the
+// fused kernels' vocabulary must come back pointer-identical — the unfused
+// path is the fallback.
+func TestFuseNonFusibleChains(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Graph
+	}{
+		{"bitmap_or", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev)
+			fa := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+			fb := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 50, 0, "a>=50"), dev, a)
+			or := g.AddTask(task.NewBitmapOr(), dev, g.Out(fa, 0), g.Out(fb, 0))
+			m := g.AddTask(mustMaterialize(t), dev, a, g.Out(or, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"bitmap_not", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev)
+			f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+			not := g.AddTask(task.NewBitmapNot(), dev, g.Out(f, 0))
+			m := g.AddTask(mustMaterialize(t), dev, a, g.Out(not, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"column_column_filter", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev)
+			b := g.AddScan("t.b", col(64), dev)
+			f := g.AddTask(task.NewFilterColCmp(kernels.CmpLt, "a<b"), dev, a, b)
+			m := g.AddTask(mustMaterialize(t), dev, a, g.Out(f, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"semi_join_filter", func(t *testing.T) *Graph {
+			g := New()
+			bk := g.AddScan("b.key", col(64), dev)
+			build := g.AddTask(task.NewHashBuildSet(64, "set"), dev, bk)
+			pk := g.AddScan("p.key", col(128), dev)
+			semi := g.AddTask(task.NewSemiJoinFilter("in set"), dev, pk, g.Out(build, 0))
+			m := g.AddTask(mustMaterialize(t), dev, pk, g.Out(semi, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"count_bits_terminal", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev)
+			f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+			cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(f, 0))
+			g.MarkResult("count", g.Out(cnt, 0))
+			return g
+		}},
+		{"position_list_path", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev)
+			f := g.AddTask(task.NewFilterPosition(kernels.CmpLt, 10, 0, 0.5, "a<10"), dev, a)
+			mp, err := task.NewMaterializePosition(vec.Int32, "mp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := g.AddTask(mp, dev, a, g.Out(f, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"cross_device_scan", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(64), dev2) // scan on another device
+			f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+			m := g.AddTask(mustMaterialize(t), dev, a, g.Out(f, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build(t)
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if fg := Fuse(g); fg != g {
+				t.Errorf("non-fusible graph was rewritten: %d -> %d nodes", len(g.Nodes()), len(fg.Nodes()))
+			}
+		})
+	}
+}
+
+// TestFuseAggRefusedMatStillFuses: aggregate chains whose map operands
+// cannot be re-evaluated in one pass (mixed filtered/unfiltered operands, or
+// materializes over different bitmaps) keep the unfused map and aggregate —
+// but each inner filtered materialize still fuses on its own, collapsing its
+// filter+materialize into one pass.
+func TestFuseAggRefusedMatStillFuses(t *testing.T) {
+	t.Run("mixed_map_operands", func(t *testing.T) {
+		// One operand filtered through a materialize, one raw scan: the
+		// lengths differ, so the whole chain has no single-pass form.
+		g := New()
+		a := g.AddScan("t.a", col(64), dev)
+		b := g.AddScan("t.b", col(64), dev)
+		f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+		m := g.AddTask(mustMaterialize(t), dev, a, g.Out(f, 0))
+		mul := g.AddTask(task.NewMapMul("m*b"), dev, g.Out(m, 0), b)
+		agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(mul, 0))
+		g.MarkResult("sum", g.Out(agg, 0))
+
+		fg := Fuse(g)
+		if fg == g {
+			t.Fatal("inner materialize should have fused")
+		}
+		if err := fg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		fn := fusedNodes(fg)
+		if len(fn) != 1 || fn[0].Task.Kind != primitive.FusedMaterialize {
+			t.Fatalf("fused nodes = %v, want one FUSED_MATERIALIZE", fn)
+		}
+		seen := map[string]int{}
+		for _, n := range fg.Nodes() {
+			if !n.IsScan() {
+				seen[n.Task.Kernel]++
+			}
+		}
+		if seen["map_mul_i32_i64"] != 1 || seen["agg_block_i64"] != 1 || seen["filter_bitmap_i32"] != 0 {
+			t.Errorf("kept set wrong: %v", seen)
+		}
+	})
+	t.Run("split_bitmap_sources", func(t *testing.T) {
+		// Two materializes over two different bitmaps: no shared predicate
+		// set for an aggregate pass, but two independent materialize fusions.
+		g := New()
+		a := g.AddScan("t.a", col(64), dev)
+		b := g.AddScan("t.b", col(64), dev)
+		fa := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+		fb := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 5, 0, "b>=5"), dev, b)
+		m1 := g.AddTask(mustMaterialize(t), dev, a, g.Out(fa, 0))
+		m2 := g.AddTask(mustMaterialize(t), dev, b, g.Out(fb, 0))
+		mul := g.AddTask(task.NewMapMul("x*y"), dev, g.Out(m1, 0), g.Out(m2, 0))
+		agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(mul, 0))
+		g.MarkResult("sum", g.Out(agg, 0))
+
+		fg := Fuse(g)
+		fn := fusedNodes(fg)
+		if len(fn) != 2 {
+			t.Fatalf("got %d fused nodes, want 2 independent fused materializes", len(fn))
+		}
+		for _, n := range fn {
+			if n.Task.Kind != primitive.FusedMaterialize {
+				t.Errorf("fused node %v is not a materialize", n)
+			}
+		}
+		if err := fg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFusePartialChainSplit: when a chain-internal bitmap is also consumed
+// by a non-fusible operator, the aggregate still fuses and the bitmap path
+// stays alive for the other consumer — partial fusion, not all-or-nothing.
+func TestFusePartialChainSplit(t *testing.T) {
+	g := buildQ6Like(t)
+	// buildQ6Like's AND node is node 4 (scans 0-2, filters 3-4... locate it
+	// by kernel instead of relying on IDs).
+	var and NodeID = -1
+	for _, n := range g.Nodes() {
+		if !n.IsScan() && n.Task.Kernel == "bitmap_and" {
+			and = n.ID
+		}
+	}
+	if and < 0 {
+		t.Fatal("no AND node in the Q6 shape")
+	}
+	cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(and, 0))
+	g.MarkResult("count", g.Out(cnt, 0))
+
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("partially-consumed chain did not fuse")
+	}
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Kept: 3 scans, 2 filters, AND, count, fused agg. Dropped: both
+	// materializes and the map.
+	if len(fg.Nodes()) != 8 {
+		t.Fatalf("fused shape: %d nodes, want 8", len(fg.Nodes()))
+	}
+	kernelsSeen := map[string]int{}
+	for _, n := range fg.Nodes() {
+		if !n.IsScan() {
+			kernelsSeen[n.Task.Kernel]++
+		}
+	}
+	if kernelsSeen["materialize_bitmap_i32"] != 0 || kernelsSeen["map_mul_i32_i64"] != 0 {
+		t.Errorf("chain intermediates survived: %v", kernelsSeen)
+	}
+	if kernelsSeen["bitmap_and"] != 1 || kernelsSeen["agg_count_bits"] != 1 || kernelsSeen["fused_filter_agg"] != 1 {
+		t.Errorf("kept set wrong: %v", kernelsSeen)
+	}
+	if _, err := fg.BuildPipelines(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseResultMarkedIntermediate: a result-marked materialize inside an
+// aggregate chain both stays alive and fuses on its own.
+func TestFuseResultMarkedIntermediate(t *testing.T) {
+	g := New()
+	a := g.AddScan("t.a", col(640), dev)
+	b := g.AddScan("t.b", col(640), dev)
+	c := g.AddScan("t.c", col(640), dev)
+	fa := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+	fb := g.AddTask(task.NewFilterBitmap(kernels.CmpGe, 5, 0, "b>=5"), dev, b)
+	and := g.AddTask(task.NewBitmapAnd(), dev, g.Out(fa, 0), g.Out(fb, 0))
+	m1 := g.AddTask(mustMaterialize(t), dev, c, g.Out(and, 0))
+	m2 := g.AddTask(mustMaterialize(t), dev, a, g.Out(and, 0))
+	mul := g.AddTask(task.NewMapMul("x*y"), dev, g.Out(m1, 0), g.Out(m2, 0))
+	agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(mul, 0))
+	g.MarkResult("sum", g.Out(agg, 0))
+	g.MarkResult("survivors", g.Out(m1, 0))
+
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("did not fuse")
+	}
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fn := fusedNodes(fg)
+	if len(fn) != 2 {
+		t.Fatalf("got %d fused nodes, want a fused aggregate and a fused materialize", len(fn))
+	}
+	// 3 scans + fused materialize + fused aggregate; filters, AND, the
+	// other materialize and the map are all absorbed.
+	if len(fg.Nodes()) != 5 {
+		t.Fatalf("fused shape: %d nodes, want 5", len(fg.Nodes()))
+	}
+	if len(fg.Results()) != 2 {
+		t.Fatalf("results lost: %v", fg.Results())
+	}
+	if _, err := fg.BuildPipelines(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseDropsOrphanScan: a scan whose only role was feeding the unfused
+// plan's intermediates must not survive as a consumer-less scan (which
+// BuildPipelines rejects).
+func TestFuseDropsOrphanScan(t *testing.T) {
+	g := buildQ6Like(t)
+	g.AddScan("t.unused", col(640), dev)
+	if _, err := g.BuildPipelines(); err == nil {
+		t.Fatal("unfused plan with orphan scan should not build")
+	}
+	fg := Fuse(g)
+	if fg == g {
+		t.Fatal("did not fuse")
+	}
+	for _, n := range fg.Nodes() {
+		if n.IsScan() && n.Scan.Name == "t.unused" {
+			t.Fatal("orphan scan survived fusion")
+		}
+	}
+	if _, err := fg.BuildPipelines(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseDegenerateInputs: nil and invalid graphs pass through untouched.
+func TestFuseDegenerateInputs(t *testing.T) {
+	if Fuse(nil) != nil {
+		t.Error("nil graph")
+	}
+	empty := New()
+	if Fuse(empty) != empty {
+		t.Error("invalid graph must come back unchanged")
+	}
+	// Valid but with nothing to fuse: a bare filter.
+	g := New()
+	a := g.AddScan("t.a", col(64), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+	g.MarkResult("f", g.Out(f, 0))
+	if Fuse(g) != g {
+		t.Error("fusion-free graph must come back pointer-identical")
+	}
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// TestFusedPredNormalization pins the range form every comparison operator
+// decodes to, including the overflow edges (v < MinInt64 and v > MaxInt64
+// can never match) and the negated CmpNe.
+func TestFusedPredNormalization(t *testing.T) {
+	const minI, maxI = math.MinInt64, math.MaxInt64
+	cases := []struct {
+		op     CmpOp
+		lo, hi int64
+	}{
+		{CmpLt, 10, 0}, {CmpLe, 10, 0}, {CmpGt, 10, 0}, {CmpGe, 10, 0},
+		{CmpEq, 10, 0}, {CmpNe, 10, 0}, {CmpBetween, 3, 7},
+		{CmpLt, minI, 0}, {CmpGt, maxI, 0}, {CmpOp(99), 5, 9},
+	}
+	values := []int64{minI, -1, 0, 3, 5, 7, 9, 10, 11, maxI}
+	for _, tc := range cases {
+		pr := newFusedPred(fusedCol{}, tc.op, tc.lo, tc.hi)
+		for _, v := range values {
+			got := (v >= pr.lo && v <= pr.hi) != pr.ne
+			if want := tc.op.Matches(v, tc.lo, tc.hi); got != want {
+				t.Errorf("%v(%d,%d) at %d: normalized %v, Matches %v",
+					tc.op, tc.lo, tc.hi, v, got, want)
+			}
+		}
+	}
+}
+
+// TestFusedFilterAggMatchesUnfused cross-checks the fused kernel against
+// the primitive sequence it replaces, over data sized to straddle several
+// selection blocks and worker spans, for every comparison operator and
+// both column widths.
+func TestFusedFilterAggMatchesUnfused(t *testing.T) {
+	const n = 3*fusedBlockRows + 17
+	a32 := make([]int32, n)
+	b64 := make([]int64, n)
+	for i := range a32 {
+		a32[i] = int32(i % 97)
+		b64[i] = int64((i * 31) % 89)
+	}
+	a := vec.FromInt32(a32)
+	b := vec.FromInt64(b64)
+	for _, op := range []CmpOp{CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe, CmpBetween} {
+		var want int64
+		for i := range a32 {
+			if op.Matches(int64(a32[i]), 50, 60) && b64[i] < 70 {
+				want += int64(a32[i]) * b64[i]
+			}
+		}
+		acc := vec.New(vec.Int64, 1)
+		params := []int64{
+			2,
+			0, int64(op), 50, 60,
+			1, int64(CmpLt), 70, 0,
+			FusedMapMul, 0, 1, 0,
+			int64(AggSum),
+		}
+		if err := FusedFilterAgg.Fn(testCtx, []vec.Vector{a, b, acc}, params); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if got := acc.I64()[0]; got != want {
+			t.Errorf("%v: fused sum = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// TestFusedFilterMatOrder verifies the fused compaction emits survivors in
+// ascending row order with the exact survivor count, across block and span
+// boundaries — the bit-for-bit contract with the unfused MATERIALIZE path.
+func TestFusedFilterMatOrder(t *testing.T) {
+	const n = 2*fusedBlockRows + 5
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(i)
+	}
+	out := vec.New(vec.Int32, n)
+	count := vec.New(vec.Int64, 1)
+	params := []int64{1, 0, int64(CmpNe), 3, 0, FusedMapCol, 0, 0, 0}
+	if err := FusedFilterMat.Fn(testCtx, []vec.Vector{vec.FromInt32(in), out, count}, params); err != nil {
+		t.Fatal(err)
+	}
+	if got := count.I64()[0]; got != n-1 {
+		t.Fatalf("count = %d, want %d", got, n-1)
+	}
+	prev := int32(-1)
+	for _, v := range out.I32()[:n-1] {
+		if v == 3 || v <= prev {
+			t.Fatalf("survivor %d out of order (prev %d)", v, prev)
+		}
+		prev = v
+	}
+}

@@ -67,7 +67,10 @@ type CostFunc func(m CostModel, args []vec.Vector, params []int64) vclock.Durati
 // metadata the task layer needs to validate launches.
 type Kernel struct {
 	Name string
-	// NArgs is the expected buffer argument count.
+	// NArgs is the expected buffer argument count. Negative means the
+	// kernel takes a variable number of arguments and validates the shape
+	// itself (the fused kernels, whose column count depends on the chain
+	// they replaced).
 	NArgs int
 	// NParams is the minimum scalar parameter count.
 	NParams int
@@ -80,7 +83,7 @@ type Kernel struct {
 
 // Validate checks a launch's argument shape.
 func (k *Kernel) Validate(args []vec.Vector, params []int64) error {
-	if len(args) != k.NArgs {
+	if k.NArgs >= 0 && len(args) != k.NArgs {
 		return fmt.Errorf("%w: %s expects %d buffer args, got %d", ErrBadArgs, k.Name, k.NArgs, len(args))
 	}
 	if len(params) < k.NParams {

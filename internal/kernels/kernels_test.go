@@ -46,7 +46,8 @@ func TestRegistryBuiltins(t *testing.T) {
 	want := []string{
 		"agg_block_i32", "agg_block_i64", "agg_count_bits", "bitmap_and",
 		"bitmap_andnot", "bitmap_not", "bitmap_or", "fill_i64", "filter_bitmap_colcmp_i32",
-		"filter_bitmap_i32", "filter_bitmap_i64", "filter_pos_i32", "hash_agg_count_i32",
+		"filter_bitmap_i32", "filter_bitmap_i64", "filter_pos_i32",
+		"fused_filter_agg", "fused_filter_mat", "hash_agg_count_i32",
 		"hash_agg_i32_i64", "hash_build_pk_i32", "hash_build_set_i32",
 		"hash_extract", "hash_probe_exists_i32", "hash_probe_i32",
 		"hash_table_init", "map_add_i64", "map_boundary_i32", "map_cast_i32_i64", "map_mul_complement_i32_i64",

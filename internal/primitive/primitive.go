@@ -69,6 +69,16 @@ const (
 	// HashExtract is an implementation-level materialization that turns a
 	// HASH_TABLE into dense key/aggregate columns for retrieval.
 	HashExtract
+	// FusedAgg is the single-pass fusion of a selection-filter →
+	// arithmetic-map → AGG_BLOCK chain: it reads the chain's base columns
+	// directly and reduces to a scalar without bitmap or gathered-column
+	// intermediates. Produced only by the fusion pass over internal/graph;
+	// dispatched by the execution models like any other Table-I primitive.
+	FusedAgg
+	// FusedMaterialize is the single-pass fusion of a selection-filter →
+	// (optional map) → MATERIALIZE chain, compacting survivors straight
+	// from the base columns.
+	FusedMaterialize
 )
 
 // String returns the paper's spelling of the primitive.
@@ -100,6 +110,10 @@ func (k Kind) String() string {
 		return "MATERIALIZE_POSITION"
 	case HashExtract:
 		return "HASH_EXTRACT"
+	case FusedAgg:
+		return "FUSED_AGG_BLOCK"
+	case FusedMaterialize:
+		return "FUSED_MATERIALIZE"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -136,6 +150,8 @@ var Signatures = map[Kind]Signature{
 	Materialize:         {Kind: Materialize, Inputs: []Semantic{Numeric, Bitmap}, Outputs: []Semantic{Numeric}},
 	MaterializePosition: {Kind: MaterializePosition, Inputs: []Semantic{Numeric, Position}, Outputs: []Semantic{Numeric}},
 	HashExtract:         {Kind: HashExtract, Inputs: []Semantic{HashTable}, Outputs: []Semantic{Numeric, Numeric}},
+	FusedAgg:            {Kind: FusedAgg, Inputs: []Semantic{Numeric}, Variadic: true, Outputs: []Semantic{Numeric}, Breaker: true},
+	FusedMaterialize:    {Kind: FusedMaterialize, Inputs: []Semantic{Numeric}, Variadic: true, Outputs: []Semantic{Numeric}},
 }
 
 // SignatureOf returns the definition for a kind.

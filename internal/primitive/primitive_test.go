@@ -6,7 +6,7 @@ func TestSignaturesComplete(t *testing.T) {
 	kinds := []Kind{
 		Scan, Map, AggBlock, HashAgg, HashBuild, HashProbe, SortAgg,
 		FilterBitmap, FilterPosition, PrefixSumKind, Materialize,
-		MaterializePosition, HashExtract,
+		MaterializePosition, HashExtract, FusedAgg, FusedMaterialize,
 	}
 	for _, k := range kinds {
 		sig, err := SignatureOf(k)
@@ -29,6 +29,7 @@ func TestSignaturesComplete(t *testing.T) {
 func TestBreakersMatchTableI(t *testing.T) {
 	breakers := map[Kind]bool{
 		AggBlock: true, HashAgg: true, HashBuild: true, SortAgg: true, PrefixSumKind: true,
+		FusedAgg: true, // a fused chain ends in its AGG_BLOCK, which breaks
 	}
 	for k := range Signatures {
 		if k.Breaker() != breakers[k] {

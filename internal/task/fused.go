@@ -1,0 +1,81 @@
+package task
+
+import (
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// Constructors for the fused single-pass primitives the fusion pass over
+// internal/graph emits. A fused task's inputs are the distinct base columns
+// the original chain touched; the predicate list and map expression travel
+// in the scalar parameters (the fused kernels' micro-program encoding).
+
+// FusedPred is one conjunctive predicate of a fused chain. Col indexes the
+// fused task's input ports (= kernel column arguments).
+type FusedPred struct {
+	Col    int
+	Op     kernels.CmpOp
+	Lo, Hi int64
+}
+
+// FusedMap is the map expression of a fused chain over input-port indices.
+// Kind is one of kernels.FusedMapCol / FusedMapMul / FusedMapMulComp; B and
+// K are ignored by kinds that do not use them.
+type FusedMap struct {
+	Kind int64
+	A, B int
+	K    int64
+}
+
+func fusedParams(preds []FusedPred, m FusedMap) []int64 {
+	params := make([]int64, 0, 1+4*len(preds)+4)
+	params = append(params, int64(len(preds)))
+	for _, p := range preds {
+		params = append(params, int64(p.Col), int64(p.Op), p.Lo, p.Hi)
+	}
+	return append(params, m.Kind, int64(m.A), int64(m.B), m.K)
+}
+
+// NewFusedFilterAgg builds the fused filter→map→reduce task: a pipeline
+// breaker accumulating into a 1-element int64 scalar across chunks, exactly
+// like AGG_BLOCK. nCols is the number of base-column inputs.
+func NewFusedFilterAgg(op kernels.AggOp, preds []FusedPred, m FusedMap, nCols int, label string) *Task {
+	var identity int64
+	switch op {
+	case kernels.AggMin:
+		identity = int64(^uint64(0) >> 1) // MaxInt64
+	case kernels.AggMax:
+		identity = -int64(^uint64(0)>>1) - 1 // MinInt64
+	}
+	return &Task{
+		Kind:           primitive.FusedAgg,
+		Kernel:         "fused_filter_agg",
+		Params:         append(fusedParams(preds, m), int64(op)),
+		NInputs:        nCols,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: vec.Int64, Size: Exact(1)}},
+		Accumulate:     true,
+		InitKernel:     "fill_i64",
+		InitParams:     []int64{identity},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}
+
+// NewFusedFilterMat builds the fused filter→(map)→materialize task,
+// compacting survivors straight from the base columns. t is the output
+// column type the original chain produced (Int32 for a bare materialize of
+// an int32 column, Int64 after a widening map).
+func NewFusedFilterMat(t vec.Type, preds []FusedPred, m FusedMap, nCols int, label string) *Task {
+	return &Task{
+		Kind:           primitive.FusedMaterialize,
+		Kernel:         "fused_filter_mat",
+		Params:         fusedParams(preds, m),
+		NInputs:        nCols,
+		Outputs:        []OutputSpec{{Semantic: primitive.Numeric, Type: t, Size: OfInput()}},
+		EmitsCount:     true,
+		CountSets:      []int{0},
+		ChunkBaseParam: -1,
+		Label:          label,
+	}
+}

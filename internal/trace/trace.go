@@ -83,6 +83,12 @@ const (
 	// that loaded it. Annotation only, never engine time — the cold load's
 	// h2d/alloc spans are recorded separately by the device wrapper.
 	KindCache
+	// KindFuse annotates a fused single-pass kernel launch: the launch
+	// itself is a normal KindKernel compute span, and the fuse span (same
+	// extent, annotation only — never engine time) marks that it replaced a
+	// whole filter→map→{reduce,materialize} chain, so summaries show which
+	// primitives ran fused.
+	KindFuse
 
 	numKinds
 )
@@ -124,6 +130,8 @@ func (k Kind) String() string {
 		return "deadline"
 	case KindCache:
 		return "cache"
+	case KindFuse:
+		return "fuse"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -90,4 +90,21 @@ for phase in cold warm; do
 done
 echo "ci: cache bench cold/warm smoke OK"
 
+# Fused golden traces: fused Q6/Q3 traces must stay pinned against
+# testdata/traces/*-fuse-*.txt, and the fused Q6 chain must show zero
+# intermediate alloc/free spans.
+go test -run '^TestGoldenTraceFused' .
+echo "ci: fused golden traces OK"
+
+# Fusion smoke: the quick fuse experiment must report an unfused phase and
+# a fused phase.
+go run ./cmd/adamant-bench -exp fuse -quick -json "$tracedir/fuse.json" >/dev/null
+for phase in unfused fused; do
+	grep -q "\"phase\": \"$phase\"" "$tracedir/fuse.json" || {
+		echo "ci: fuse bench emitted no $phase-phase records" >&2
+		exit 1
+	}
+done
+echo "ci: fuse bench unfused/fused smoke OK"
+
 ./scripts/cover.sh

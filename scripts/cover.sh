@@ -28,3 +28,4 @@ floor ./internal/devmem 90
 floor ./internal/trace 85
 floor ./internal/telemetry 85
 floor ./internal/bufpool 85
+floor ./internal/graph 85
