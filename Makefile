@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench bench-cache bench-fuse fuzz cover serve
+.PHONY: ci vet build test race bench bench-cache bench-fuse bench-auto fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -40,6 +40,12 @@ bench-cache:
 # regenerates BENCH_PR7.json at the full profile.
 bench-fuse:
 	go run ./cmd/adamant-bench -exp fuse -json BENCH_PR7.json
+
+# Auto-planner cold/warm vs the manual (driver, model) matrix
+# (EXPERIMENTS.md "Auto planning"); regenerates BENCH_PR8.json at the full
+# profile.
+bench-auto:
+	go run ./cmd/adamant-bench -exp auto -json BENCH_PR8.json
 
 # Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
 # /events, /flight, /util and /run?n=K on port 9464.

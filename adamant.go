@@ -42,10 +42,12 @@ package adamant
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/cost"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
 	"github.com/adamant-db/adamant/internal/driver/simomp"
@@ -247,6 +249,10 @@ const EventFailover = exec.EventFailover
 // halving or the last-resort re-placement onto a host-resident device.
 const EventDegrade = exec.EventDegrade
 
+// EventReplan marks a mid-query re-plan: the auto planner re-sized the
+// chunk after observed cardinality drifted from the estimate.
+const EventReplan = exec.EventReplan
+
 // HealthPolicy parameterizes the per-device circuit breaker enabled with
 // WithHealthPolicy. The zero value uses the documented defaults.
 type HealthPolicy = session.HealthPolicy
@@ -267,6 +273,7 @@ type engineConfig struct {
 	poolCap    int64
 	poolPolicy bufpool.Policy
 	fuse       bool
+	auto       bool
 }
 
 // CachePolicy selects the buffer pool's eviction order (see
@@ -439,6 +446,15 @@ type Engine struct {
 	tele       *engineTelemetry
 	pool       *bufpool.Manager
 	fuse       bool
+
+	// auto-planning state (WithAutoPlan). calMu guards the one-time
+	// calibration pass and catalog swaps (SeedCatalog); the catalog itself
+	// is concurrency-safe.
+	auto       bool
+	catalog    *cost.Catalog
+	planner    *cost.Planner
+	calMu      sync.Mutex
+	calibrated bool
 }
 
 // NewEngine returns an engine with no devices plugged. With no options the
@@ -461,6 +477,11 @@ func NewEngine(opts ...EngineOption) *Engine {
 		adaptive:   cfg.adaptive,
 		minChunk:   cfg.minChunk,
 		fuse:       cfg.fuse,
+		auto:       cfg.auto,
+	}
+	if cfg.auto {
+		e.catalog = cost.New()
+		e.planner = cost.NewPlanner(e.catalog)
 	}
 	if cfg.health != nil {
 		e.health = session.NewHealthTracker(*cfg.health)
@@ -650,6 +671,27 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 		// shrinks with the intermediates the fused chains no longer allocate.
 		g = graph.Fuse(g)
 	}
+	// Auto planning runs after fusion (fused plans get their own catalog
+	// entries) and before demand estimation (admission must see the chosen
+	// model and chunk size).
+	var autoDec *cost.Decision
+	autoMark := 0
+	if e.auto {
+		dec, err := e.autoPlan(g)
+		if err != nil {
+			return nil, err
+		}
+		autoDec = dec
+		opts.Model = dec.Model
+		opts.ChunkElems = dec.ChunkElems
+		opts.PlanNotes = dec.Notes
+		opts.Replan = dec.Replan()
+		if opts.Recorder == nil {
+			// The catalog learns from spans; auto mode always records.
+			opts.Recorder = trace.NewRecorder()
+		}
+		autoMark = opts.Recorder.Len()
+	}
 	demand, err := exec.EstimateDemand(g, opts)
 	if err != nil {
 		return nil, err
@@ -743,6 +785,9 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 			Queued:       grant.Queued(),
 			Err:          runErr != nil,
 		})
+	}
+	if autoDec != nil {
+		e.observeAutoPlan(autoDec, opts, res, runErr, autoMark)
 	}
 	if tel != nil {
 		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), startVT,

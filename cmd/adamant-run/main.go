@@ -23,6 +23,7 @@ import (
 
 	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/core"
+	"github.com/adamant-db/adamant/internal/cost"
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/driver/simcuda"
 	"github.com/adamant-db/adamant/internal/driver/simomp"
@@ -76,6 +77,7 @@ func run(ctx context.Context) error {
 	cachePolicy := flag.String("cache-policy", "cost", "buffer-pool eviction policy: cost (bytes x transfer cost) or lru")
 	repeat := flag.Int("repeat", 1, "run the query this many times on one engine (with -cache, later runs hit the pool)")
 	fuse := flag.Bool("fuse", false, "rewrite fusible filter/map/aggregate chains into single-pass fused kernels before executing")
+	auto := flag.Bool("auto", false, "auto-plan: calibrate a cost catalog, then let it pick placement, execution model and chunk size (-model/-chunk become hints it overrides)")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -200,6 +202,28 @@ func run(ctx context.Context) error {
 			chunkElems = 1024
 		}
 	}
+	var autoDec *cost.Decision
+	if *auto {
+		cat := cost.New()
+		ids := make([]device.ID, len(rt.Devices()))
+		for i := range ids {
+			ids[i] = device.ID(i)
+		}
+		if err := cost.Calibrate(rt, ids, cat); err != nil {
+			return err
+		}
+		autoDec, err = cost.NewPlanner(cat).Plan(g, rt, cost.PlanOptions{Candidates: ids})
+		if err != nil {
+			return err
+		}
+		model = autoDec.Model
+		chunkElems = autoDec.ChunkElems
+		fmt.Printf("auto plan: model=%v chunk=%d device=%s (predicted %v, catalog %d entries)\n",
+			autoDec.Model, autoDec.ChunkElems, autoDec.Driver, autoDec.Predicted, cat.Len())
+		for _, n := range autoDec.Notes {
+			fmt.Printf("  plan       %s\n", n)
+		}
+	}
 	var rec *trace.Recorder
 	if *analyze || *traceOut != "" {
 		rec = trace.NewRecorder()
@@ -226,6 +250,10 @@ func run(ctx context.Context) error {
 		AdaptiveChunking: *adapt,
 		Deadline:         vclock.DurationOf(*deadline),
 		Pool:             pool,
+	}
+	if autoDec != nil {
+		opts.PlanNotes = autoDec.Notes
+		opts.Replan = autoDec.Replan()
 	}
 	if *repeat < 1 {
 		*repeat = 1
@@ -263,6 +291,9 @@ func run(ctx context.Context) error {
 	fmt.Printf("  peak mem   %.1f MiB device\n", float64(s.PeakDeviceBytes)/(1<<20))
 	if s.Retries > 0 {
 		fmt.Printf("  retries    %d transient faults retried\n", s.Retries)
+	}
+	if s.Replans > 0 {
+		fmt.Printf("  replans    %d mid-query re-plan restarts\n", s.Replans)
 	}
 	if pool != nil {
 		cs := pool.Stats()

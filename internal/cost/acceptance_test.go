@@ -1,0 +1,119 @@
+package cost
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// TestAutoWithinTenPercentOfBest is the acceptance sweep: for Q6 and Q3
+// over the full four-driver rig, run every (driver, model) cell by hand,
+// train the catalog on those runs' traces, then let the planner choose.
+// The warm auto configuration must land within 10% of the best manual
+// cell, and even the cold (calibration-only) configuration must never be
+// pathological — no worse than 3x the best cell.
+func TestAutoWithinTenPercentOfBest(t *testing.T) {
+	ratio := 1.0 / 1024
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: ratio, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newFourRig := func() (*hub.Runtime, []device.ID) {
+		rt := hub.NewRuntime()
+		var ids []device.ID
+		for _, dev := range []device.Device{
+			simcuda.New(&simhw.RTX2080Ti, nil),
+			simopencl.NewGPU(&simhw.RTX2080Ti, nil),
+			simopencl.NewCPU(&simhw.CoreI78700, nil),
+			simomp.New(&simhw.CoreI78700, nil),
+		} {
+			id, err := rt.Register(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		return rt, ids
+	}
+
+	for _, q := range []string{"Q6", "Q3"} {
+		rt, ids := newFourRig()
+		warm := New()
+		var best vclock.Duration
+		bestSet := false
+
+		// The manual matrix: every (driver, model) cell, traces feeding the
+		// warm catalog the same way the engine's feedback path does.
+		for _, id := range ids {
+			dev, err := rt.Device(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range exec.Models() {
+				g, err := tpch.BuildQuery(q, ds, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := trace.NewRecorder()
+				res, err := exec.Run(rt, g, exec.Options{
+					Model: m, ChunkElems: 2048, Recorder: rec,
+				})
+				if err != nil {
+					t.Fatalf("%s manual %v on %s: %v", q, m, dev.Info().Name, err)
+				}
+				warm.ObserveSpans(rec.Spans())
+				warm.ObserveQuery(m.String(), dev.Info().Name, int64(ds.Lineitem.Rows()), res.Stats.Elapsed)
+				if !bestSet || res.Stats.Elapsed < best {
+					best, bestSet = res.Stats.Elapsed, true
+				}
+			}
+		}
+
+		runAuto := func(cat *Catalog) (vclock.Duration, *Decision) {
+			g, err := tpch.BuildQuery(q, ds, ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := NewPlanner(cat).Plan(g, rt, PlanOptions{Candidates: ids, MaxChunk: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := exec.Run(rt, g, exec.Options{
+				Model: dec.Model, ChunkElems: dec.ChunkElems,
+				PlanNotes: dec.Notes, Replan: dec.Replan(),
+			})
+			if err != nil {
+				t.Fatalf("%s auto run (%v, chunk %d): %v", q, dec.Model, dec.ChunkElems, err)
+			}
+			return res.Stats.Elapsed, dec
+		}
+
+		warmElapsed, warmDec := runAuto(warm)
+		t.Logf("%s: best manual %v; warm auto %v (%v on %s, chunk %d)",
+			q, best, warmElapsed, warmDec.Model, warmDec.Driver, warmDec.ChunkElems)
+		if float64(warmElapsed) > 1.1*float64(best) {
+			t.Errorf("%s: warm auto %v exceeds 110%% of best manual %v", q, warmElapsed, best)
+		}
+
+		cold := New()
+		if err := Calibrate(rt, ids, cold); err != nil {
+			t.Fatal(err)
+		}
+		coldElapsed, coldDec := runAuto(cold)
+		t.Logf("%s: cold auto %v (%v on %s, chunk %d)",
+			q, coldElapsed, coldDec.Model, coldDec.Driver, coldDec.ChunkElems)
+		if float64(coldElapsed) > 3*float64(best) {
+			t.Errorf("%s: cold auto %v is pathological against best manual %v", q, coldElapsed, best)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// calibElems sizes the calibration scan: large enough for measurable
+// per-row rates, small enough that calibration stays negligible next to
+// real queries.
+const calibElems = 4096
+
+// Calibrate seeds the catalog deterministically: on every candidate device
+// it runs a small synthetic query covering the workhorse primitive
+// families — filter, bitmap combine, materialize, map, block aggregate —
+// plus the H2D/D2H links, and folds the resulting trace into the catalog.
+// Devices that cannot run the probe (fault-injected, out of memory) are
+// skipped: the planner falls back to the analytic model for them. The
+// synthetic data is a fixed LCG sequence, so two calibrations of the same
+// runtime produce identical catalogs.
+func Calibrate(rt *hub.Runtime, ids []device.ID, c *Catalog) error {
+	for _, id := range ids {
+		g, err := calibrationGraph(id)
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder()
+		_, err = exec.Run(rt, g, exec.Options{
+			Model:      exec.Chunked,
+			ChunkElems: 1024,
+			Recorder:   rec,
+		})
+		if err != nil {
+			continue
+		}
+		c.ObserveSpans(rec.Spans())
+	}
+	return nil
+}
+
+// calibrationGraph builds the synthetic probe plan for one device: two
+// int32 scans, a two-filter AND chain, a counted materialize, a widening
+// map, and sum/count aggregates.
+func calibrationGraph(dev device.ID) (*graph.Graph, error) {
+	vals := make([]int32, calibElems)
+	keys := make([]int32, calibElems)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		x = x*6364136223846793005 + 1442695040888963407
+		vals[i] = int32((x >> 33) % 100000)
+		keys[i] = int32((x >> 17) % 1000)
+	}
+
+	g := graph.New()
+	sv := g.AddScan("calib_vals", vec.FromInt32(vals), dev)
+	sk := g.AddScan("calib_keys", vec.FromInt32(keys), dev)
+	f1 := g.AddTask(task.NewFilterBitmap(kernels.CmpBetween, 10000, 90000, "calib_band"), dev, sv)
+	f2 := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 700, 0, "calib_lt"), dev, sk)
+	and := g.AddTask(task.NewBitmapAnd(), dev, g.Out(f1, 0), g.Out(f2, 0))
+	mat, err := task.NewMaterialize(vec.Int32, "calib_mat")
+	if err != nil {
+		return nil, err
+	}
+	m := g.AddTask(mat, dev, sv, g.Out(and, 0))
+	cast := g.AddTask(task.NewMapCast("calib_cast"), dev, g.Out(m, 0))
+	sum, err := task.NewAggBlock(kernels.AggSum, vec.Int64, "calib_sum")
+	if err != nil {
+		return nil, err
+	}
+	agg := g.AddTask(sum, dev, g.Out(cast, 0))
+	cnt := g.AddTask(task.NewAggCountBits("calib_count"), dev, g.Out(and, 0))
+	g.MarkResult("calib_sum", g.Out(agg, 0))
+	g.MarkResult("calib_count", g.Out(cnt, 0))
+	return g, nil
+}

@@ -1,0 +1,386 @@
+package cost
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/place"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// Model-shape constants for the cold compositional predictions: the
+// per-chunk bookkeeping the chunked models pay, the per-chunk thread
+// handshake the overlapped models pay, and the effective transfer discount
+// of pinned staging.
+const (
+	perChunkOverhead = 20 * vclock.Microsecond
+	perChunkSync     = 5 * vclock.Microsecond
+	pinnedFactor     = 0.6
+)
+
+// PlanOptions configures one planning pass.
+type PlanOptions struct {
+	// Candidates are the devices the placer may choose from. Required.
+	Candidates []device.ID
+	// MaxChunk caps the initial chunk size (default exec.DefaultChunkElems).
+	MaxChunk int
+	// MinChunk floors it (default exec.DefaultMinChunkElems).
+	MinChunk int
+	// MemFraction is the share of a device's memory the planned working
+	// set may occupy before the chunk size halves (default 0.5, leaving
+	// headroom for the adaptive-OOM ladder to never be the first resort).
+	MemFraction float64
+}
+
+func (o PlanOptions) maxChunk() int {
+	if o.MaxChunk > 0 {
+		return o.MaxChunk
+	}
+	return exec.DefaultChunkElems
+}
+
+func (o PlanOptions) minChunk() int {
+	if o.MinChunk > 0 {
+		return o.MinChunk
+	}
+	return exec.DefaultMinChunkElems
+}
+
+func (o PlanOptions) memFraction() float64 {
+	if o.MemFraction > 0 {
+		return o.MemFraction
+	}
+	return 0.5
+}
+
+// Decision is one auto-planned configuration. Notes carries the
+// deterministic human-readable audit trail that becomes the trace's
+// autoplan annotation spans.
+type Decision struct {
+	Model      exec.Model
+	ChunkElems int
+	// MaxChunk bounds what the mid-query re-planner may grow the chunk
+	// to (the memory-fit ceiling computed at plan time).
+	MaxChunk   int
+	Placements []place.Decision
+	// Device and Driver name the primary device: the one carrying the
+	// dominant (most scan rows) pipeline.
+	Device device.ID
+	Driver string
+	// Rows is the dominant pipeline's input cardinality.
+	Rows int64
+	// Predicted is the planner's cost estimate for the chosen config.
+	Predicted vclock.Duration
+	Notes     []string
+}
+
+// Planner plans queries from a catalog.
+type Planner struct {
+	Catalog *Catalog
+}
+
+// NewPlanner returns a planner over the given catalog.
+func NewPlanner(c *Catalog) *Planner { return &Planner{Catalog: c} }
+
+// catalogCoster adapts the catalog to place.Coster: measured per-primitive
+// and per-link rates where the catalog has them, the analytic model where
+// it does not.
+type catalogCoster struct{ c *Catalog }
+
+func (cc catalogCoster) EstimatePipeline(g *graph.Graph, p *graph.Pipeline, id device.ID, dev device.Device) (place.Estimate, error) {
+	info := dev.Info()
+	est := place.Estimate{Pipeline: p.Index, Device: id}
+
+	var scanBytes int64
+	for _, sid := range p.Scans {
+		scanBytes += g.Node(sid).Scan.Data.Bytes()
+	}
+	if scanBytes > 0 && !info.HostResident {
+		if e, ok := cc.c.Nearest(Key{PrimH2D, info.Name, BucketOf(scanBytes)}); ok {
+			est.Transfer = vclock.Duration(e.NsPerUnit * float64(scanBytes))
+		} else {
+			est.Transfer = place.ProbeTransferCost(dev, scanBytes)
+		}
+	}
+
+	rows := int64(p.ScanRows(g))
+	units := rows
+	if units < 1 {
+		units = 1
+	}
+	for _, nid := range p.Nodes {
+		n := g.Node(nid)
+		if e, ok := cc.c.Nearest(Key{n.Task.Kernel, info.Name, BucketOf(rows)}); ok {
+			est.Compute += vclock.Duration(e.NsPerUnit * float64(units))
+		} else {
+			est.Compute += place.KernelEstimate(dev, n.Task.Kernel, rows)
+		}
+	}
+	return est, nil
+}
+
+// Plan picks device placement, execution model, and initial chunk size for
+// the graph, annotating the graph's nodes with the chosen devices (like
+// place.Greedy) and returning the full decision. Predictions are two-tier:
+// whole-query rates measured for a (model, driver) pair override the cold
+// compositional estimate built from per-primitive rates, and if some
+// (model, device) pair has a measured rate that beats the greedy placement's
+// prediction, the whole query moves there — a fully warmed catalog plans
+// straight onto the fastest cell it has seen. All ties break in enum /
+// candidate order, so planning is deterministic.
+func (pl *Planner) Plan(g *graph.Graph, rt *hub.Runtime, opts PlanOptions) (*Decision, error) {
+	if len(opts.Candidates) == 0 {
+		return nil, fmt.Errorf("cost: no candidate devices")
+	}
+	placements, err := place.GreedyWith(g, rt, opts.Candidates, catalogCoster{pl.Catalog})
+	if err != nil {
+		return nil, err
+	}
+	pipelines, err := g.BuildPipelines()
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Decision{Placements: placements}
+
+	// The primary device carries the dominant pipeline: model choice and
+	// whole-query rates key on it.
+	var transfer, compute vclock.Duration
+	var maxRows int64
+	for i, p := range pipelines {
+		rows := int64(p.ScanRows(g))
+		dec := placements[i]
+		var chosen place.Estimate
+		for _, e := range dec.Estimates {
+			if e.Device == dec.Chosen {
+				chosen = e
+				break
+			}
+		}
+		transfer += chosen.Transfer
+		compute += chosen.Compute
+		if i == 0 || rows > maxRows {
+			maxRows = rows
+			d.Device = dec.Chosen
+		}
+		drv, err := driverName(rt, dec.Chosen)
+		if err != nil {
+			return nil, err
+		}
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"place pipeline %d on %s (transfer %v, compute %v)",
+			p.Index, drv, chosen.Transfer, chosen.Compute))
+	}
+	d.Rows = maxRows
+	if d.Driver, err = driverName(rt, d.Device); err != nil {
+		return nil, err
+	}
+
+	// Tier 1: pick the model by predicted cost on the primary device —
+	// measured whole-query rates where available, cold composition
+	// otherwise.
+	chunks := chunkCount(maxRows, opts.maxChunk())
+	bestSource := ""
+	for _, m := range exec.Models() {
+		pred, source := pl.predictModel(m, d.Driver, maxRows, transfer, compute, chunks)
+		if bestSource == "" || pred < d.Predicted {
+			d.Model, d.Predicted, bestSource = m, pred, source
+		}
+	}
+
+	// Tier 2: a measured whole-query rate on another device that beats the
+	// greedy prediction moves the entire query there.
+	for _, cand := range opts.Candidates {
+		drv, err := driverName(rt, cand)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range exec.Models() {
+			e, ok := pl.Catalog.Nearest(Key{PrimQueryPrefix + m.String(), drv, BucketOf(maxRows)})
+			if !ok {
+				continue
+			}
+			units := maxRows
+			if units < 1 {
+				units = 1
+			}
+			pred := vclock.Duration(e.NsPerUnit * float64(units))
+			if pred < d.Predicted {
+				d.Model, d.Predicted, bestSource = m, pred, "measured"
+				d.Device, d.Driver = cand, drv
+			}
+		}
+	}
+
+	// A measured whole-query rate was observed with every pipeline on one
+	// device; reproducing it means reproducing that placement, even when the
+	// greedy pass scattered pipelines across devices.
+	if bestSource == "measured" {
+		moved := false
+		for i := range placements {
+			if placements[i].Chosen != d.Device {
+				placements[i].Chosen = d.Device
+				moved = true
+			}
+		}
+		for _, p := range pipelines {
+			for _, nid := range p.Nodes {
+				g.Node(nid).Device = d.Device
+			}
+			for _, sid := range p.Scans {
+				g.Node(sid).Device = d.Device
+			}
+		}
+		if moved {
+			d.Notes = append(d.Notes, fmt.Sprintf("re-place all pipelines on %s (measured)", d.Driver))
+		}
+	}
+	d.Notes = append(d.Notes, fmt.Sprintf("model %v (predicted %v, %s)", d.Model, d.Predicted, bestSource))
+
+	// Chunk size: as large as the memory budget allows, never above the
+	// input, never below the floor.
+	d.ChunkElems, d.MaxChunk, err = pl.chunkFor(g, rt, d.Model, maxRows, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.Notes = append(d.Notes, fmt.Sprintf("chunk %d (rows %d, ceiling %d)", d.ChunkElems, maxRows, d.MaxChunk))
+	return d, nil
+}
+
+// predictModel prices one execution model: a measured whole-query rate for
+// (model, driver) when the catalog has one, otherwise the cold
+// compositional estimate from the placement's transfer/compute totals.
+func (pl *Planner) predictModel(m exec.Model, driver string, rows int64, transfer, compute vclock.Duration, chunks int64) (vclock.Duration, string) {
+	if e, ok := pl.Catalog.Nearest(Key{PrimQueryPrefix + m.String(), driver, BucketOf(rows)}); ok {
+		units := rows
+		if units < 1 {
+			units = 1
+		}
+		return vclock.Duration(e.NsPerUnit * float64(units)), "measured"
+	}
+	return coldModel(m, transfer, compute, chunks), "analytic"
+}
+
+// coldModel composes a whole-query estimate from per-pipeline transfer and
+// compute totals under each model's shape: serial vs overlapped, pageable
+// vs pinned staging, per-chunk bookkeeping vs per-chunk handshakes.
+func coldModel(m exec.Model, transfer, compute vclock.Duration, chunks int64) vclock.Duration {
+	pinnedT := vclock.Duration(pinnedFactor * float64(transfer))
+	switch m {
+	case exec.OperatorAtATime:
+		return transfer + compute
+	case exec.Chunked:
+		return transfer + compute + vclock.Duration(chunks)*perChunkOverhead
+	case exec.Pipelined:
+		return maxDur(transfer, compute) + vclock.Duration(chunks)*perChunkSync
+	case exec.FourPhaseChunked:
+		return pinnedT + compute + vclock.Duration(chunks)*perChunkOverhead
+	default: // exec.FourPhasePipelined
+		return maxDur(pinnedT, compute) + vclock.Duration(chunks)*perChunkSync
+	}
+}
+
+// chunkFor sizes the initial chunk: start from the smaller of the cap and
+// the input, then halve until the model's estimated demand fits inside the
+// memory fraction on every non-host-resident device. Returns the chosen
+// chunk and the fitting ceiling (what a re-plan may grow back to).
+func (pl *Planner) chunkFor(g *graph.Graph, rt *hub.Runtime, m exec.Model, rows int64, opts PlanOptions) (int, int, error) {
+	c := opts.maxChunk()
+	if rows > 0 && int64(c) > rows {
+		c = align64(int(rows))
+	}
+	if c < opts.minChunk() {
+		c = opts.minChunk()
+	}
+	c = align64(c)
+	for {
+		demand, err := exec.EstimateDemand(g, exec.Options{Model: m, ChunkElems: c})
+		if err != nil {
+			return 0, 0, err
+		}
+		fits := true
+		for id, bytes := range demand {
+			dev, err := rt.Device(id)
+			if err != nil {
+				return 0, 0, err
+			}
+			info := dev.Info()
+			if info.HostResident {
+				continue
+			}
+			if float64(bytes) > opts.memFraction()*float64(info.MemoryBytes) {
+				fits = false
+				break
+			}
+		}
+		if fits || c <= opts.minChunk() {
+			return c, c, nil
+		}
+		half := align64(c / 2)
+		if half < opts.minChunk() {
+			half = opts.minChunk()
+		}
+		c = half
+	}
+}
+
+// Replan returns the executor hook for mid-query re-planning: when a
+// pipeline's observed cardinality drifts from the estimate by 2x in either
+// direction, the chunk size re-sizes to the observed rows (within the
+// plan's floor and memory ceiling) and the attempt restarts. The executor
+// fires the hook at pipeline boundaries and applies at most one re-plan
+// per query, so the state machine is plan -> observe -> (at most one)
+// restart -> finish.
+func (d *Decision) Replan() exec.ReplanFunc {
+	return func(o exec.ReplanObservation) (int, bool) {
+		if o.EstRows <= 0 || o.ActualRows <= 0 {
+			return 0, false
+		}
+		if o.ActualRows < 2*o.EstRows && o.EstRows < 2*o.ActualRows {
+			return 0, false
+		}
+		nc := align64(o.ActualRows)
+		if nc > d.MaxChunk {
+			nc = d.MaxChunk
+		}
+		if nc < 64 {
+			nc = 64
+		}
+		if nc == o.ChunkElems {
+			return 0, false
+		}
+		return nc, true
+	}
+}
+
+func driverName(rt *hub.Runtime, id device.ID) (string, error) {
+	dev, err := rt.Device(id)
+	if err != nil {
+		return "", err
+	}
+	return dev.Info().Name, nil
+}
+
+func chunkCount(rows int64, chunk int) int64 {
+	if rows <= 0 || chunk <= 0 {
+		return 1
+	}
+	return (rows + int64(chunk) - 1) / int64(chunk)
+}
+
+func maxDur(a, b vclock.Duration) vclock.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func align64(n int) int {
+	if n < 64 {
+		return 64
+	}
+	return (n + 63) &^ 63
+}

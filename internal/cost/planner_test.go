@@ -1,0 +1,399 @@
+package cost
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// testRig builds the standard two-device runtime (CUDA GPU + OpenMP CPU).
+func testRig(t *testing.T) (*hub.Runtime, []device.ID) {
+	t.Helper()
+	rt := hub.NewRuntime()
+	cuda, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := rt.Register(simomp.New(&simhw.CoreI78700, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, []device.ID{cuda, omp}
+}
+
+// calibGraph builds the calibration workload or fails the test.
+func calibGraph(t *testing.T, id device.ID) *graph.Graph {
+	t.Helper()
+	g, err := calibrationGraph(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCalibrateSeedsCatalog(t *testing.T) {
+	rt, ids := testRig(t)
+	c := New()
+	if err := Calibrate(rt, ids, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatal("calibration left the catalog empty")
+	}
+	drivers := map[string]bool{}
+	kernels := map[string]bool{}
+	for _, k := range c.Keys() {
+		drivers[k.Driver] = true
+		if k.Primitive != PrimH2D && k.Primitive != PrimD2H {
+			kernels[k.Primitive] = true
+		}
+	}
+	if len(drivers) != 2 {
+		t.Errorf("calibration covered %d drivers, want 2: %v", len(drivers), drivers)
+	}
+	for _, want := range []string{"filter_bitmap_i32", "bitmap_and", "agg_block_i64"} {
+		if !kernels[want] {
+			t.Errorf("calibration missing workhorse kernel %q (have %v)", want, kernels)
+		}
+	}
+	// Calibration is deterministic: a second pass over a fresh runtime
+	// produces a byte-identical catalog.
+	rt2, ids2 := testRig(t)
+	c2 := New()
+	if err := Calibrate(rt2, ids2, c2); err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	c.WriteTo(&b1)
+	c2.WriteTo(&b2)
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two calibration passes diverged")
+	}
+}
+
+func TestPlanDeterministicAndValid(t *testing.T) {
+	rt, ids := testRig(t)
+	c := New()
+	if err := Calibrate(rt, ids, c); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(c)
+	g1 := calibGraph(t, ids[0])
+	d1, err := pl.Plan(g1, rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := calibGraph(t, ids[0])
+	d2, err := pl.Plan(g2, rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("same catalog, same graph, different decisions:\n%+v\n%+v", d1, d2)
+	}
+	if d1.ChunkElems < 64 || d1.ChunkElems%64 != 0 {
+		t.Errorf("chunk %d not 64-aligned", d1.ChunkElems)
+	}
+	if d1.MaxChunk < d1.ChunkElems {
+		t.Errorf("ceiling %d below chunk %d", d1.MaxChunk, d1.ChunkElems)
+	}
+	if len(d1.Notes) == 0 {
+		t.Error("decision carries no notes")
+	}
+	if len(d1.Placements) == 0 {
+		t.Error("decision carries no placements")
+	}
+}
+
+// TestWarmCatalogReproducesPlans pins the round-trip half of the feedback
+// loop: serialize the catalog, read it back, and the deserialized catalog
+// must plan the same query identically.
+func TestWarmCatalogReproducesPlans(t *testing.T) {
+	rt, ids := testRig(t)
+	c := New()
+	if err := Calibrate(rt, ids, c); err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveQuery("chunked", "GeForce RTX 2080 Ti/cuda", 4096, 800*vclock.Microsecond)
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d1, err := NewPlanner(c).Plan(calibGraph(t, ids[0]), rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewPlanner(warm).Plan(calibGraph(t, ids[0]), rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("deserialized catalog planned differently:\n%+v\n%+v", d1, d2)
+	}
+}
+
+// TestPlanWarmPairOverride checks tier 2: a measured whole-query rate that
+// beats every tier-1 prediction moves the query to that (model, device)
+// cell and re-places all pipelines there.
+func TestPlanWarmPairOverride(t *testing.T) {
+	rt, ids := testRig(t)
+	c := New()
+	if err := Calibrate(rt, ids, c); err != nil {
+		t.Fatal(err)
+	}
+	g := calibGraph(t, ids[0])
+	base, err := NewPlanner(c).Plan(g, rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An absurdly fast measured rate for a pair the greedy pass would not
+	// pick: pipelined on the device the base decision did NOT choose.
+	other := ids[0]
+	otherName := "GeForce RTX 2080 Ti/cuda"
+	if base.Device == ids[0] {
+		other = ids[1]
+		otherName = "Intel Core i7-8700/openmp"
+	}
+	c.ObserveQuery("pipelined", otherName, base.Rows, vclock.Duration(base.Rows)/1000)
+
+	g2 := calibGraph(t, ids[0])
+	warm, err := NewPlanner(c).Plan(g2, rt, PlanOptions{Candidates: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Model != exec.Pipelined || warm.Device != other {
+		t.Fatalf("tier-2 override not taken: model %v device %v (want pipelined on %v)",
+			warm.Model, warm.Device, other)
+	}
+	for _, n := range g2.Nodes() {
+		if n.Device != other {
+			t.Fatalf("node %v left on %v after re-placement", n.ID, n.Device)
+		}
+	}
+}
+
+// TestPlannerRandomCatalogs property-checks the planner over random
+// catalogs: whatever rates it learns, planning is deterministic (same
+// catalog, same graph, same decision twice) and every decision is a valid
+// configuration — a known model, a candidate device, a 64-aligned chunk
+// within bounds. The differential harness already proves any such
+// configuration computes the right answer; together the two properties say
+// the re-planner can only ever switch to bit-identical configs.
+func TestPlannerRandomCatalogs(t *testing.T) {
+	rt, ids := testRig(t)
+	prims := []string{"filter_bitmap_i32", "bitmap_and", "materialize_bitmap_i32",
+		"map_cast_i32_i64", "agg_block_i64", "agg_count_bits", "fill_i64",
+		PrimH2D, PrimD2H,
+		PrimQueryPrefix + "oaat", PrimQueryPrefix + "chunked", PrimQueryPrefix + "pipelined"}
+	drivers := []string{"GeForce RTX 2080 Ti/cuda", "Intel Core i7-8700/openmp"}
+	models := exec.Models()
+
+	f := func(seed int64, nEntries uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		for i := 0; i < int(nEntries); i++ {
+			k := Key{
+				Primitive: prims[rng.Intn(len(prims))],
+				Driver:    drivers[rng.Intn(len(drivers))],
+				Bucket:    rng.Intn(24),
+			}
+			c.Observe(k, 1+rng.Int63n(1<<20), vclock.Duration(1+rng.Int63n(int64(vclock.Second))))
+		}
+		pl := NewPlanner(c)
+		d1, err := pl.Plan(calibGraph(t, ids[0]), rt, PlanOptions{Candidates: ids})
+		if err != nil {
+			t.Logf("plan failed: %v", err)
+			return false
+		}
+		d2, err := pl.Plan(calibGraph(t, ids[0]), rt, PlanOptions{Candidates: ids})
+		if err != nil || !reflect.DeepEqual(d1, d2) {
+			t.Logf("non-deterministic plan: %+v vs %+v (err %v)", d1, d2, err)
+			return false
+		}
+		validModel := false
+		for _, m := range models {
+			if d1.Model == m {
+				validModel = true
+			}
+		}
+		validDev := false
+		for _, id := range ids {
+			if d1.Device == id {
+				validDev = true
+			}
+		}
+		if !validModel || !validDev {
+			t.Logf("invalid decision: %+v", d1)
+			return false
+		}
+		if d1.ChunkElems < 64 || d1.ChunkElems%64 != 0 || d1.ChunkElems > d1.MaxChunk {
+			t.Logf("invalid chunk: %+v", d1)
+			return false
+		}
+		// Whatever the drift schedule feeds the hook, it may only propose
+		// 64-aligned chunks within [64, ceiling].
+		replan := d1.Replan()
+		for trial := 0; trial < 16; trial++ {
+			o := exec.ReplanObservation{
+				Pipeline:   1 + rng.Intn(4),
+				EstRows:    rng.Intn(1 << 16),
+				ActualRows: rng.Intn(1 << 20),
+				ChunkElems: d1.ChunkElems,
+			}
+			nc, ok := replan(o)
+			if !ok {
+				continue
+			}
+			if nc < 64 || nc%64 != 0 || nc > d1.MaxChunk || nc == o.ChunkElems {
+				t.Logf("replan proposed invalid chunk %d from %+v (ceiling %d)", nc, o, d1.MaxChunk)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplanHook(t *testing.T) {
+	d := &Decision{ChunkElems: 256, MaxChunk: 4096}
+	hook := d.Replan()
+
+	// No estimate or no observation: never fire.
+	if _, ok := hook(exec.ReplanObservation{EstRows: 0, ActualRows: 500, ChunkElems: 256}); ok {
+		t.Error("fired without an estimate")
+	}
+	if _, ok := hook(exec.ReplanObservation{EstRows: 500, ActualRows: 0, ChunkElems: 256}); ok {
+		t.Error("fired without an observation")
+	}
+	// Within 2x either way: hold.
+	if _, ok := hook(exec.ReplanObservation{EstRows: 1000, ActualRows: 1999, ChunkElems: 256}); ok {
+		t.Error("fired below the 2x drift threshold")
+	}
+	// 2x over: re-size to the observation, 64-aligned.
+	nc, ok := hook(exec.ReplanObservation{EstRows: 500, ActualRows: 1000, ChunkElems: 256})
+	if !ok || nc != 1024 {
+		t.Errorf("2x drift: got (%d, %v), want (1024, true)", nc, ok)
+	}
+	// 2x under: shrink.
+	nc, ok = hook(exec.ReplanObservation{EstRows: 1000, ActualRows: 100, ChunkElems: 256})
+	if !ok || nc != 128 {
+		t.Errorf("shrink: got (%d, %v), want (128, true)", nc, ok)
+	}
+	// Clamped to the plan's ceiling.
+	nc, ok = hook(exec.ReplanObservation{EstRows: 1000, ActualRows: 1 << 20, ChunkElems: 256})
+	if !ok || nc != 4096 {
+		t.Errorf("ceiling clamp: got (%d, %v), want (4096, true)", nc, ok)
+	}
+	// A drift that lands on the current chunk is a no-op.
+	if _, ok := hook(exec.ReplanObservation{EstRows: 100, ActualRows: 250, ChunkElems: 256}); ok {
+		t.Error("fired when the re-sized chunk equals the current one")
+	}
+}
+
+// TestCalibrateSkipsFaultedDevice: a device whose probes fail is skipped,
+// not fatal — the analytic fallback covers it at planning time.
+func TestCalibrateSkipsFaultedDevice(t *testing.T) {
+	rt := hub.NewRuntime()
+	cuda, err := rt.Register(simcuda.New(&simhw.RTX2080Ti, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := rt.Register(deadDevice{simomp.New(&simhw.CoreI78700, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if err := Calibrate(rt, []device.ID{cuda, dead}, c); err != nil {
+		t.Fatalf("calibrate failed outright: %v", err)
+	}
+	for _, k := range c.Keys() {
+		if k.Driver == "Intel Core i7-8700/openmp" {
+			t.Fatalf("dead device produced entry %v", k)
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("healthy device produced no entries")
+	}
+	// Planning still works: the dead device prices analytically.
+	if _, err := NewPlanner(c).Plan(calibGraph(t, cuda), rt, PlanOptions{Candidates: []device.ID{cuda, dead}}); err != nil {
+		t.Fatalf("plan with a half-calibrated catalog: %v", err)
+	}
+}
+
+// deadDevice fails every kernel execution.
+type deadDevice struct {
+	device.Device
+}
+
+func (d deadDevice) Execute(req device.ExecRequest, ready vclock.Time) (vclock.Time, error) {
+	return 0, errDead
+}
+
+var errDead = &deadErr{}
+
+type deadErr struct{}
+
+func (*deadErr) Error() string { return "dead device" }
+
+// TestPlanNoCandidates: an empty candidate list is an error, not a panic.
+func TestPlanNoCandidates(t *testing.T) {
+	rt, ids := testRig(t)
+	if _, err := NewPlanner(New()).Plan(calibGraph(t, ids[0]), rt, PlanOptions{}); err == nil {
+		t.Fatal("planned with no candidates")
+	}
+	_ = rt
+}
+
+// TestColdModelShapes pins the analytic composition's ordering: overlap
+// beats serial when transfer dominates, and pinned staging discounts the
+// transfer term.
+func TestColdModelShapes(t *testing.T) {
+	transfer := 10 * vclock.Millisecond
+	compute := 2 * vclock.Millisecond
+	chunks := int64(4)
+	oaat := coldModel(exec.OperatorAtATime, transfer, compute, chunks)
+	chunked := coldModel(exec.Chunked, transfer, compute, chunks)
+	pipe := coldModel(exec.Pipelined, transfer, compute, chunks)
+	fourP := coldModel(exec.FourPhaseChunked, transfer, compute, chunks)
+	fourPP := coldModel(exec.FourPhasePipelined, transfer, compute, chunks)
+
+	if oaat != transfer+compute {
+		t.Errorf("oaat %v", oaat)
+	}
+	if chunked <= oaat {
+		t.Errorf("chunked %v should pay per-chunk overhead over oaat %v", chunked, oaat)
+	}
+	if pipe >= oaat {
+		t.Errorf("pipelined %v should overlap below oaat %v when transfer dominates", pipe, oaat)
+	}
+	if fourP >= chunked {
+		t.Errorf("4p-chunked %v should discount transfers under chunked %v", fourP, chunked)
+	}
+	if fourPP >= pipe {
+		t.Errorf("4p-pipelined %v should beat pipelined %v when transfer dominates", fourPP, pipe)
+	}
+}

@@ -18,6 +18,11 @@ import (
 // zero-value flags (which happen to be the naive chunked policy).
 var ErrUnknownModel = errors.New("exec: unknown execution model")
 
+// errReplan is the internal sentinel a fired Options.Replan hook aborts
+// the attempt with; recoverAttempt consumes it and restarts with the
+// already-switched chunk size. It never escapes run().
+var errReplan = errors.New("exec: mid-query replan restart")
+
 // RetryPolicy configures how the executor retries transient device faults
 // (failed transfers, kernel launch errors). The zero value disables
 // retries, preserving fail-fast behaviour for callers that never opted in.
@@ -104,6 +109,10 @@ const (
 	// the last-resort re-placement onto a host-resident device (From !=
 	// To) once the chunk floor is reached.
 	EventDegrade
+	// EventReplan records a mid-query re-plan: the Options.Replan hook
+	// resized the chunk (ChunkFrom -> ChunkTo) after observed pipeline
+	// cardinality drifted from the estimate, and the attempt restarted.
+	EventReplan
 )
 
 // String returns the event kind's name.
@@ -113,6 +122,8 @@ func (k EventKind) String() string {
 		return "failover"
 	case EventDegrade:
 		return "degrade"
+	case EventReplan:
+		return "replan"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -136,7 +147,7 @@ type RuntimeEvent struct {
 
 // String formats the event for logs.
 func (e RuntimeEvent) String() string {
-	if e.Kind == EventDegrade && e.ChunkTo > 0 && e.ChunkFrom != e.ChunkTo {
+	if (e.Kind == EventDegrade || e.Kind == EventReplan) && e.ChunkTo > 0 && e.ChunkFrom != e.ChunkTo {
 		return fmt.Sprintf("%s chunk %d->%d on %v", e.Kind, e.ChunkFrom, e.ChunkTo, e.From)
 	}
 	return fmt.Sprintf("%s %v->%v", e.Kind, e.From, e.To)
@@ -158,6 +169,13 @@ func (e RuntimeEvent) String() string {
 // span, so the virtual-time cost of degradation stays visible. It returns
 // false when runErr is not recoverable and the loop must surface it.
 func (x *executor) recoverAttempt(runErr error) bool {
+	if errors.Is(runErr, errReplan) {
+		// The hook already recorded the event/span and switched chunkEff;
+		// just release the aborted attempt's buffers and restart.
+		x.releaseAll(true)
+		x.releaseLeases()
+		return true
+	}
 	var lost *DeviceLostError
 	if errors.As(runErr, &lost) && x.opts.FallbackDevice != nil {
 		fb := x.resolve(*x.opts.FallbackDevice)

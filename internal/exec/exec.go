@@ -173,6 +173,43 @@ type Options struct {
 	// (the default) keeps the legacy per-query path and byte-identical
 	// traces.
 	Pool *bufpool.Manager
+	// PlanNotes, when non-empty, are the auto-planner's decision
+	// annotations: each becomes a zero-extent autoplan span at the query
+	// start, so plans are auditable from the trace alone. Recorded only
+	// when a Recorder is set; never perturbs execution.
+	PlanNotes []string
+	// Replan, when non-nil, is consulted at every pipeline boundary after
+	// the first with the pipeline's estimated vs observed input
+	// cardinality. If it returns a new chunk size, the executor restarts
+	// the attempt from the host-resident scans with the new size — the
+	// same restart mechanism as failover and the adaptive-OOM ladder, so
+	// results stay bit-identical by construction. At most one re-plan
+	// fires per query.
+	Replan ReplanFunc
+}
+
+// ReplanObservation is what the executor tells the re-planner at a
+// pipeline boundary: the pipeline about to run, its estimated input rows
+// (graph.EstimateRows), the rows actually observed from upstream, and the
+// chunk size currently in effect.
+type ReplanObservation struct {
+	Pipeline   int
+	EstRows    int
+	ActualRows int
+	ChunkElems int
+}
+
+// ReplanFunc decides whether to restart the attempt with a new chunk size.
+// Returning replan=false continues undisturbed.
+type ReplanFunc func(o ReplanObservation) (newChunkElems int, replan bool)
+
+// DriftSample records one pipeline's estimated vs observed input
+// cardinality — the estimate error the re-planner acts on, exposed in
+// Stats so tests can assert on drift without parsing traces.
+type DriftSample struct {
+	Pipeline   int
+	EstRows    int
+	ActualRows int
 }
 
 // DefaultChunkElems is the paper's chunk size (2^25 values).
@@ -257,6 +294,12 @@ type Stats struct {
 	// degraded around, or surfaced. The per-device health tracker feeds
 	// its error-rate window from these counts.
 	FaultsByDevice map[device.ID]int64
+	// Drift holds the per-pipeline estimated-vs-observed input
+	// cardinalities from the last attempt (index order follows pipeline
+	// execution order).
+	Drift []DriftSample
+	// Replans counts mid-query re-plan restarts taken by Options.Replan.
+	Replans int
 }
 
 // Result is the outcome of one execution.

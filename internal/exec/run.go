@@ -93,6 +93,15 @@ type executor struct {
 	trace       []FootprintSample
 	chunksTotal int
 
+	// re-planning state. estRows are the optimizer's per-pipeline input
+	// estimates (graph.EstimateRows, aligned with the pipelines slice);
+	// drift collects the estimated-vs-observed samples of the current
+	// attempt; replanned bounds Options.Replan to one restart per query.
+	estRows   []int
+	drift     []DriftSample
+	replanned bool
+	replans   int
+
 	// tracing state. rec is nil when tracing is off; every other field is
 	// only consulted behind a rec != nil guard, so the disabled path does
 	// no tracing work at all. qspan/pspan/cspan are the open container
@@ -267,7 +276,16 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 			Start: x.base, End: x.base,
 			Node: -1, Pipeline: -1, Chunk: -1,
 		})
+		for _, note := range x.opts.PlanNotes {
+			x.rec.Add(trace.Span{
+				Parent: x.qspan, Kind: trace.KindAutoPlan,
+				Label: note,
+				Start: x.base, End: x.base,
+				Node: -1, Pipeline: -1, Chunk: -1,
+			})
+		}
 	}
+	x.estRows = graph.EstimateRows(x.g, pipelines)
 
 	// Each attempt runs the whole plan; recoverAttempt decides whether a
 	// failed attempt may retry (failover onto a fallback device, or one
@@ -277,6 +295,9 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 	// failover per plugged device plus the longest possible halving ladder
 	// (chunk sizes are int: at most ~32 halvings) and a final re-place.
 	maxAttempts := len(devs) + 34
+	if x.opts.Replan != nil {
+		maxAttempts++ // the one re-plan restart is not a failure
+	}
 	x.chunkEff = x.opts.chunkElems()
 	var runErr error
 	var columns []ResultColumn
@@ -303,6 +324,8 @@ func (x *executor) run(pipelines []*graph.Pipeline) (*Result, error) {
 		Retries:        x.retries,
 		Events:         x.events,
 		FaultsByDevice: x.faults,
+		Drift:          x.drift,
+		Replans:        x.replans,
 	}
 	for i, d := range devs {
 		delta := statsDelta(d.Stats(), before[device.ID(i)])
@@ -336,6 +359,7 @@ func (x *executor) resetAttempt() {
 	x.pipelineAllocs = nil
 	x.counts = nil
 	x.staging = nil
+	x.drift = x.drift[:0]
 	if x.flags.wholeInput {
 		// Whole intermediates free as soon as every consumer anywhere in
 		// the plan has run (the footprint curve of Figure 7 right).
@@ -351,9 +375,23 @@ func (x *executor) resetAttempt() {
 // attemptRun executes every pipeline and collects the named results. It is
 // one failover attempt: any error aborts the attempt and reports it.
 func (x *executor) attemptRun(pipelines []*graph.Pipeline) ([]ResultColumn, error) {
-	for _, p := range pipelines {
+	for i, p := range pipelines {
 		if err := x.checkCtx(); err != nil {
 			return nil, err
+		}
+		est := 0
+		if i < len(x.estRows) {
+			est = x.estRows[i]
+		}
+		actual := x.actualRows(p)
+		x.drift = append(x.drift, DriftSample{Pipeline: p.Index, EstRows: est, ActualRows: actual})
+		// Consult the re-planner at pipeline boundaries after the first:
+		// the first pipeline reads host-resident scans whose cardinality
+		// is exact, so only downstream pipelines can drift.
+		if x.opts.Replan != nil && !x.replanned && i > 0 {
+			if err := x.maybeReplan(p, est, actual); err != nil {
+				return nil, err
+			}
 		}
 		if err := x.runPipeline(p); err != nil {
 			return nil, fmt.Errorf("exec: %s: %w", p, err)
@@ -368,6 +406,70 @@ func (x *executor) attemptRun(pipelines []*graph.Pipeline) ([]ResultColumn, erro
 		columns = append(columns, col)
 	}
 	return columns, nil
+}
+
+// actualRows observes the pipeline's true input cardinality just before it
+// runs: scan-fed pipelines read their host columns exactly, and
+// intermediate-fed pipelines read the materialized port lengths their
+// upstream pipelines produced.
+func (x *executor) actualRows(p *graph.Pipeline) int {
+	if sr := p.ScanRows(x.g); sr > 0 || len(p.Scans) > 0 {
+		return sr
+	}
+	rows := 0
+	for _, nid := range p.Nodes {
+		for _, e := range x.g.Node(nid).Inputs() {
+			if ps, ok := x.ports[graph.PortRef{Node: e.From, Port: e.FromPort}]; ok && ps.n > rows {
+				rows = ps.n
+			}
+		}
+	}
+	return rows
+}
+
+// maybeReplan asks Options.Replan whether the observed drift warrants a
+// restart with a new chunk size. A fired re-plan records the event and
+// span, switches the effective chunk size, and aborts the attempt with
+// errReplan so the attempt loop restarts from the host-resident scans —
+// the same always-correct restart failover uses.
+func (x *executor) maybeReplan(p *graph.Pipeline, est, actual int) error {
+	nc, ok := x.opts.Replan(ReplanObservation{
+		Pipeline: p.Index, EstRows: est, ActualRows: actual, ChunkElems: x.chunkEff,
+	})
+	if !ok {
+		return nil
+	}
+	nc = (nc + 63) &^ 63
+	if nc < 64 {
+		nc = 64
+	}
+	if nc == x.chunkEff {
+		return nil
+	}
+	x.replanned = true
+	x.replans++
+	x.events = append(x.events, RuntimeEvent{
+		Kind: EventReplan, ChunkFrom: x.chunkEff, ChunkTo: nc,
+	})
+	if x.opts.Events != nil {
+		x.opts.Events.Emit(telemetry.Event{
+			Type: telemetry.EventReplan, Query: x.opts.QueryID,
+			VT: int64(x.horizon),
+			Detail: fmt.Sprintf("chunk %d->%d: pipeline %d rows est %d actual %d",
+				x.chunkEff, nc, p.Index, est, actual),
+		})
+	}
+	if x.rec != nil {
+		x.rec.Add(trace.Span{
+			Parent: x.qspan, Kind: trace.KindReplan,
+			Label: fmt.Sprintf("chunk %d->%d: pipeline %d rows est %d actual %d",
+				x.chunkEff, nc, p.Index, est, actual),
+			Start: x.horizon, End: x.horizon,
+			Node: -1, Pipeline: p.Index, Chunk: -1,
+		})
+	}
+	x.chunkEff = nc
+	return errReplan
 }
 
 func (x *executor) observe(t vclock.Time) {
@@ -967,6 +1069,17 @@ func (x *executor) execNode(n *graph.Node, chunkN int, chunkBase int64, singlePa
 		return 0, fmt.Errorf("%s: %w", n, err)
 	}
 	x.advance(end)
+	if x.rec != nil && x.lastKernel != trace.NoSpan {
+		// Input cardinality: the work this launch processed. The cost
+		// catalog normalizes rates by this, not by the output Rows.
+		units := int64(chunkN)
+		for _, in := range inputNs {
+			if int64(in) > units {
+				units = int64(in)
+			}
+		}
+		x.rec.SetUnits(x.lastKernel, units)
+	}
 	for _, o := range outs {
 		o.ps.ready = end
 	}
@@ -1127,6 +1240,13 @@ func (x *executor) collectResult(r graph.Result) (ResultColumn, error) {
 	ps, ok := x.ports[r.Ref]
 	if !ok {
 		return ResultColumn{}, fmt.Errorf("exec: result %q was never materialized", r.Name)
+	}
+	if ps.n == 0 {
+		// Canonical empty: the same nil-backed vector the per-chunk
+		// accumulation path produces, so a zero-row result is bit-identical
+		// across execution models.
+		node := x.g.Node(r.Ref.Node)
+		return ResultColumn{Name: r.Name, Data: newHostAccum(node.OutputSpec(r.Ref.Port).Type).vec()}, nil
 	}
 	_, d, err := x.device(ps.dev)
 	if err != nil {

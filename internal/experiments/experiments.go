@@ -109,6 +109,7 @@ var registry = map[string]Generator{
 	"chunksweep": ChunkSweep,
 	"cache":      CacheWarm,
 	"fuse":       FuseSpeedup,
+	"auto":       AutoPlan,
 }
 
 // Names lists the experiment identifiers in run order.

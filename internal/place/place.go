@@ -46,10 +46,34 @@ type Decision struct {
 	Estimates []Estimate
 }
 
+// Coster prices one pipeline on one device. The analytic coster ships with
+// this package; a measured coster (e.g. the cost catalog in internal/cost)
+// can substitute learned per-primitive rates while reusing the same greedy
+// search.
+type Coster interface {
+	EstimatePipeline(g *graph.Graph, p *graph.Pipeline, id device.ID, dev device.Device) (Estimate, error)
+}
+
+// analyticCoster prices pipelines with the built-in analytic model.
+type analyticCoster struct{}
+
+func (analyticCoster) EstimatePipeline(g *graph.Graph, p *graph.Pipeline, id device.ID, dev device.Device) (Estimate, error) {
+	return estimate(g, p, id, dev)
+}
+
+// Analytic returns the built-in analytic coster: probe transfers for the
+// link rate, per-family kernel rates for compute.
+func Analytic() Coster { return analyticCoster{} }
+
 // Greedy annotates every node of the graph with the cheapest candidate
 // device for its pipeline and returns the per-pipeline decisions. The
 // graph must validate; candidates must be registered on the runtime.
 func Greedy(g *graph.Graph, rt *hub.Runtime, candidates []device.ID) ([]Decision, error) {
+	return GreedyWith(g, rt, candidates, Analytic())
+}
+
+// GreedyWith is Greedy under a caller-supplied coster.
+func GreedyWith(g *graph.Graph, rt *hub.Runtime, candidates []device.ID, c Coster) ([]Decision, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("place: no candidate devices")
 	}
@@ -67,7 +91,7 @@ func Greedy(g *graph.Graph, rt *hub.Runtime, candidates []device.ID) ([]Decision
 			if err != nil {
 				return nil, err
 			}
-			est, err := estimate(g, p, cand, dev)
+			est, err := c.EstimatePipeline(g, p, cand, dev)
 			if err != nil {
 				return nil, err
 			}
@@ -111,6 +135,19 @@ func estimate(g *graph.Graph, p *graph.Pipeline, id device.ID, dev device.Device
 		est.Compute += kernelEstimate(dev, n.Task.Kernel, rows)
 	}
 	return est, nil
+}
+
+// ProbeTransferCost prices a host-to-device transfer of the given size by
+// probing the device link. Exported for costers that fall back to the
+// analytic model for links they have not yet measured.
+func ProbeTransferCost(dev device.Device, bytes int64) vclock.Duration {
+	return probeTransferCost(dev, bytes)
+}
+
+// KernelEstimate prices one primitive analytically. Exported for costers
+// that fall back to the analytic model for kernels they have not measured.
+func KernelEstimate(dev device.Device, kernel string, rows int64) vclock.Duration {
+	return kernelEstimate(dev, kernel, rows)
 }
 
 // probeTransferCost derives the device's effective H2D rate from a small

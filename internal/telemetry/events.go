@@ -39,6 +39,10 @@ const (
 	// EventCacheInvalidate marks the buffer pool dropping a device's
 	// cached columns after device death or quarantine.
 	EventCacheInvalidate EventType = "cache_invalidate"
+	// EventReplan marks a mid-query re-plan: observed pipeline cardinality
+	// drifted from the estimate and the query restarted with a new chunk
+	// size.
+	EventReplan EventType = "replan"
 )
 
 // Event is one structured entry of the engine's event log. VT is virtual

@@ -81,6 +81,12 @@ func WriteSummary(w io.Writer, spans []Span) {
 		case KindDeadline:
 			fmt.Fprintf(w, "deadline: %s\n", s.Label)
 			continue
+		case KindAutoPlan:
+			fmt.Fprintf(w, "autoplan: %s\n", s.Label)
+			continue
+		case KindReplan:
+			fmt.Fprintf(w, "replan: %s\n", s.Label)
+			continue
 		}
 		key := summaryGroup{
 			pipeline: s.Pipeline, kind: s.Kind,

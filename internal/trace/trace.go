@@ -89,6 +89,15 @@ const (
 	// whole filter→map→{reduce,materialize} chain, so summaries show which
 	// primitives ran fused.
 	KindFuse
+	// KindAutoPlan annotates one cost-catalog planner decision (placement,
+	// execution model, or initial chunk size) taken before the query ran.
+	// Annotation only, zero virtual extent at the query start.
+	KindAutoPlan
+	// KindReplan annotates a mid-query re-plan: observed pipeline
+	// cardinality drifted from the estimate, and the executor restarted the
+	// attempt with a new chunk size. The label carries the old and new chunk
+	// sizes and the drifted pipeline's estimated vs actual rows.
+	KindReplan
 
 	numKinds
 )
@@ -132,6 +141,10 @@ func (k Kind) String() string {
 		return "cache"
 	case KindFuse:
 		return "fuse"
+	case KindAutoPlan:
+		return "autoplan"
+	case KindReplan:
+		return "replan"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -184,6 +197,11 @@ type Span struct {
 	// Rows is the logical output cardinality a kernel produced (set after
 	// count retrieval for counted kernels; 0 when not applicable).
 	Rows int64
+	// Units is the input cardinality a kernel processed — the work the
+	// span's duration bought. The cost catalog normalizes by this, not
+	// Rows: an aggregate over a million rows outputs one row but did a
+	// million rows of work. 0 when not applicable.
+	Units int64
 	// Node, Pipeline and Chunk attribute the span to the plan: graph node
 	// ID, pipeline index, chunk index. -1 when not applicable.
 	Node     int
@@ -249,6 +267,19 @@ func (r *Recorder) SetRows(id SpanID, rows int64) {
 	r.mu.Lock()
 	if int(id) < len(r.spans) {
 		r.spans[id].Rows = rows
+	}
+	r.mu.Unlock()
+}
+
+// SetUnits updates a recorded span's input cardinality (known to the
+// executor at launch, not to the device layer that records the span).
+func (r *Recorder) SetUnits(id SpanID, units int64) {
+	if r == nil || id == NoSpan {
+		return
+	}
+	r.mu.Lock()
+	if int(id) < len(r.spans) {
+		r.spans[id].Units = units
 	}
 	r.mu.Unlock()
 }

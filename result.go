@@ -82,7 +82,16 @@ type Stats struct {
 	Retries int64
 	// Events is the degradation event log (failovers).
 	Events []RuntimeEvent
+	// Drift is the per-pipeline estimated-vs-observed input cardinality,
+	// in pipeline execution order — the estimate error the auto planner's
+	// mid-query re-planner acts on.
+	Drift []DriftSample
+	// Replans counts mid-query re-plan restarts.
+	Replans int
 }
+
+// DriftSample is one pipeline's estimated vs observed input cardinality.
+type DriftSample = exec.DriftSample
 
 // Stats returns the execution statistics.
 func (r *Result) Stats() Stats {
@@ -101,6 +110,8 @@ func (r *Result) Stats() Stats {
 		PeakDeviceBytes: s.PeakDeviceBytes,
 		Retries:         s.Retries,
 		Events:          append([]RuntimeEvent(nil), s.Events...),
+		Drift:           append([]DriftSample(nil), s.Drift...),
+		Replans:         s.Replans,
 	}
 }
 

@@ -107,4 +107,29 @@ for phase in unfused fused; do
 done
 echo "ci: fuse bench unfused/fused smoke OK"
 
+# Auto-mode golden traces: calibration, planning and the decision spans
+# must stay pinned against testdata/traces/*-auto-*.txt.
+go test -run '^TestGoldenTraceAuto' .
+echo "ci: auto golden traces OK"
+
+# Auto-mode smoke: -auto must calibrate, print its plan, and answer
+# correctly end to end.
+"$tracedir/adamant-run" -q Q6 -ratio 0.000244140625 -auto >"$tracedir/auto.txt"
+grep -q '^auto plan: model=' "$tracedir/auto.txt" || {
+	echo "ci: adamant-run -auto printed no plan" >&2
+	exit 1
+}
+echo "ci: adamant-run -auto smoke OK"
+
+# Auto experiment smoke: the quick auto sweep must report the manual
+# matrix plus cold- and warm-catalog auto phases.
+go run ./cmd/adamant-bench -exp auto -quick -json "$tracedir/auto.json" >/dev/null
+for phase in manual cold warm; do
+	grep -q "\"phase\": \"$phase\"" "$tracedir/auto.json" || {
+		echo "ci: auto bench emitted no $phase-phase records" >&2
+		exit 1
+	}
+done
+echo "ci: auto bench manual/cold/warm smoke OK"
+
 ./scripts/cover.sh

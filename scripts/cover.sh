@@ -29,3 +29,4 @@ floor ./internal/trace 85
 floor ./internal/telemetry 85
 floor ./internal/bufpool 85
 floor ./internal/graph 85
+floor ./internal/cost 85

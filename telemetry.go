@@ -64,6 +64,10 @@ type engineTelemetry struct {
 	cacheBytes       *telemetry.Gauge
 	cacheRatio       *telemetry.Gauge
 
+	autoplanQueries *telemetry.Counter
+	autoplanReplans *telemetry.Counter
+	autoplanEntries *telemetry.Gauge
+
 	events      *telemetry.Counter
 	running     *telemetry.Gauge
 	queued      *telemetry.Gauge
@@ -119,6 +123,10 @@ func (e *Engine) WithTelemetry(cfg TelemetryConfig) *Engine {
 		cacheBytes:       reg.Gauge("adamant_cache_bytes", "Bytes currently held by the buffer pool."),
 		cacheRatio:       reg.Gauge("adamant_cache_hit_ratio", "Lifetime buffer-pool hit ratio (hits+joins over all lookups)."),
 
+		autoplanQueries: reg.Counter("adamant_autoplan_total", "Auto-planned queries, by chosen device and execution model.", "device", "model"),
+		autoplanReplans: reg.Counter("adamant_autoplan_replans_total", "Mid-query re-plan restarts taken by auto-planned queries.", "model"),
+		autoplanEntries: reg.Gauge("adamant_autoplan_catalog_entries", "Entries in the learned cost catalog."),
+
 		events:      reg.Counter("adamant_events_total", "Telemetry events emitted, by type (lifetime, survives ring eviction).", "type"),
 		running:     reg.Gauge("adamant_sessions_running", "Admitted sessions currently executing."),
 		queued:      reg.Gauge("adamant_sessions_queued", "Sessions waiting in the admission queue."),
@@ -153,6 +161,9 @@ func (e *Engine) collectTelemetry() {
 	t.quarantined.Set(float64(len(e.sched.Quarantined())))
 	for ty, n := range t.sink.Totals() {
 		t.events.Set(float64(n), string(ty))
+	}
+	if e.catalog != nil {
+		t.autoplanEntries.Set(float64(e.catalog.Len()))
 	}
 	if e.pool != nil {
 		cs := e.pool.Stats()

@@ -409,3 +409,32 @@ func TestFlightRecorderRetention(t *testing.T) {
 		t.Errorf("errored query should still balance start/finish: %v", totals)
 	}
 }
+
+// TestTelemetryAutoPlanFamilies pins the adamant_autoplan_* exposition: an
+// auto-planned query bumps the per-(device, model) counter and publishes
+// the catalog size gauge.
+func TestTelemetryAutoPlanFamilies(t *testing.T) {
+	eng := adamant.NewEngine(adamant.WithAutoPlan()).WithTelemetry(adamant.TelemetryConfig{})
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Execute(telemetryPlan(eng, gpu), adamant.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := eng.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	if !regexp.MustCompile(`(?m)^adamant_autoplan_total\{device="[^"]+",model="[^"]+"\} 1$`).MatchString(prom) {
+		t.Errorf("no adamant_autoplan_total sample:\n%s", prom)
+	}
+	entries := regexp.MustCompile(`(?m)^adamant_autoplan_catalog_entries (\d+)$`).FindStringSubmatch(prom)
+	if entries == nil || entries[1] == "0" {
+		t.Errorf("catalog-entries gauge missing or zero: %v", entries)
+	}
+	// adamant_autoplan_replans_total only materializes once a re-plan
+	// fires; a drift-free plan correctly leaves it out of the exposition.
+}
