@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench bench-cache bench-fuse bench-auto fuzz cover serve
+.PHONY: ci vet build test race bench bench-cache bench-fuse bench-auto bench-shard fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -24,6 +24,7 @@ race:
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sql
 	go test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime 10s ./internal/sql
+	go test -run '^$$' -fuzz '^FuzzReadCatalog$$' -fuzztime 10s ./internal/cost
 
 cover:
 	./scripts/cover.sh
@@ -46,6 +47,11 @@ bench-fuse:
 # profile.
 bench-auto:
 	go run ./cmd/adamant-bench -exp auto -json BENCH_PR8.json
+
+# Sharded scale-out and straggler-hedging tables (EXPERIMENTS.md
+# "Scale-out"); regenerates BENCH_PR9.json at the full profile.
+bench-shard:
+	go run ./cmd/adamant-bench -exp shard -json BENCH_PR9.json
 
 # Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
 # /events, /flight, /util and /run?n=K on port 9464.

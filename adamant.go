@@ -57,6 +57,7 @@ import (
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
 	"github.com/adamant-db/adamant/internal/session"
+	"github.com/adamant-db/adamant/internal/shard"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
@@ -274,6 +275,10 @@ type engineConfig struct {
 	poolPolicy bufpool.Policy
 	fuse       bool
 	auto       bool
+	shards     int
+	shardLoss  shard.LossMode
+	shardHedge shard.HedgePolicy
+	shardFail  int
 }
 
 // CachePolicy selects the buffer pool's eviction order (see
@@ -447,6 +452,15 @@ type Engine struct {
 	pool       *bufpool.Manager
 	fuse       bool
 
+	// sharding state (WithShards). shardCtxs[0] aliases the engine's own
+	// rt/sched/pool; coord is nil when sharding is off. confErr records an
+	// invalid option combination, surfaced at Plug/Execute (NewEngine
+	// cannot return an error).
+	shardCtxs  []shardCtx
+	shardPlans []*fault.Plan
+	coord      *shard.Coordinator
+	confErr    error
+
 	// auto-planning state (WithAutoPlan). calMu guards the one-time
 	// calibration pass and catalog swaps (SeedCatalog); the catalog itself
 	// is concurrency-safe.
@@ -496,7 +510,22 @@ func NewEngine(opts ...EngineOption) *Engine {
 		})
 		e.sched.SetPoolReclaimer(e.pool)
 	}
+	if cfg.shards > 1 {
+		if cfg.auto {
+			e.confErr = fmt.Errorf("adamant: WithShards cannot be combined with WithAutoPlan (the auto planner's calibration and catalog are per-runtime)")
+		} else {
+			e.buildShards(&cfg)
+		}
+	}
 	return e
+}
+
+// shardCtx is one shard's engine stack: its own device registry, admission
+// scheduler and (optional) buffer pool.
+type shardCtx struct {
+	rt    *hub.Runtime
+	sched *session.Scheduler
+	pool  *bufpool.Manager
 }
 
 // CacheEnabled reports whether the cross-query buffer pool is armed.
@@ -514,60 +543,123 @@ func (e *Engine) CacheTimeline() []CachePoint { return e.pool.Timeline() }
 // FlushCache evicts every cached column not currently leased by a running
 // query and returns the bytes freed. Harnesses flush before comparing
 // device memory against a pre-query baseline.
-func (e *Engine) FlushCache() int64 { return e.pool.Flush() }
+func (e *Engine) FlushCache() int64 {
+	n := e.pool.Flush()
+	for s := 1; s < len(e.shardCtxs); s++ {
+		n += e.shardCtxs[s].pool.Flush()
+	}
+	return n
+}
 
 // Plug registers a simulated co-processor accessed through the given SDK
 // and returns its device ID. Plugging is the only device-specific step: the
 // execution models work unchanged with whatever is plugged.
 func (e *Engine) Plug(hw Hardware, sdk SDK) (DeviceID, error) {
+	if e.confErr != nil {
+		return 0, e.confErr
+	}
 	spec, err := hw.spec()
 	if err != nil {
 		return 0, err
 	}
-	var d device.Device
+	mk, err := deviceMaker(spec, sdk)
+	if err != nil {
+		return 0, err
+	}
+	return e.register(mk)
+}
+
+// deviceMaker resolves a (hardware, SDK) pair to a device constructor —
+// sharded engines call it once per shard, so each shard gets its own
+// instance with independent clocks and memory.
+func deviceMaker(spec *simhw.Spec, sdk SDK) (func() device.Device, error) {
 	switch sdk {
 	case CUDA:
 		if spec.HostResident() {
-			return 0, fmt.Errorf("adamant: CUDA cannot drive host CPU %s", spec.Name)
+			return nil, fmt.Errorf("adamant: CUDA cannot drive host CPU %s", spec.Name)
 		}
-		d = simcuda.New(spec, nil)
+		return func() device.Device { return simcuda.New(spec, nil) }, nil
 	case OpenCL:
 		if spec.HostResident() {
-			d = simopencl.NewCPU(spec, nil)
-		} else {
-			d = simopencl.NewGPU(spec, nil)
+			return func() device.Device { return simopencl.NewCPU(spec, nil) }, nil
 		}
+		return func() device.Device { return simopencl.NewGPU(spec, nil) }, nil
 	case OpenMP:
 		if !spec.HostResident() {
-			return 0, fmt.Errorf("adamant: OpenMP cannot drive GPU %s", spec.Name)
+			return nil, fmt.Errorf("adamant: OpenMP cannot drive GPU %s", spec.Name)
 		}
-		d = simomp.New(spec, nil)
+		return func() device.Device { return simomp.New(spec, nil) }, nil
 	default:
-		return 0, fmt.Errorf("adamant: unknown SDK %d", int(sdk))
+		return nil, fmt.Errorf("adamant: unknown SDK %d", int(sdk))
 	}
-	return e.register(d)
 }
 
 // PlugDevice registers a custom device implementation. Any type satisfying
 // the device layer's ten interfaces can be plugged without changing the
-// runtime — the paper's headline claim.
+// runtime — the paper's headline claim. A sharded engine rejects it (a
+// single instance cannot be replicated across runtimes); use PlugMaker.
 func (e *Engine) PlugDevice(d device.Device) (DeviceID, error) {
-	return e.register(d)
+	if e.confErr != nil {
+		return 0, e.confErr
+	}
+	if len(e.shardCtxs) > 1 {
+		return 0, fmt.Errorf("adamant: PlugDevice cannot replicate one device instance across %d shards; use PlugMaker", len(e.shardCtxs))
+	}
+	return e.registerOn(0, d)
 }
 
-// register plugs a device — wrapped in the fault-injection layer when the
-// engine's fault plan targets it — and applies the admission budget.
-func (e *Engine) register(d device.Device) (DeviceID, error) {
-	if e.faultPlan != nil && e.faultPlan.Enabled() && e.faultPlan.AppliesTo(d.Info().Name) {
-		d = fault.Wrap(d, e.faultPlan)
+// PlugMaker registers a custom device on every shard by calling mk once
+// per shard runtime (once total when sharding is off). Each call must
+// return a fresh instance.
+func (e *Engine) PlugMaker(mk func() device.Device) (DeviceID, error) {
+	if e.confErr != nil {
+		return 0, e.confErr
 	}
-	id, err := e.rt.Register(d)
+	return e.register(mk)
+}
+
+// register plugs one device instance per shard runtime (just the engine's
+// own when sharding is off). Shards must stay mirror images: a divergent
+// device ID across shards is an internal error.
+func (e *Engine) register(mk func() device.Device) (DeviceID, error) {
+	id, err := e.registerOn(0, mk())
+	if err != nil {
+		return 0, err
+	}
+	for s := 1; s < len(e.shardCtxs); s++ {
+		sid, err := e.registerOn(s, mk())
+		if err != nil {
+			return 0, fmt.Errorf("adamant: plugging shard %d: %w", s, err)
+		}
+		if sid != id {
+			return 0, fmt.Errorf("adamant: shard %d assigned device id %d, shard 0 assigned %d", s, sid, id)
+		}
+	}
+	return id, nil
+}
+
+// registerOn plugs a device into shard s — wrapped in the fault-injection
+// layer when that shard's fault plan targets it — and applies the
+// admission budget to the shard's scheduler.
+func (e *Engine) registerOn(s int, d device.Device) (DeviceID, error) {
+	plan := e.faultPlan
+	if s > 0 {
+		plan = e.shardPlans[s]
+	}
+	if plan != nil && plan.Enabled() && plan.AppliesTo(d.Info().Name) {
+		d = fault.Wrap(d, plan)
+	}
+	rt, sched := e.rt, e.sched
+	if s > 0 {
+		rt, sched = e.shardCtxs[s].rt, e.shardCtxs[s].sched
+	}
+	id, err := rt.Register(d)
 	if err != nil {
 		return 0, err
 	}
 	info := d.Info()
 	if e.budgetFrac > 0 && !info.HostResident && info.MemoryBytes > 0 {
-		e.sched.SetBudget(id, int64(e.budgetFrac*float64(info.MemoryBytes)))
+		sched.SetBudget(id, int64(e.budgetFrac*float64(info.MemoryBytes)))
 	}
 	return id, nil
 }
@@ -666,6 +758,19 @@ func (e *Engine) queryDeadline(opts ExecOptions) vclock.Duration {
 // runGraph is the shared admission + execution path: estimate the query's
 // per-device working set, pass admission control, run, release.
 func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options, priority int) (*exec.Result, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
+	if e.coord != nil {
+		// Sharding routes before fusion: the scatter planner partitions the
+		// unfused plan, and each shard graph is fused individually (the
+		// coordinator carries the fusion pass as its rewrite hook). Plans
+		// the planner declines fall through and run unsharded on shard 0.
+		res, ok, err := e.runSharded(ctx, g, opts, priority)
+		if ok {
+			return res, err
+		}
+	}
 	if e.fuse {
 		// Fusion runs before demand estimation so the admission working set
 		// shrinks with the intermediates the fused chains no longer allocate.

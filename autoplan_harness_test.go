@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/trace"
 )
 
 // The differential auto-planning harness: for the same random plan
@@ -82,13 +83,42 @@ func TestDifferentialAutoPlanUnderFaults(t *testing.T) {
 		}
 
 		faultEng := harnessEngine(t, drv, harnessFaultPlan(i, drv), WithAutoPlan())
-		faultRes, err := faultEng.Execute(buildHarnessPlan(faultEng, seed), opts)
+		rec := NewTraceRecorder()
+		recOpts := opts
+		recOpts.Recorder = rec
+		faultRes, err := faultEng.Execute(buildHarnessPlan(faultEng, seed), recOpts)
 		switch {
 		case err == nil:
 			sameResults(t, label, baseRes, faultRes)
 			matched++
-			if s := faultRes.Stats(); s.Retries > 0 || len(s.Events) > 0 {
+			s := faultRes.Stats()
+			if s.Retries > 0 || len(s.Events) > 0 {
 				injected++
+			}
+			// Replan accounting must stay consistent with failover composed:
+			// the Replans counter, the replan event log entries and the
+			// replan trace spans are three views of the same restarts.
+			var replanEvents int
+			for _, ev := range s.Events {
+				if ev.Kind == EventReplan {
+					replanEvents++
+				}
+			}
+			var replanSpans int
+			for _, sp := range rec.internal().Spans() {
+				if sp.Kind == trace.KindReplan {
+					replanSpans++
+				}
+			}
+			if s.Replans != replanEvents || s.Replans != replanSpans {
+				t.Errorf("%s: replan accounting diverged: Stats.Replans=%d, events=%d, spans=%d",
+					label, s.Replans, replanEvents, replanSpans)
+			}
+			// Drift is the final attempt's per-pipeline record: one sample
+			// per executed pipeline even after retries and failovers.
+			if len(s.Drift) != s.Pipelines {
+				t.Errorf("%s: drift samples %d != pipelines %d after faults",
+					label, len(s.Drift), s.Pipelines)
 			}
 		case harnessTypedError(err):
 			failedTyped++

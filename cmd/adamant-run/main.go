@@ -32,6 +32,7 @@ import (
 	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/shard"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/sql"
 	"github.com/adamant-db/adamant/internal/tpch"
@@ -78,11 +79,16 @@ func run(ctx context.Context) error {
 	repeat := flag.Int("repeat", 1, "run the query this many times on one engine (with -cache, later runs hit the pool)")
 	fuse := flag.Bool("fuse", false, "rewrite fusible filter/map/aggregate chains into single-pass fused kernels before executing")
 	auto := flag.Bool("auto", false, "auto-plan: calibrate a cost catalog, then let it pick placement, execution model and chunk size (-model/-chunk become hints it overrides)")
+	shards := flag.Int("shards", 1, "scatter the query over N independent runtime shards and gather exact merged results (1 = off)")
+	hedge := flag.Bool("hedge", false, "with -shards, hedge straggling partitions: duplicate them on idle shards, first result wins")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
 	if err != nil {
 		return err
+	}
+	if *shards > 1 && *auto {
+		return fmt.Errorf("-shards cannot be combined with -auto (the cost catalog is per-runtime)")
 	}
 
 	if *serveAddr != "" {
@@ -182,7 +188,9 @@ func run(ctx context.Context) error {
 		}
 	}
 
-	if *fuse {
+	// With -shards the coordinator fuses per partition graph instead, so
+	// the scatter planner sees the un-fused plan.
+	if *fuse && *shards <= 1 {
 		g = graph.Fuse(g)
 	}
 
@@ -255,18 +263,43 @@ func run(ctx context.Context) error {
 		opts.PlanNotes = autoDec.Notes
 		opts.Replan = autoDec.Replan()
 	}
+	var coord *shard.Coordinator
+	if *shards > 1 {
+		coord, err = buildFleet(rt, pool, plan, fleetConfig{
+			n: *shards, driver: *driver, fallback: *fallback,
+			cacheMiB: *cacheMiB, cachePolicy: *cachePolicy,
+			fuse: *fuse, hedge: *hedge,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards: %d runtimes, hedging %v\n", *shards, *hedge)
+	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
 	var res *core.Result
 	for i := 0; i < *repeat; i++ {
-		res, err = core.RunContext(ctx, rt, g, opts)
+		if coord != nil {
+			var scattered bool
+			res, scattered, err = coord.Run(ctx, g, opts, 0)
+			if err == nil && !scattered {
+				fmt.Println("scatter planner declined the plan; running unsharded")
+				coord = nil
+				res, err = core.RunContext(ctx, rt, g, opts)
+			}
+		} else {
+			res, err = core.RunContext(ctx, rt, g, opts)
+		}
 		if err != nil {
 			break
 		}
 		if *repeat > 1 {
 			fmt.Printf("run %d/%d: simulated %v\n", i+1, *repeat, res.Stats.Elapsed)
 		}
+	}
+	if coord != nil {
+		defer coord.Drain()
 	}
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !(cancelled && res != nil) {
@@ -300,6 +333,26 @@ func run(ctx context.Context) error {
 		fmt.Printf("  cache      %d hits, %d misses, %d shared joins, %d evictions (%.0f%% hits, %.1f MiB resident)\n",
 			cs.Hits, cs.Misses, cs.SharedJoins, cs.Evictions,
 			100*cs.HitRatio(), float64(cs.CachedBytes)/(1<<20))
+	}
+	for p, ss := range s.Shards {
+		var flags string
+		if ss.Hedged {
+			flags += ", hedged"
+			if ss.HedgeWon {
+				flags += " (hedge won)"
+			}
+		}
+		if ss.FailedOver {
+			flags += ", failed over"
+		}
+		if ss.Lost {
+			flags += ", LOST"
+		}
+		fmt.Printf("  shard      partition %d on shard %d: %d rows, %v%s\n",
+			p, ss.Ran, ss.Rows, ss.Elapsed, flags)
+	}
+	if len(s.PartialShards) > 0 {
+		fmt.Printf("  partial    result excludes lost partitions %v\n", s.PartialShards)
 	}
 	for _, ev := range s.Events {
 		fmt.Printf("  event      %s\n", ev)
@@ -389,6 +442,73 @@ func run(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// fleetConfig configures buildFleet.
+type fleetConfig struct {
+	n                int
+	driver, fallback string
+	cacheMiB         int64
+	cachePolicy      string
+	fuse, hedge      bool
+}
+
+// buildFleet assembles the shard coordinator: shard 0 reuses the runtime
+// already built (device, fault wrap and pool included); shards 1..n-1 get
+// fresh runtimes with the same device layout, fault plans re-seeded per
+// shard so they fault independently.
+func buildFleet(rt *hub.Runtime, pool *bufpool.Manager, plan *fault.Plan, fc fleetConfig) (*shard.Coordinator, error) {
+	list := make([]shard.Shard, fc.n)
+	list[0] = shard.Shard{Name: "shard0", RT: rt, Pool: pool}
+	for s := 1; s < fc.n; s++ {
+		srt := hub.NewRuntime()
+		splan := plan
+		if plan != nil {
+			p := *plan
+			p.Seed += uint64(s)
+			splan = &p
+		}
+		register := func(driver string) error {
+			dev, err := buildDevice(driver)
+			if err != nil {
+				return err
+			}
+			if splan != nil && splan.AppliesTo(dev.Info().Name) {
+				dev = fault.Wrap(dev, splan)
+			}
+			_, err = srt.Register(dev)
+			return err
+		}
+		if err := register(fc.driver); err != nil {
+			return nil, err
+		}
+		if fc.fallback != "" {
+			if err := register(fc.fallback); err != nil {
+				return nil, err
+			}
+		}
+		var spool *bufpool.Manager
+		if fc.cacheMiB > 0 {
+			pol, err := bufpool.ParsePolicy(fc.cachePolicy)
+			if err != nil {
+				return nil, err
+			}
+			spool = bufpool.New(bufpool.Config{
+				Capacity: fc.cacheMiB << 20,
+				Policy:   pol,
+				Device:   srt.Device,
+			})
+		}
+		list[s] = shard.Shard{Name: fmt.Sprintf("shard%d", s), RT: srt, Pool: spool}
+	}
+	cfg := shard.Config{Shards: list}
+	if fc.fuse {
+		cfg.Rewrite = graph.Fuse
+	}
+	if fc.hedge {
+		cfg.Hedge = shard.HedgePolicy{Enabled: true}
+	}
+	return shard.New(cfg)
 }
 
 func buildDevice(driver string) (device.Device, error) {

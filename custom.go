@@ -98,10 +98,12 @@ func (e *Engine) PlugCustom(cs CustomSpec) (DeviceID, error) {
 		return 0, fmt.Errorf("adamant: unknown SDK %d", int(cs.SDK))
 	}
 
-	return e.register(device.NewSim(device.SimConfig{
-		Name:   cs.Name + "/" + profile.Name,
-		Spec:   spec,
-		SDK:    profile,
-		Format: format,
-	}))
+	return e.register(func() device.Device {
+		return device.NewSim(device.SimConfig{
+			Name:   cs.Name + "/" + profile.Name,
+			Spec:   spec,
+			SDK:    profile,
+			Format: format,
+		})
+	})
 }

@@ -23,6 +23,7 @@ package bufpool
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/adamant-db/adamant/internal/device"
@@ -611,6 +612,28 @@ func (m *Manager) InvalidateDevice(dev device.ID) {
 	}
 	if freed > 0 {
 		m.account(dev, 0, freed)
+	}
+}
+
+// InvalidateAll drops every cached column on every device — the shard
+// coordinator's path when a whole shard runtime is removed after death.
+// Unlike Flush, leased entries do not survive: they are doomed exactly as
+// InvalidateDevice dooms them, so a flushed dead shard cannot leave
+// pinned leases behind (they free on their last Release). A nil manager
+// no-ops.
+func (m *Manager) InvalidateAll() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	devs := make([]device.ID, 0, len(m.devs))
+	for dev := range m.devs {
+		devs = append(devs, dev)
+	}
+	m.mu.Unlock()
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	for _, dev := range devs {
+		m.InvalidateDevice(dev)
 	}
 }
 

@@ -87,7 +87,7 @@ func TestRoundTrip(t *testing.T) {
 	c.Observe(Key{"zeta", "b-dev", 3}, 7, 12345)
 	c.Observe(Key{"alpha", "b-dev", 5}, 3, 10007) // non-terminating rate
 	c.Observe(Key{"alpha", "a-dev", 5}, 1, 42)
-	c.Observe(Key{PrimH2D, "a-dev", 20}, 1 << 20, 7 * vclock.Millisecond)
+	c.Observe(Key{PrimH2D, "a-dev", 20}, 1<<20, 7*vclock.Millisecond)
 	c.Observe(Key{"alpha", "a-dev", 5}, 9, 100) // EWMA-blended entry
 
 	var buf1 bytes.Buffer

@@ -1,0 +1,61 @@
+package cost_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/cost"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// FuzzReadCatalog throws arbitrary bytes at the catalog text parser. Read
+// must never panic, and any stream it accepts must round-trip: serializing
+// the parsed catalog and reading it back reproduces the same bytes, so a
+// warm catalog file survives arbitrary rewrite cycles unchanged.
+func FuzzReadCatalog(f *testing.F) {
+	var valid bytes.Buffer
+	c := cost.New()
+	c.Observe(cost.Key{Primitive: "filter_lt", Driver: "CUDA", Bucket: 20}, 1<<20, vclock.Duration(262144))
+	c.Observe(cost.Key{Primitive: "agg_sum", Driver: "OpenMP", Bucket: 24}, 4096, vclock.Duration(7168))
+	if _, err := c.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("adamant-cost-catalog v1\n"))
+	f.Add([]byte("adamant-cost-catalog v1\nfilter_lt\tCUDA\t20\t0x1p-2\t3\n"))
+	f.Add([]byte("adamant-cost-catalog v1\na\tb\tc\td\te\n"))
+	f.Add([]byte("adamant-cost-catalog v1\na\tb\t1\tNaN\t1\n"))
+	f.Add([]byte("wrong header\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("adamant-cost-catalog v1\n\n\na\tb\t-5\t0x1p+10\t9223372036854775807\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c1, err := cost.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage with an error is the correct outcome
+		}
+		var b1 bytes.Buffer
+		if _, err := c1.WriteTo(&b1); err != nil {
+			t.Fatalf("serializing an accepted catalog failed: %v", err)
+		}
+		c2, err := cost.Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading our own serialization failed: %v\n%s", err, b1.String())
+		}
+		var b2 bytes.Buffer
+		if _, err := c2.WriteTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("round trip diverged:\n--- first\n%s--- second\n%s", b1.String(), b2.String())
+		}
+		if got, want := len(c2.Keys()), len(c1.Keys()); got != want {
+			t.Fatalf("round trip changed entry count: %d != %d", got, want)
+		}
+		if strings.Count(b1.String(), "\n") != len(c1.Keys())+1 {
+			t.Fatalf("serialization has %d lines for %d entries",
+				strings.Count(b1.String(), "\n"), len(c1.Keys()))
+		}
+	})
+}

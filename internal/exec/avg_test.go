@@ -1,0 +1,129 @@
+package exec_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// avgGraph builds: filter(a < cut) -> materialize(b) -> cast -> SUM, COUNT,
+// with AVG marked as the SUM/COUNT pair. The division happens at result
+// collection, after aggregation, so sharded runs can merge the raw partials
+// with the same finalization.
+func avgGraph(t *testing.T, a, b []int32, cut int64, dev device.ID) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	sa := g.AddScan("a", vec.FromInt32(a), dev)
+	sb := g.AddScan("b", vec.FromInt32(b), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, cut, 0, "a<cut"), dev, sa)
+	m, err := task.NewMaterialize(vec.Int32, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := g.AddTask(m, dev, sb, g.Out(f, 0))
+	cast := g.AddTask(task.NewMapCast("widen"), dev, g.Out(mat, 0))
+	mkAgg := func(op kernels.AggOp) graph.NodeID {
+		at, err := task.NewAggBlock(op, vec.Int64, op.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.AddTask(at, dev, g.Out(cast, 0))
+	}
+	sum := mkAgg(kernels.AggSum)
+	cnt := mkAgg(kernels.AggCount)
+	g.MarkResult("sum", g.Out(sum, 0))
+	g.MarkResultAvg("avg", g.Out(sum, 0), g.Out(cnt, 0))
+	return g
+}
+
+// TestAvgResultAllModels pins the AVG collection path: every execution
+// model finalizes the marked SUM/COUNT pair to the same single Float64
+// value the host loop computes, and the SUM partial stays independently
+// retrievable.
+func TestAvgResultAllModels(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	n := 1000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 311)
+		b[i] = int32(i % 97)
+	}
+	const cut = 150
+	var wantSum, wantCnt int64
+	for i, v := range a {
+		if v < cut {
+			wantSum += int64(b[i])
+			wantCnt++
+		}
+	}
+	want := float64(wantSum) / float64(wantCnt)
+
+	for _, model := range []exec.Model{
+		exec.OperatorAtATime, exec.Chunked, exec.Pipelined,
+		exec.FourPhaseChunked, exec.FourPhasePipelined,
+	} {
+		g := avgGraph(t, a, b, cut, dev)
+		res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 128})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		col, ok := res.Column("avg")
+		if !ok {
+			t.Fatalf("%v: no avg column", model)
+		}
+		if col.Type() != vec.Float64 || col.Len() != 1 {
+			t.Fatalf("%v: avg is %s len %d, want one Float64", model, col.Type(), col.Len())
+		}
+		if got := col.F64()[0]; got != want {
+			t.Errorf("%v: avg %v, want %v", model, got, want)
+		}
+		s, ok := res.Column("sum")
+		if !ok || s.I64()[0] != wantSum {
+			t.Errorf("%v: sum %v, want %d", model, s, wantSum)
+		}
+	}
+}
+
+// TestAvgResultEmpty pins the zero-count finalization: AVG over no
+// qualifying rows is 0, not NaN, so results stay bit-comparable.
+func TestAvgResultEmpty(t *testing.T) {
+	rt, dev := gpuRuntime(t)
+	a := []int32{5, 6, 7, 8}
+	b := []int32{1, 2, 3, 4}
+	g := avgGraph(t, a, b, -1, dev) // nothing passes a < -1
+	res, err := exec.Run(rt, g, exec.Options{Model: exec.Chunked, ChunkElems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := res.Column("avg")
+	if !ok || col.Len() != 1 {
+		t.Fatalf("avg column missing: %v", col)
+	}
+	if got := col.F64()[0]; got != 0 || math.IsNaN(got) {
+		t.Errorf("empty avg = %v, want 0", got)
+	}
+}
+
+// TestFinalizeAvg pins the shared partial-folding helper directly.
+func TestFinalizeAvg(t *testing.T) {
+	for _, tc := range []struct {
+		sum, count int64
+		want       float64
+	}{
+		{0, 0, 0},
+		{42, 0, 0},
+		{10, 4, 2.5},
+		{-9, 3, -3},
+	} {
+		if got := exec.FinalizeAvg(tc.sum, tc.count); got != tc.want {
+			t.Errorf("FinalizeAvg(%d, %d) = %v, want %v", tc.sum, tc.count, got, tc.want)
+		}
+	}
+}

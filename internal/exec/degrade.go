@@ -113,6 +113,17 @@ const (
 	// resized the chunk (ChunkFrom -> ChunkTo) after observed pipeline
 	// cardinality drifted from the estimate, and the attempt restarted.
 	EventReplan
+	// EventHedge records the shard coordinator launching a duplicate of a
+	// straggling shard request on an idle peer (From: the straggler's shard
+	// index, To: the hedge target's shard index, as pseudo device IDs).
+	EventHedge
+	// EventShardFailover records a shard partition re-dispatched onto a
+	// healthy peer after its shard died mid-query.
+	EventShardFailover
+	// EventShardLost records a shard whose partition could not be recovered
+	// — under LossPartial the query completes without it and flags
+	// Stats.PartialShards.
+	EventShardLost
 )
 
 // String returns the event kind's name.
@@ -124,6 +135,12 @@ func (k EventKind) String() string {
 		return "degrade"
 	case EventReplan:
 		return "replan"
+	case EventHedge:
+		return "hedge"
+	case EventShardFailover:
+		return "shard-failover"
+	case EventShardLost:
+		return "shard-lost"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

@@ -300,6 +300,38 @@ type Stats struct {
 	Drift []DriftSample
 	// Replans counts mid-query re-plan restarts taken by Options.Replan.
 	Replans int
+	// Shards holds the per-partition execution summaries when the query ran
+	// through the shard coordinator (one entry per table partition, in
+	// partition order). Nil for unsharded runs.
+	Shards []ShardStat
+	// PartialShards lists the shard indexes whose partitions were lost and
+	// excluded from the result under the Partial shard-loss mode, in
+	// ascending order. Empty means the result covers every partition.
+	PartialShards []int
+}
+
+// ShardStat summarizes one partition of a sharded execution: which shard
+// finally produced it, how long it took in virtual time, and which
+// robustness paths fired along the way.
+type ShardStat struct {
+	// Shard is the partition index; Ran is the shard that produced the
+	// accepted result (differs from Shard after a hedge win or failover).
+	Shard int
+	Ran   int
+	// Rows is the partition's input row count.
+	Rows int
+	// Elapsed is the partition's accepted virtual execution time (the
+	// hedged path's ledger time when the hedge won); Wall is host time.
+	Elapsed vclock.Duration
+	Wall    time.Duration
+	// Hedged marks a duplicate request launched after the shard straggled
+	// past the hedge threshold; HedgeWon marks the duplicate finishing
+	// first. FailedOver marks the partition re-dispatched after its shard
+	// died; Lost marks an unrecoverable partition (Partial mode only).
+	Hedged     bool
+	HedgeWon   bool
+	FailedOver bool
+	Lost       bool
 }
 
 // Result is the outcome of one execution.
@@ -339,11 +371,11 @@ func RunContext(ctx context.Context, rt *hub.Runtime, g *graph.Graph, opts Optio
 		return nil, err
 	}
 	x := &executor{
-		ctx:    ctx,
-		rt:     rt,
-		g:      g,
-		opts:   opts,
-		flags:  opts.Model.flags(),
+		ctx:       ctx,
+		rt:        rt,
+		g:         g,
+		opts:      opts,
+		flags:     opts.Model.flags(),
 		ports:     make(map[graph.PortRef]*portState),
 		live:      make(map[liveBuf]struct{}),
 		remap:     make(map[device.ID]device.ID),

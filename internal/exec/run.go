@@ -1169,7 +1169,7 @@ func (x *executor) releaseDeadInputs(n *graph.Node) error {
 
 func (x *executor) isResult(ref graph.PortRef) bool {
 	for _, r := range x.g.Results() {
-		if r.Ref == ref {
+		if r.Ref == ref || (r.Avg && r.Count == ref) {
 			return true
 		}
 	}
@@ -1232,35 +1232,73 @@ func (x *executor) appendChunkResults(p *graph.Pipeline) error {
 	return nil
 }
 
-// collectResult retrieves one named result to the host.
+// collectResult retrieves one named result to the host. AVG results
+// retrieve their SUM and COUNT partials and finalize the division here —
+// after aggregation, so sharded runs can merge raw partials first and share
+// the same finalization.
 func (x *executor) collectResult(r graph.Result) (ResultColumn, error) {
+	if r.Avg {
+		sum, err := x.collectPort(r.Ref, r.Name)
+		if err != nil {
+			return ResultColumn{}, err
+		}
+		count, err := x.collectPort(r.Count, r.Name)
+		if err != nil {
+			return ResultColumn{}, err
+		}
+		if sum.Type() != vec.Int64 || sum.Len() != 1 || count.Type() != vec.Int64 || count.Len() != 1 {
+			return ResultColumn{}, fmt.Errorf("exec: avg result %q needs int64 scalar sum and count partials", r.Name)
+		}
+		avg := FinalizeAvg(sum.I64()[0], count.I64()[0])
+		return ResultColumn{Name: r.Name, Data: vec.FromFloat64([]float64{avg})}, nil
+	}
+	v, err := x.collectPort(r.Ref, r.Name)
+	if err != nil {
+		return ResultColumn{}, err
+	}
+	return ResultColumn{Name: r.Name, Data: v}, nil
+}
+
+// collectPort retrieves the raw contents of one result port.
+func (x *executor) collectPort(ref graph.PortRef, name string) (vec.Vector, error) {
+	r := graph.Result{Name: name, Ref: ref}
 	if b, ok := x.builders[r.Ref]; ok {
-		return ResultColumn{Name: r.Name, Data: b.vec()}, nil
+		return b.vec(), nil
 	}
 	ps, ok := x.ports[r.Ref]
 	if !ok {
-		return ResultColumn{}, fmt.Errorf("exec: result %q was never materialized", r.Name)
+		return vec.Vector{}, fmt.Errorf("exec: result %q was never materialized", r.Name)
 	}
 	if ps.n == 0 {
 		// Canonical empty: the same nil-backed vector the per-chunk
 		// accumulation path produces, so a zero-row result is bit-identical
 		// across execution models.
 		node := x.g.Node(r.Ref.Node)
-		return ResultColumn{Name: r.Name, Data: newHostAccum(node.OutputSpec(r.Ref.Port).Type).vec()}, nil
+		return newHostAccum(node.OutputSpec(r.Ref.Port).Type).vec(), nil
 	}
 	_, d, err := x.device(ps.dev)
 	if err != nil {
-		return ResultColumn{}, err
+		return vec.Vector{}, err
 	}
 	node := x.g.Node(r.Ref.Node)
 	x.setOp(r.Ref.Node, "result "+r.Name)
 	host := vec.New(node.OutputSpec(r.Ref.Port).Type, ps.n)
 	end, err := d.RetrieveData(ps.buf, 0, ps.n, host, x.ready(ps.ready))
 	if err != nil {
-		return ResultColumn{}, fmt.Errorf("exec: retrieve result %q: %w", r.Name, err)
+		return vec.Vector{}, fmt.Errorf("exec: retrieve result %q: %w", r.Name, err)
 	}
 	x.advance(end)
-	return ResultColumn{Name: r.Name, Data: host}, nil
+	return host, nil
+}
+
+// FinalizeAvg turns merged SUM and COUNT partials into the AVG value; a
+// zero count (no qualifying rows) finalizes to 0 rather than NaN so the
+// result is deterministic and comparable bit for bit.
+func FinalizeAvg(sum, count int64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
 }
 
 // hostAccum concatenates per-chunk result fragments on the host.

@@ -110,6 +110,7 @@ var registry = map[string]Generator{
 	"cache":      CacheWarm,
 	"fuse":       FuseSpeedup,
 	"auto":       AutoPlan,
+	"shard":      ShardScale,
 }
 
 // Names lists the experiment identifiers in run order.

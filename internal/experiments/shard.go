@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/bufpool"
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/shard"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// stallDevice wall-clock-stalls every kernel launch — the host-time
+// straggler a wedged shard would be. Virtual timings stay untouched, so
+// only wall time (and the hedging that bounds it) changes.
+type stallDevice struct {
+	device.Device
+	delay time.Duration
+}
+
+func (s *stallDevice) Execute(req device.ExecRequest, ready vclock.Time) (vclock.Time, error) {
+	time.Sleep(s.delay)
+	return s.Device.Execute(req, ready)
+}
+
+// shardFleet builds n single-GPU shards, each its own runtime with an
+// optional buffer pool; stall, when nonzero, brakes the last shard.
+func shardFleet(n int, pooled bool, stall time.Duration) ([]shard.Shard, error) {
+	shards := make([]shard.Shard, n)
+	for i := range shards {
+		rt := hub.NewRuntime()
+		var d device.Device = simcuda.New(&simhw.Setup1.GPU, nil)
+		if stall > 0 && i == n-1 {
+			d = &stallDevice{Device: d, delay: stall}
+		}
+		if _, err := rt.Register(d); err != nil {
+			return nil, err
+		}
+		var pool *bufpool.Manager
+		if pooled {
+			pool = bufpool.New(bufpool.Config{
+				Capacity: 1 << 30,
+				Policy:   bufpool.CostAware,
+				Device:   rt.Device,
+			})
+		}
+		shards[i] = shard.Shard{Name: fmt.Sprintf("shard%d", i), RT: rt, Pool: pool}
+	}
+	return shards, nil
+}
+
+// ShardScale measures scatter/gather scale-out: Q6 at SF 100 over fleets
+// of 1, 2, 4 and 8 runtime shards, cold (pools empty) and warm (base
+// columns pooled per shard after two priming runs). Virtual elapsed time
+// is the max over partitions, so throughput grows with the fleet; the
+// straggler phase then brakes one shard in host time and shows hedged
+// retries bounding the wall-clock tail the straggler would otherwise set.
+func ShardScale(cfg Config, w io.Writer) error {
+	const sf = 100
+	ds, err := cfg.dataset(sf)
+	if err != nil {
+		return err
+	}
+	rows := ds.Lineitem.Rows()
+
+	cold := NewTable("Shard scale-out cold: first Q6 run per fleet, pools empty (virtual seconds)",
+		"query", "SF", "shards", "elapsed s", "speedup vs 1", "Mrows/s")
+	warm := NewTable("Shard scale-out warm: third Q6 run, base columns pooled per shard",
+		"query", "SF", "shards", "elapsed s", "speedup vs 1", "Mrows/s")
+	cold.Note = fmt.Sprintf("data scaled by %.5f; chunk %d values; partitions merge exactly (SUM re-aggregated)",
+		cfg.ratio(), cfg.chunkElems())
+
+	var coldBase, warmBase vclock.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		shards, err := shardFleet(n, true, 0)
+		if err != nil {
+			return err
+		}
+		coord, err := shard.New(shard.Config{Shards: shards})
+		if err != nil {
+			return err
+		}
+		var elapsed [3]vclock.Duration
+		for i := range elapsed {
+			g, err := tpch.BuildQuery("Q6", ds, 0)
+			if err != nil {
+				return err
+			}
+			res, scattered, err := coord.Run(cfg.Context(), g, exec.Options{
+				Model: exec.Chunked, ChunkElems: cfg.chunkElems(),
+			}, 0)
+			if err != nil {
+				return err
+			}
+			if !scattered {
+				return fmt.Errorf("experiments: scatter planner declined Q6")
+			}
+			elapsed[i] = res.Stats.Elapsed
+		}
+		coord.Drain()
+		if n == 1 {
+			coldBase, warmBase = elapsed[0], elapsed[2]
+		}
+		cold.Add("Q6", sf, n, seconds(elapsed[0]), ratioStr(coldBase, elapsed[0]), mops(rows, elapsed[0]))
+		warm.Add("Q6", sf, n, seconds(elapsed[2]), ratioStr(warmBase, elapsed[2]), mops(rows, elapsed[2]))
+	}
+	if err := cfg.reportPhase(w, "shard", "cold", cold); err != nil {
+		return err
+	}
+	if err := cfg.reportPhase(w, "shard", "warm", warm); err != nil {
+		return err
+	}
+
+	// Straggler cell: 4 shards, the last one stalling every launch in host
+	// time. Unhedged, the query's wall clock is gated on the straggler;
+	// hedged, the duplicate attempt on an idle healthy shard wins. The cell
+	// runs on a 16x smaller slice so the injected stall dominates the
+	// healthy shards' own host time and the hedge threshold stays sharp —
+	// the effect under test is the race, not kernel throughput.
+	sds, err := tpch.Generate(tpch.Config{SF: sf, Ratio: cfg.ratio() / 16, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	stall := 50 * time.Millisecond
+	if cfg.Quick {
+		stall = 15 * time.Millisecond
+	}
+	strag := NewTable("Shard straggler: 4 shards, one stalling every launch in host time (wall milliseconds)",
+		"query", "mode", "wall ms", "hedge wins")
+	strag.Note = "virtual elapsed is identical in both modes; hedging only bounds host wall time"
+	for _, mode := range []struct {
+		label string
+		hedge shard.HedgePolicy
+	}{
+		{"unhedged", shard.HedgePolicy{}},
+		{"hedged", shard.HedgePolicy{Enabled: true, MinDelay: time.Millisecond, Poll: 200 * time.Microsecond}},
+	} {
+		shards, err := shardFleet(4, false, stall)
+		if err != nil {
+			return err
+		}
+		coord, err := shard.New(shard.Config{Shards: shards, Hedge: mode.hedge})
+		if err != nil {
+			return err
+		}
+		g, err := tpch.BuildQuery("Q6", sds, 0)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, scattered, err := coord.Run(cfg.Context(), g, exec.Options{
+			Model: exec.OperatorAtATime,
+		}, 0)
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if !scattered {
+			return fmt.Errorf("experiments: scatter planner declined Q6")
+		}
+		var wins int
+		for _, s := range res.Stats.Shards {
+			if s.HedgeWon {
+				wins++
+			}
+		}
+		coord.Drain()
+		strag.Add("Q6", mode.label, fmt.Sprintf("%.1f", float64(wall)/float64(time.Millisecond)), wins)
+	}
+	return cfg.reportPhase(w, "shard", "straggler", strag)
+}

@@ -285,6 +285,9 @@ func Fuse(g *Graph) *Graph {
 	isResult := make([]bool, len(g.nodes))
 	for _, r := range g.results {
 		isResult[r.Ref.Node] = true
+		if r.Avg {
+			isResult[r.Count.Node] = true
+		}
 	}
 	outDegree := make([]int, len(g.nodes))
 	for _, e := range g.edges {
@@ -358,6 +361,10 @@ func Fuse(g *Graph) *Graph {
 		newID[n.ID] = ng.AddTask(n.Task, n.Device, inputs...)
 	}
 	for _, r := range g.results {
+		if r.Avg {
+			ng.MarkResultAvg(r.Name, remap(r.Ref), remap(r.Count))
+			continue
+		}
 		ng.MarkResult(r.Name, remap(r.Ref))
 	}
 	return ng

@@ -189,10 +189,17 @@ func (g *Graph) AddTask(t *task.Task, dev device.ID, inputs ...PortRef) NodeID {
 // Out returns a port reference for a node added with AddTask.
 func (g *Graph) Out(n NodeID, port int) PortRef { return PortRef{Node: n, Port: port} }
 
-// Result names an output port whose contents are a query result.
+// Result names an output port whose contents are a query result. An AVG
+// result pairs two ports: Ref carries the SUM partial and Count the COUNT
+// partial, and retrieval finalizes the division into one Float64 scalar —
+// the split that lets sharded execution merge raw partials before
+// finalizing.
 type Result struct {
 	Name string
 	Ref  PortRef
+	// Avg marks a SUM+COUNT average; Count is the COUNT partial's port.
+	Avg   bool
+	Count PortRef
 }
 
 // MarkResult flags an output port as a named query result: the execution
@@ -200,6 +207,14 @@ type Result struct {
 // or concatenate it chunk by chunk (per-chunk outputs).
 func (g *Graph) MarkResult(name string, ref PortRef) {
 	g.results = append(g.results, Result{Name: name, Ref: ref})
+}
+
+// MarkResultAvg flags an AVG query result computed as SUM+COUNT: sum and
+// count are AGG_BLOCK partial ports, and the retrieved column is one
+// Float64 value sum/count (0 when the count is 0). Keeping the division out
+// of the plan means per-shard partials stay mergeable.
+func (g *Graph) MarkResultAvg(name string, sum, count PortRef) {
+	g.results = append(g.results, Result{Name: name, Ref: sum, Avg: true, Count: count})
 }
 
 // Results lists the marked result ports.
@@ -251,11 +266,17 @@ func (g *Graph) Validate() error {
 		}
 	}
 	for _, r := range g.results {
-		if int(r.Ref.Node) >= len(g.nodes) {
-			return fmt.Errorf("%w: result %q references unknown node %d", ErrBadGraph, r.Name, r.Ref.Node)
+		refs := []PortRef{r.Ref}
+		if r.Avg {
+			refs = append(refs, r.Count)
 		}
-		if r.Ref.Port >= g.nodes[r.Ref.Node].NumOutputs() {
-			return fmt.Errorf("%w: result %q references missing port %d of %s", ErrBadGraph, r.Name, r.Ref.Port, g.nodes[r.Ref.Node])
+		for _, ref := range refs {
+			if int(ref.Node) >= len(g.nodes) {
+				return fmt.Errorf("%w: result %q references unknown node %d", ErrBadGraph, r.Name, ref.Node)
+			}
+			if ref.Port >= g.nodes[ref.Node].NumOutputs() {
+				return fmt.Errorf("%w: result %q references missing port %d of %s", ErrBadGraph, r.Name, ref.Port, g.nodes[ref.Node])
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,418 @@
+// Scatter/gather planning for sharded execution.
+//
+// A scattered query runs the same primitive graph on N shards, each bound
+// to a contiguous row range of the partitioned base table, and merges the
+// per-shard results at the coordinator. The planner's job is to decide
+// statically — before anything runs — whether that rewrite is exact: every
+// merge must reproduce the unsharded answer bit for bit, or the planner
+// declines and the coordinator falls back to single-shard execution. There
+// is no "approximately sharded" mode; a plan either scatters exactly or
+// not at all.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/primitive"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// MergeKind says how the coordinator folds one result's per-shard columns
+// back into the unsharded answer.
+type MergeKind uint8
+
+// Merge kinds.
+const (
+	// MergeFirst takes the column from the first surviving shard: the
+	// result depends only on broadcast (replicated) inputs, so every shard
+	// computed the identical value.
+	MergeFirst MergeKind = iota
+	// MergeConcat concatenates shard columns in partition order: the
+	// result is row-aligned with the partitioned table, so shard order is
+	// global row order.
+	MergeConcat
+	// MergeAgg folds per-shard scalar partials with the aggregate's Merge
+	// (SUM/COUNT partials add, MIN/MAX take the extremum).
+	MergeAgg
+	// MergeGroup k-way-merges per-shard sorted (key, value) group lists,
+	// folding values of equal keys with the aggregate's Merge. Shard lists
+	// are sorted with distinct keys (hash_extract sorts), so the merged
+	// list is exactly the unsharded extract.
+	MergeGroup
+	// MergeAvg folds raw SUM and COUNT partials across shards, then
+	// finalizes the division — the reason AVG is planned as SUM+COUNT.
+	MergeAvg
+)
+
+// String names the merge kind for diagnostics and trace labels.
+func (k MergeKind) String() string {
+	switch k {
+	case MergeFirst:
+		return "first"
+	case MergeConcat:
+		return "concat"
+	case MergeAgg:
+		return "agg"
+	case MergeGroup:
+		return "group"
+	case MergeAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("merge(%d)", int(k))
+	}
+}
+
+// MergeSpec tells the coordinator how to gather one original result from
+// the per-shard result sets. Column names refer to the shard result sets
+// (synthetic "__scatter." names are added for ports the original plan did
+// not mark).
+type MergeSpec struct {
+	// Name is the original result's name.
+	Name string
+	// Kind selects the fold.
+	Kind MergeKind
+	// Op folds partials for MergeAgg and MergeGroup, and the SUM partial
+	// of MergeAvg.
+	Op kernels.AggOp
+	// Keys and Vals name the shard-result columns of a MergeGroup pair
+	// (the extract's key and aggregate ports); Port says which of the two
+	// this result reports (0 = keys, 1 = aggregates).
+	Keys, Vals string
+	Port       int
+	// Sum, Count and CountOp describe a MergeAvg result's raw partials.
+	Sum, Count string
+	CountOp    kernels.AggOp
+}
+
+// ScatterSpec is a validated scatter/gather plan for one graph.
+type ScatterSpec struct {
+	// PartRows is the row count of the partitioned scans; shard boundaries
+	// partition [0, PartRows).
+	PartRows int
+	// PartScans lists the partitioned scan nodes (every scan of length
+	// PartRows); all other scans are broadcast to every shard.
+	PartScans []NodeID
+	// Merges holds one gather rule per original result, in result order.
+	Merges []MergeSpec
+
+	src          *Graph
+	partitioned  map[NodeID]bool
+	shardResults []Result
+}
+
+// portClass tracks how a port's contents relate across shards during
+// classification.
+type portClass uint8
+
+const (
+	// clBroadcast: identical on every shard (derived only from replicated
+	// scans).
+	clBroadcast portClass = iota
+	// clPart: row-aligned with the shard's partition of the base table.
+	clPart
+	// clPartialScalar: a scalar aggregate over partitioned rows — a
+	// partial that must be merged, never consumed downstream.
+	clPartialScalar
+	// clPartialTable: a grouped-aggregate hash table over partitioned
+	// rows — consumable only by HASH_EXTRACT.
+	clPartialTable
+	// clPartialGroup: a dense sorted group column extracted from a partial
+	// table — a partial that must be merged, never consumed downstream.
+	clPartialGroup
+)
+
+// ShardBoundaries splits rows into shard contiguous ranges, near-equal with
+// 64-aligned interior cuts (bitmap views require word-aligned starts). The
+// returned slice has shards+1 entries; shard i covers [b[i], b[i+1]).
+func ShardBoundaries(rows, shards int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	b := make([]int, shards+1)
+	for i := 1; i < shards; i++ {
+		cut := (rows * i / shards) &^ 63
+		if cut < b[i-1] {
+			cut = b[i-1]
+		}
+		b[i] = cut
+	}
+	b[shards] = rows
+	return b
+}
+
+// Scatter plans scatter/gather execution for g. It tries each distinct scan
+// length as the partitioned-table size, largest first (partitioning the
+// biggest table wins the most), and returns the first candidate whose every
+// result provably merges exactly. ok is false when no candidate works —
+// the caller falls back to unsharded execution, never to a wrong answer.
+func Scatter(g *Graph) (spec *ScatterSpec, ok bool) {
+	if g == nil || g.Validate() != nil {
+		return nil, false
+	}
+	seen := map[int]bool{}
+	var lengths []int
+	for _, n := range g.Nodes() {
+		if n.IsScan() {
+			l := n.Scan.Data.Len()
+			if l > 0 && !seen[l] {
+				seen[l] = true
+				lengths = append(lengths, l)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	for _, l := range lengths {
+		if s, ok := tryScatter(g, l); ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// tryScatter classifies every port of g under the hypothesis "all scans of
+// length partRows are partitioned, the rest broadcast" and builds the merge
+// plan, or reports that the hypothesis does not yield an exact rewrite.
+func tryScatter(g *Graph, partRows int) (*ScatterSpec, bool) {
+	cls := map[PortRef]portClass{}
+	ops := map[PortRef]kernels.AggOp{}
+	partitioned := map[NodeID]bool{}
+	var partScans []NodeID
+
+	for _, n := range g.Nodes() {
+		if n.IsScan() {
+			if n.Scan.Data.Len() == partRows {
+				cls[PortRef{Node: n.ID, Port: 0}] = clPart
+				partitioned[n.ID] = true
+				partScans = append(partScans, n.ID)
+			}
+			continue
+		}
+
+		inCls := make([]portClass, len(n.Inputs()))
+		anyPart := false
+		for i, e := range n.Inputs() {
+			c := cls[PortRef{Node: e.From, Port: e.FromPort}]
+			inCls[i] = c
+			switch c {
+			case clPartialScalar, clPartialGroup:
+				// Scalar and group partials are merge-only: anything
+				// consuming one downstream would see per-shard partials
+				// where the unsharded plan sees the total.
+				return nil, false
+			case clPartialTable:
+				if n.Task.Kind != primitive.HashExtract {
+					return nil, false
+				}
+			case clPart:
+				anyPart = true
+			}
+		}
+
+		out := clBroadcast
+		switch n.Task.Kind {
+		case primitive.Map, primitive.FilterBitmap, primitive.Materialize:
+			// Row-local: each output row depends only on the same input
+			// row (plus broadcast hash-table state for semi-join
+			// filters), so partitioned inputs yield partitioned outputs.
+			// Mixing a partitioned column with a full-length broadcast
+			// column row-wise would misalign rows, so that is rejected.
+			anyBroadcastRows := false
+			for i, e := range n.Inputs() {
+				if e.Semantic == primitive.HashTable {
+					continue // replicated lookup state, not rows
+				}
+				if inCls[i] != clPart {
+					anyBroadcastRows = true
+				}
+			}
+			if anyPart {
+				if anyBroadcastRows {
+					return nil, false
+				}
+				out = clPart
+			}
+		case primitive.AggBlock:
+			if anyPart {
+				out = clPartialScalar
+				ops[PortRef{Node: n.ID, Port: 0}] = aggOpOf(n)
+			}
+		case primitive.HashAgg:
+			if anyPart {
+				for _, c := range inCls {
+					if c != clPart {
+						return nil, false // keys and values must align
+					}
+				}
+				out = clPartialTable
+				ops[PortRef{Node: n.ID, Port: 0}] = aggOpOf(n)
+			}
+		case primitive.HashExtract:
+			if inCls[0] == clPartialTable {
+				out = clPartialGroup
+				op := ops[PortRef{Node: n.Inputs()[0].From, Port: n.Inputs()[0].FromPort}]
+				ops[PortRef{Node: n.ID, Port: 0}] = op
+				ops[PortRef{Node: n.ID, Port: 1}] = op
+			}
+		default:
+			// HashBuild, HashProbe, SortAgg, PrefixSum, FilterPosition,
+			// MaterializePosition, fused chains: their outputs encode
+			// global positions or cross-row order, which a shard-local
+			// run cannot reproduce. Broadcast-only.
+			if anyPart {
+				return nil, false
+			}
+		}
+		for p := 0; p < n.NumOutputs(); p++ {
+			cls[PortRef{Node: n.ID, Port: p}] = out
+		}
+	}
+
+	if len(partScans) == 0 {
+		return nil, false
+	}
+
+	spec := &ScatterSpec{
+		PartRows:    partRows,
+		PartScans:   partScans,
+		src:         g,
+		partitioned: partitioned,
+	}
+
+	// Resolve names the original plan gave to ports, for group partners.
+	names := map[PortRef]string{}
+	for _, r := range g.Results() {
+		if !r.Avg {
+			names[r.Ref] = r.Name
+		}
+	}
+
+	hasPartWork := false
+	for _, r := range g.Results() {
+		if r.Avg {
+			cSum, cCnt := cls[r.Ref], cls[r.Count]
+			switch {
+			case cSum == clBroadcast && cCnt == clBroadcast:
+				spec.Merges = append(spec.Merges, MergeSpec{Name: r.Name, Kind: MergeFirst})
+				spec.shardResults = append(spec.shardResults, r)
+			case cSum == clPartialScalar && cCnt == clPartialScalar:
+				// Shards report the raw partials under synthetic names;
+				// finalizing the division per shard would be wrong.
+				sumCol := "__scatter." + r.Name + ".sum"
+				cntCol := "__scatter." + r.Name + ".count"
+				spec.shardResults = append(spec.shardResults,
+					Result{Name: sumCol, Ref: r.Ref},
+					Result{Name: cntCol, Ref: r.Count})
+				spec.Merges = append(spec.Merges, MergeSpec{
+					Name: r.Name, Kind: MergeAvg,
+					Op: ops[r.Ref], Sum: sumCol,
+					CountOp: ops[r.Count], Count: cntCol,
+				})
+				hasPartWork = true
+			default:
+				return nil, false
+			}
+			continue
+		}
+
+		switch cls[r.Ref] {
+		case clBroadcast:
+			spec.Merges = append(spec.Merges, MergeSpec{Name: r.Name, Kind: MergeFirst})
+			spec.shardResults = append(spec.shardResults, r)
+		case clPart:
+			if g.Node(r.Ref.Node).OutputSpec(r.Ref.Port).Type == vec.Bits {
+				// Concatenating bitmaps would need word-boundary
+				// stitching; decline rather than risk it.
+				return nil, false
+			}
+			spec.Merges = append(spec.Merges, MergeSpec{Name: r.Name, Kind: MergeConcat})
+			spec.shardResults = append(spec.shardResults, r)
+			hasPartWork = true
+		case clPartialScalar:
+			spec.Merges = append(spec.Merges, MergeSpec{Name: r.Name, Kind: MergeAgg, Op: ops[r.Ref]})
+			spec.shardResults = append(spec.shardResults, r)
+			hasPartWork = true
+		case clPartialGroup:
+			partner := PortRef{Node: r.Ref.Node, Port: 1 - r.Ref.Port}
+			pName, marked := names[partner]
+			if !marked {
+				pName = fmt.Sprintf("__scatter.n%d.p%d", partner.Node, partner.Port)
+				spec.shardResults = append(spec.shardResults, Result{Name: pName, Ref: partner})
+				names[partner] = pName
+			}
+			m := MergeSpec{Name: r.Name, Kind: MergeGroup, Op: ops[r.Ref], Port: r.Ref.Port}
+			if r.Ref.Port == 0 {
+				m.Keys, m.Vals = r.Name, pName
+			} else {
+				m.Keys, m.Vals = pName, r.Name
+			}
+			spec.Merges = append(spec.Merges, m)
+			spec.shardResults = append(spec.shardResults, r)
+			hasPartWork = true
+		default: // clPartialTable: a raw hash table is not a mergeable result
+			return nil, false
+		}
+	}
+
+	if !hasPartWork {
+		// Every result is broadcast: scattering would replicate all the
+		// work N times for nothing.
+		return nil, false
+	}
+	return spec, true
+}
+
+// aggOpOf extracts the aggregate function a node folds with, for merging
+// its partials. COUNT-shaped kernels carry no op parameter: agg_count_bits
+// has no params at all, hash_agg_count_i32 only the groups hint.
+func aggOpOf(n *Node) kernels.AggOp {
+	switch n.Task.Kernel {
+	case "agg_count_bits", "hash_agg_count_i32":
+		return kernels.AggCount
+	}
+	if len(n.Task.Params) > 0 {
+		return kernels.AggOp(n.Task.Params[0])
+	}
+	return kernels.AggSum
+}
+
+// ShardGraph builds the graph one shard executes for partition [lo, hi) of
+// the partitioned table: the same nodes in the same order sharing the same
+// *Task definitions, with partitioned scans rebound to zero-copy row views
+// and result marks replaced by the shard-side set (raw partials under
+// synthetic names where merging needs them).
+func (s *ScatterSpec) ShardGraph(lo, hi int) (*Graph, error) {
+	if lo < 0 || hi < lo || hi > s.PartRows {
+		return nil, fmt.Errorf("%w: shard range [%d:%d) of %d rows", ErrBadGraph, lo, hi, s.PartRows)
+	}
+	ng := New()
+	for _, n := range s.src.Nodes() {
+		if n.IsScan() {
+			data := n.Scan.Data
+			if s.partitioned[n.ID] {
+				data = data.Slice(lo, hi)
+			}
+			// AddScan assigns the same IDs as the source graph: nodes are
+			// rebuilt in insertion order.
+			ng.AddScan(n.Scan.Name, data, n.Device)
+			continue
+		}
+		inputs := make([]PortRef, len(n.Inputs()))
+		for i, e := range n.Inputs() {
+			inputs[i] = PortRef{Node: e.From, Port: e.FromPort}
+		}
+		ng.AddTask(n.Task, n.Device, inputs...)
+	}
+	for _, r := range s.shardResults {
+		if r.Avg {
+			ng.MarkResultAvg(r.Name, r.Ref, r.Count)
+		} else {
+			ng.MarkResult(r.Name, r.Ref)
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}

@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+func TestShardBoundaries(t *testing.T) {
+	cases := []struct {
+		rows, shards int
+	}{
+		{640, 1}, {640, 2}, {640, 4}, {641, 3}, {100, 8}, {0, 4}, {63, 2}, {64, 2}, {1 << 20, 7},
+	}
+	for _, c := range cases {
+		b := ShardBoundaries(c.rows, c.shards)
+		if len(b) != c.shards+1 {
+			t.Fatalf("rows=%d shards=%d: %d boundaries", c.rows, c.shards, len(b))
+		}
+		if b[0] != 0 || b[c.shards] != c.rows {
+			t.Errorf("rows=%d shards=%d: span [%d,%d]", c.rows, c.shards, b[0], b[c.shards])
+		}
+		for i := 1; i <= c.shards; i++ {
+			if b[i] < b[i-1] {
+				t.Errorf("rows=%d shards=%d: not monotone at %d: %v", c.rows, c.shards, i, b)
+			}
+			if i < c.shards && b[i]%64 != 0 {
+				t.Errorf("rows=%d shards=%d: interior cut %d not 64-aligned", c.rows, c.shards, b[i])
+			}
+		}
+	}
+	// Near-equal split on a large aligned table.
+	b := ShardBoundaries(1<<20, 4)
+	for i := 0; i < 4; i++ {
+		if got := b[i+1] - b[i]; got != 1<<18 {
+			t.Errorf("even split: partition %d has %d rows, want %d", i, got, 1<<18)
+		}
+	}
+}
+
+// TestScatterQ6Like: the canonical filter→materialize→map→aggregate shape
+// partitions its single table and merges one SUM partial.
+func TestScatterQ6Like(t *testing.T) {
+	g := buildQ6Like(t)
+	spec, ok := Scatter(g)
+	if !ok {
+		t.Fatal("Q6-like plan did not scatter")
+	}
+	if spec.PartRows != 640 || len(spec.PartScans) != 3 {
+		t.Fatalf("partitioning: %d rows over %d scans", spec.PartRows, len(spec.PartScans))
+	}
+	if len(spec.Merges) != 1 || spec.Merges[0].Kind != MergeAgg || spec.Merges[0].Op != kernels.AggSum {
+		t.Fatalf("merges = %+v, want one agg(sum)", spec.Merges)
+	}
+	bounds := ShardBoundaries(640, 3)
+	for p := 0; p < 3; p++ {
+		sg, err := spec.ShardGraph(bounds[p], bounds[p+1])
+		if err != nil {
+			t.Fatalf("shard graph %d: %v", p, err)
+		}
+		if len(sg.Nodes()) != len(g.Nodes()) {
+			t.Fatalf("shard graph %d: %d nodes, want %d", p, len(sg.Nodes()), len(g.Nodes()))
+		}
+		for _, n := range sg.Nodes() {
+			if n.IsScan() && n.Scan.Data.Len() != bounds[p+1]-bounds[p] {
+				t.Errorf("shard %d scan %s has %d rows, want %d", p, n.Scan.Name, n.Scan.Data.Len(), bounds[p+1]-bounds[p])
+			}
+		}
+	}
+}
+
+// TestScatterBroadcastBuildSide: a semi-join whose build side is a smaller
+// replicated table partitions the probe side and broadcasts the build —
+// the Q3-style join-broadcast shape.
+func TestScatterBroadcastBuildSide(t *testing.T) {
+	g := New()
+	bk := g.AddScan("b.key", col(64), dev)
+	build := g.AddTask(task.NewHashBuildSet(64, "set"), dev, bk)
+	probe := g.AddScan("t.key", col(640), dev)
+	vals := g.AddScan("t.val", col(640), dev)
+	semi := g.AddTask(task.NewSemiJoinFilter("exists"), dev, probe, g.Out(build, 0))
+	m := g.AddTask(mustMaterialize(t), dev, vals, g.Out(semi, 0))
+	agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+	g.MarkResult("sum", g.Out(agg, 0))
+
+	spec, ok := Scatter(g)
+	if !ok {
+		t.Fatal("broadcast-build semi-join did not scatter")
+	}
+	if spec.PartRows != 640 {
+		t.Fatalf("partitioned %d rows, want the 640-row probe side", spec.PartRows)
+	}
+	for _, id := range spec.PartScans {
+		if g.Node(id).Scan.Name == "b.key" {
+			t.Error("build side partitioned; it must broadcast")
+		}
+	}
+}
+
+// TestScatterGroupBy: hash aggregation followed by extraction merges as a
+// sorted group k-way merge, with the unmarked partner port exported under
+// a synthetic name.
+func TestScatterGroupBy(t *testing.T) {
+	g := New()
+	keys := g.AddScan("t.k", col(640), dev)
+	vals := g.AddScan("t.v", col(640), dev)
+	ha := g.AddTask(task.NewHashAgg(kernels.AggSum, 64, "group"), dev, keys, vals)
+	ex := g.AddTask(task.NewHashExtract(64, "extract"), dev, g.Out(ha, 0))
+	g.MarkResult("k", g.Out(ex, 0))
+	g.MarkResult("sum", g.Out(ex, 1))
+
+	spec, ok := Scatter(g)
+	if !ok {
+		t.Fatal("group-by plan did not scatter")
+	}
+	if len(spec.Merges) != 2 {
+		t.Fatalf("merges = %+v", spec.Merges)
+	}
+	for _, m := range spec.Merges {
+		if m.Kind != MergeGroup || m.Op != kernels.AggSum {
+			t.Errorf("merge %q = %+v, want group(sum)", m.Name, m)
+		}
+		if m.Keys != "k" || m.Vals != "sum" {
+			t.Errorf("merge %q pairs %q/%q, want k/sum", m.Name, m.Keys, m.Vals)
+		}
+	}
+
+	// Same plan with only the aggregate marked: the key port is exported
+	// under a synthetic shard-result name.
+	g2 := New()
+	k2 := g2.AddScan("t.k", col(640), dev)
+	v2 := g2.AddScan("t.v", col(640), dev)
+	ha2 := g2.AddTask(task.NewHashAgg(kernels.AggMax, 64, "group"), dev, k2, v2)
+	ex2 := g2.AddTask(task.NewHashExtract(64, "extract"), dev, g2.Out(ha2, 0))
+	g2.MarkResult("max", g2.Out(ex2, 1))
+	spec2, ok := Scatter(g2)
+	if !ok {
+		t.Fatal("half-marked group-by did not scatter")
+	}
+	if len(spec2.Merges) != 1 || spec2.Merges[0].Kind != MergeGroup || spec2.Merges[0].Op != kernels.AggMax {
+		t.Fatalf("merges = %+v", spec2.Merges)
+	}
+	if spec2.Merges[0].Keys == "" || spec2.Merges[0].Vals != "max" {
+		t.Fatalf("partner resolution: %+v", spec2.Merges[0])
+	}
+}
+
+// TestScatterAvg: an AVG result ships raw SUM and COUNT partials under
+// synthetic names — finalizing per shard would average the averages.
+func TestScatterAvg(t *testing.T) {
+	g := New()
+	a := g.AddScan("t.a", col(640), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+	m := g.AddTask(mustMaterialize(t), dev, a, g.Out(f, 0))
+	sum := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+	cnt := g.AddTask(mustAgg(t, kernels.AggCount), dev, g.Out(m, 0))
+	g.MarkResultAvg("avg", g.Out(sum, 0), g.Out(cnt, 0))
+
+	spec, ok := Scatter(g)
+	if !ok {
+		t.Fatal("avg plan did not scatter")
+	}
+	if len(spec.Merges) != 1 {
+		t.Fatalf("merges = %+v", spec.Merges)
+	}
+	ms := spec.Merges[0]
+	if ms.Kind != MergeAvg || ms.Op != kernels.AggSum || ms.CountOp != kernels.AggCount {
+		t.Fatalf("avg merge = %+v", ms)
+	}
+	if ms.Sum != "__scatter.avg.sum" || ms.Count != "__scatter.avg.count" {
+		t.Fatalf("partial names = %q/%q", ms.Sum, ms.Count)
+	}
+	sg, err := spec.ShardGraph(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range sg.Results() {
+		names = append(names, r.Name)
+		if r.Avg {
+			t.Errorf("shard result %q still AVG-marked; shards must ship raw partials", r.Name)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("shard results = %v", names)
+	}
+}
+
+// TestScatterDeclines pins the rejection set: every shape whose shard-local
+// run cannot provably reproduce the unsharded answer must decline rather
+// than risk a silent wrong result.
+func TestScatterDeclines(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Graph
+	}{
+		{"partitioned_hash_build", func(t *testing.T) *Graph {
+			// The only table feeds a hash build: positions are global.
+			g := New()
+			k := g.AddScan("t.k", col(640), dev)
+			b := g.AddTask(task.NewHashBuildSet(64, "set"), dev, k)
+			g.MarkResult("set", g.Out(b, 0))
+			return g
+		}},
+		{"position_list", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(640), dev)
+			f := g.AddTask(task.NewFilterPosition(kernels.CmpLt, 10, 0, 0.5, "pos"), dev, a)
+			mp, err := task.NewMaterializePosition(vec.Int32, "gather")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := g.AddTask(mp, dev, a, g.Out(f, 0))
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+		{"prefix_sum", func(t *testing.T) *Graph {
+			// Prefix sums over partitioned rows carry cross-row order a
+			// shard-local run cannot reproduce.
+			g := New()
+			k := g.AddScan("t.k", col(640), dev)
+			gb := g.AddTask(task.NewGroupBoundaries("gb"), dev, k)
+			ps := g.AddTask(task.NewPrefixSum("ps"), dev, g.Out(gb, 0))
+			g.MarkResult("idx", g.Out(ps, 0))
+			return g
+		}},
+		{"partial_consumed_downstream", func(t *testing.T) *Graph {
+			// The aggregate's scalar feeds another operator: every shard
+			// would see its own partial where the plan means the total.
+			g := New()
+			a := g.AddScan("t.a", col(640), dev)
+			m := g.AddTask(task.NewMapCast("widen"), dev, a)
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			cast := g.AddTask(task.NewMapCast("again"), dev, g.Out(agg, 0))
+			g.MarkResult("sum", g.Out(cast, 0))
+			return g
+		}},
+		{"bitmap_result", func(t *testing.T) *Graph {
+			g := New()
+			a := g.AddScan("t.a", col(640), dev)
+			f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, 10, 0, "a<10"), dev, a)
+			g.MarkResult("bits", g.Out(f, 0))
+			return g
+		}},
+		{"broadcast_only", func(t *testing.T) *Graph {
+			// No partitionable table at all: scattering would replicate
+			// everything.
+			g := New()
+			a := g.AddScan("t.a", col(0), dev)
+			m := g.AddTask(task.NewMapCast("widen"), dev, a)
+			agg := g.AddTask(mustAgg(t, kernels.AggSum), dev, g.Out(m, 0))
+			g.MarkResult("sum", g.Out(agg, 0))
+			return g
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build(t)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("case graph invalid: %v", err)
+			}
+			if _, ok := Scatter(g); ok {
+				t.Errorf("%s scattered; it must decline", c.name)
+			}
+		})
+	}
+}
+
+// TestScatterCandidateIteration: when partitioning the larger table is
+// rejected (it feeds a hash build), the planner falls back to the next
+// distinct scan length — the Q4 shape, where only the orders side
+// partitions.
+func TestScatterCandidateIteration(t *testing.T) {
+	g := New()
+	big := g.AddScan("lineitem.k", col(1280), dev) // larger, but feeds the build
+	build := g.AddTask(task.NewHashBuildSet(64, "set"), dev, big)
+	ok := g.AddScan("orders.k", col(640), dev)
+	semi := g.AddTask(task.NewSemiJoinFilter("exists"), dev, ok, g.Out(build, 0))
+	cnt := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(semi, 0))
+	g.MarkResult("count", g.Out(cnt, 0))
+
+	spec, okk := Scatter(g)
+	if !okk {
+		t.Fatal("Q4 shape did not scatter")
+	}
+	if spec.PartRows != 640 {
+		t.Fatalf("partitioned %d rows, want the 640-row orders side", spec.PartRows)
+	}
+	if len(spec.Merges) != 1 || spec.Merges[0].Kind != MergeAgg || spec.Merges[0].Op != kernels.AggCount {
+		t.Fatalf("merges = %+v, want one agg(count)", spec.Merges)
+	}
+}

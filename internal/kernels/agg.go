@@ -172,6 +172,17 @@ func (op AggOp) combine2(a, b int64) int64 {
 	return op.combine(a, b)
 }
 
+// Merge folds two already-reduced partial aggregates — the coordinator-side
+// re-aggregation of sharded scatter/gather execution. It is combine2
+// exported: SUM and COUNT partials add, MIN/MAX partials take the extremum,
+// so merging per-shard partials is bit-identical to aggregating the
+// unsharded input.
+func (op AggOp) Merge(a, b int64) int64 { return op.combine2(a, b) }
+
+// MergeIdentity is the fold seed for Merge: 0 for SUM/COUNT, the
+// appropriate int64 extremum for MIN/MAX.
+func (op AggOp) MergeIdentity() int64 { return op.identity() }
+
 func reduceI64(ctx *Ctx, in []int64, op AggOp) int64 {
 	w := ctx.workers()
 	span := (len(in) + w - 1) / w

@@ -1,0 +1,221 @@
+// Coordinator-side gather: folding per-shard partial results back into the
+// unsharded answer, per the ScatterSpec's merge rules. Every fold here is
+// exact — integer partial aggregates add or take extrema, sorted group
+// lists k-way merge, row partitions concatenate in partition order — so
+// the merged columns are bit-identical to the unsharded run's.
+package shard
+
+import (
+	"fmt"
+
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// gather merges the surviving partitions' result sets into the query's
+// columns, in the original result order.
+func gather(spec *graph.ScatterSpec, outs []partOut) ([]exec.ResultColumn, error) {
+	var alive []*exec.Result
+	for p := range outs {
+		if !outs[p].lost {
+			alive = append(alive, outs[p].res)
+		}
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("shard: no surviving partitions to gather")
+	}
+	type groupPair struct{ keys, vals []int64 }
+	groups := map[string]groupPair{}
+
+	cols := make([]exec.ResultColumn, 0, len(spec.Merges))
+	for _, m := range spec.Merges {
+		var data vec.Vector
+		switch m.Kind {
+		case graph.MergeFirst:
+			v, err := column(alive[0], m.Name)
+			if err != nil {
+				return nil, err
+			}
+			data = v
+
+		case graph.MergeConcat:
+			parts := make([]vec.Vector, len(alive))
+			for i, res := range alive {
+				v, err := column(res, m.Name)
+				if err != nil {
+					return nil, err
+				}
+				parts[i] = v
+			}
+			v, err := concat(m.Name, parts)
+			if err != nil {
+				return nil, err
+			}
+			data = v
+
+		case graph.MergeAgg:
+			acc := m.Op.MergeIdentity()
+			for _, res := range alive {
+				v, err := scalar(res, m.Name)
+				if err != nil {
+					return nil, err
+				}
+				acc = m.Op.Merge(acc, v)
+			}
+			data = vec.FromInt64([]int64{acc})
+
+		case graph.MergeAvg:
+			sum := m.Op.MergeIdentity()
+			count := m.CountOp.MergeIdentity()
+			for _, res := range alive {
+				s, err := scalar(res, m.Sum)
+				if err != nil {
+					return nil, err
+				}
+				n, err := scalar(res, m.Count)
+				if err != nil {
+					return nil, err
+				}
+				sum = m.Op.Merge(sum, s)
+				count = m.CountOp.Merge(count, n)
+			}
+			data = vec.FromFloat64([]float64{exec.FinalizeAvg(sum, count)})
+
+		case graph.MergeGroup:
+			key := m.Keys + "\x00" + m.Vals
+			pair, done := groups[key]
+			if !done {
+				lists := make([]groupList, len(alive))
+				for i, res := range alive {
+					kv, err := column(res, m.Keys)
+					if err != nil {
+						return nil, err
+					}
+					vv, err := column(res, m.Vals)
+					if err != nil {
+						return nil, err
+					}
+					if kv.Type() != vec.Int64 || vv.Type() != vec.Int64 || kv.Len() != vv.Len() {
+						return nil, fmt.Errorf("shard: group pair %q/%q malformed", m.Keys, m.Vals)
+					}
+					lists[i] = groupList{keys: kv.I64(), vals: vv.I64()}
+				}
+				pair.keys, pair.vals = mergeGroups(lists, m.Op)
+				groups[key] = pair
+			}
+			if m.Port == 0 {
+				data = vec.FromInt64(pair.keys)
+			} else {
+				data = vec.FromInt64(pair.vals)
+			}
+
+		default:
+			return nil, fmt.Errorf("shard: unknown merge kind %v for %q", m.Kind, m.Name)
+		}
+		cols = append(cols, exec.ResultColumn{Name: m.Name, Data: data})
+	}
+	return cols, nil
+}
+
+// column finds a named column in one shard's result set.
+func column(res *exec.Result, name string) (vec.Vector, error) {
+	for _, c := range res.Columns {
+		if c.Name == name {
+			return c.Data, nil
+		}
+	}
+	return vec.Vector{}, fmt.Errorf("shard: shard result misses column %q", name)
+}
+
+// scalar reads a one-element int64 partial.
+func scalar(res *exec.Result, name string) (int64, error) {
+	v, err := column(res, name)
+	if err != nil {
+		return 0, err
+	}
+	if v.Type() != vec.Int64 || v.Len() != 1 {
+		return 0, fmt.Errorf("shard: partial %q is not an int64 scalar (%s len %d)", name, v.Type(), v.Len())
+	}
+	return v.I64()[0], nil
+}
+
+// concat joins row-aligned shard columns in partition order (= global row
+// order for partitioned tables).
+func concat(name string, parts []vec.Vector) (vec.Vector, error) {
+	t := parts[0].Type()
+	n := 0
+	for _, p := range parts {
+		if p.Type() != t {
+			return vec.Vector{}, fmt.Errorf("shard: column %q type differs across shards", name)
+		}
+		n += p.Len()
+	}
+	switch t {
+	case vec.Int32:
+		var out []int32
+		if n > 0 {
+			out = make([]int32, 0, n)
+			for _, p := range parts {
+				out = append(out, p.I32()...)
+			}
+		}
+		return vec.FromInt32(out), nil
+	case vec.Int64:
+		var out []int64
+		if n > 0 {
+			out = make([]int64, 0, n)
+			for _, p := range parts {
+				out = append(out, p.I64()...)
+			}
+		}
+		return vec.FromInt64(out), nil
+	case vec.Float64:
+		var out []float64
+		if n > 0 {
+			out = make([]float64, 0, n)
+			for _, p := range parts {
+				out = append(out, p.F64()...)
+			}
+		}
+		return vec.FromFloat64(out), nil
+	default:
+		return vec.Vector{}, fmt.Errorf("shard: column %q has unconcatenatable type %s", name, t)
+	}
+}
+
+// mergeGroups k-way-merges per-shard sorted distinct-key (key, value)
+// lists, folding values of equal keys with op.Merge. The inputs are sorted
+// ascending with distinct keys (hash_extract sorts its compaction), so the
+// output is the globally sorted distinct key list — exactly what the
+// unsharded extract produces.
+func mergeGroups(lists []groupList, op kernels.AggOp) (keys, vals []int64) {
+	at := make([]int, len(lists))
+	for {
+		min, any := int64(0), false
+		for i, l := range lists {
+			if at[i] >= len(l.keys) {
+				continue
+			}
+			if !any || l.keys[at[i]] < min {
+				min, any = l.keys[at[i]], true
+			}
+		}
+		if !any {
+			return keys, vals
+		}
+		acc := op.MergeIdentity()
+		for i, l := range lists {
+			if at[i] < len(l.keys) && l.keys[at[i]] == min {
+				acc = op.Merge(acc, l.vals[at[i]])
+				at[i]++
+			}
+		}
+		keys = append(keys, min)
+		vals = append(vals, acc)
+	}
+}
+
+// groupList is one shard's sorted (key, value) group column pair.
+type groupList struct{ keys, vals []int64 }

@@ -1,0 +1,539 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/fault"
+	"github.com/adamant-db/adamant/internal/graph"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/kernels"
+	"github.com/adamant-db/adamant/internal/session"
+	"github.com/adamant-db/adamant/internal/shard"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/task"
+	"github.com/adamant-db/adamant/internal/telemetry"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+	"github.com/adamant-db/adamant/internal/vec"
+)
+
+// brakeDevice wall-clock-stalls every kernel launch: the host-time
+// straggler a wedged or oversubscribed shard would be. Virtual timings are
+// untouched, so results and stats stay bit-identical.
+type brakeDevice struct {
+	device.Device
+	delay time.Duration
+}
+
+func (b *brakeDevice) Execute(req device.ExecRequest, ready vclock.Time) (vclock.Time, error) {
+	time.Sleep(b.delay)
+	return b.Device.Execute(req, ready)
+}
+
+// fleet builds n single-GPU shards, each with its own runtime and
+// scheduler. brake[i], when set, wraps shard i's device in a launch stall.
+func fleet(t *testing.T, n int, brake map[int]time.Duration) []shard.Shard {
+	t.Helper()
+	shards := make([]shard.Shard, n)
+	for i := range shards {
+		rt := hub.NewRuntime()
+		var d device.Device = simcuda.New(&simhw.RTX2080Ti, nil)
+		if delay, ok := brake[i]; ok {
+			d = &brakeDevice{Device: d, delay: delay}
+		}
+		if _, err := rt.Register(d); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = shard.Shard{
+			Name:  fmt.Sprintf("shard%d", i),
+			RT:    rt,
+			Sched: session.NewScheduler(session.Config{}),
+		}
+	}
+	return shards
+}
+
+// dyingFleet builds n shards whose listed members die after a few device
+// operations.
+func dyingFleet(t *testing.T, n int, die map[int]int64) []shard.Shard {
+	t.Helper()
+	shards := make([]shard.Shard, n)
+	for i := range shards {
+		rt := hub.NewRuntime()
+		var d device.Device = simcuda.New(&simhw.RTX2080Ti, nil)
+		if ops, ok := die[i]; ok {
+			d = fault.Wrap(d, &fault.Plan{DieAfterOps: ops})
+		}
+		if _, err := rt.Register(d); err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = shard.Shard{Name: fmt.Sprintf("shard%d", i), RT: rt}
+	}
+	return shards
+}
+
+// wideGraph builds one plan exercising every merge kind at once: SUM, MIN,
+// MAX and COUNT partials, an AVG shipped as raw SUM+COUNT, and a
+// row-concatenated output column.
+func wideGraph(t *testing.T, dev device.ID, a, b []int32, cut int64) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	sa := g.AddScan("t.a", vec.FromInt32(a), dev)
+	sb := g.AddScan("t.b", vec.FromInt32(b), dev)
+	f := g.AddTask(task.NewFilterBitmap(kernels.CmpLt, cut, 0, "a<cut"), dev, sa)
+	mt, err := task.NewMaterialize(vec.Int32, "b|f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.AddTask(mt, dev, sb, g.Out(f, 0))
+	cast := g.AddTask(task.NewMapCast("widen"), dev, g.Out(m, 0))
+	mkAgg := func(op kernels.AggOp) graph.NodeID {
+		at, err := task.NewAggBlock(op, vec.Int64, op.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.AddTask(at, dev, g.Out(cast, 0))
+	}
+	sum := mkAgg(kernels.AggSum)
+	min := mkAgg(kernels.AggMin)
+	max := mkAgg(kernels.AggMax)
+	cnt := mkAgg(kernels.AggCount)
+	bits := g.AddTask(task.NewAggCountBits("count"), dev, g.Out(f, 0))
+	g.MarkResult("sum", g.Out(sum, 0))
+	g.MarkResult("min", g.Out(min, 0))
+	g.MarkResult("max", g.Out(max, 0))
+	g.MarkResult("matched", g.Out(bits, 0))
+	g.MarkResultAvg("avg", g.Out(sum, 0), g.Out(cnt, 0))
+	g.MarkResult("rows", g.Out(cast, 0))
+	return g
+}
+
+// groupGraph builds a hash group-by: sum(vals) grouped by keys, extracted
+// as sorted (key, sum) columns.
+func groupGraph(t *testing.T, dev device.ID, keys, vals []int32) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	sk := g.AddScan("t.k", vec.FromInt32(keys), dev)
+	sv := g.AddScan("t.v", vec.FromInt32(vals), dev)
+	cast := g.AddTask(task.NewMapCast("widen"), dev, sv)
+	ha := g.AddTask(task.NewHashAgg(kernels.AggSum, 4096, "group"), dev, sk, g.Out(cast, 0))
+	ex := g.AddTask(task.NewHashExtract(4096, "extract"), dev, g.Out(ha, 0))
+	g.MarkResult("k", g.Out(ex, 0))
+	g.MarkResult("sum", g.Out(ex, 1))
+	return g
+}
+
+func sameColumns(t *testing.T, label string, want, got *exec.Result) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s: %d columns, want %d", label, len(got.Columns), len(want.Columns))
+	}
+	for i, wc := range want.Columns {
+		gc := got.Columns[i]
+		if wc.Name != gc.Name {
+			t.Fatalf("%s: column %d = %q, want %q", label, i, gc.Name, wc.Name)
+		}
+		if wc.Data.Type() != gc.Data.Type() || wc.Data.Len() != gc.Data.Len() {
+			t.Fatalf("%s: column %q shape %v/%d vs %v/%d", label, wc.Name,
+				gc.Data.Type(), gc.Data.Len(), wc.Data.Type(), wc.Data.Len())
+		}
+		equal := true
+		switch wc.Data.Type() {
+		case vec.Int32:
+			equal = reflect.DeepEqual(wc.Data.I32(), gc.Data.I32())
+		case vec.Int64:
+			equal = reflect.DeepEqual(wc.Data.I64(), gc.Data.I64())
+		case vec.Float64:
+			equal = reflect.DeepEqual(wc.Data.F64(), gc.Data.F64())
+		}
+		if !equal {
+			t.Errorf("%s: column %q diverged", label, wc.Name)
+		}
+	}
+}
+
+func randomData(seed int64, rows int) (a, b []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]int32, rows)
+	b = make([]int32, rows)
+	for i := range a {
+		a[i] = int32(rng.Intn(1000))
+		b[i] = int32(rng.Intn(1000))
+	}
+	return a, b
+}
+
+// TestShardedMatchesUnsharded is the exactness core: every merge kind, over
+// shard counts 1..8, row counts that do and do not split evenly, and both
+// streaming models, reproduces the single-runtime answer bit for bit.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	rowsCases := []int{2048, 777, 130}
+	models := []exec.Model{exec.OperatorAtATime, exec.Chunked}
+	for _, rows := range rowsCases {
+		a, b := randomData(int64(rows), rows)
+		for _, model := range models {
+			opts := exec.Options{Model: model, ChunkElems: 256}
+			baseRT := hub.NewRuntime()
+			if _, err := baseRT.Register(simcuda.New(&simhw.RTX2080Ti, nil)); err != nil {
+				t.Fatal(err)
+			}
+			want, err := exec.Run(baseRT, wideGraph(t, 0, a, b, 500), opts)
+			if err != nil {
+				t.Fatalf("unsharded baseline: %v", err)
+			}
+			wantGroup, err := exec.Run(baseRT, groupGraph(t, 0, a, b), opts)
+			if err != nil {
+				t.Fatalf("unsharded group baseline: %v", err)
+			}
+			for n := 1; n <= 8; n++ {
+				c, err := shard.New(shard.Config{Shards: fleet(t, n, nil)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("rows=%d model=%v shards=%d", rows, model, n)
+				got, scattered, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !scattered {
+					t.Fatalf("%s: planner declined the wide graph", label)
+				}
+				sameColumns(t, label, want, got)
+				if len(got.Stats.Shards) != n {
+					t.Fatalf("%s: %d shard stats", label, len(got.Stats.Shards))
+				}
+				gotGroup, scattered, err := c.Run(context.Background(), groupGraph(t, 0, a, b), opts, 0)
+				if err != nil {
+					t.Fatalf("%s group: %v", label, err)
+				}
+				if !scattered {
+					t.Fatalf("%s: planner declined the group graph", label)
+				}
+				sameColumns(t, label+" group", wantGroup, gotGroup)
+				c.Drain()
+			}
+		}
+	}
+}
+
+// TestExplicitBoundaries: a skewed explicit partition layout still merges
+// exactly; malformed layouts are typed errors before anything runs.
+func TestExplicitBoundaries(t *testing.T) {
+	const rows = 1024
+	a, b := randomData(7, rows)
+	opts := exec.Options{Model: exec.Chunked, ChunkElems: 256}
+	baseRT := hub.NewRuntime()
+	if _, err := baseRT.Register(simcuda.New(&simhw.RTX2080Ti, nil)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(baseRT, wideGraph(t, 0, a, b, 500), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shard holds 4x the rows of the other three combined slots.
+	c, err := shard.New(shard.Config{
+		Shards:     fleet(t, 4, nil),
+		Boundaries: []int{0, 832, 896, 960, 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameColumns(t, "skewed", want, got)
+	if got.Stats.Shards[0].Rows != 832 {
+		t.Errorf("skewed partition rows = %d, want 832", got.Stats.Shards[0].Rows)
+	}
+
+	bad := [][]int{
+		{0, 512, 1024},            // wrong count for 4 shards
+		{0, 100, 512, 768, 1024},  // unaligned interior cut
+		{0, 512, 256, 768, 1024},  // not monotone
+		{64, 512, 768, 896, 1024}, // does not start at 0
+		{0, 512, 768, 896, 999},   // does not end at rows
+	}
+	for _, bounds := range bad {
+		cb, err := shard.New(shard.Config{Shards: fleet(t, 4, nil), Boundaries: bounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cb.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0); err == nil {
+			t.Errorf("boundaries %v accepted", bounds)
+		}
+	}
+}
+
+// TestShardFailover: a shard that dies mid-query gets its partition
+// re-dispatched to a healthy peer, the result stays exact, and the death
+// mark persists so the next query avoids the dead shard from the start.
+func TestShardFailover(t *testing.T) {
+	const rows = 1024
+	a, b := randomData(11, rows)
+	opts := exec.Options{Model: exec.Chunked, ChunkElems: 256}
+	baseRT := hub.NewRuntime()
+	if _, err := baseRT.Register(simcuda.New(&simhw.RTX2080Ti, nil)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(baseRT, wideGraph(t, 0, a, b, 500), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := telemetry.NewEventSink(64)
+	c, err := shard.New(shard.Config{
+		Shards: dyingFleet(t, 3, map[int]int64{1: 9}),
+		Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	sameColumns(t, "failover", want, got)
+	st := got.Stats.Shards[1]
+	if !st.FailedOver || st.Ran == 1 {
+		t.Errorf("partition 1 stat = %+v, want failed over off shard 1", st)
+	}
+	if dead := c.Dead(); len(dead) != 1 || dead[0] != 1 {
+		t.Errorf("dead = %v, want [1]", dead)
+	}
+	if n := sink.Totals()[telemetry.EventShardFailover]; n == 0 {
+		t.Error("no shard_failover event emitted")
+	}
+	var failoverEvents int
+	for _, ev := range got.Stats.Events {
+		if ev.Kind == exec.EventShardFailover {
+			failoverEvents++
+		}
+	}
+	if failoverEvents == 0 {
+		t.Error("no EventShardFailover in the result event log")
+	}
+
+	// Second query: partition 1 is reassigned at dispatch, not after
+	// another failed attempt.
+	got2, _, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if err != nil {
+		t.Fatalf("post-death run: %v", err)
+	}
+	sameColumns(t, "post-death", want, got2)
+	if st := got2.Stats.Shards[1]; !st.FailedOver || st.Ran == 1 {
+		t.Errorf("post-death partition 1 stat = %+v", st)
+	}
+	c.Drain()
+}
+
+// TestShardLossModes: with every shard dead the Fail mode surfaces a typed
+// *LostError; the Partial mode (failover disabled) completes without the
+// dead shard's partition and flags exactly that partition.
+func TestShardLossModes(t *testing.T) {
+	const rows = 1024
+	a, b := randomData(13, rows)
+	opts := exec.Options{Model: exec.Chunked, ChunkElems: 256}
+
+	// Every shard dies: nothing to fail over to.
+	c, err := shard.New(shard.Config{
+		Shards: dyingFleet(t, 2, map[int]int64{0: 7, 1: 7}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scattered, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if !scattered || err == nil {
+		t.Fatalf("all-dead run: scattered=%v err=%v", scattered, err)
+	}
+	if !errors.Is(err, shard.ErrShardLost) {
+		t.Fatalf("all-dead error %v does not match ErrShardLost", err)
+	}
+	var lost *shard.LostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("all-dead error %v is not a *LostError", err)
+	}
+
+	// One shard dies, failover disabled, Partial mode: the rest of the
+	// answer arrives with the loss flagged exactly.
+	cp, err := shard.New(shard.Config{
+		Shards:       dyingFleet(t, 4, map[int]int64{2: 9}),
+		Loss:         shard.LossPartial,
+		MaxFailovers: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cp.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if !reflect.DeepEqual(got.Stats.PartialShards, []int{2}) {
+		t.Fatalf("PartialShards = %v, want [2]", got.Stats.PartialShards)
+	}
+	if !got.Stats.Shards[2].Lost {
+		t.Errorf("partition 2 stat not marked lost: %+v", got.Stats.Shards[2])
+	}
+
+	// The partial answer equals the unsharded answer over the surviving
+	// partitions only.
+	bounds := graph.ShardBoundaries(rows, 4)
+	var sa, sb []int32
+	for p := 0; p < 4; p++ {
+		if p == 2 {
+			continue
+		}
+		sa = append(sa, a[bounds[p]:bounds[p+1]]...)
+		sb = append(sb, b[bounds[p]:bounds[p+1]]...)
+	}
+	baseRT := hub.NewRuntime()
+	if _, err := baseRT.Register(simcuda.New(&simhw.RTX2080Ti, nil)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(baseRT, wideGraph(t, 0, sa, sb, 500), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameColumns(t, "partial", want, got)
+	cp.Drain()
+}
+
+// TestShardDeadlineTyped: the query's virtual-time budget applies per shard
+// on its own clocks; an impossible budget fails every partition with the
+// typed deadline error, not a loss or a wrong answer.
+func TestShardDeadlineTyped(t *testing.T) {
+	const rows = 4096
+	a, b := randomData(17, rows)
+	c, err := shard.New(shard.Config{Shards: fleet(t, 2, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := exec.Options{Model: exec.Chunked, ChunkElems: 128, Deadline: vclock.Duration(1)}
+	_, scattered, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+	if !scattered || err == nil {
+		t.Fatalf("deadline run: scattered=%v err=%v", scattered, err)
+	}
+	if !errors.Is(err, vclock.ErrDeadline) {
+		t.Fatalf("deadline error = %v", err)
+	}
+}
+
+// TestHedgingBoundsTailLatency is the straggler acceptance case: on a
+// fleet whose last shard stalls every kernel launch in host time, hedged
+// runs complete near the healthy shards' pace while unhedged runs are
+// gated on the straggler. The hedged tail (max of the runs) must stay
+// under twice the unhedged median — comfortably, since the hedge escapes
+// a stall tens of times longer than the healthy wall time.
+func TestHedgingBoundsTailLatency(t *testing.T) {
+	const rows = 2048
+	const runs = 5
+	a, b := randomData(23, rows)
+	opts := exec.Options{Model: exec.OperatorAtATime}
+	brake := map[int]time.Duration{3: 20 * time.Millisecond}
+
+	baseRT := hub.NewRuntime()
+	if _, err := baseRT.Register(simcuda.New(&simhw.RTX2080Ti, nil)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(baseRT, wideGraph(t, 0, a, b, 500), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(c *shard.Coordinator, expectHedge bool) []time.Duration {
+		t.Helper()
+		walls := make([]time.Duration, 0, runs)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			got, scattered, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0)
+			if err != nil || !scattered {
+				t.Fatalf("run %d: scattered=%v err=%v", i, scattered, err)
+			}
+			walls = append(walls, time.Since(start))
+			sameColumns(t, fmt.Sprintf("hedge run %d", i), want, got)
+			st := got.Stats.Shards[3]
+			if expectHedge && !(st.Hedged && st.HedgeWon && st.Ran != 3) {
+				t.Errorf("run %d: straggler partition stat = %+v, want a winning hedge off shard 3", i, st)
+			}
+		}
+		c.Drain()
+		return walls
+	}
+
+	unhedged, err := shard.New(shard.Config{Shards: fleet(t, 4, brake)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowWalls := measure(unhedged, false)
+
+	hedged, err := shard.New(shard.Config{
+		Shards: fleet(t, 4, brake),
+		Hedge: shard.HedgePolicy{
+			Enabled:  true,
+			MinDelay: time.Millisecond,
+			Poll:     200 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastWalls := measure(hedged, true)
+
+	sort.Slice(slowWalls, func(i, j int) bool { return slowWalls[i] < slowWalls[j] })
+	sort.Slice(fastWalls, func(i, j int) bool { return fastWalls[i] < fastWalls[j] })
+	median := slowWalls[len(slowWalls)/2]
+	tail := fastWalls[len(fastWalls)-1]
+	t.Logf("unhedged median %v, hedged tail %v", median, tail)
+	if tail > 2*median {
+		t.Errorf("hedged tail %v exceeds 2x unhedged median %v", tail, median)
+	}
+}
+
+// TestShardTraceGrafted: sharded runs keep the deterministic trace shape —
+// one shard container span per partition, in partition order, with the
+// winner's spans grafted beneath it.
+func TestShardTraceGrafted(t *testing.T) {
+	const rows = 1024
+	a, b := randomData(29, rows)
+	c, err := shard.New(shard.Config{Shards: fleet(t, 3, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	opts := exec.Options{Model: exec.Chunked, ChunkElems: 256, Recorder: rec}
+	if _, _, err := c.Run(context.Background(), wideGraph(t, 0, a, b, 500), opts, 0); err != nil {
+		t.Fatal(err)
+	}
+	var containers []trace.Span
+	childOf := map[trace.SpanID]int{}
+	for _, s := range rec.Spans() {
+		if s.Kind == trace.KindShard {
+			containers = append(containers, s)
+		}
+	}
+	if len(containers) != 3 {
+		t.Fatalf("%d shard containers, want 3", len(containers))
+	}
+	for _, s := range rec.Spans() {
+		for i, cont := range containers {
+			if s.Parent == cont.ID {
+				childOf[cont.ID] = i
+			}
+		}
+	}
+	if len(childOf) != 3 {
+		t.Errorf("only %d containers have grafted children", len(childOf))
+	}
+	c.Drain()
+}

@@ -43,6 +43,18 @@ const (
 	// drifted from the estimate and the query restarted with a new chunk
 	// size.
 	EventReplan EventType = "replan"
+	// EventShardStraggler marks a shard partition exceeding the hedge
+	// threshold derived from its peers' completion times.
+	EventShardStraggler EventType = "shard_straggler"
+	// EventShardHedge marks the coordinator launching a duplicate request
+	// for a straggling partition on an idle peer (first result wins).
+	EventShardHedge EventType = "shard_hedge"
+	// EventShardFailover marks a partition re-dispatched onto a healthy
+	// peer after its shard died mid-query.
+	EventShardFailover EventType = "shard_failover"
+	// EventShardLost marks a partition that could not be recovered; under
+	// the Partial loss mode the query completes without it.
+	EventShardLost EventType = "shard_lost"
 )
 
 // Event is one structured entry of the engine's event log. VT is virtual

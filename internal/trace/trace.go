@@ -98,6 +98,12 @@ const (
 	// attempt with a new chunk size. The label carries the old and new chunk
 	// sizes and the drifted pipeline's estimated vs actual rows.
 	KindReplan
+	// KindShard is the container for one shard partition of a scattered
+	// query: the shard coordinator grafts each partition's spans (recorded
+	// into a per-shard recorder, because shards execute concurrently) under
+	// one shard span per partition, in partition order. Its label carries
+	// the partition index and the shard that ran it.
+	KindShard
 
 	numKinds
 )
@@ -145,6 +151,8 @@ func (k Kind) String() string {
 		return "autoplan"
 	case KindReplan:
 		return "replan"
+	case KindShard:
+		return "shard"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -153,7 +161,7 @@ func (k Kind) String() string {
 // Container reports whether the kind is a grouping span (query, pipeline,
 // chunk) whose extent is the envelope of its children.
 func (k Kind) Container() bool {
-	return k == KindQuery || k == KindPipeline || k == KindChunk
+	return k == KindQuery || k == KindPipeline || k == KindChunk || k == KindShard
 }
 
 // Engine reports whether the kind occupies busy time on a device engine
@@ -292,6 +300,28 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.spans)
+}
+
+// Graft re-records every span of child under the given parent span: roots
+// of the child recorder become children of parent, and nested structure is
+// preserved through re-assigned IDs. The shard coordinator uses it to fold
+// per-shard recorders (shards execute concurrently, so they must not share
+// one recorder's span ordering) into the query's recorder in deterministic
+// partition order. A nil receiver or nil child no-ops.
+func (r *Recorder) Graft(parent SpanID, child *Recorder) {
+	if r == nil || child == nil {
+		return
+	}
+	ids := make(map[SpanID]SpanID)
+	for _, s := range child.Spans() {
+		oldID := s.ID
+		if p, ok := ids[s.Parent]; ok {
+			s.Parent = p
+		} else {
+			s.Parent = parent
+		}
+		ids[oldID] = r.Add(s)
+	}
 }
 
 // Spans returns a copy of the recorded spans in record order.

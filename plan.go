@@ -345,5 +345,24 @@ func (p *Plan) Return(name string, port Port) {
 	p.g.MarkResult(name, port.ref)
 }
 
+// ReturnAvg names an AVG(col) query result. The plan computes it as
+// SUM(col) + COUNT(col) partials finalized at retrieval into one Float64
+// value — the split that keeps the aggregate mergeable across shards.
+func (p *Plan) ReturnAvg(name string, col Port) {
+	if p.firstErr != nil {
+		return
+	}
+	if !col.ok {
+		p.fail(fmt.Errorf("adamant: ReturnAvg(%q) on invalid port", name))
+		return
+	}
+	sum := p.agg(col, kernels.AggSum)
+	count := p.agg(col, kernels.AggCount)
+	if !sum.ok || !count.ok {
+		return
+	}
+	p.g.MarkResultAvg(name, sum.ref, count.ref)
+}
+
 // String summarizes the comparison operator.
 func (op CmpOp) String() string { return op.kernel().String() }

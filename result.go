@@ -88,6 +88,14 @@ type Stats struct {
 	Drift []DriftSample
 	// Replans counts mid-query re-plan restarts.
 	Replans int
+	// Shards holds the per-partition execution summaries when the query
+	// ran scattered over a sharded engine (one entry per table partition,
+	// in partition order). Nil for unsharded runs.
+	Shards []ShardStat
+	// PartialShards lists the partitions lost and excluded from the result
+	// under the ShardLossPartial mode, ascending. Empty means the result
+	// covers every partition.
+	PartialShards []int
 }
 
 // DriftSample is one pipeline's estimated vs observed input cardinality.
@@ -112,7 +120,22 @@ func (r *Result) Stats() Stats {
 		Events:          append([]RuntimeEvent(nil), s.Events...),
 		Drift:           append([]DriftSample(nil), s.Drift...),
 		Replans:         s.Replans,
+		Shards:          append([]ShardStat(nil), s.Shards...),
+		PartialShards:   append([]int(nil), s.PartialShards...),
 	}
+}
+
+// ShardStats returns the per-partition execution summaries of a sharded
+// run, in partition order. Nil when the query ran unsharded.
+func (r *Result) ShardStats() []ShardStat {
+	return append([]ShardStat(nil), r.inner.Stats.Shards...)
+}
+
+// Partial reports whether partitions were lost and excluded from this
+// result (ShardLossPartial mode), and which.
+func (r *Result) Partial() (bool, []int) {
+	lost := r.inner.Stats.PartialShards
+	return len(lost) > 0, append([]int(nil), lost...)
 }
 
 // Footprint returns the per-primitive device-memory trace recorded when

@@ -11,8 +11,13 @@ go test -race -run '^TestChaosSoak$' .
 # Likewise the telemetry balance test: concurrent queries + scrapes over
 # one engine is the data-race surface of the observability layer.
 go test -race -run '^TestTelemetryRaceBalance$' .
+# The shard chaos soak likewise: hedged races, failover and loss draining
+# concurrently over one coordinator is the data-race surface of scatter/
+# gather, so it runs race-enabled even if the blanket line is narrowed.
+go test -race -run '^TestShardChaosSoak$' .
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/sql
 go test -run '^$' -fuzz '^FuzzLex$' -fuzztime 10s ./internal/sql
+go test -run '^$' -fuzz '^FuzzReadCatalog$' -fuzztime 10s ./internal/cost
 
 # Golden-trace determinism: the same Q6 run must serialise to a
 # byte-identical Chrome trace across two fresh processes. (The golden
@@ -131,5 +136,27 @@ for phase in manual cold warm; do
 	}
 done
 echo "ci: auto bench manual/cold/warm smoke OK"
+
+# Shard experiment smoke: the quick scale-out sweep must report cold, warm
+# and straggler phases, and throughput must grow from 1 to 4 shards.
+go run ./cmd/adamant-bench -exp shard -quick -json "$tracedir/shard.json" >/dev/null
+for phase in cold warm straggler; do
+	grep -q "\"phase\": \"$phase\"" "$tracedir/shard.json" || {
+		echo "ci: shard bench emitted no $phase-phase records" >&2
+		exit 1
+	}
+done
+echo "ci: shard bench cold/warm/straggler smoke OK"
+
+# Sharded CLI smoke: scattered Q6 must reproduce the unsharded revenue.
+"$tracedir/adamant-run" -q Q6 -ratio 0.000244140625 -shards 4 >"$tracedir/sharded.txt"
+"$tracedir/adamant-run" -q Q6 -ratio 0.000244140625 >"$tracedir/unsharded.txt"
+rev_sharded=$(awk -F= '/revenue=/{print $2; exit}' "$tracedir/sharded.txt")
+rev_unsharded=$(awk -F= '/revenue=/{print $2; exit}' "$tracedir/unsharded.txt")
+if [ -z "$rev_sharded" ] || [ "$rev_sharded" != "$rev_unsharded" ]; then
+	echo "ci: sharded Q6 revenue $rev_sharded != unsharded $rev_unsharded" >&2
+	exit 1
+fi
+echo "ci: sharded CLI Q6 matches unsharded ($rev_sharded)"
 
 ./scripts/cover.sh

@@ -68,6 +68,13 @@ type engineTelemetry struct {
 	autoplanReplans *telemetry.Counter
 	autoplanEntries *telemetry.Gauge
 
+	shardQueries   *telemetry.Counter
+	shardHedges    *telemetry.Counter
+	shardHedgeWins *telemetry.Counter
+	shardFailovers *telemetry.Counter
+	shardLost      *telemetry.Counter
+	shardPartial   *telemetry.Counter
+
 	events      *telemetry.Counter
 	running     *telemetry.Gauge
 	queued      *telemetry.Gauge
@@ -126,6 +133,13 @@ func (e *Engine) WithTelemetry(cfg TelemetryConfig) *Engine {
 		autoplanQueries: reg.Counter("adamant_autoplan_total", "Auto-planned queries, by chosen device and execution model.", "device", "model"),
 		autoplanReplans: reg.Counter("adamant_autoplan_replans_total", "Mid-query re-plan restarts taken by auto-planned queries.", "model"),
 		autoplanEntries: reg.Gauge("adamant_autoplan_catalog_entries", "Entries in the learned cost catalog."),
+
+		shardQueries:   reg.Counter("adamant_shard_queries_total", "Queries executed scattered over the shard fleet.", "model"),
+		shardHedges:    reg.Counter("adamant_shard_hedges_total", "Partitions that launched a hedged duplicate attempt."),
+		shardHedgeWins: reg.Counter("adamant_shard_hedge_wins_total", "Partitions whose hedged duplicate finished first."),
+		shardFailovers: reg.Counter("adamant_shard_failovers_total", "Partitions re-dispatched after their shard died."),
+		shardLost:      reg.Counter("adamant_shard_lost_total", "Partitions lost unrecoverably (Partial loss mode)."),
+		shardPartial:   reg.Counter("adamant_shard_partial_queries_total", "Queries that returned explicitly flagged partial results."),
 
 		events:      reg.Counter("adamant_events_total", "Telemetry events emitted, by type (lifetime, survives ring eviction).", "type"),
 		running:     reg.Gauge("adamant_sessions_running", "Admitted sessions currently executing."),
@@ -293,6 +307,37 @@ func (e *Engine) observeQueryTelemetry(qid uint64, dev, driver, model string, st
 	t.sink.Emit(finish)
 	t.flight.Record(digest, spans)
 	e.sampleUtilization()
+}
+
+// observeShardTelemetry folds one sharded query's robustness outcomes into
+// the adamant_shard_* metric families. res is nil when the query failed
+// before assembling statistics.
+func (e *Engine) observeShardTelemetry(res *exec.Result, model string) {
+	t := e.tele
+	if t == nil {
+		return
+	}
+	t.shardQueries.Add(1, model)
+	if res == nil {
+		return
+	}
+	for _, s := range res.Stats.Shards {
+		if s.Hedged {
+			t.shardHedges.Add(1)
+		}
+		if s.HedgeWon {
+			t.shardHedgeWins.Add(1)
+		}
+		if s.FailedOver {
+			t.shardFailovers.Add(1)
+		}
+		if s.Lost {
+			t.shardLost.Add(1)
+		}
+	}
+	if len(res.Stats.PartialShards) > 0 {
+		t.shardPartial.Add(1)
+	}
 }
 
 // Telemetry reports whether the engine's telemetry layer is armed.
