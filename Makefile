@@ -5,7 +5,7 @@
 # budget so regressions in the never-panic contract surface in CI, and the
 # coverage step enforces a floor on the packages the fault/degradation
 # contract lives in.
-.PHONY: ci vet build test race bench bench-cache bench-fuse bench-auto bench-shard fuzz cover serve
+.PHONY: ci vet build test race bench bench-cache bench-fuse bench-auto bench-shard bench-profile fuzz cover serve
 
 ci: vet build race fuzz cover
 
@@ -52,6 +52,12 @@ bench-auto:
 # "Scale-out"); regenerates BENCH_PR9.json at the full profile.
 bench-shard:
 	go run ./cmd/adamant-bench -exp shard -json BENCH_PR9.json
+
+# Fleet-profiler overhead on the concurrent-throughput workload
+# (EXPERIMENTS.md "Profiler overhead"); regenerates BENCH_PR10.json at the
+# full profile.
+bench-profile:
+	go run ./cmd/adamant-bench -exp profile -json BENCH_PR10.json
 
 # Telemetry service: Q6 over a telemetry-armed engine, with /metrics,
 # /events, /flight, /util and /run?n=K on port 9464.

@@ -56,6 +56,7 @@ import (
 	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/profile"
 	"github.com/adamant-db/adamant/internal/session"
 	"github.com/adamant-db/adamant/internal/shard"
 	"github.com/adamant-db/adamant/internal/simhw"
@@ -172,6 +173,10 @@ type ExecOptions struct {
 	// admission (load shedding) and at every chunk boundary; violations
 	// fail with an error wrapping ErrDeadline.
 	Deadline time.Duration
+	// Tenant labels this query's resource usage in the fleet profiler
+	// (see WithProfile); empty falls back to the engine-wide WithTenant
+	// default. Ignored when profiling is off.
+	Tenant string
 }
 
 // ErrAdmission is the sentinel every admission rejection wraps: the
@@ -449,6 +454,9 @@ type Engine struct {
 	minChunk   int
 	health     *session.HealthTracker
 	tele       *engineTelemetry
+	prof       *profile.Profiler
+	profTele   *profileTelemetry
+	tenant     string
 	pool       *bufpool.Manager
 	fuse       bool
 
@@ -743,6 +751,7 @@ func (e *Engine) execOptions(opts ExecOptions, deadline vclock.Duration) exec.Op
 		MinChunkElems:    e.minChunk,
 		Deadline:         deadline,
 		Pool:             e.pool,
+		Tenant:           opts.Tenant,
 	}
 }
 
@@ -761,12 +770,23 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 	if e.confErr != nil {
 		return nil, e.confErr
 	}
+	// The profiler keys usage by the normalized plan shape; fingerprint
+	// before sharding and fusion so sharded, fused, and plain runs of the
+	// same logical plan aggregate under one ledger key. With profiling
+	// off (prof nil) this adds nothing to the hot path.
+	var shape string
+	if e.prof != nil {
+		shape = graph.Fingerprint(g)
+		if opts.Tenant == "" {
+			opts.Tenant = e.tenant
+		}
+	}
 	if e.coord != nil {
 		// Sharding routes before fusion: the scatter planner partitions the
 		// unfused plan, and each shard graph is fused individually (the
 		// coordinator carries the fusion pass as its rewrite hook). Plans
 		// the planner declines fall through and run unsharded on shard 0.
-		res, ok, err := e.runSharded(ctx, g, opts, priority)
+		res, ok, err := e.runSharded(ctx, g, opts, priority, shape)
 		if ok {
 			return res, err
 		}
@@ -834,6 +854,7 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 		if errDeadline(err) {
 			e.metrics.ObserveQuery(trace.QueryStats{Shed: true, Err: true})
 		}
+		e.prof.ObserveShed(shape, opts.Tenant)
 		return nil, err
 	}
 	defer grant.Release()
@@ -895,8 +916,8 @@ func (e *Engine) runGraph(ctx context.Context, g *graph.Graph, opts exec.Options
 		e.observeAutoPlan(autoDec, opts, res, runErr, autoMark)
 	}
 	if tel != nil {
-		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), startVT,
-			res, runErr, opts.Recorder.Spans()[mark:])
+		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), shape, opts.Tenant,
+			startVT, res, runErr, opts.Recorder.Spans()[mark:])
 	}
 	e.pulseHealth()
 	return res, runErr

@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"github.com/adamant-db/adamant/internal/bufpool"
 	"github.com/adamant-db/adamant/internal/core"
@@ -32,6 +35,7 @@ import (
 	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/profile"
 	"github.com/adamant-db/adamant/internal/shard"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/sql"
@@ -81,6 +85,9 @@ func run(ctx context.Context) error {
 	auto := flag.Bool("auto", false, "auto-plan: calibrate a cost catalog, then let it pick placement, execution model and chunk size (-model/-chunk become hints it overrides)")
 	shards := flag.Int("shards", 1, "scatter the query over N independent runtime shards and gather exact merged results (1 = off)")
 	hedge := flag.Bool("hedge", false, "with -shards, hedge straggling partitions: duplicate them on idle shards, first result wins")
+	profileOn := flag.Bool("profile", false, "fold every run into the fleet profiler and print the per-shape resource ledger")
+	sloSpec := flag.String("slo", "", "latency SLO as target:objective, e.g. 100ms:0.99 (implies -profile; with -serve, enables /slo burn tracking)")
+	tenant := flag.String("tenant", "", "tenant label for profiler attribution")
 	flag.Parse()
 
 	model, err := parseModel(*modelName)
@@ -89,6 +96,13 @@ func run(ctx context.Context) error {
 	}
 	if *shards > 1 && *auto {
 		return fmt.Errorf("-shards cannot be combined with -auto (the cost catalog is per-runtime)")
+	}
+	sloTarget, sloObjective, err := parseSLO(*sloSpec)
+	if err != nil {
+		return err
+	}
+	if sloTarget > 0 {
+		*profileOn = true
 	}
 
 	if *serveAddr != "" {
@@ -105,6 +119,7 @@ func run(ctx context.Context) error {
 			chunkElems: chunkElems, faults: *faults, retries: *retries,
 			deadline: *deadline, adapt: *adapt, warm: *warm,
 			cacheMiB: *cacheMiB, cachePolicy: *cachePolicy,
+			sloTarget: sloTarget, sloObjective: sloObjective, tenant: *tenant,
 		})
 	}
 
@@ -233,8 +248,18 @@ func run(ctx context.Context) error {
 		}
 	}
 	var rec *trace.Recorder
-	if *analyze || *traceOut != "" {
+	if *analyze || *traceOut != "" || *profileOn {
 		rec = trace.NewRecorder()
+	}
+	var prof *profile.Profiler
+	if *profileOn {
+		prof = profile.New(profile.Config{})
+		if sloTarget > 0 {
+			prof.SetSLO(profile.NewSLO(profile.SLOConfig{
+				Target:    vclock.DurationOf(sloTarget),
+				Objective: sloObjective,
+			}))
+		}
 	}
 	var pool *bufpool.Manager
 	if *cacheMiB > 0 {
@@ -278,8 +303,11 @@ func run(ctx context.Context) error {
 	if *repeat < 1 {
 		*repeat = 1
 	}
+	shape := graph.Fingerprint(g)
 	var res *core.Result
+	var profVT vclock.Time
 	for i := 0; i < *repeat; i++ {
+		mark := rec.Len()
 		if coord != nil {
 			var scattered bool
 			res, scattered, err = coord.Run(ctx, g, opts, 0)
@@ -290,6 +318,35 @@ func run(ctx context.Context) error {
 			}
 		} else {
 			res, err = core.RunContext(ctx, rt, g, opts)
+		}
+		if prof != nil {
+			qrec := profile.QueryRecord{
+				Query: uint64(i + 1), Shape: shape, Tenant: *tenant,
+				Device: dev.Info().Name, Model: model.String(),
+				Err: err != nil, Spans: rec.Spans()[mark:],
+			}
+			if res != nil {
+				s := res.Stats
+				profVT += vclock.Time(s.Elapsed)
+				qrec.VT = profVT
+				qrec.Elapsed = s.Elapsed
+				qrec.KernelTime = s.KernelTime
+				qrec.TransferTime = s.TransferTime
+				qrec.OverheadTime = s.OverheadTime
+				qrec.H2DBytes = s.H2DBytes
+				qrec.D2HBytes = s.D2HBytes
+				qrec.Launches = s.Launches
+				qrec.Retries = s.Retries
+				qrec.Replans = s.Replans
+			}
+			anomalies, alerts := prof.Observe(qrec)
+			for _, a := range anomalies {
+				fmt.Printf("anomaly: %s on %s bucket %d measured %.1f ns/unit vs expected %.1f (%.1fx)\n",
+					a.Primitive, a.Driver, a.Bucket, a.Measured, a.Expected, a.Factor)
+			}
+			for _, al := range alerts {
+				fmt.Printf("slo burn: %s window at %.2f (%d/%d bad)\n", al.Window, al.Burn, al.Bad, al.Total)
+			}
 		}
 		if err != nil {
 			break
@@ -409,6 +466,11 @@ func run(ctx context.Context) error {
 		m.WriteSnapshot(os.Stdout, devRows)
 	}
 
+	if prof != nil {
+		fmt.Println("\nprofile:")
+		prof.WriteReport(os.Stdout)
+	}
+
 	if events != nil {
 		fmt.Println("\nengine timelines:")
 		device.RenderTimeline(os.Stdout, events.Events(), 100)
@@ -524,6 +586,31 @@ func buildDevice(driver string) (device.Device, error) {
 	default:
 		return nil, fmt.Errorf("unknown driver %q", driver)
 	}
+}
+
+// parseSLO parses the -slo flag's "target:objective" form, e.g.
+// "100ms:0.99". An empty spec disables the SLO; a bare duration defaults
+// the objective to 0.99.
+func parseSLO(spec string) (time.Duration, float64, error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	durText, objText := spec, ""
+	if at := strings.LastIndex(spec, ":"); at >= 0 {
+		durText, objText = spec[:at], spec[at+1:]
+	}
+	target, err := time.ParseDuration(durText)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -slo target %q: %w", durText, err)
+	}
+	objective := 0.99
+	if objText != "" {
+		objective, err = strconv.ParseFloat(objText, 64)
+		if err != nil || objective <= 0 || objective >= 1 {
+			return 0, 0, fmt.Errorf("bad -slo objective %q (want a fraction in (0,1))", objText)
+		}
+	}
+	return target, objective, nil
 }
 
 func parseModel(name string) (core.Model, error) {

@@ -35,6 +35,10 @@ type serveConfig struct {
 
 	cacheMiB    int64
 	cachePolicy string
+
+	sloTarget    time.Duration
+	sloObjective float64
+	tenant       string
 }
 
 // servedSQL maps -q names onto the SQL the service runs through the facade
@@ -134,7 +138,13 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 	eng := adamant.NewEngine(eopts...).WithTelemetry(adamant.TelemetryConfig{
 		// Anything an order of magnitude over a warm Q6 is worth keeping.
 		SlowThreshold: 10 * time.Second,
-	})
+	}).WithProfile(adamant.ProfileConfig{})
+	if cfg.sloTarget > 0 {
+		eng.WithSLO(cfg.sloTarget, cfg.sloObjective)
+	}
+	if cfg.tenant != "" {
+		eng.WithTenant(cfg.tenant)
+	}
 	hw, sdk, err := facadePlug(cfg.driver)
 	if err != nil {
 		return err
@@ -184,6 +194,14 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 		w.Header().Set("Content-Type", "application/json")
 		_ = eng.WriteUtilizationJSON(w)
 	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		eng.WriteProfile(w)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = eng.WriteSLO(w)
+	})
 	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
@@ -212,14 +230,14 @@ func serve(ctx context.Context, addr string, cfg serveConfig) error {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "adamant telemetry service\nendpoints: /metrics /events /flight /util /util.json /cache /run?n=K\n")
+		fmt.Fprint(w, "adamant telemetry service\nendpoints: /metrics /events /flight /util /util.json /profile /slo /cache /run?n=K\n")
 	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving on %s (endpoints: /metrics /events /flight /util /cache /run)\n", ln.Addr())
+	fmt.Printf("serving on %s (endpoints: /metrics /events /flight /util /profile /slo /cache /run)\n", ln.Addr())
 	srv := &http.Server{Handler: mux}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

@@ -166,6 +166,10 @@ type Options struct {
 	// QueryID tags emitted events and spans digests with the caller's
 	// query number (the facade assigns one per execution).
 	QueryID uint64
+	// Tenant is an opaque workload label for per-tenant resource
+	// attribution. The executor ignores it; the facade profiler keys
+	// ledger entries by (shape, tenant).
+	Tenant string
 	// Pool, when non-nil, is the cross-query buffer pool base columns are
 	// leased from instead of being shipped through the query's private
 	// transfer path. Warm columns cost no bus traffic; cold columns load

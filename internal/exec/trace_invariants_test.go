@@ -13,6 +13,7 @@ import (
 	"github.com/adamant-db/adamant/internal/fault"
 	"github.com/adamant-db/adamant/internal/graph"
 	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/profile"
 	"github.com/adamant-db/adamant/internal/simhw"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
@@ -99,6 +100,27 @@ func checkTraceInvariants(spans []trace.Span, stats exec.Stats) error {
 	// trailing past the observed horizon may widen it further).
 	if queryDur < stats.Elapsed {
 		return fmt.Errorf("query span %v shorter than elapsed %v", queryDur, stats.Elapsed)
+	}
+
+	// The profiler's span fold conserves the same quantities: attributed
+	// device time balances the Stats decomposition exactly, as do the byte
+	// and launch counters, and the per-kind split sums to the total.
+	attr := profile.Attribute(spans)
+	if want := int64(stats.KernelTime + stats.TransferTime + stats.OverheadTime); attr.DeviceNS != want {
+		return fmt.Errorf("profile attributes %d device-ns, stats decompose to %d", attr.DeviceNS, want)
+	}
+	if attr.H2DBytes != stats.H2DBytes || attr.D2HBytes != stats.D2HBytes {
+		return fmt.Errorf("profile bytes %d/%d, stats %d/%d", attr.H2DBytes, attr.D2HBytes, stats.H2DBytes, stats.D2HBytes)
+	}
+	if attr.Launches != stats.Launches {
+		return fmt.Errorf("profile counts %d launches, stats %d", attr.Launches, stats.Launches)
+	}
+	var kindSum int64
+	for _, ns := range attr.BusyNS {
+		kindSum += ns
+	}
+	if kindSum != attr.DeviceNS {
+		return fmt.Errorf("profile kind split sums to %d, total %d", kindSum, attr.DeviceNS)
 	}
 	return nil
 }

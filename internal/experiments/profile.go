@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	adamant "github.com/adamant-db/adamant"
+)
+
+// profilePlan builds the Q6 revenue plan on the facade plan API (the
+// profiler lives behind the facade, so the overhead experiment drives the
+// same path production traffic takes).
+func profilePlan(eng *adamant.Engine, dev adamant.DeviceID, price, disc []int32) *adamant.Plan {
+	plan := eng.NewPlan().On(dev)
+	p := plan.ScanInt32("l_extendedprice", price)
+	d := plan.ScanInt32("l_discount", disc)
+	keep := plan.FilterBetween(d, 5, 7)
+	rev := plan.Mul(plan.Materialize(p, keep), plan.Materialize(d, keep))
+	plan.Return("revenue", plan.SumInt64(rev))
+	return plan
+}
+
+// ProfileOverhead measures what the fleet profiler costs on the
+// concurrent-throughput path: the BenchmarkConcurrentThroughput workload
+// (concurrent Q6 sessions through admission over one shared GPU) run on a
+// telemetry-armed engine, with the profiler + SLO tracking off and then
+// on. Both phases execute identical session counts, so the wall-clock
+// delta is the profiler's ledger fold, anomaly anchoring, and SLO window
+// arithmetic — the target is <2% overhead.
+func ProfileOverhead(cfg Config, w io.Writer) error {
+	const sf = 10
+	ds, err := cfg.dataset(sf)
+	if err != nil {
+		return err
+	}
+	price := ds.Lineitem.MustColumn("l_extendedprice").I32()
+	disc := ds.Lineitem.MustColumn("l_discount").I32()
+
+	rounds := 30
+	if cfg.Quick {
+		rounds = 8
+	}
+	const conc = 8
+
+	measure := func(profiled bool) (time.Duration, int64, error) {
+		eng := adamant.NewEngine(adamant.WithMaxConcurrent(4)).
+			WithTelemetry(adamant.TelemetryConfig{})
+		if profiled {
+			eng.WithProfile(adamant.ProfileConfig{}).WithSLO(time.Hour, 0.99)
+		}
+		gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+		if err != nil {
+			return 0, 0, err
+		}
+		opts := adamant.ExecOptions{Model: adamant.FourPhasePipelined, ChunkElems: cfg.chunkElems(), Tenant: "bench"}
+		start := time.Now()
+		var queries int64
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			errs := make(chan error, conc)
+			for s := 0; s < conc; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := eng.Execute(profilePlan(eng, gpu, price, disc), opts); err != nil {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				return 0, 0, err
+			}
+			queries += conc
+		}
+		return time.Since(start), queries, nil
+	}
+
+	cols := []string{"phase", "queries", "wall ms", "us/query", "overhead %"}
+	off := NewTable("Profiler overhead: concurrent Q6 sessions, profiler+SLO off (wall milliseconds)", cols...)
+	on := NewTable("Profiler overhead: concurrent Q6 sessions, profiler+SLO on (wall milliseconds)", cols...)
+	off.Note = fmt.Sprintf("%d rounds x %d concurrent sessions, telemetry armed in both phases; ledger keyed by plan shape + tenant", rounds, conc)
+
+	row := func(t *Table, phase string, wall time.Duration, queries int64, overhead string) {
+		t.Add(phase, queries,
+			fmt.Sprintf("%.1f", float64(wall)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", float64(wall)/float64(time.Microsecond)/float64(queries)),
+			overhead)
+	}
+
+	baseWall, baseQueries, err := measure(false)
+	if err != nil {
+		return err
+	}
+	row(off, "off", baseWall, baseQueries, "n/a")
+	if err := cfg.reportPhase(w, "profile", "off", off); err != nil {
+		return err
+	}
+
+	onWall, onQueries, err := measure(true)
+	if err != nil {
+		return err
+	}
+	row(on, "on", onWall, onQueries,
+		fmt.Sprintf("%.2f", 100*(float64(onWall)-float64(baseWall))/float64(baseWall)))
+	return cfg.reportPhase(w, "profile", "on", on)
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint derives a normalized shape key for a plan: the same logical
+// query keys identically regardless of literal constants, bound data,
+// scale factor, or device placement, so the profiler can aggregate "all
+// the Q6-shaped traffic" no matter who ran it or where it was placed.
+//
+// The fingerprint hashes node kinds and kernel names plus the edge
+// topology (ports and semantics) — deliberately excluding task params
+// (literal constants), scan names/data, and device IDs. The readable
+// prefix counts scans and tasks so operators can eyeball what a shape is
+// without a lookup table; the FNV-1a suffix disambiguates topologies with
+// equal counts.
+func Fingerprint(g *Graph) string {
+	if g == nil {
+		return "empty/0000000000000000"
+	}
+	h := fnv.New64a()
+	scans, tasks := 0, 0
+	kinds := make(map[string]int)
+	for _, n := range g.nodes {
+		if n.IsScan() {
+			scans++
+			fmt.Fprintf(h, "n%d:scan;", n.ID)
+			continue
+		}
+		tasks++
+		kinds[n.Task.Kind.String()]++
+		fmt.Fprintf(h, "n%d:%s[%s];", n.ID, n.Task.Kind, n.Task.Kernel)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(h, "e%d.%d->%d.%d:%s;", e.From, e.FromPort, e.To, e.ToPort, e.Semantic)
+	}
+	for _, r := range g.results {
+		fmt.Fprintf(h, "r%d.%d;", r.Ref.Node, r.Ref.Port)
+	}
+
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	shape := fmt.Sprintf("s%dt%d", scans, tasks)
+	for _, k := range names {
+		shape += fmt.Sprintf("-%s%d", k, kinds[k])
+	}
+	return fmt.Sprintf("%s/%016x", shape, h.Sum64())
+}

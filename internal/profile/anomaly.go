@@ -1,0 +1,141 @@
+package profile
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/adamant-db/adamant/internal/cost"
+	"github.com/adamant-db/adamant/internal/trace"
+)
+
+// Anomaly is one sustained measured-vs-expected rate deviation: the
+// catalog's EWMA says this (primitive, driver, bucket) should run at
+// Expected ns/unit, but the last AnomalySustain observations all measured
+// more than AnomalyFactor times that. It links a fleet-level regression
+// to a concrete primitive on a concrete driver at a concrete size.
+type Anomaly struct {
+	Primitive string  `json:"primitive"`
+	Driver    string  `json:"driver"`
+	Bucket    int     `json:"bucket"`
+	Measured  float64 `json:"measured_ns_per_unit"`
+	Expected  float64 `json:"expected_ns_per_unit"`
+	Factor    float64 `json:"factor"` // Measured / Expected
+}
+
+// Detector anchors live span rates against a cost-catalog EWMA. It keeps
+// its own catalog (fed from the same spans it checks) so anomaly
+// detection works whether or not the engine runs in auto-planning mode;
+// each observation is compared against the estimate *before* being folded
+// in, so a slow run cannot mask itself by dragging its own baseline.
+type Detector struct {
+	mu      sync.Mutex
+	catalog *cost.Catalog
+	streaks map[cost.Key]int
+	fired   atomic.Int64
+
+	factor     float64
+	sustain    int
+	minSamples int64
+}
+
+func newDetector(cfg Config) *Detector {
+	factor := cfg.AnomalyFactor
+	if factor <= 1 {
+		factor = 2.0
+	}
+	sustain := cfg.AnomalySustain
+	if sustain <= 0 {
+		sustain = 3
+	}
+	minSamples := cfg.AnomalyMinSamples
+	if minSamples <= 0 {
+		minSamples = 8
+	}
+	return &Detector{
+		catalog:    cost.New(),
+		streaks:    make(map[cost.Key]int),
+		factor:     factor,
+		sustain:    sustain,
+		minSamples: minSamples,
+	}
+}
+
+// Fired reports how many anomalies the detector has emitted.
+func (d *Detector) Fired() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.fired.Load()
+}
+
+// check compares one (key, units, duration) observation against the
+// learned rate, updates the streak, and appends a fired anomaly. Callers
+// hold d.mu.
+func (d *Detector) check(k cost.Key, units, durNS int64, out []Anomaly) []Anomaly {
+	if units <= 0 || durNS < 0 {
+		return out
+	}
+	entry, ok := d.catalog.Nearest(k)
+	if ok && entry.Samples >= d.minSamples && entry.NsPerUnit > 0 {
+		measured := float64(durNS) / float64(units)
+		ratio := measured / entry.NsPerUnit
+		if ratio > d.factor {
+			d.streaks[k]++
+			if d.streaks[k] == d.sustain {
+				d.streaks[k] = 0 // re-arm: the next sustained run fires again
+				d.fired.Add(1)
+				out = append(out, Anomaly{
+					Primitive: k.Primitive,
+					Driver:    k.Driver,
+					Bucket:    k.Bucket,
+					Measured:  measured,
+					Expected:  entry.NsPerUnit,
+					Factor:    ratio,
+				})
+			}
+		} else {
+			d.streaks[k] = 0
+		}
+	}
+	return out
+}
+
+// Observe anchors one query's spans against the catalog, then folds them
+// in as training data. Returns the anomalies that fired (usually nil).
+func (d *Detector) Observe(spans []trace.Span) []Anomaly {
+	if d == nil || len(spans) == 0 {
+		return nil
+	}
+	var out []Anomaly
+	d.mu.Lock()
+	for i := range spans {
+		s := &spans[i]
+		switch s.Kind {
+		case trace.KindKernel:
+			units := s.Units
+			if units < 1 {
+				units = s.Rows
+			}
+			if units < 1 {
+				units = 1
+			}
+			k := cost.Key{Primitive: s.Label, Driver: s.Device, Bucket: cost.BucketOf(units)}
+			out = d.check(k, units, int64(s.Duration()), out)
+			d.catalog.Observe(k, units, s.Duration())
+		case trace.KindH2D:
+			if s.Bytes > 0 {
+				k := cost.Key{Primitive: cost.PrimH2D, Driver: s.Device, Bucket: cost.BucketOf(s.Bytes)}
+				out = d.check(k, s.Bytes, int64(s.Duration()), out)
+				d.catalog.Observe(k, s.Bytes, s.Duration())
+			}
+		case trace.KindD2H:
+			if s.Bytes > 0 {
+				k := cost.Key{Primitive: cost.PrimD2H, Driver: s.Device, Bucket: cost.BucketOf(s.Bytes)}
+				out = d.check(k, s.Bytes, int64(s.Duration()), out)
+				d.catalog.Observe(k, s.Bytes, s.Duration())
+			}
+		}
+	}
+	d.mu.Unlock()
+	return out
+}

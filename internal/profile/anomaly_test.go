@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/cost"
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// kernelSpan builds one kernel span processing units at nsPerUnit.
+func kernelSpan(label, device string, units, nsPerUnit int64) []trace.Span {
+	return []trace.Span{{
+		ID: 0, Parent: trace.NoSpan, Kind: trace.KindKernel,
+		Label: label, Device: device, Units: units,
+		Start: 0, End: vclock.Time(units * nsPerUnit),
+	}}
+}
+
+func h2dSpan(device string, bytes, nsPerByte int64) []trace.Span {
+	return []trace.Span{{
+		ID: 0, Parent: trace.NoSpan, Kind: trace.KindH2D,
+		Label: "col", Device: device, Bytes: bytes,
+		Start: 0, End: vclock.Time(bytes * nsPerByte),
+	}}
+}
+
+func TestDetectorFiresOnSustainedDeviation(t *testing.T) {
+	d := newDetector(Config{AnomalyFactor: 2, AnomalySustain: 2, AnomalyMinSamples: 4})
+	for i := 0; i < 4; i++ {
+		if out := d.Observe(kernelSpan("scan", "GPU", 1024, 10)); len(out) != 0 {
+			t.Fatalf("training fired %+v", out)
+		}
+	}
+	// First deviation arms the streak but does not fire.
+	if out := d.Observe(kernelSpan("scan", "GPU", 1024, 100)); len(out) != 0 {
+		t.Fatalf("single deviation fired %+v", out)
+	}
+	// Second consecutive deviation reaches sustain and fires.
+	out := d.Observe(kernelSpan("scan", "GPU", 1024, 100))
+	if len(out) != 1 {
+		t.Fatalf("sustained deviation fired %d anomalies, want 1", len(out))
+	}
+	a := out[0]
+	if a.Primitive != "scan" || a.Driver != "GPU" || a.Bucket != cost.BucketOf(1024) {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if a.Factor <= 2 || a.Measured != 100 {
+		t.Fatalf("anomaly rates = %+v", a)
+	}
+	if d.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", d.Fired())
+	}
+	// The streak re-armed: a fresh sustained run (slower still, to outrun
+	// the EWMA the slow spans dragged up) fires again.
+	d.Observe(kernelSpan("scan", "GPU", 1024, 1000))
+	out = d.Observe(kernelSpan("scan", "GPU", 1024, 1000))
+	if len(out) != 1 || d.Fired() != 2 {
+		t.Fatalf("re-armed fire = %d anomalies, %d fired", len(out), d.Fired())
+	}
+}
+
+func TestDetectorCompliantResetsStreak(t *testing.T) {
+	d := newDetector(Config{AnomalyFactor: 2, AnomalySustain: 2, AnomalyMinSamples: 4})
+	for i := 0; i < 4; i++ {
+		d.Observe(kernelSpan("scan", "GPU", 1024, 10))
+	}
+	d.Observe(kernelSpan("scan", "GPU", 1024, 100)) // streak 1; EWMA drags to 32.5
+	d.Observe(kernelSpan("scan", "GPU", 1024, 33))  // compliant: streak resets
+	out := d.Observe(kernelSpan("scan", "GPU", 1024, 200))
+	if len(out) != 0 || d.Fired() != 0 {
+		t.Fatalf("streak survived a compliant observation: %+v", out)
+	}
+}
+
+func TestDetectorUntrainedNeverFlags(t *testing.T) {
+	d := newDetector(Config{AnomalyFactor: 2, AnomalySustain: 1, AnomalyMinSamples: 4})
+	for i := 0; i < 3; i++ {
+		d.Observe(kernelSpan("scan", "GPU", 1024, 10))
+	}
+	// Samples (3) below the floor (4): even a 100x outlier stays quiet.
+	if out := d.Observe(kernelSpan("scan", "GPU", 1024, 1000)); len(out) != 0 {
+		t.Fatalf("untrained entry fired %+v", out)
+	}
+}
+
+func TestDetectorTransferAnomalies(t *testing.T) {
+	d := newDetector(Config{AnomalyFactor: 2, AnomalySustain: 1, AnomalyMinSamples: 2})
+	d.Observe(h2dSpan("GPU", 4096, 1))
+	d.Observe(h2dSpan("GPU", 4096, 1))
+	out := d.Observe(h2dSpan("GPU", 4096, 10))
+	if len(out) != 1 || out[0].Primitive != cost.PrimH2D {
+		t.Fatalf("h2d anomaly = %+v", out)
+	}
+	// Zero-byte transfers are ignored.
+	if out := d.Observe(h2dSpan("GPU", 0, 10)); len(out) != 0 {
+		t.Fatalf("zero-byte transfer fired %+v", out)
+	}
+}
+
+func TestDetectorUnitsFallsBackToRows(t *testing.T) {
+	d := newDetector(Config{AnomalyFactor: 2, AnomalySustain: 1, AnomalyMinSamples: 2})
+	rowsSpan := func(nsPerRow int64) []trace.Span {
+		return []trace.Span{{
+			ID: 0, Parent: trace.NoSpan, Kind: trace.KindKernel,
+			Label: "agg", Device: "GPU", Rows: 1024,
+			Start: 0, End: vclock.Time(1024 * nsPerRow),
+		}}
+	}
+	d.Observe(rowsSpan(10))
+	d.Observe(rowsSpan(10))
+	if out := d.Observe(rowsSpan(100)); len(out) != 1 {
+		t.Fatalf("rows-normalized anomaly = %+v", out)
+	}
+}
+
+func TestDetectorNilSafe(t *testing.T) {
+	var d *Detector
+	if d.Observe(kernelSpan("scan", "GPU", 1, 1)) != nil || d.Fired() != 0 {
+		t.Fatal("nil detector leaked state")
+	}
+}
+
+func TestProfilerObserveSurfacesAnomaliesAndAlerts(t *testing.T) {
+	p := New(Config{AnomalyFactor: 2, AnomalySustain: 1, AnomalyMinSamples: 1})
+	p.SetSLO(NewSLO(SLOConfig{Target: 100, Objective: 0.9}))
+	train := QueryRecord{Shape: "q", Elapsed: 50, Spans: kernelSpan("scan", "GPU", 1024, 10)}
+	if an, al := p.Observe(train); len(an) != 0 || len(al) != 0 {
+		t.Fatalf("training observe fired %v %v", an, al)
+	}
+	slow := QueryRecord{Shape: "q", VT: 10, Elapsed: 500, Spans: kernelSpan("scan", "GPU", 1024, 100)}
+	anomalies, alerts := p.Observe(slow)
+	if len(anomalies) != 1 || p.Anomalies() != 1 {
+		t.Fatalf("anomalies = %+v (count %d)", anomalies, p.Anomalies())
+	}
+	if len(alerts) != 2 {
+		t.Fatalf("slo alerts = %+v, want fast+slow (500 > target 100)", alerts)
+	}
+}

@@ -1,0 +1,534 @@
+// Package profile is ADAMANT's fleet profiler: it folds the span stream
+// every finished query already produces into per-workload resource
+// attribution, answering the operational questions one-query traces
+// cannot — who is consuming the fleet, which workload regressed, and
+// whether the service is burning its error budget.
+//
+// The ledger keys usage by a normalized plan shape (graph.Fingerprint)
+// plus an optional tenant label, so "all the Q6-shaped traffic from
+// tenant A" aggregates regardless of constants, scale factor, or device
+// placement. Tables are bounded: at most MaxShapes keys are tracked and
+// overflow folds into a reserved "~other" bucket, so a high-cardinality
+// workload cannot grow the profiler without bound. Everything follows the
+// tracing discipline of the rest of the engine: a nil *Profiler no-ops on
+// every method (profiling off is zero-alloc on the query path), and all
+// reports iterate in sorted order, so output is deterministic.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// OtherKey is the reserved shape the ledger folds overflow into once
+// MaxShapes distinct (shape, tenant) keys are tracked.
+const OtherKey = "~other"
+
+// Config bounds the profiler and tunes anomaly detection. The zero value
+// selects the defaults noted per field.
+type Config struct {
+	// TopK bounds the per-metric leader tables in reports and the
+	// Prometheus export (default 10).
+	TopK int
+	// MaxShapes bounds distinct (shape, tenant) ledger keys; overflow
+	// aggregates under OtherKey (default 256).
+	MaxShapes int
+	// AnomalyFactor is the measured-vs-expected rate ratio treated as a
+	// deviation (default 2.0: twice as slow as the catalog EWMA).
+	AnomalyFactor float64
+	// AnomalySustain is how many consecutive deviating observations of
+	// the same (primitive, driver, bucket) fire a perf anomaly
+	// (default 3 — one slow span is noise, a run of them is a signal).
+	AnomalySustain int
+	// AnomalyMinSamples is the catalog sample count below which an entry
+	// is considered untrained and never flags (default 8).
+	AnomalyMinSamples int64
+}
+
+func (c Config) topK() int {
+	if c.TopK <= 0 {
+		return 10
+	}
+	return c.TopK
+}
+
+func (c Config) maxShapes() int {
+	if c.MaxShapes <= 0 {
+		return 256
+	}
+	return c.MaxShapes
+}
+
+// QueryRecord is the per-query input to Observe: the stats the facade
+// already computed plus the span stream of the finished attempt. Spans
+// may be nil when tracing is off — attribution then covers only the
+// stats-level fields.
+type QueryRecord struct {
+	Query  uint64
+	Shape  string
+	Tenant string
+	Device string
+	Model  string
+	// VT is the engine's virtual clock at query finish; SLO windows and
+	// anomaly events are stamped with it.
+	VT  vclock.Time
+	Err bool
+
+	Elapsed      vclock.Duration
+	KernelTime   vclock.Duration
+	TransferTime vclock.Duration
+	OverheadTime vclock.Duration
+	H2DBytes     int64
+	D2HBytes     int64
+	Launches     int64
+	Retries      int64
+	Replans      int
+	Failovers    int
+	Degrades     int
+
+	Spans []trace.Span
+}
+
+// Attribution is the span-stream fold for one query: engine busy time by
+// span kind and by shard, byte/launch/cache counters, and the admission
+// wait. Produced by Attribute; aggregated into Usage by the ledger.
+type Attribution struct {
+	// BusyNS is virtual engine-busy nanoseconds by span kind name (h2d,
+	// d2h, alloc, pinned-alloc, free, kernel, sync, transform). The sum
+	// equals DeviceNS, which balances exactly against the query's
+	// KernelTime + TransferTime + OverheadTime.
+	BusyNS   map[string]int64
+	DeviceNS int64
+
+	H2DBytes    int64
+	D2HBytes    int64
+	Launches    int64
+	CacheHits   int64
+	CacheMisses int64
+
+	// AdmissionWait is host wall time spent queued for admission.
+	AdmissionWait time.Duration
+
+	// ShardBusyNS splits DeviceNS by the shard partition that spent it
+	// (key = shard name, e.g. "shard2"); unsharded work is under "".
+	ShardBusyNS map[string]int64
+}
+
+// shardOf walks a span's container chain to the enclosing shard
+// partition, returning the shard name from its "partition N on <shard>"
+// label. Parent IDs are absolute recorder indexes; base is the absolute
+// index of spans[0], so slices taken mid-recorder still resolve. Spans
+// whose chain leaves the slice are unsharded ("").
+func shardOf(spans []trace.Span, i, base int) string {
+	for hops := 0; hops < len(spans); hops++ {
+		p := int(spans[i].Parent) - base
+		if p < 0 || p >= len(spans) {
+			return ""
+		}
+		if spans[p].Kind == trace.KindShard {
+			label := spans[p].Label
+			if at := strings.LastIndex(label, " on "); at >= 0 {
+				return label[at+len(" on "):]
+			}
+			return label
+		}
+		i = p
+	}
+	return ""
+}
+
+// Attribute folds one query's span stream into its Attribution. It is
+// stateless and allocation-proportional to the number of distinct kinds
+// and shards, not spans.
+func Attribute(spans []trace.Span) Attribution {
+	a := Attribution{
+		BusyNS:      make(map[string]int64),
+		ShardBusyNS: make(map[string]int64),
+	}
+	if len(spans) == 0 {
+		return a
+	}
+	base := int(spans[0].ID)
+	for i := range spans {
+		s := &spans[i]
+		switch {
+		case s.Kind.Engine():
+			d := int64(s.Duration())
+			a.BusyNS[s.Kind.String()] += d
+			a.DeviceNS += d
+			a.ShardBusyNS[shardOf(spans, i, base)] += d
+			switch s.Kind {
+			case trace.KindH2D:
+				a.H2DBytes += s.Bytes
+			case trace.KindD2H:
+				a.D2HBytes += s.Bytes
+			case trace.KindKernel:
+				a.Launches++
+			}
+		case s.Kind == trace.KindAdmission:
+			a.AdmissionWait += s.Wall
+		case s.Kind == trace.KindCache:
+			if strings.HasPrefix(s.Label, "hit ") {
+				a.CacheHits++
+			} else if strings.HasPrefix(s.Label, "miss ") {
+				a.CacheMisses++
+			}
+		}
+	}
+	return a
+}
+
+// Usage is the accumulated ledger entry for one (shape, tenant) key.
+type Usage struct {
+	Shape  string `json:"shape"`
+	Tenant string `json:"tenant,omitempty"`
+
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors,omitempty"`
+	Sheds   int64 `json:"sheds,omitempty"`
+
+	ElapsedNS  int64 `json:"elapsed_ns"`
+	DeviceNS   int64 `json:"device_ns"`
+	KernelNS   int64 `json:"kernel_ns"`
+	TransferNS int64 `json:"transfer_ns"`
+	OverheadNS int64 `json:"overhead_ns"`
+
+	H2DBytes    int64 `json:"h2d_bytes"`
+	D2HBytes    int64 `json:"d2h_bytes"`
+	Launches    int64 `json:"launches"`
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+
+	Retries   int64 `json:"retries,omitempty"`
+	Replans   int64 `json:"replans,omitempty"`
+	Failovers int64 `json:"failovers,omitempty"`
+	Degrades  int64 `json:"degrades,omitempty"`
+
+	AdmissionWait time.Duration `json:"admission_wait_ns,omitempty"`
+
+	// ShardNS splits DeviceNS by shard partition; empty for unsharded
+	// workloads (unsharded busy time accrues under key "").
+	ShardNS map[string]int64 `json:"shard_ns,omitempty"`
+}
+
+func (u *Usage) clone() Usage {
+	out := *u
+	if len(u.ShardNS) > 0 {
+		out.ShardNS = make(map[string]int64, len(u.ShardNS))
+		for k, v := range u.ShardNS {
+			out.ShardNS[k] = v
+		}
+	} else {
+		out.ShardNS = nil
+	}
+	return out
+}
+
+type ledgerKey struct {
+	shape  string
+	tenant string
+}
+
+// Profiler is the fleet ledger plus the anomaly detector and, when
+// configured, the SLO tracker. A nil *Profiler no-ops on every method.
+type Profiler struct {
+	mu      sync.Mutex
+	cfg     Config
+	ledger  map[ledgerKey]*Usage
+	detect  *Detector
+	slo     *SLO
+	queries int64
+}
+
+// New returns a profiler with the given bounds.
+func New(cfg Config) *Profiler {
+	return &Profiler{
+		cfg:    cfg,
+		ledger: make(map[ledgerKey]*Usage),
+		detect: newDetector(cfg),
+	}
+}
+
+// SetSLO attaches an SLO tracker (nil detaches).
+func (p *Profiler) SetSLO(s *SLO) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.slo = s
+	p.mu.Unlock()
+}
+
+// SLOTracker returns the attached SLO tracker, if any.
+func (p *Profiler) SLOTracker() *SLO {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slo
+}
+
+// Enabled reports whether the profiler records.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// usageFor resolves the ledger entry for a key, folding overflow into
+// OtherKey once MaxShapes keys exist. Callers hold p.mu.
+func (p *Profiler) usageFor(shape, tenant string) *Usage {
+	k := ledgerKey{shape, tenant}
+	if u := p.ledger[k]; u != nil {
+		return u
+	}
+	if len(p.ledger) >= p.cfg.maxShapes() {
+		k = ledgerKey{OtherKey, ""}
+		if u := p.ledger[k]; u != nil {
+			return u
+		}
+	}
+	u := &Usage{Shape: k.shape, Tenant: k.tenant}
+	p.ledger[k] = u
+	return u
+}
+
+// Observe folds one finished query into the ledger, runs anomaly
+// detection over its spans, and feeds the SLO tracker. It returns the
+// anomalies detected (nil almost always) and the SLO burn alerts that
+// newly fired, so the caller can emit events and force trace retention.
+// Nil profilers return nothing.
+func (p *Profiler) Observe(rec QueryRecord) ([]Anomaly, []BurnAlert) {
+	if p == nil {
+		return nil, nil
+	}
+	attr := Attribute(rec.Spans)
+
+	p.mu.Lock()
+	p.queries++
+	u := p.usageFor(rec.Shape, rec.Tenant)
+	u.Queries++
+	if rec.Err {
+		u.Errors++
+	}
+	u.ElapsedNS += int64(rec.Elapsed)
+	u.KernelNS += int64(rec.KernelTime)
+	u.TransferNS += int64(rec.TransferTime)
+	u.OverheadNS += int64(rec.OverheadTime)
+	if len(rec.Spans) > 0 {
+		u.DeviceNS += attr.DeviceNS
+		u.H2DBytes += attr.H2DBytes
+		u.D2HBytes += attr.D2HBytes
+		u.Launches += attr.Launches
+		u.CacheHits += attr.CacheHits
+		u.CacheMisses += attr.CacheMisses
+		u.AdmissionWait += attr.AdmissionWait
+		for shard, ns := range attr.ShardBusyNS {
+			if shard == "" {
+				continue
+			}
+			if u.ShardNS == nil {
+				u.ShardNS = make(map[string]int64)
+			}
+			u.ShardNS[shard] += ns
+		}
+	} else {
+		// No trace: fall back to the stats-level balance, which equals
+		// the span fold exactly when spans are present.
+		u.DeviceNS += int64(rec.KernelTime + rec.TransferTime + rec.OverheadTime)
+		u.H2DBytes += rec.H2DBytes
+		u.D2HBytes += rec.D2HBytes
+		u.Launches += rec.Launches
+	}
+	u.Retries += rec.Retries
+	u.Replans += int64(rec.Replans)
+	u.Failovers += int64(rec.Failovers)
+	u.Degrades += int64(rec.Degrades)
+	detect := p.detect
+	slo := p.slo
+	p.mu.Unlock()
+
+	anomalies := detect.Observe(rec.Spans)
+	var alerts []BurnAlert
+	if slo != nil {
+		alerts = slo.Observe(rec.VT, rec.Elapsed, rec.Err)
+	}
+	return anomalies, alerts
+}
+
+// ObserveShed charges one admission-shed query to the ledger (the query
+// never ran, so only the shed counter moves).
+func (p *Profiler) ObserveShed(shape, tenant string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.usageFor(shape, tenant).Sheds++
+	p.mu.Unlock()
+}
+
+// Queries reports how many finished queries the profiler has folded.
+func (p *Profiler) Queries() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queries
+}
+
+// Anomalies reports how many perf anomalies have fired.
+func (p *Profiler) Anomalies() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.detect.Fired()
+}
+
+// Usages returns a copy of every ledger entry, sorted by shape then
+// tenant. Nil profilers return nil.
+func (p *Profiler) Usages() []Usage {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]Usage, 0, len(p.ledger))
+	for _, u := range p.ledger {
+		out = append(out, u.clone())
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shape != out[j].Shape {
+			return out[i].Shape < out[j].Shape
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	return out
+}
+
+// Metric names accepted by TopK.
+const (
+	MetricDeviceNS = "device_ns"
+	MetricBytes    = "bytes"
+	MetricErrors   = "errors"
+)
+
+func metricValue(u *Usage, metric string) int64 {
+	switch metric {
+	case MetricDeviceNS:
+		return u.DeviceNS
+	case MetricBytes:
+		return u.H2DBytes + u.D2HBytes
+	case MetricErrors:
+		return u.Errors + u.Sheds
+	default:
+		return 0
+	}
+}
+
+// TopK returns the top-K ledger entries by the given metric (value
+// descending, then shape/tenant ascending for determinism). Zero-valued
+// entries are skipped.
+func (p *Profiler) TopK(metric string) []Usage {
+	if p == nil {
+		return nil
+	}
+	all := p.Usages()
+	filtered := all[:0]
+	for _, u := range all {
+		u := u
+		if metricValue(&u, metric) > 0 {
+			filtered = append(filtered, u)
+		}
+	}
+	sort.SliceStable(filtered, func(i, j int) bool {
+		vi, vj := metricValue(&filtered[i], metric), metricValue(&filtered[j], metric)
+		if vi != vj {
+			return vi > vj
+		}
+		if filtered[i].Shape != filtered[j].Shape {
+			return filtered[i].Shape < filtered[j].Shape
+		}
+		return filtered[i].Tenant < filtered[j].Tenant
+	})
+	if k := p.cfg.topK(); len(filtered) > k {
+		filtered = filtered[:k]
+	}
+	return filtered
+}
+
+func keyLabel(u *Usage) string {
+	if u.Tenant == "" {
+		return u.Shape
+	}
+	return u.Shape + " tenant=" + u.Tenant
+}
+
+// WriteReport renders the ledger as a deterministic text report: the
+// top-K tables by device time, bytes moved, and errors+sheds, plus the
+// SLO state when a tracker is attached. Nil profilers render a disabled
+// notice.
+func (p *Profiler) WriteReport(w io.Writer) {
+	if p == nil {
+		fmt.Fprintln(w, "profile: disabled")
+		return
+	}
+	p.mu.Lock()
+	queries := p.queries
+	slo := p.slo
+	p.mu.Unlock()
+	fmt.Fprintf(w, "profile: %d queries, %d shapes, %d anomalies\n",
+		queries, len(p.Usages()), p.Anomalies())
+
+	sections := []struct {
+		metric string
+		title  string
+		cell   func(u *Usage) string
+	}{
+		{MetricDeviceNS, "top by device time", func(u *Usage) string {
+			return fmt.Sprintf("%v busy, %d queries, %d launches", vclock.Duration(u.DeviceNS), u.Queries, u.Launches)
+		}},
+		{MetricBytes, "top by bytes moved", func(u *Usage) string {
+			return fmt.Sprintf("%d B h2d, %d B d2h, %d/%d cache hits", u.H2DBytes, u.D2HBytes, u.CacheHits, u.CacheHits+u.CacheMisses)
+		}},
+		{MetricErrors, "top by errors+sheds", func(u *Usage) string {
+			return fmt.Sprintf("%d errors, %d sheds, %d retries", u.Errors, u.Sheds, u.Retries)
+		}},
+	}
+	for _, sec := range sections {
+		rows := p.TopK(sec.metric)
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", sec.title)
+		width := 0
+		for i := range rows {
+			if n := len(keyLabel(&rows[i])); n > width {
+				width = n
+			}
+		}
+		for i := range rows {
+			u := &rows[i]
+			fmt.Fprintf(w, "  %-*s  %s\n", width, keyLabel(u), sec.cell(u))
+			if sec.metric == MetricDeviceNS && len(u.ShardNS) > 0 {
+				shards := make([]string, 0, len(u.ShardNS))
+				for s := range u.ShardNS {
+					shards = append(shards, s)
+				}
+				sort.Strings(shards)
+				parts := make([]string, 0, len(shards))
+				for _, s := range shards {
+					parts = append(parts, fmt.Sprintf("%s %v", s, vclock.Duration(u.ShardNS[s])))
+				}
+				fmt.Fprintf(w, "  %-*s    shards: %s\n", width, "", strings.Join(parts, ", "))
+			}
+		}
+	}
+	if slo != nil {
+		slo.WriteText(w)
+	}
+}

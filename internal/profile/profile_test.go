@@ -1,0 +1,290 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/trace"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// span is a test shorthand for a trace.Span with an absolute ID and parent.
+func span(id, parent int, kind trace.Kind, label, device string, start, end vclock.Time) trace.Span {
+	p := trace.SpanID(parent)
+	if parent < 0 {
+		p = trace.NoSpan
+	}
+	return trace.Span{ID: trace.SpanID(id), Parent: p, Kind: kind, Label: label, Device: device, Start: start, End: end}
+}
+
+func TestAttributeFold(t *testing.T) {
+	kernel := span(2, 1, trace.KindKernel, "filter", "GPU", 100, 300)
+	kernel.Units = 1024
+	h2d := span(3, 0, trace.KindH2D, "l_discount", "GPU", 0, 50)
+	h2d.Bytes = 4096
+	d2h := span(4, 0, trace.KindD2H, "result", "GPU", 300, 320)
+	d2h.Bytes = 64
+	adm := span(5, 0, trace.KindAdmission, "admitted", "", 0, 0)
+	adm.Wall = 7 * time.Millisecond
+	spans := []trace.Span{
+		span(0, -1, trace.KindQuery, "q", "", 0, 320),
+		span(1, 0, trace.KindShard, "partition 2 on shard2", "", 0, 300),
+		kernel,
+		h2d,
+		d2h,
+		adm,
+		span(6, 0, trace.KindCache, "hit l_discount", "", 0, 0),
+		span(7, 0, trace.KindCache, "miss l_extendedprice", "", 0, 0),
+		span(8, 1, trace.KindAlloc, "buf", "GPU", 50, 60),
+	}
+	a := Attribute(spans)
+	if got := a.BusyNS["kernel"]; got != 200 {
+		t.Fatalf("kernel busy = %d, want 200", got)
+	}
+	if got := a.BusyNS["h2d"]; got != 50 {
+		t.Fatalf("h2d busy = %d, want 50", got)
+	}
+	if got := a.BusyNS["alloc"]; got != 10 {
+		t.Fatalf("alloc busy = %d, want 10", got)
+	}
+	if a.DeviceNS != 200+50+20+10 {
+		t.Fatalf("DeviceNS = %d, want 280", a.DeviceNS)
+	}
+	if a.H2DBytes != 4096 || a.D2HBytes != 64 {
+		t.Fatalf("bytes = %d/%d, want 4096/64", a.H2DBytes, a.D2HBytes)
+	}
+	if a.Launches != 1 {
+		t.Fatalf("launches = %d, want 1", a.Launches)
+	}
+	if a.CacheHits != 1 || a.CacheMisses != 1 {
+		t.Fatalf("cache = %d/%d, want 1/1", a.CacheHits, a.CacheMisses)
+	}
+	if a.AdmissionWait != 7*time.Millisecond {
+		t.Fatalf("admission wait = %v", a.AdmissionWait)
+	}
+	// Kernel and alloc sit under the shard container; transfers do not.
+	if got := a.ShardBusyNS["shard2"]; got != 210 {
+		t.Fatalf("shard2 busy = %d, want 210", got)
+	}
+	if got := a.ShardBusyNS[""]; got != 70 {
+		t.Fatalf("unsharded busy = %d, want 70", got)
+	}
+}
+
+// Attribution must resolve shard containers when the slice was taken
+// mid-recorder: IDs and parents are absolute, the base offset rebases them.
+func TestAttributeMidRecorderBase(t *testing.T) {
+	kernel := span(102, 101, trace.KindKernel, "agg", "GPU", 0, 90)
+	spans := []trace.Span{
+		span(100, -1, trace.KindQuery, "q", "", 0, 100),
+		span(101, 100, trace.KindShard, "partition 0 on shard1", "", 0, 90),
+		kernel,
+	}
+	a := Attribute(spans)
+	if got := a.ShardBusyNS["shard1"]; got != 90 {
+		t.Fatalf("shard1 busy = %d, want 90", got)
+	}
+}
+
+func TestShardOfChainLeavesSlice(t *testing.T) {
+	// Parent points below the slice base: unsharded.
+	k := span(10, 3, trace.KindKernel, "k", "GPU", 0, 5)
+	spans := []trace.Span{k}
+	a := Attribute(spans)
+	if got := a.ShardBusyNS[""]; got != 5 {
+		t.Fatalf("unsharded busy = %d, want 5", got)
+	}
+	if len(a.ShardBusyNS) != 1 {
+		t.Fatalf("shard keys = %v, want only \"\"", a.ShardBusyNS)
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	a := Attribute(nil)
+	if a.DeviceNS != 0 || len(a.BusyNS) != 0 {
+		t.Fatalf("empty fold = %+v", a)
+	}
+}
+
+func TestObserveSpansVsStatsFallbackAgree(t *testing.T) {
+	kernel := span(1, 0, trace.KindKernel, "filter", "GPU", 0, 100)
+	h2d := span(2, 0, trace.KindH2D, "col", "GPU", 100, 140)
+	h2d.Bytes = 512
+	spans := []trace.Span{span(0, -1, trace.KindQuery, "q", "", 0, 140), kernel, h2d}
+
+	rec := QueryRecord{
+		Shape: "s1", Elapsed: 140, KernelTime: 100, TransferTime: 40,
+		H2DBytes: 512, Launches: 1,
+	}
+	withSpans := rec
+	withSpans.Spans = spans
+
+	a, b := New(Config{}), New(Config{})
+	a.Observe(withSpans)
+	b.Observe(rec)
+	ua, ub := a.Usages()[0], b.Usages()[0]
+	if ua.DeviceNS != ub.DeviceNS || ua.H2DBytes != ub.H2DBytes || ua.Launches != ub.Launches {
+		t.Fatalf("span fold %+v disagrees with stats fallback %+v", ua, ub)
+	}
+}
+
+func TestLedgerOverflowFoldsToOther(t *testing.T) {
+	p := New(Config{MaxShapes: 2})
+	p.Observe(QueryRecord{Shape: "a", Elapsed: 1})
+	p.Observe(QueryRecord{Shape: "b", Elapsed: 1})
+	p.Observe(QueryRecord{Shape: "c", Tenant: "t", Elapsed: 1})
+	p.Observe(QueryRecord{Shape: "d", Elapsed: 1})
+	p.ObserveShed("e", "t2")
+	us := p.Usages()
+	if len(us) != 3 {
+		t.Fatalf("ledger keys = %d, want 3 (a, b, ~other)", len(us))
+	}
+	var other *Usage
+	for i := range us {
+		if us[i].Shape == OtherKey {
+			other = &us[i]
+		}
+	}
+	if other == nil {
+		t.Fatalf("no %s bucket in %+v", OtherKey, us)
+	}
+	if other.Queries != 2 || other.Sheds != 1 || other.Tenant != "" {
+		t.Fatalf("overflow bucket = %+v, want 2 queries + 1 shed, no tenant", *other)
+	}
+	// Existing keys keep accumulating after overflow.
+	p.Observe(QueryRecord{Shape: "a", Elapsed: 1})
+	for _, u := range p.Usages() {
+		if u.Shape == "a" && u.Queries != 2 {
+			t.Fatalf("shape a queries = %d, want 2", u.Queries)
+		}
+	}
+}
+
+func TestTenantSplitsLedgerKeys(t *testing.T) {
+	p := New(Config{})
+	p.Observe(QueryRecord{Shape: "q6", Tenant: "alice", Elapsed: 1})
+	p.Observe(QueryRecord{Shape: "q6", Tenant: "bob", Elapsed: 1})
+	p.Observe(QueryRecord{Shape: "q6", Elapsed: 1})
+	if got := len(p.Usages()); got != 3 {
+		t.Fatalf("ledger keys = %d, want 3 (same shape, three tenants)", got)
+	}
+}
+
+func TestTopKOrderingAndBound(t *testing.T) {
+	p := New(Config{TopK: 2})
+	p.Observe(QueryRecord{Shape: "small", KernelTime: 10})
+	p.Observe(QueryRecord{Shape: "big", KernelTime: 100})
+	p.Observe(QueryRecord{Shape: "mid", KernelTime: 50})
+	p.Observe(QueryRecord{Shape: "zero"}) // zero device time: skipped
+	top := p.TopK(MetricDeviceNS)
+	if len(top) != 2 || top[0].Shape != "big" || top[1].Shape != "mid" {
+		t.Fatalf("top = %+v, want [big mid]", top)
+	}
+	// Ties break by shape ascending for determinism.
+	p2 := New(Config{})
+	p2.Observe(QueryRecord{Shape: "bb", KernelTime: 10})
+	p2.Observe(QueryRecord{Shape: "aa", KernelTime: 10})
+	top2 := p2.TopK(MetricDeviceNS)
+	if top2[0].Shape != "aa" || top2[1].Shape != "bb" {
+		t.Fatalf("tie order = %s,%s, want aa,bb", top2[0].Shape, top2[1].Shape)
+	}
+	if got := p2.TopK("bogus"); len(got) != 0 {
+		t.Fatalf("unknown metric returned %d rows", len(got))
+	}
+}
+
+func TestTopKMetrics(t *testing.T) {
+	p := New(Config{})
+	p.Observe(QueryRecord{Shape: "mover", H2DBytes: 1000, D2HBytes: 24})
+	p.Observe(QueryRecord{Shape: "failer", Err: true, Elapsed: 1})
+	p.ObserveShed("shed", "")
+	if top := p.TopK(MetricBytes); len(top) != 1 || top[0].Shape != "mover" {
+		t.Fatalf("bytes top = %+v", top)
+	}
+	top := p.TopK(MetricErrors)
+	if len(top) != 2 {
+		t.Fatalf("errors top = %+v, want failer and shed", top)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	p := New(Config{})
+	kernel := span(1, 0, trace.KindKernel, "filter", "GPU", 0, 100)
+	spans := []trace.Span{span(0, -1, trace.KindQuery, "q", "", 0, 100), kernel}
+	p.Observe(QueryRecord{Shape: "q6", Tenant: "alice", Elapsed: 100, KernelTime: 100, Spans: spans})
+	p.SetSLO(NewSLO(SLOConfig{Target: 1000}))
+	p.Observe(QueryRecord{Shape: "q6", Tenant: "alice", Elapsed: 100, KernelTime: 100, Spans: spans})
+
+	var sb strings.Builder
+	p.WriteReport(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"profile: 2 queries, 1 shapes, 0 anomalies",
+		"top by device time:",
+		"q6 tenant=alice",
+		"slo: target",
+		"1/1 good",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Identical state renders identical bytes.
+	var sb2 strings.Builder
+	p.WriteReport(&sb2)
+	if sb2.String() != out {
+		t.Fatalf("report not deterministic:\n%s\nvs\n%s", out, sb2.String())
+	}
+}
+
+func TestWriteReportShardBreakdown(t *testing.T) {
+	p := New(Config{})
+	kernel := span(2, 1, trace.KindKernel, "agg", "GPU", 0, 40)
+	spans := []trace.Span{
+		span(0, -1, trace.KindQuery, "q", "", 0, 40),
+		span(1, 0, trace.KindShard, "partition 1 on shard3", "", 0, 40),
+		kernel,
+	}
+	p.Observe(QueryRecord{Shape: "scatter", Elapsed: 40, KernelTime: 40, Spans: spans})
+	var sb strings.Builder
+	p.WriteReport(&sb)
+	if !strings.Contains(sb.String(), "shards: shard3 40ns") {
+		t.Fatalf("report missing shard breakdown:\n%s", sb.String())
+	}
+}
+
+func TestNilProfilerNoOps(t *testing.T) {
+	var p *Profiler
+	if p.Enabled() {
+		t.Fatal("nil profiler enabled")
+	}
+	a, b := p.Observe(QueryRecord{Shape: "x"})
+	if a != nil || b != nil {
+		t.Fatal("nil Observe returned data")
+	}
+	p.ObserveShed("x", "")
+	p.SetSLO(NewSLO(SLOConfig{Target: 1}))
+	if p.SLOTracker() != nil || p.Queries() != 0 || p.Anomalies() != 0 {
+		t.Fatal("nil profiler leaked state")
+	}
+	if p.Usages() != nil || p.TopK(MetricDeviceNS) != nil {
+		t.Fatal("nil profiler returned usages")
+	}
+	var sb strings.Builder
+	p.WriteReport(&sb)
+	if sb.String() != "profile: disabled\n" {
+		t.Fatalf("nil report = %q", sb.String())
+	}
+}
+
+func TestProfilerQueriesCounter(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 5; i++ {
+		p.Observe(QueryRecord{Shape: fmt.Sprintf("s%d", i)})
+	}
+	if p.Queries() != 5 {
+		t.Fatalf("queries = %d, want 5", p.Queries())
+	}
+}

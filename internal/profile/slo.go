@@ -1,0 +1,214 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// SLOConfig defines a latency service-level objective plus the
+// multi-window burn-rate alerting policy evaluated over it. The policy is
+// the standard two-window scheme: a fast window catches sharp incidents
+// (burn rate >= FastBurn means the monthly budget would be gone in
+// hours), a slow window catches slow leaks (anything sustainedly above
+// 1x). Windows are virtual time, like everything else the engine
+// measures, so tests and replays evaluate identically.
+type SLOConfig struct {
+	// Target is the latency threshold: a query is "good" when it
+	// finishes without error within Target virtual time.
+	Target vclock.Duration
+	// Objective is the goal fraction of good queries, e.g. 0.99.
+	// Values outside (0, 1) default to 0.99.
+	Objective float64
+	// FastWindow/SlowWindow are the burn evaluation windows (defaults
+	// 5m / 1h of virtual time).
+	FastWindow vclock.Duration
+	SlowWindow vclock.Duration
+	// FastBurn/SlowBurn are the firing thresholds (defaults 5.0 / 1.05).
+	FastBurn float64
+	SlowBurn float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.99
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = vclock.Duration(5 * 60 * 1e9)
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = vclock.Duration(60 * 60 * 1e9)
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.FastBurn <= 0 {
+		c.FastBurn = 5.0
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 1.05
+	}
+	return c
+}
+
+// BurnAlert is one burn-rate window newly crossing its threshold.
+type BurnAlert struct {
+	// Window is "fast" or "slow".
+	Window string
+	// Burn is the burn rate at the crossing: the window's bad fraction
+	// over the error budget (1 - objective). Burn 1.0 spends the budget
+	// exactly; FastBurn/SlowBurn are the firing thresholds.
+	Burn float64
+	// Bad and Total are the window's population at the crossing.
+	Bad   int64
+	Total int64
+}
+
+type sloOutcome struct {
+	vt  vclock.Time
+	bad bool
+}
+
+// SLO tracks good/total query outcomes against a latency objective and
+// evaluates two burn-rate windows over virtual time. A nil *SLO no-ops.
+type SLO struct {
+	mu  sync.Mutex
+	cfg SLOConfig
+
+	good  int64
+	total int64
+
+	window []sloOutcome // outcomes within the slow window, oldest first
+
+	fastFiring bool
+	slowFiring bool
+	fastBurn   float64
+	slowBurn   float64
+}
+
+// NewSLO returns a tracker for the given objective.
+func NewSLO(cfg SLOConfig) *SLO {
+	return &SLO{cfg: cfg.withDefaults()}
+}
+
+// Config reports the tracker's effective (defaulted) configuration.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}
+	}
+	return s.cfg
+}
+
+// burnOver evaluates the burn rate over outcomes newer than now-win.
+func (s *SLO) burnOver(now vclock.Time, win vclock.Duration) (burn float64, bad, total int64) {
+	for _, o := range s.window {
+		if int64(now.Sub(o.vt)) >= int64(win) {
+			continue
+		}
+		total++
+		if o.bad {
+			bad++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	budget := 1 - s.cfg.Objective
+	return (float64(bad) / float64(total)) / budget, bad, total
+}
+
+// Observe records one finished query (bad when it errored or overran the
+// latency target) and re-evaluates both burn windows at virtual time vt.
+// It returns the windows that transitioned from quiet to firing — each
+// deserves one slo_burn event. Nil trackers return nil.
+func (s *SLO) Observe(vt vclock.Time, elapsed vclock.Duration, failed bool) []BurnAlert {
+	if s == nil {
+		return nil
+	}
+	bad := failed || elapsed > s.cfg.Target
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if !bad {
+		s.good++
+	}
+	s.window = append(s.window, sloOutcome{vt: vt, bad: bad})
+	// Prune everything older than the slow window (the widest).
+	keep := s.window[:0]
+	for _, o := range s.window {
+		if int64(vt.Sub(o.vt)) < int64(s.cfg.SlowWindow) {
+			keep = append(keep, o)
+		}
+	}
+	s.window = keep
+
+	var alerts []BurnAlert
+	fast, fbad, ftotal := s.burnOver(vt, s.cfg.FastWindow)
+	slow, sbad, stotal := s.burnOver(vt, s.cfg.SlowWindow)
+	s.fastBurn, s.slowBurn = fast, slow
+	if firing := fast >= s.cfg.FastBurn; firing != s.fastFiring {
+		s.fastFiring = firing
+		if firing {
+			alerts = append(alerts, BurnAlert{Window: "fast", Burn: fast, Bad: fbad, Total: ftotal})
+		}
+	}
+	if firing := slow >= s.cfg.SlowBurn; firing != s.slowFiring {
+		s.slowFiring = firing
+		if firing {
+			alerts = append(alerts, BurnAlert{Window: "slow", Burn: slow, Bad: sbad, Total: stotal})
+		}
+	}
+	return alerts
+}
+
+// SLOSnapshot is the tracker's exportable state.
+type SLOSnapshot struct {
+	Enabled    bool    `json:"enabled"`
+	TargetNS   int64   `json:"target_ns,omitempty"`
+	Objective  float64 `json:"objective,omitempty"`
+	Good       int64   `json:"good"`
+	Total      int64   `json:"total"`
+	FastBurn   float64 `json:"fast_burn"`
+	SlowBurn   float64 `json:"slow_burn"`
+	FastFiring bool    `json:"fast_firing"`
+	SlowFiring bool    `json:"slow_firing"`
+}
+
+// Snapshot exports the tracker's current state. Nil trackers report
+// Enabled false.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SLOSnapshot{
+		Enabled:    true,
+		TargetNS:   int64(s.cfg.Target),
+		Objective:  s.cfg.Objective,
+		Good:       s.good,
+		Total:      s.total,
+		FastBurn:   s.fastBurn,
+		SlowBurn:   s.slowBurn,
+		FastFiring: s.fastFiring,
+		SlowFiring: s.slowFiring,
+	}
+}
+
+// WriteText renders the SLO state as one deterministic report block.
+func (s *SLO) WriteText(w io.Writer) {
+	snap := s.Snapshot()
+	if !snap.Enabled {
+		fmt.Fprintln(w, "slo: disabled")
+		return
+	}
+	attained := 1.0
+	if snap.Total > 0 {
+		attained = float64(snap.Good) / float64(snap.Total)
+	}
+	fmt.Fprintf(w, "slo: target %v at %.4g: %d/%d good (%.4f), burn fast %.2f (firing %v) slow %.2f (firing %v)\n",
+		vclock.Duration(snap.TargetNS), snap.Objective, snap.Good, snap.Total, attained,
+		snap.FastBurn, snap.FastFiring, snap.SlowBurn, snap.SlowFiring)
+}

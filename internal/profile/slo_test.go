@@ -1,0 +1,123 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+func TestSLODefaults(t *testing.T) {
+	cfg := NewSLO(SLOConfig{Target: 100}).Config()
+	if cfg.Objective != 0.99 {
+		t.Fatalf("objective = %v, want 0.99", cfg.Objective)
+	}
+	if cfg.FastWindow != vclock.Duration(5*60*1e9) || cfg.SlowWindow != vclock.Duration(60*60*1e9) {
+		t.Fatalf("windows = %v/%v", cfg.FastWindow, cfg.SlowWindow)
+	}
+	if cfg.FastBurn != 5.0 || cfg.SlowBurn != 1.05 {
+		t.Fatalf("burn thresholds = %v/%v", cfg.FastBurn, cfg.SlowBurn)
+	}
+	// Objective outside (0,1) falls back; slow window clamps to fast.
+	cfg = NewSLO(SLOConfig{Target: 100, Objective: 1.5, FastWindow: 1000, SlowWindow: 10}).Config()
+	if cfg.Objective != 0.99 || cfg.SlowWindow != cfg.FastWindow {
+		t.Fatalf("clamped config = %+v", cfg)
+	}
+	var nilSLO *SLO
+	if nilSLO.Config() != (SLOConfig{}) || nilSLO.Observe(0, 0, false) != nil {
+		t.Fatal("nil SLO leaked state")
+	}
+	if nilSLO.Snapshot().Enabled {
+		t.Fatal("nil snapshot enabled")
+	}
+}
+
+func TestSLOBurnFiresOnTransitionOnly(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 100, Objective: 0.9})
+	// All-bad traffic: burn = 1.0/0.1 = 10, above both thresholds.
+	alerts := s.Observe(10, 200, false)
+	if len(alerts) != 2 {
+		t.Fatalf("first bad query fired %d alerts, want fast+slow", len(alerts))
+	}
+	var windows []string
+	for _, a := range alerts {
+		windows = append(windows, a.Window)
+		if a.Burn < 5 || a.Bad != 1 || a.Total != 1 {
+			t.Fatalf("alert = %+v", a)
+		}
+	}
+	if strings.Join(windows, ",") != "fast,slow" {
+		t.Fatalf("windows = %v", windows)
+	}
+	// Still firing: no repeat alerts.
+	if alerts = s.Observe(20, 200, false); len(alerts) != 0 {
+		t.Fatalf("repeat bad query fired %d alerts, want 0", len(alerts))
+	}
+	// Flood of good traffic drops the burn below both thresholds (quiet).
+	for i := 0; i < 40; i++ {
+		if alerts = s.Observe(vclock.Time(30+i), 50, false); len(alerts) != 0 {
+			t.Fatalf("good query fired alerts %+v", alerts)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.FastFiring || snap.SlowFiring {
+		t.Fatalf("still firing after recovery: %+v", snap)
+	}
+	// A fresh bad run re-fires: the transition re-armed.
+	var refired int
+	for i := 0; i < 40; i++ {
+		refired += len(s.Observe(vclock.Time(100+i), 200, false))
+	}
+	if refired == 0 {
+		t.Fatal("burn never re-fired after recovery")
+	}
+}
+
+func TestSLOErrorCountsAsBad(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 100, Objective: 0.9})
+	s.Observe(0, 10, true) // fast, but errored
+	snap := s.Snapshot()
+	if snap.Good != 0 || snap.Total != 1 {
+		t.Fatalf("snapshot = %+v, want 0/1 good", snap)
+	}
+}
+
+func TestSLOWindowPruning(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 100, Objective: 0.9, FastWindow: 100, SlowWindow: 1000})
+	s.Observe(0, 200, false) // bad at vt 0
+	// Beyond the fast window but within slow: fast forgets, slow remembers.
+	alerts := s.Observe(500, 50, false)
+	_ = alerts
+	snap := s.Snapshot()
+	if snap.FastBurn != 0 {
+		t.Fatalf("fast burn = %v, want 0 (bad outcome aged out)", snap.FastBurn)
+	}
+	if snap.SlowBurn == 0 {
+		t.Fatalf("slow burn = %v, want > 0 (bad outcome still in window)", snap.SlowBurn)
+	}
+	// Beyond the slow window: everything pruned, burn goes quiet.
+	s.Observe(5000, 50, false)
+	snap = s.Snapshot()
+	if snap.SlowBurn != 0 {
+		t.Fatalf("slow burn = %v after pruning, want 0", snap.SlowBurn)
+	}
+	if snap.Good != 2 || snap.Total != 3 {
+		t.Fatalf("lifetime counters pruned too: %+v", snap)
+	}
+}
+
+func TestSLOWriteText(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 100, Objective: 0.9})
+	s.Observe(0, 50, false)
+	var sb strings.Builder
+	s.WriteText(&sb)
+	if !strings.Contains(sb.String(), "1/1 good (1.0000)") {
+		t.Fatalf("text = %q", sb.String())
+	}
+	var nilSLO *SLO
+	sb.Reset()
+	nilSLO.WriteText(&sb)
+	if sb.String() != "slo: disabled\n" {
+		t.Fatalf("nil text = %q", sb.String())
+	}
+}

@@ -55,6 +55,18 @@ const (
 	// EventShardLost marks a partition that could not be recovered; under
 	// the Partial loss mode the query completes without it.
 	EventShardLost EventType = "shard_lost"
+	// EventShardPartial marks a query returning a flagged partial result:
+	// one or more partitions were lost under the Partial loss mode and the
+	// answer covers only the surviving shards.
+	EventShardPartial EventType = "shard_partial"
+	// EventSLOBurn marks an SLO burn-rate window (fast or slow) crossing
+	// its alerting threshold — the error budget is being spent faster than
+	// the objective allows.
+	EventSLOBurn EventType = "slo_burn"
+	// EventPerfAnomaly marks a primitive running sustainedly slower than
+	// the cost-catalog EWMA predicts for its (primitive, driver, bucket);
+	// the flight recorder auto-retains the offending query's full trace.
+	EventPerfAnomaly EventType = "perf_anomaly"
 )
 
 // Event is one structured entry of the engine's event log. VT is virtual

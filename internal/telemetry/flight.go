@@ -25,9 +25,12 @@ type QueryDigest struct {
 	Retries   int64  `json:"retries,omitempty"`
 	Failovers int    `json:"failovers,omitempty"`
 	Degrades  int    `json:"degrades,omitempty"`
+	Replans   int    `json:"replans,omitempty"`
 	Err       string `json:"err,omitempty"`
 	// Retained explains why the spans were kept: "error", "degraded",
-	// "failover", or "slow". Empty for routine queries (spans dropped).
+	// "failover", "replan", "anomaly" (pre-set by the caller when the
+	// profiler flagged a perf anomaly), or "slow". Empty for routine
+	// queries (spans dropped).
 	Retained string       `json:"retained,omitempty"`
 	Spans    []trace.Span `json:"spans,omitempty"`
 }
@@ -68,15 +71,21 @@ func (f *FlightRecorder) SlowThreshold() vclock.Duration {
 	return f.slow
 }
 
-// retention classifies a digest; empty means routine (drop the spans).
+// retention classifies a digest; empty means routine (drop the spans). A
+// Retained value pre-set by the caller (e.g. "anomaly" from the profiler)
+// wins over the built-in rules.
 func (f *FlightRecorder) retention(d *QueryDigest) string {
 	switch {
+	case d.Retained != "":
+		return d.Retained
 	case d.Err != "":
 		return "error"
 	case d.Degrades > 0:
 		return "degraded"
 	case d.Failovers > 0:
 		return "failover"
+	case d.Replans > 0:
+		return "replan"
 	case f.slow > 0 && vclock.Duration(d.ElapsedNS) >= f.slow:
 		return "slow"
 	default:

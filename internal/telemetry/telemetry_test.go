@@ -378,3 +378,58 @@ func TestMetricKindString(t *testing.T) {
 		t.Fatal("unknown kind empty")
 	}
 }
+
+func TestFlightRecorderReplanAndPresetRetention(t *testing.T) {
+	f := NewFlightRecorder(8, 0)
+	spans := []trace.Span{{Kind: trace.KindQuery, End: vclock.Time(10)}}
+	f.Record(QueryDigest{Query: 1, Replans: 1}, spans)                       // replan
+	f.Record(QueryDigest{Query: 2, Replans: 1, Err: "boom"}, spans)          // error wins
+	f.Record(QueryDigest{Query: 3, Retained: "anomaly"}, spans)              // pre-set wins
+	f.Record(QueryDigest{Query: 4, Retained: "anomaly", Err: "boom"}, spans) // pre-set beats error
+	d := f.Digests()
+	wantRetained := []string{"replan", "error", "anomaly", "anomaly"}
+	for i, w := range wantRetained {
+		if d[i].Retained != w {
+			t.Errorf("digest %d retained = %q, want %q", i, d[i].Retained, w)
+		}
+		if d[i].Spans == nil {
+			t.Errorf("digest %d dropped spans, want retained", i)
+		}
+	}
+	if f.Retained() != 4 {
+		t.Fatalf("retained = %d, want 4", f.Retained())
+	}
+}
+
+func TestUtilTrackerShardStrips(t *testing.T) {
+	// Shard "" must key and render identically to plain Sample.
+	plain, sharded := NewUtilTracker(), NewUtilTracker()
+	plain.Sample("GPU", "compute", 100, 50)
+	plain.Sample("GPU", "compute", 200, 150)
+	sharded.SampleShard("", "GPU", "compute", 100, 50)
+	sharded.SampleShard("", "GPU", "compute", 200, 150)
+	var a, b bytes.Buffer
+	plain.WriteHeatStrip(&a, 4)
+	sharded.WriteHeatStrip(&b, 4)
+	if a.String() != b.String() {
+		t.Fatalf("shard \"\" differs from Sample:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Shard rows carry their label and sort after the primary rows.
+	sharded.SampleShard("shard1", "GPU", "compute", 200, 200)
+	tl := sharded.Snapshot(4)
+	if len(tl.Engines) != 2 {
+		t.Fatalf("engines = %d, want 2", len(tl.Engines))
+	}
+	if tl.Engines[0].Shard != "" || tl.Engines[1].Shard != "shard1" {
+		t.Fatalf("shard order = %q, %q", tl.Engines[0].Shard, tl.Engines[1].Shard)
+	}
+	var strip bytes.Buffer
+	sharded.WriteHeatStrip(&strip, 4)
+	if !strings.Contains(strip.String(), "shard1:GPU/compute") {
+		t.Fatalf("strip missing shard row:\n%s", strip.String())
+	}
+
+	var nilU *UtilTracker
+	nilU.SampleShard("shard1", "GPU", "compute", 1, 1)
+}

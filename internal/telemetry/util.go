@@ -31,6 +31,7 @@ type utilSample struct {
 }
 
 type utilSeries struct {
+	shard   string // "" for the primary (unsharded) runtime
 	device  string
 	engine  string
 	samples []utilSample
@@ -45,15 +46,26 @@ func NewUtilTracker() *UtilTracker {
 // Samples must be monotone per engine (they are: both figures only grow);
 // regressions are clamped. Nil trackers no-op.
 func (u *UtilTracker) Sample(device, engine string, vt vclock.Time, busy vclock.Duration) {
+	u.SampleShard("", device, engine, vt, busy)
+}
+
+// SampleShard is Sample with a shard label: the coordinator feeds one
+// series per (shard, device, engine) so the per-shard strips stay aligned
+// on the coordinator's virtual clock. Shard "" is the primary runtime and
+// keys identically to Sample, keeping unsharded output unchanged.
+func (u *UtilTracker) SampleShard(shard, device, engine string, vt vclock.Time, busy vclock.Duration) {
 	if u == nil {
 		return
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	key := device + "/" + engine
+	if shard != "" {
+		key = shard + ":" + key
+	}
 	s := u.series[key]
 	if s == nil {
-		s = &utilSeries{device: device, engine: engine}
+		s = &utilSeries{shard: shard, device: device, engine: engine}
 		u.series[key] = s
 	}
 	if n := len(s.samples); n > 0 {
@@ -103,6 +115,7 @@ func (s *utilSeries) busyAt(t vclock.Time) float64 {
 
 // EngineUtilization is one engine's windowed busy fractions.
 type EngineUtilization struct {
+	Shard  string    `json:"shard,omitempty"` // "" for the primary runtime
 	Device string    `json:"device"`
 	Engine string    `json:"engine"`
 	Busy   []float64 `json:"busy"` // fraction per window, 0..1
@@ -148,7 +161,7 @@ func (u *UtilTracker) Snapshot(windows int) Timeline {
 	sort.Strings(keys)
 	for _, k := range keys {
 		s := u.series[k]
-		eu := EngineUtilization{Device: s.device, Engine: s.engine, Busy: make([]float64, windows)}
+		eu := EngineUtilization{Shard: s.shard, Device: s.device, Engine: s.engine, Busy: make([]float64, windows)}
 		for wi := 0; wi < windows; wi++ {
 			lo := vclock.Time(int64(wi) * window)
 			hi := vclock.Time(int64(wi+1) * window)
@@ -202,9 +215,15 @@ func (u *UtilTracker) WriteHeatStrip(w io.Writer, windows int) {
 	}
 	fmt.Fprintf(w, "utilization over %v (%d windows of %v, ramp %q)\n",
 		vclock.Duration(tl.HorizonNS), tl.Windows, vclock.Duration(tl.WindowNS), heatRamp)
+	label := func(e EngineUtilization) string {
+		if e.Shard != "" {
+			return e.Shard + ":" + e.Device + "/" + e.Engine
+		}
+		return e.Device + "/" + e.Engine
+	}
 	width := 0
 	for _, e := range tl.Engines {
-		if n := len(e.Device) + len(e.Engine) + 1; n > width {
+		if n := len(label(e)); n > width {
 			width = n
 		}
 	}
@@ -219,7 +238,7 @@ func (u *UtilTracker) WriteHeatStrip(w io.Writer, windows int) {
 		if len(e.Busy) > 0 {
 			avg = sum / float64(len(e.Busy))
 		}
-		fmt.Fprintf(w, "%-*s |%s| avg %3.0f%%\n", width, e.Device+"/"+e.Engine, strip.String(), avg*100)
+		fmt.Fprintf(w, "%-*s |%s| avg %3.0f%%\n", width, label(e), strip.String(), avg*100)
 	}
 }
 

@@ -1,0 +1,168 @@
+package adamant
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"github.com/adamant-db/adamant/internal/profile"
+	"github.com/adamant-db/adamant/internal/telemetry"
+	"github.com/adamant-db/adamant/internal/vclock"
+)
+
+// ProfileConfig parameterizes the fleet profiler (see WithProfile). The
+// zero value uses the documented defaults everywhere.
+type ProfileConfig struct {
+	// TopK bounds the leader tables in WriteProfile and the Prometheus
+	// adamant_profile_* families (default 10).
+	TopK int
+	// MaxShapes bounds distinct (shape, tenant) ledger keys; overflow
+	// folds into the reserved "~other" bucket (default 256).
+	MaxShapes int
+	// AnomalyFactor is the measured-vs-expected rate ratio counted as a
+	// deviation (default 2.0).
+	AnomalyFactor float64
+	// AnomalySustain is how many consecutive deviations of one
+	// (primitive, driver, bucket) fire a perf_anomaly event (default 3).
+	AnomalySustain int
+	// AnomalyMinSamples is the catalog sample count below which an entry
+	// is untrained and never flags (default 8).
+	AnomalyMinSamples int64
+}
+
+// profileTelemetry holds the profiler's Prometheus handles; values are
+// copied from the ledger at scrape time (top-K bounded, so cardinality
+// stays fixed no matter how diverse the workload).
+type profileTelemetry struct {
+	queries   *telemetry.Counter
+	deviceNS  *telemetry.Counter
+	bytes     *telemetry.Counter
+	errors    *telemetry.Counter
+	anomalies *telemetry.Counter
+	sloGood   *telemetry.Counter
+	sloTotal  *telemetry.Counter
+	sloBurn   *telemetry.Gauge
+	sloFiring *telemetry.Gauge
+}
+
+// WithProfile arms the fleet profiler: every finished query's span stream
+// is folded into a per-(shape, tenant) resource ledger, anchored against
+// a cost-catalog EWMA for anomaly detection, and exported through
+// WriteProfile, the adamant_profile_* metric families, and the serve
+// mode's /profile endpoint. Profiling implies telemetry: if WithTelemetry
+// has not been called, it is armed with defaults. Like tracing and
+// telemetry, profiling never perturbs execution, and the disabled state
+// adds zero allocations to the query path.
+func (e *Engine) WithProfile(cfg ProfileConfig) *Engine {
+	if e.tele == nil {
+		e.WithTelemetry(TelemetryConfig{})
+	}
+	e.prof = profile.New(profile.Config{
+		TopK:              cfg.TopK,
+		MaxShapes:         cfg.MaxShapes,
+		AnomalyFactor:     cfg.AnomalyFactor,
+		AnomalySustain:    cfg.AnomalySustain,
+		AnomalyMinSamples: cfg.AnomalyMinSamples,
+	})
+	reg := e.tele.reg
+	pt := &profileTelemetry{
+		queries:   reg.Counter("adamant_profile_queries_total", "Queries folded into the profiler ledger, by plan shape and tenant (top-K by device time).", "shape", "tenant"),
+		deviceNS:  reg.Counter("adamant_profile_device_ns", "Attributed device-busy virtual nanoseconds, by plan shape and tenant (top-K).", "shape", "tenant"),
+		bytes:     reg.Counter("adamant_profile_bytes_total", "Attributed H2D+D2H bytes, by plan shape and tenant (top-K).", "shape", "tenant"),
+		errors:    reg.Counter("adamant_profile_errors_total", "Errors plus admission sheds, by plan shape and tenant (top-K).", "shape", "tenant"),
+		anomalies: reg.Counter("adamant_profile_anomalies_total", "Perf anomalies fired (sustained measured-vs-catalog rate deviations)."),
+		sloGood:   reg.Counter("adamant_slo_good_total", "Queries meeting the SLO latency target without error."),
+		sloTotal:  reg.Counter("adamant_slo_queries_total", "Queries evaluated against the SLO."),
+		sloBurn:   reg.Gauge("adamant_slo_burn", "Current SLO burn rate, by evaluation window.", "window"),
+		sloFiring: reg.Gauge("adamant_slo_burn_firing", "Whether the window's burn rate is above its alerting threshold (0/1).", "window"),
+	}
+	e.profTele = pt
+	reg.OnScrape(func(*telemetry.Registry) { e.collectProfileTelemetry() })
+	return e
+}
+
+// WithSLO attaches a latency service-level objective: a query is good
+// when it finishes without error within target virtual time, and the
+// objective is the goal fraction of good queries (e.g. 0.99). Burn rates
+// are evaluated over a fast (5-minute, 5x threshold) and a slow (1-hour,
+// 1.05x threshold) virtual-time window; a window crossing its threshold
+// emits an slo_burn event and flips the adamant_slo_burn_firing gauge.
+// WithSLO implies WithProfile (and so telemetry) with defaults when not
+// already armed.
+func (e *Engine) WithSLO(target time.Duration, objective float64) *Engine {
+	if e.prof == nil {
+		e.WithProfile(ProfileConfig{})
+	}
+	e.prof.SetSLO(profile.NewSLO(profile.SLOConfig{
+		Target:    vclock.DurationOf(target),
+		Objective: objective,
+	}))
+	return e
+}
+
+// WithTenant sets the engine-wide default tenant label for profiler
+// attribution; per-query ExecOptions.Tenant overrides it. Returns the
+// engine for chaining.
+func (e *Engine) WithTenant(label string) *Engine {
+	e.tenant = label
+	return e
+}
+
+// Profiling reports whether the fleet profiler is armed.
+func (e *Engine) Profiling() bool { return e.prof != nil }
+
+// collectProfileTelemetry refreshes the profiler's scrape-time metrics
+// from the ledger's bounded top-K tables.
+func (e *Engine) collectProfileTelemetry() {
+	pt, p := e.profTele, e.prof
+	if pt == nil || p == nil {
+		return
+	}
+	for _, u := range p.TopK(profile.MetricDeviceNS) {
+		pt.queries.Set(float64(u.Queries), u.Shape, u.Tenant)
+		pt.deviceNS.Set(float64(u.DeviceNS), u.Shape, u.Tenant)
+	}
+	for _, u := range p.TopK(profile.MetricBytes) {
+		pt.bytes.Set(float64(u.H2DBytes+u.D2HBytes), u.Shape, u.Tenant)
+	}
+	for _, u := range p.TopK(profile.MetricErrors) {
+		pt.errors.Set(float64(u.Errors+u.Sheds), u.Shape, u.Tenant)
+	}
+	pt.anomalies.Set(float64(p.Anomalies()))
+	if slo := p.SLOTracker(); slo != nil {
+		snap := slo.Snapshot()
+		pt.sloGood.Set(float64(snap.Good))
+		pt.sloTotal.Set(float64(snap.Total))
+		pt.sloBurn.Set(snap.FastBurn, "fast")
+		pt.sloBurn.Set(snap.SlowBurn, "slow")
+		pt.sloFiring.Set(boolGauge(snap.FastFiring), "fast")
+		pt.sloFiring.Set(boolGauge(snap.SlowFiring), "slow")
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteProfile renders the fleet profiler's ledger as a deterministic
+// text report: top-K tables by device time, bytes moved, and
+// errors+sheds, plus the SLO state when one is configured. Without
+// WithProfile it writes a disabled notice.
+func (e *Engine) WriteProfile(w io.Writer) {
+	e.prof.WriteReport(w)
+}
+
+// WriteSLO exports the SLO tracker's state as JSON ({"enabled": false}
+// without WithSLO).
+func (e *Engine) WriteSLO(w io.Writer) error {
+	var snap profile.SLOSnapshot
+	if e.prof != nil {
+		snap = e.prof.SLOTracker().Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,91 @@
+package adamant_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/adamant-db/adamant/internal/device"
+	"github.com/adamant-db/adamant/internal/driver/simcuda"
+	"github.com/adamant-db/adamant/internal/driver/simomp"
+	"github.com/adamant-db/adamant/internal/driver/simopencl"
+	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/profile"
+	"github.com/adamant-db/adamant/internal/simhw"
+	"github.com/adamant-db/adamant/internal/tpch"
+	"github.com/adamant-db/adamant/internal/trace"
+)
+
+// conservationDrivers is the paper's four driver configurations.
+var conservationDrivers = []struct {
+	name string
+	mk   func() device.Device
+}{
+	{"cuda", func() device.Device { return simcuda.New(&simhw.RTX2080Ti, nil) }},
+	{"opencl-gpu", func() device.Device { return simopencl.NewGPU(&simhw.RTX2080Ti, nil) }},
+	{"opencl-cpu", func() device.Device { return simopencl.NewCPU(&simhw.CoreI78700, nil) }},
+	{"openmp", func() device.Device { return simomp.New(&simhw.CoreI78700, nil) }},
+}
+
+// TestProfileConservationMatrix is the profiler's accounting contract over
+// the full query matrix: for TPC-H Q3, Q4 and Q6 under every execution
+// model on every driver, the span fold attributes exactly the device time
+// the Stats decomposition reports (kernel + transfer + overhead), exactly
+// the bytes moved, and exactly the kernel launches — and the fold itself
+// is bit-for-bit reproducible across fresh runtimes.
+func TestProfileConservationMatrix(t *testing.T) {
+	ds, err := tpch.Generate(tpch.Config{SF: 1, Ratio: 1.0 / 4096, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(query string, model exec.Model, mk func() device.Device) (profile.Attribution, exec.Stats) {
+		rt := hub.NewRuntime()
+		id, err := rt.Register(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := tpch.BuildQuery(query, ds, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		res, err := exec.Run(rt, g, exec.Options{Model: model, ChunkElems: 512, Recorder: rec})
+		if err != nil {
+			t.Fatalf("%s under %v: %v", query, model, err)
+		}
+		return profile.Attribute(rec.Spans()), res.Stats
+	}
+
+	for _, query := range []string{"Q3", "Q4", "Q6"} {
+		for _, m := range goldenModels {
+			for _, drv := range conservationDrivers {
+				name := fmt.Sprintf("%s-%s-%s", query, m.slug, drv.name)
+				t.Run(name, func(t *testing.T) {
+					attr, stats := run(query, m.model, drv.mk)
+					if want := int64(stats.KernelTime + stats.TransferTime + stats.OverheadTime); attr.DeviceNS != want {
+						t.Errorf("attributed %d device-ns, stats decompose to %d", attr.DeviceNS, want)
+					}
+					if attr.H2DBytes != stats.H2DBytes || attr.D2HBytes != stats.D2HBytes {
+						t.Errorf("attributed bytes %d/%d, stats %d/%d",
+							attr.H2DBytes, attr.D2HBytes, stats.H2DBytes, stats.D2HBytes)
+					}
+					if attr.Launches != stats.Launches {
+						t.Errorf("attributed %d launches, stats %d", attr.Launches, stats.Launches)
+					}
+					var kindSum int64
+					for _, ns := range attr.BusyNS {
+						kindSum += ns
+					}
+					if kindSum != attr.DeviceNS {
+						t.Errorf("kind split sums to %d, total %d", kindSum, attr.DeviceNS)
+					}
+					again, _ := run(query, m.model, drv.mk)
+					if !reflect.DeepEqual(attr, again) {
+						t.Errorf("attribution not reproducible across fresh runtimes:\n%+v\nvs\n%+v", attr, again)
+					}
+				})
+			}
+		}
+	}
+}

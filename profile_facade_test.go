@@ -1,0 +1,248 @@
+package adamant_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	adamant "github.com/adamant-db/adamant"
+	"github.com/adamant-db/adamant/internal/profile"
+	"github.com/adamant-db/adamant/internal/telemetry"
+)
+
+// profileTestPlan builds a small filter-sum plan on the facade API.
+func profileTestPlan(eng *adamant.Engine, dev adamant.DeviceID) *adamant.Plan {
+	vals := make([]int32, 4096)
+	for i := range vals {
+		vals[i] = int32(i % 100)
+	}
+	plan := eng.NewPlan().On(dev)
+	col := plan.ScanInt32("v", vals)
+	kept := plan.Materialize(col, plan.Filter(col, adamant.Lt, 30))
+	plan.Return("sum", plan.SumInt64(plan.CastInt64(kept)))
+	return plan
+}
+
+// TestProfileDisabledAllocs is the zero-alloc contract for profiling off:
+// the nil profiler, SLO tracker and detector all no-op without allocating,
+// and an engine without WithProfile reports profiling disabled.
+func TestProfileDisabledAllocs(t *testing.T) {
+	var (
+		prof *profile.Profiler
+		slo  *profile.SLO
+	)
+	rec := profile.QueryRecord{Shape: "s", Elapsed: 10}
+	if n := testing.AllocsPerRun(1000, func() {
+		if a, b := prof.Observe(rec); a != nil || b != nil {
+			t.Fatal("nil profiler must observe nothing")
+		}
+		prof.ObserveShed("s", "")
+		if prof.Enabled() || prof.Queries() != 0 || prof.Anomalies() != 0 {
+			t.Fatal("nil profiler must report nothing")
+		}
+		if slo.Observe(0, 10, false) != nil {
+			t.Fatal("nil SLO must observe nothing")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled profiling: %.1f allocs/op on the hot path, want 0", n)
+	}
+
+	eng := adamant.NewEngine()
+	if eng.Profiling() {
+		t.Fatal("profiling should default off")
+	}
+	var b strings.Builder
+	eng.WriteProfile(&b)
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("profiling-off report should say disabled: %q", b.String())
+	}
+	b.Reset()
+	if err := eng.WriteSLO(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap profile.SLOSnapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Enabled {
+		t.Errorf("SLO export should be disabled: %q", b.String())
+	}
+}
+
+// TestProfileFacadeLedger drives the profiler through the public API: the
+// engine-wide tenant labels every query, a per-query Tenant overrides it,
+// and the ledger surfaces both in the report, the Prometheus families, and
+// the events stream.
+func TestProfileFacadeLedger(t *testing.T) {
+	eng := adamant.NewEngine().WithProfile(adamant.ProfileConfig{}).WithTenant("acme")
+	if !eng.Profiling() || !eng.Telemetry() {
+		t.Fatal("WithProfile must arm profiling and imply telemetry")
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Execute(profileTestPlan(eng, gpu), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	override := opts
+	override.Tenant = "umbrella"
+	if _, err := eng.Execute(profileTestPlan(eng, gpu), override); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	eng.WriteProfile(&b)
+	report := b.String()
+	if !strings.Contains(report, "profile: 4 queries") {
+		t.Errorf("report header wrong:\n%s", report)
+	}
+	if !strings.Contains(report, "tenant=acme") || !strings.Contains(report, "tenant=umbrella") {
+		t.Errorf("report missing tenant attribution:\n%s", report)
+	}
+	// Same plan shape, two tenants: the fingerprint appears in both rows.
+	if !strings.Contains(report, "top by device time") {
+		t.Errorf("report missing device-time table:\n%s", report)
+	}
+
+	b.Reset()
+	if err := eng.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	for _, family := range []string{
+		"adamant_profile_queries_total", "adamant_profile_device_ns",
+		"adamant_profile_bytes_total", "adamant_profile_anomalies_total",
+	} {
+		if !strings.Contains(prom, family) {
+			t.Errorf("prom exposition missing %s:\n%s", family, prom)
+		}
+	}
+	if !strings.Contains(prom, `tenant="acme"`) {
+		t.Errorf("prom exposition missing tenant label:\n%s", prom)
+	}
+}
+
+// TestProfileSLOBurnFacade: a target no real query can meet drives the
+// burn rate over both windows — slo_burn events fire, the gauges flip, and
+// the JSON export reflects the firing state.
+func TestProfileSLOBurnFacade(t *testing.T) {
+	eng := adamant.NewEngine().WithSLO(time.Nanosecond, 0.99)
+	if !eng.Profiling() {
+		t.Fatal("WithSLO must imply WithProfile")
+	}
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Execute(profileTestPlan(eng, gpu), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totals := eng.EventTotals()
+	if totals[string(telemetry.EventSLOBurn)] < 2 {
+		t.Errorf("slo_burn events = %d, want >= 2 (fast and slow windows)", totals[string(telemetry.EventSLOBurn)])
+	}
+
+	var b strings.Builder
+	if err := eng.WriteSLO(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap profile.SLOSnapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.Total != 3 || snap.Good != 0 {
+		t.Errorf("SLO snapshot = %+v, want enabled, 0/3 good", snap)
+	}
+	if !snap.FastFiring || !snap.SlowFiring {
+		t.Errorf("SLO snapshot not firing: %+v", snap)
+	}
+
+	b.Reset()
+	if err := eng.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	if !strings.Contains(prom, `adamant_slo_burn_firing{window="fast"} 1`) {
+		t.Errorf("fast burn gauge not firing:\n%s", prom)
+	}
+	if !strings.Contains(prom, "adamant_slo_queries_total 3") {
+		t.Errorf("slo totals missing:\n%s", prom)
+	}
+}
+
+// TestTraceIdenticalWithProfiling is the non-perturbation invariant for
+// the profiler: the same plan on a profiling-armed engine produces
+// byte-identical trace summaries and results as on a telemetry-only
+// engine.
+func TestTraceIdenticalWithProfiling(t *testing.T) {
+	render := func(profiled bool) (string, int64) {
+		eng := adamant.NewEngine().WithTelemetry(adamant.TelemetryConfig{})
+		if profiled {
+			eng.WithProfile(adamant.ProfileConfig{}).WithSLO(time.Second, 0.99).WithTenant("acme")
+		}
+		gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := adamant.NewTraceRecorder()
+		res, err := eng.Execute(profileTestPlan(eng, gpu),
+			adamant.ExecOptions{Model: adamant.Pipelined, ChunkElems: 1024, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum strings.Builder
+		rec.WriteSummary(&sum)
+		return sum.String(), res.Int64("sum")[0]
+	}
+	bareSum, bareVal := render(false)
+	profSum, profVal := render(true)
+	if bareSum != profSum {
+		t.Errorf("profiling perturbs the trace summary:\n%s", diffLines(profSum, bareSum))
+	}
+	if bareVal != profVal {
+		t.Errorf("profiling perturbs the result: %d vs %d", bareVal, profVal)
+	}
+}
+
+// TestProfileShedAccounting: queries the admission controller rejects
+// never run, but still charge the ledger — under their plan shape — as
+// sheds, and surface in the errors+sheds table.
+func TestProfileShedAccounting(t *testing.T) {
+	eng := adamant.NewEngine().WithProfile(adamant.ProfileConfig{})
+	gpu, err := eng.Plug(adamant.RTX2080Ti, adamant.CUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operator-at-a-time keeps whole columns resident: a 1 KiB budget
+	// rejects the plan at admission deterministically.
+	eng.SetDeviceBudget(gpu, 1024)
+	if _, err := eng.Execute(profileTestPlan(eng, gpu), adamant.ExecOptions{Model: adamant.OperatorAtATime}); !errors.Is(err, adamant.ErrAdmission) {
+		t.Fatalf("over-budget execute: err = %v, want ErrAdmission", err)
+	}
+	var b strings.Builder
+	eng.WriteProfile(&b)
+	report := b.String()
+	if !strings.Contains(report, "top by errors+sheds:") || !strings.Contains(report, "1 sheds") {
+		t.Errorf("shed not charged to the ledger:\n%s", report)
+	}
+
+	// The budget raised, the same shape runs and joins the device table.
+	eng.SetDeviceBudget(gpu, 1<<30)
+	if _, err := eng.Execute(profileTestPlan(eng, gpu), adamant.ExecOptions{Model: adamant.OperatorAtATime}); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	eng.WriteProfile(&b)
+	if !strings.Contains(b.String(), "profile: 1 queries") {
+		t.Errorf("report after run:\n%s", b.String())
+	}
+}

@@ -41,7 +41,7 @@ echo "ci: golden-trace determinism OK ($(wc -c <"$tracedir/a.json") bytes)"
 # line. Built as a binary (not `go run`) so the PID we kill is the server.
 go build -o "$tracedir/adamant-run" ./cmd/adamant-run
 "$tracedir/adamant-run" -serve 127.0.0.1:0 -ratio 0.000244140625 -serve-warm 2 \
-	>"$tracedir/serve.log" 2>&1 &
+	-slo 100ms:0.99 >"$tracedir/serve.log" 2>&1 &
 servepid=$!
 addr=
 i=0
@@ -60,8 +60,19 @@ fi
 curl -fsS "http://$addr/metrics" >"$tracedir/metrics.txt"
 curl -fsS "http://$addr/events" >/dev/null
 curl -fsS "http://$addr/flight" >/dev/null
+curl -fsS "http://$addr/profile" >"$tracedir/profile.txt"
+curl -fsS "http://$addr/slo" >"$tracedir/slo.json"
 kill "$servepid" 2>/dev/null || true
 wait "$servepid" 2>/dev/null || true
+grep -q '^profile: [0-9]* queries' "$tracedir/profile.txt" || {
+	echo "ci: /profile missing the ledger header" >&2
+	exit 1
+}
+grep -q '"enabled": true' "$tracedir/slo.json" || {
+	echo "ci: /slo not enabled despite -slo" >&2
+	exit 1
+}
+echo "ci: /profile and /slo endpoints OK"
 grep -q 'adamant_queries_total{' "$tracedir/metrics.txt" || {
 	echo "ci: /metrics missing adamant_queries_total" >&2
 	exit 1
@@ -158,5 +169,30 @@ if [ -z "$rev_sharded" ] || [ "$rev_sharded" != "$rev_unsharded" ]; then
 	exit 1
 fi
 echo "ci: sharded CLI Q6 matches unsharded ($rev_sharded)"
+
+# Profiler CLI smoke: a repeated profiled Q6 must print the ledger with
+# every repetition folded in and the SLO line tracking all of them.
+"$tracedir/adamant-run" -q Q6 -ratio 0.000244140625 -profile -repeat 3 \
+	-slo 1s:0.99 >"$tracedir/profile-cli.txt"
+grep -q '^profile: 3 queries' "$tracedir/profile-cli.txt" || {
+	echo "ci: adamant-run -profile did not fold 3 queries" >&2
+	exit 1
+}
+grep -q '^slo: target 1s' "$tracedir/profile-cli.txt" || {
+	echo "ci: adamant-run -slo printed no SLO line" >&2
+	exit 1
+}
+echo "ci: adamant-run -profile smoke OK"
+
+# Profiler overhead smoke: the quick profile experiment must report the
+# profiler-off and profiler-on phases.
+go run ./cmd/adamant-bench -exp profile -quick -json "$tracedir/profile.json" >/dev/null
+for phase in off on; do
+	grep -q "\"phase\": \"$phase\"" "$tracedir/profile.json" || {
+		echo "ci: profile bench emitted no $phase-phase records" >&2
+		exit 1
+	}
+done
+echo "ci: profile bench off/on smoke OK"
 
 ./scripts/cover.sh

@@ -30,3 +30,4 @@ floor ./internal/telemetry 85
 floor ./internal/bufpool 85
 floor ./internal/graph 85
 floor ./internal/cost 85
+floor ./internal/profile 85

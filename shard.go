@@ -201,7 +201,7 @@ func (e *Engine) buildShards(cfg *engineConfig) {
 // unsharded path's telemetry bookkeeping. ok=false means the scatter
 // planner declined the plan and nothing ran — the caller executes
 // unsharded on shard 0.
-func (e *Engine) runSharded(ctx context.Context, g *graph.Graph, opts exec.Options, priority int) (res *exec.Result, ok bool, err error) {
+func (e *Engine) runSharded(ctx context.Context, g *graph.Graph, opts exec.Options, priority int, shape string) (res *exec.Result, ok bool, err error) {
 	if _, accept := graph.Scatter(g); !accept {
 		return nil, false, nil
 	}
@@ -258,9 +258,9 @@ func (e *Engine) runSharded(ctx context.Context, g *graph.Graph, opts exec.Optio
 		})
 	}
 	if tel != nil {
-		e.observeShardTelemetry(res, opts.Model.String())
-		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), startVT,
-			res, runErr, opts.Recorder.Spans()[mark:])
+		e.observeShardTelemetry(qid, res, opts.Model.String())
+		e.observeQueryTelemetry(qid, devName, driver, opts.Model.String(), shape, opts.Tenant,
+			startVT, res, runErr, opts.Recorder.Spans()[mark:])
 	}
 	return res, true, runErr
 }

@@ -1,12 +1,15 @@
 package adamant
 
 import (
+	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
 
 	"github.com/adamant-db/adamant/internal/device"
 	"github.com/adamant-db/adamant/internal/exec"
+	"github.com/adamant-db/adamant/internal/hub"
+	"github.com/adamant-db/adamant/internal/profile"
 	"github.com/adamant-db/adamant/internal/telemetry"
 	"github.com/adamant-db/adamant/internal/trace"
 	"github.com/adamant-db/adamant/internal/vclock"
@@ -204,17 +207,24 @@ func (e *Engine) collectTelemetry() {
 }
 
 // vtNow is the engine's virtual horizon: the latest availability across
-// every plugged device engine, i.e. the virtual time up to which the
-// simulation has advanced. Events are stamped with it.
+// every plugged device engine — on a sharded engine, across every shard's
+// devices (each shard runs its own clocks) — i.e. the virtual time up to
+// which the simulation has advanced. Events are stamped with it.
 func (e *Engine) vtNow() vclock.Time {
 	var t vclock.Time
-	for _, d := range e.rt.Devices() {
-		if a := d.CopyEngine().Avail(); a > t {
-			t = a
+	scan := func(rt *hub.Runtime) {
+		for _, d := range rt.Devices() {
+			if a := d.CopyEngine().Avail(); a > t {
+				t = a
+			}
+			if a := d.ComputeEngine().Avail(); a > t {
+				t = a
+			}
 		}
-		if a := d.ComputeEngine().Avail(); a > t {
-			t = a
-		}
+	}
+	scan(e.rt)
+	for s := 1; s < len(e.shardCtxs); s++ {
+		scan(e.shardCtxs[s].rt)
 	}
 	return t
 }
@@ -242,22 +252,31 @@ func (e *Engine) primaryDevice(demand map[device.ID]int64) (name, driver string)
 
 // sampleUtilization folds every engine's cumulative busy counter into the
 // utilization tracker, stamped at that engine's own availability horizon.
+// On a sharded engine, shards 1..n-1 feed shard-labeled series so the
+// heat strip shows one aligned row per shard; shard 0 is the engine's own
+// runtime and keeps its unlabeled (byte-identical) rows.
 func (e *Engine) sampleUtilization() {
 	t := e.tele
-	for _, d := range e.rt.Devices() {
-		name := d.Info().Name
-		cp := d.CopyEngine()
-		t.util.Sample(name, "copy", cp.Avail(), cp.Busy())
-		cm := d.ComputeEngine()
-		t.util.Sample(name, "compute", cm.Avail(), cm.Busy())
+	sample := func(shard string, rt *hub.Runtime) {
+		for _, d := range rt.Devices() {
+			name := d.Info().Name
+			cp := d.CopyEngine()
+			t.util.SampleShard(shard, name, "copy", cp.Avail(), cp.Busy())
+			cm := d.ComputeEngine()
+			t.util.SampleShard(shard, name, "compute", cm.Avail(), cm.Busy())
+		}
+	}
+	sample("", e.rt)
+	for s := 1; s < len(e.shardCtxs); s++ {
+		sample(fmt.Sprintf("shard%d", s), e.shardCtxs[s].rt)
 	}
 }
 
 // observeQueryTelemetry folds one finished query into the metric registry,
-// event log, utilization tracker and flight recorder. res may be nil (the
-// run failed before producing statistics); spans are the query's recorded
-// spans for flight retention.
-func (e *Engine) observeQueryTelemetry(qid uint64, dev, driver, model string, startVT vclock.Time, res *exec.Result, runErr error, spans []trace.Span) {
+// event log, utilization tracker, fleet profiler, and flight recorder.
+// res may be nil (the run failed before producing statistics); spans are
+// the query's recorded spans for profiling and flight retention.
+func (e *Engine) observeQueryTelemetry(qid uint64, dev, driver, model, shape, tenant string, startVT vclock.Time, res *exec.Result, runErr error, spans []trace.Span) {
 	t := e.tele
 	errText := ""
 	if runErr != nil {
@@ -273,6 +292,10 @@ func (e *Engine) observeQueryTelemetry(qid uint64, dev, driver, model string, st
 	finish := telemetry.Event{
 		Type: telemetry.EventQueryFinish, Query: qid,
 		Device: dev, Model: model, Err: errText,
+	}
+	prec := profile.QueryRecord{
+		Query: qid, Shape: shape, Tenant: tenant,
+		Device: dev, Model: model, Err: runErr != nil, Spans: spans,
 	}
 	if res != nil {
 		s := res.Stats
@@ -301,18 +324,56 @@ func (e *Engine) observeQueryTelemetry(qid uint64, dev, driver, model string, st
 		digest.Retries = s.Retries
 		digest.Failovers = failovers
 		digest.Degrades = degrades
+		digest.Replans = s.Replans
 		finish.ElapsedNS = int64(s.Elapsed)
+
+		prec.Elapsed = s.Elapsed
+		prec.KernelTime = s.KernelTime
+		prec.TransferTime = s.TransferTime
+		prec.OverheadTime = s.OverheadTime
+		prec.H2DBytes = s.H2DBytes
+		prec.D2HBytes = s.D2HBytes
+		prec.Launches = s.Launches
+		prec.Retries = s.Retries
+		prec.Replans = s.Replans
+		prec.Failovers = failovers
+		prec.Degrades = degrades
 	}
-	finish.VT = int64(e.vtNow())
+	now := e.vtNow()
+	finish.VT = int64(now)
 	t.sink.Emit(finish)
+	if e.prof != nil {
+		prec.VT = now
+		anomalies, alerts := e.prof.Observe(prec)
+		for _, a := range anomalies {
+			t.sink.Emit(telemetry.Event{
+				Type: telemetry.EventPerfAnomaly, Query: qid, VT: int64(now),
+				Device: a.Driver, Model: model,
+				Detail: fmt.Sprintf("%s bucket %d measured %.1f ns/unit vs expected %.1f (%.1fx)",
+					a.Primitive, a.Bucket, a.Measured, a.Expected, a.Factor),
+			})
+		}
+		if len(anomalies) > 0 {
+			// Force full-trace retention: the span dump is the evidence
+			// that links the fleet-level anomaly to concrete operations.
+			digest.Retained = "anomaly"
+		}
+		for _, al := range alerts {
+			t.sink.Emit(telemetry.Event{
+				Type: telemetry.EventSLOBurn, Query: qid, VT: int64(now), Model: model,
+				Detail: fmt.Sprintf("%s window burn %.2f (%d/%d bad)", al.Window, al.Burn, al.Bad, al.Total),
+			})
+		}
+	}
 	t.flight.Record(digest, spans)
 	e.sampleUtilization()
 }
 
 // observeShardTelemetry folds one sharded query's robustness outcomes into
-// the adamant_shard_* metric families. res is nil when the query failed
-// before assembling statistics.
-func (e *Engine) observeShardTelemetry(res *exec.Result, model string) {
+// the adamant_shard_* metric families, and makes flagged partial answers
+// visible on /events with a shard_partial event. res is nil when the
+// query failed before assembling statistics.
+func (e *Engine) observeShardTelemetry(qid uint64, res *exec.Result, model string) {
 	t := e.tele
 	if t == nil {
 		return
@@ -335,8 +396,13 @@ func (e *Engine) observeShardTelemetry(res *exec.Result, model string) {
 			t.shardLost.Add(1)
 		}
 	}
-	if len(res.Stats.PartialShards) > 0 {
+	if parts := res.Stats.PartialShards; len(parts) > 0 {
 		t.shardPartial.Add(1)
+		t.sink.Emit(telemetry.Event{
+			Type: telemetry.EventShardPartial, Query: qid,
+			VT: int64(e.vtNow()), Model: model,
+			Detail: fmt.Sprintf("partial result: lost partitions %v", parts),
+		})
 	}
 }
 
